@@ -1,0 +1,93 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+
+namespace snap::bench {
+
+/// Reads an environment scale factor (SNAP_BENCH_SCALE). 1.0 = the
+/// default workload sizes documented in EXPERIMENTS.md; smaller values
+/// shrink sample budgets for quick smoke runs.
+inline double bench_scale() {
+  if (const char* raw = std::getenv("SNAP_BENCH_SCALE")) {
+    const double value = std::atof(raw);
+    if (value > 0.0) return value;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  const double value = static_cast<double>(base) * bench_scale();
+  return value < 1.0 ? 1 : static_cast<std::size_t>(value);
+}
+
+/// The §V-B large-scale simulation configuration: SVM on synthetic
+/// credit data, random connected topology. Paper defaults: 60 servers,
+/// average node degree 3.
+inline experiments::ScenarioConfig sim_config(std::size_t nodes,
+                                              double degree,
+                                              std::uint64_t seed = 2020) {
+  experiments::ScenarioConfig cfg;
+  cfg.workload = experiments::Workload::kCreditSvm;
+  cfg.nodes = nodes;
+  cfg.average_degree = degree;
+  cfg.train_samples = scaled(12'000);
+  cfg.test_samples = scaled(3'000);
+  cfg.alpha = 0.3;
+  cfg.convergence.loss_tolerance = 1e-3;
+  cfg.convergence.consensus_tolerance = 1e-2;
+  cfg.convergence.window = 5;
+  cfg.convergence.min_iterations = 20;
+  cfg.convergence.max_iterations = 500;
+  cfg.weight_optimizer.max_iterations = 150;
+  // Paper §V setting: APE budget = 10% of the mean |parameter|,
+  // anchored once the SVM weights have grown to their working scale.
+  cfg.ape.initial_budget_fraction = 0.10;
+  cfg.ape_warmup_iterations = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Target-loss convergence criteria for cross-scheme sweeps: every
+/// scheme runs until its aggregate loss reaches the centralized
+/// converged loss × (1 + margin). Comparable across schemes by
+/// construction (a plateau can fire at a worse loss under filtering or
+/// link failures and would invert comparisons).
+inline core::ConvergenceCriteria target_criteria(
+    const experiments::Scenario& scenario, double margin = 0.05,
+    std::size_t max_iterations = 800) {
+  core::ConvergenceCriteria criteria = scenario.config().convergence;
+  criteria.target_loss = scenario.reference_loss() * (1.0 + margin);
+  criteria.max_iterations = max_iterations;
+  return criteria;
+}
+
+/// Accuracy-target convergence criteria — the paper's operative notion
+/// ("same accuracy performance as centralized training"): a scheme has
+/// converged once its test accuracy reaches the centralized reference
+/// minus `slack`. Under this bar the APE filter's small loss bias is
+/// invisible, which is exactly the regime in which the paper's headline
+/// communication savings hold. See EXPERIMENTS.md for the comparison
+/// with the stricter equal-loss bar.
+inline core::ConvergenceCriteria accuracy_criteria(
+    const experiments::Scenario& scenario, double slack = 0.005,
+    std::size_t max_iterations = 800) {
+  core::ConvergenceCriteria criteria = scenario.config().convergence;
+  criteria.target_accuracy = scenario.reference_accuracy() - slack;
+  criteria.max_iterations = max_iterations;
+  return criteria;
+}
+
+inline void print_run_header(const std::string& name,
+                             const experiments::ScenarioConfig& cfg) {
+  std::cout << "SNAP reproduction bench: " << name << "\n"
+            << "seed=" << cfg.seed << " bench_scale=" << bench_scale()
+            << " (set SNAP_BENCH_SCALE to shrink/grow workloads)\n";
+}
+
+}  // namespace snap::bench

@@ -1,0 +1,72 @@
+// Extension experiment (beyond the paper): non-IID data placement.
+//
+// The paper evaluates uniform-random sample allocation only (§V). Real
+// edge deployments see skewed data — a base station's samples reflect
+// its neighborhood. This bench sweeps the label-skew strength from the
+// paper's IID setting to fully sorted classes and reports how SNAP,
+// SNAP-0, and PS respond in iterations and accuracy.
+//
+// Observed behaviour (both effects are real properties of the paper's
+// objective, not artifacts):
+//   - moderate skew costs iterations: local objectives disagree, so the
+//     consensus machinery must carry more information per round;
+//   - extreme skew shifts the optimum itself: the aggregate objective
+//     Σ_i E_{ξ∼D_i} weights every *server* equally, so when label-pure
+//     shards have unequal sizes the classes get reweighted relative to
+//     the pooled data distribution, and every distributed scheme
+//     (including the parameter server) converges to a different model
+//     than centralized training. This is the classic federated
+//     objective-inconsistency phenomenon, surfaced here by SNAP's
+//     Σ f_i formulation (paper eq. (1)).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+
+int main() {
+  using namespace snap;
+  using experiments::Scheme;
+
+  auto base = bench::sim_config(30, 3.0);
+  base.train_samples = bench::scaled(9'000);
+  base.test_samples = bench::scaled(2'000);
+  bench::print_run_header("Extension — non-IID data placement", base);
+
+  experiments::print_banner(
+      std::cout,
+      "iterations-to-accuracy-bar and final accuracy vs label skew "
+      "(30 servers, degree 3, SVM)");
+  experiments::Table table({"label skew", "SNAP iters", "SNAP acc",
+                            "SNAP-0 iters", "SNAP-0 acc", "PS iters",
+                            "PS acc", "centralized acc"});
+  for (const double skew : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto cfg = base;
+    cfg.label_skew = skew;
+    const experiments::Scenario scenario(cfg);
+    auto criteria = bench::accuracy_criteria(scenario, 0.01, 1200);
+    const auto snap = scenario.run(Scheme::kSnap, criteria);
+    const auto snap0 = scenario.run(Scheme::kSnap0, criteria);
+    const auto ps = scenario.run(Scheme::kPs, criteria);
+    auto row_entry = [](const core::TrainResult& r) {
+      return std::to_string(r.converged_after) + (r.converged ? "" : "*");
+    };
+    table.add_row({common::format_percent(skew, 0), row_entry(snap),
+                   common::format_double(snap.final_test_accuracy, 4),
+                   row_entry(snap0),
+                   common::format_double(snap0.final_test_accuracy, 4),
+                   row_entry(ps),
+                   common::format_double(ps.final_test_accuracy, 4),
+                   common::format_double(scenario.reference_accuracy(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "(* = iteration cap reached)\n"
+            << "\nExpected shape: moderate skew costs iterations; at "
+               "extreme skew every distributed scheme (PS included) "
+               "misses the centralized bar because the per-server-equal "
+               "objective (paper eq. (1)) reweights classes when "
+               "label-pure shards have unequal sizes.\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Reproduces Fig. 2 — "How weights change during the iteration".
+//
+// Paper setup (§IV-C1): iteration (8) on a toy network of 3 servers
+// training the 784–30–10 fully connected network on MNIST, samples
+// randomly allocated to servers. Reported:
+//   (a) percentage of parameters unchanged in an iteration,
+//   (b) log-CDF of the parameter difference |x^{k+1} − x^k|
+//       (iteration 1 vs after 20 iterations),
+//   (c) log-CDF of the parameter change ratio |Δx|/|x|.
+//
+// Paper's qualitative claims to check: >30% unchanged from the very
+// first iterations, rising toward ~98%; >90% of first-iteration
+// differences below 1e-3; >94% of change ratios below 10%.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "core/extra.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "experiments/report.hpp"
+#include "ml/mlp.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace snap;
+
+/// Fraction of `values` that are <= bound.
+double cdf_at(const std::vector<double>& values, double bound) {
+  std::size_t count = 0;
+  for (const double v : values) {
+    if (v <= bound) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+void print_log_cdf(const std::string& title,
+                   const std::vector<double>& values) {
+  std::cout << "# " << title << "  (value  fraction<=value)\n";
+  for (const double bound :
+       {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+    std::cout << "  " << bound << "  "
+              << common::format_double(cdf_at(values, bound), 4) << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace snap;
+  const auto scale = bench::scaled(1'800);
+
+  std::cout << "SNAP reproduction bench: Fig. 2 parameter evolution\n"
+            << "3 servers (K_3), MLP 784-30-10, " << scale
+            << " synthetic-MNIST samples, random allocation\n";
+
+  data::SyntheticMnistConfig mnist_cfg;
+  mnist_cfg.train_samples = scale;
+  mnist_cfg.test_samples = 16;  // unused here
+  const auto mnist = data::make_synthetic_mnist(mnist_cfg);
+
+  common::Rng rng(2020);
+  auto shards = data::partition_uniform_random(mnist.train, 3, rng);
+
+  const ml::Mlp model{ml::MlpConfig{}};
+  const auto graph = topology::make_complete(3);
+  const linalg::Matrix w = consensus::max_degree_weights(graph);
+
+  common::Rng init_rng = rng.fork("init");
+  const linalg::Vector x0 = model.initial_params(init_rng);
+  core::ExtraIteration extra(
+      w, std::vector<linalg::Vector>(3, x0), /*alpha=*/0.5,
+      [&](std::size_t node, const linalg::Vector& x) {
+        return model.gradient(x, shards[node]);
+      });
+
+  constexpr std::size_t kIterations = 25;
+  std::vector<double> unchanged_pct;
+  std::vector<double> diff_iter1;
+  std::vector<double> diff_iter21;
+  std::vector<double> ratio_iter1;
+  std::vector<double> ratio_iter21;
+
+  std::vector<linalg::Vector> previous;
+  for (std::size_t node = 0; node < 3; ++node) {
+    previous.push_back(extra.params(node));
+  }
+
+  std::vector<double> subsingle_pct;
+  for (std::size_t k = 1; k <= kIterations; ++k) {
+    extra.step();
+    std::size_t unchanged = 0;
+    std::size_t subsingle = 0;
+    std::size_t total = 0;
+    std::vector<double>* diff_sink =
+        k == 1 ? &diff_iter1 : (k == 21 ? &diff_iter21 : nullptr);
+    std::vector<double>* ratio_sink =
+        k == 1 ? &ratio_iter1 : (k == 21 ? &ratio_iter21 : nullptr);
+    for (std::size_t node = 0; node < 3; ++node) {
+      const linalg::Vector& now = extra.params(node);
+      const linalg::Vector& before = previous[node];
+      for (std::size_t p = 0; p < now.size(); ++p) {
+        const double diff = std::abs(now[p] - before[p]);
+        // "Unchanged" at wire granularity: the paper's testbed serializes
+        // parameters whose updates below float32 resolution vanish.
+        // Structural zeros (all-zero input pixels ⇒ exactly-zero
+        // first-layer gradients) are unchanged even in double precision.
+        if (diff == 0.0) ++unchanged;
+        if (static_cast<float>(now[p]) == static_cast<float>(before[p])) {
+          ++subsingle;
+        }
+        ++total;
+        if (diff_sink != nullptr) diff_sink->push_back(diff);
+        if (ratio_sink != nullptr) {
+          const double denom = std::abs(before[p]);
+          ratio_sink->push_back(denom > 0.0 ? diff / denom
+                                            : (diff > 0.0 ? 1.0 : 0.0));
+        }
+      }
+      previous[node] = now;
+    }
+    unchanged_pct.push_back(100.0 * static_cast<double>(unchanged) /
+                            static_cast<double>(total));
+    subsingle_pct.push_back(100.0 * static_cast<double>(subsingle) /
+                            static_cast<double>(total));
+  }
+
+  experiments::print_banner(std::cout, "Fig. 2(a) % unchanged parameters");
+  std::cout << "# pct_unchanged: bit-identical in double precision "
+               "(structural zeros).\n"
+               "# pct_sub_f32:   additionally counts updates below "
+               "float32 resolution —\n"
+               "#                the granularity at which the paper's "
+               "testbed arithmetic\n"
+               "#                registers 'no change'.\n"
+               "# iteration  pct_unchanged  pct_sub_f32\n";
+  for (std::size_t k = 0; k < unchanged_pct.size(); ++k) {
+    std::cout << "  " << (k + 1) << "  "
+              << common::format_double(unchanged_pct[k], 2) << "  "
+              << common::format_double(subsingle_pct[k], 2) << '\n';
+  }
+
+  experiments::print_banner(std::cout, "Fig. 2(b) log-CDF of |Δx|");
+  print_log_cdf("iteration 1", diff_iter1);
+  print_log_cdf("iteration 21", diff_iter21);
+
+  experiments::print_banner(std::cout, "Fig. 2(c) log-CDF of |Δx|/|x|");
+  print_log_cdf("iteration 1", ratio_iter1);
+  print_log_cdf("iteration 21", ratio_iter21);
+
+  std::cout << "\nPaper shape targets: >30% unchanged early; "
+               ">90% of first-iteration diffs < 1e-3; >94% of change "
+               "ratios < 0.1; both CDFs shift left by iteration 21.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces Fig. 4 — the 3-server testbed experiment.
+//
+// Paper setup (§V-A): 3 fully connected servers, MLP 784–30–10 on MNIST
+// with ~equal shards. Reported:
+//   (a) model accuracy vs iteration — Centralized, SNAP, SNAP-0,
+//       TernGrad (PS omitted: on K_3 it matches SNAP-0),
+//   (b) bytes written to sockets per iteration — SNAP, SNAP-0, SNO, PS,
+//       TernGrad,
+//   (c) total bytes until convergence, relative to PS.
+//
+// Paper shape targets: SNAP catches the centralized accuracy within a
+// few iterations; TernGrad converges far slower; SNAP's per-iteration
+// bytes decay toward 0 while PS/SNO/TernGrad stay flat; SNAP's total is
+// a few percent of PS; SNO ≈ 1.5× PS; SNAP well below SNAP-0.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+
+int main() {
+  using namespace snap;
+  using experiments::Scheme;
+
+  experiments::ScenarioConfig cfg;
+  cfg.workload = experiments::Workload::kMnistMlp;
+  cfg.nodes = 3;
+  cfg.complete_topology = true;
+  cfg.train_samples = bench::scaled(1'500);
+  cfg.test_samples = bench::scaled(1'000);
+  cfg.alpha = 1.0;
+  // The paper's Fig. 4 plots a fixed horizon (their testbed converges
+  // within ~20 iterations and the plots run to a fixed length); we use
+  // a fixed 60-iteration horizon shared by all schemes so the totals in
+  // (c) are comparable.
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.convergence.max_iterations = 60;
+  // Calibration for the MLP's parameter scale (Xavier weights average
+  // ~0.03 in magnitude): a 10%-of-mean budget filters almost nothing at
+  // this α, so the testbed uses a larger fraction. See EXPERIMENTS.md.
+  cfg.ape.initial_budget_fraction = 0.3;
+  cfg.seed = 2020;
+  bench::print_run_header("Fig. 4 testbed (3 servers, MLP, MNIST-like)",
+                          cfg);
+
+  const experiments::Scenario scenario(cfg);
+
+  const std::vector<Scheme> accuracy_schemes{
+      Scheme::kCentralized, Scheme::kSnap, Scheme::kSnap0,
+      Scheme::kTernGrad};
+  const std::vector<Scheme> traffic_schemes{Scheme::kSnap, Scheme::kSnap0,
+                                            Scheme::kSno, Scheme::kPs,
+                                            Scheme::kTernGrad};
+
+  std::vector<core::TrainResult> results;
+  std::vector<Scheme> all{Scheme::kCentralized, Scheme::kSnap,
+                          Scheme::kSnap0,      Scheme::kSno,
+                          Scheme::kPs,         Scheme::kTernGrad};
+  for (const Scheme scheme : all) {
+    results.push_back(scenario.run(scheme));
+  }
+  auto result_of = [&](Scheme s) -> const core::TrainResult& {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i] == s) return results[i];
+    }
+    throw std::logic_error("scheme not run");
+  };
+
+  experiments::print_banner(std::cout, "Fig. 4(a) accuracy vs iteration");
+  std::cout << "# iteration";
+  for (const Scheme s : accuracy_schemes) {
+    std::cout << "  " << experiments::scheme_name(s);
+  }
+  std::cout << '\n';
+  std::size_t longest = 0;
+  for (const Scheme s : accuracy_schemes) {
+    longest = std::max(longest, result_of(s).iterations.size());
+  }
+  for (std::size_t k = 0; k < longest; k += 2) {
+    std::cout << "  " << (k + 1);
+    for (const Scheme s : accuracy_schemes) {
+      const auto& iters = result_of(s).iterations;
+      const auto& stat = iters[std::min(k, iters.size() - 1)];
+      std::cout << "  " << common::format_double(stat.test_accuracy, 4);
+    }
+    std::cout << '\n';
+  }
+
+  experiments::print_banner(std::cout,
+                            "Fig. 4(b) bytes per iteration (socket bytes)");
+  std::cout << "# iteration";
+  for (const Scheme s : traffic_schemes) {
+    std::cout << "  " << experiments::scheme_name(s);
+  }
+  std::cout << '\n';
+  for (std::size_t k = 0; k < longest; k += 2) {
+    std::cout << "  " << (k + 1);
+    for (const Scheme s : traffic_schemes) {
+      const auto& iters = result_of(s).iterations;
+      const std::uint64_t bytes =
+          k < iters.size() ? iters[k].bytes : 0;  // converged => silent
+      std::cout << "  " << bytes;
+    }
+    std::cout << '\n';
+  }
+
+  experiments::print_banner(std::cout,
+                            "Fig. 4(c) total communication (vs PS)");
+  experiments::Table table(
+      {"scheme", "horizon", "total bytes", "vs PS", "final accuracy"});
+  const double ps_total =
+      static_cast<double>(result_of(Scheme::kPs).total_bytes);
+  for (const Scheme s : all) {
+    const auto& r = result_of(s);
+    table.add_row({std::string(experiments::scheme_name(s)),
+                   std::to_string(r.converged_after),
+                   common::format_bytes(double(r.total_bytes)),
+                   s == Scheme::kCentralized
+                       ? "-"
+                       : common::format_percent(
+                             double(r.total_bytes) / ps_total, 2),
+                   common::format_double(r.final_test_accuracy, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape targets: SNAP total a few % of PS "
+               "(paper: 3.56%), SNAP ≈ 20% of SNAP-0, SNO ≈ 150% of PS, "
+               "TernGrad slowest to converge.\n";
+  return 0;
+}

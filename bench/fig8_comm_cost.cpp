@@ -1,0 +1,113 @@
+// Reproduces Fig. 8 — total communication cost vs network
+// characteristics, including the paper's headline claim.
+//
+// Paper setup (§V-B): SVM on credit data; total hop-weighted traffic
+// until convergence (§II-B cost: bytes × physical hops) for SNAP,
+// SNAP-0, SNO, PS, TernGrad, sweeping
+//   (a) the number of edge servers (degree 3),
+//   (b) the average node degree in a sparse regime,
+//   (c) the average node degree in a dense regime.
+//
+// Paper shape targets: costs grow with N for every scheme but far
+// slower for SNAP (headline: at 100 servers SNAP ≈ 0.4% of TernGrad and
+// ≈ 0.96% of PS — i.e. 99.6% lower than TernGrad); in sparse networks
+// higher degree lowers total cost and even SNO beats PS; in dense
+// networks cost rises with degree and SNAP can exceed PS.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+
+namespace {
+
+using namespace snap;
+using experiments::Scheme;
+
+const std::vector<Scheme> kSchemes{Scheme::kSnap, Scheme::kSnap0,
+                                   Scheme::kSno, Scheme::kPs,
+                                   Scheme::kTernGrad};
+
+struct SweepPoint {
+  std::size_t nodes;
+  double degree;
+  std::vector<core::TrainResult> results;
+};
+
+SweepPoint run_point(std::size_t nodes, double degree) {
+  SweepPoint point{nodes, degree, {}};
+  const experiments::Scenario scenario(bench::sim_config(nodes, degree));
+  const auto criteria = bench::accuracy_criteria(scenario);
+  for (const Scheme s : kSchemes) {
+    point.results.push_back(scenario.run(s, criteria));
+  }
+  return point;
+}
+
+void print_sweep(const std::string& banner, const std::string& x_label,
+                 const std::vector<SweepPoint>& points) {
+  experiments::print_banner(std::cout, banner);
+  std::vector<std::string> headers{x_label};
+  for (const Scheme s : kSchemes) {
+    headers.emplace_back(experiments::scheme_name(s));
+  }
+  experiments::Table table(headers);
+  for (const auto& point : points) {
+    std::vector<std::string> row{x_label == "servers"
+                                     ? std::to_string(point.nodes)
+                                     : std::to_string(int(point.degree))};
+    for (const auto& result : point.results) {
+      row.push_back(common::format_bytes(double(result.total_cost)));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace snap;
+  bench::print_run_header("Fig. 8 communication cost",
+                          bench::sim_config(60, 3.0));
+
+  std::vector<SweepPoint> scale_sweep;
+  for (const std::size_t n : {20u, 40u, 60u, 80u, 100u}) {
+    scale_sweep.push_back(run_point(n, 3.0));
+  }
+  print_sweep("Fig. 8(a) total cost vs network scale (degree 3)",
+              "servers", scale_sweep);
+
+  // Headline claim at N = 100.
+  const SweepPoint& big = scale_sweep.back();
+  const double snap_cost = double(big.results[0].total_cost);
+  const double ps_cost = double(big.results[3].total_cost);
+  const double terngrad_cost = double(big.results[4].total_cost);
+  std::cout << "\nHeadline @100 servers: SNAP/TernGrad = "
+            << common::format_percent(snap_cost / terngrad_cost, 2)
+            << " (paper: 0.4%), SNAP/PS = "
+            << common::format_percent(snap_cost / ps_cost, 2)
+            << " (paper: 0.96%)\n";
+
+  std::vector<SweepPoint> sparse_sweep;
+  for (const double d : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    sparse_sweep.push_back(run_point(60, d));
+  }
+  print_sweep("Fig. 8(b) total cost vs degree — sparse regime (60 servers)",
+              "degree", sparse_sweep);
+
+  std::vector<SweepPoint> dense_sweep;
+  for (const double d : {10.0, 20.0, 30.0, 40.0}) {
+    dense_sweep.push_back(run_point(60, d));
+  }
+  print_sweep("Fig. 8(c) total cost vs degree — dense regime (60 servers)",
+              "degree", dense_sweep);
+
+  std::cout << "\nPaper shape targets: SNAP's growth with N is far "
+               "flatter than PS/TernGrad; sparse regime cost falls with "
+               "degree (SNO < PS); dense regime cost rises with degree "
+               "and the peer schemes lose their advantage.\n";
+  return 0;
+}

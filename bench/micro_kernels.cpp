@@ -1,0 +1,152 @@
+// google-benchmark micro-kernels for SNAP's hot paths, plus the §IV-C
+// frame-format analysis (format A vs B crossover at N = 2M + 1).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/terngrad.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "consensus/weight_optimizer.hpp"
+#include "data/synthetic_credit.hpp"
+#include "linalg/eigen.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/mlp.hpp"
+#include "net/frame.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace snap;
+
+void BM_JacobiEigenvalues(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  linalg::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.normal();
+      m(r, c) = v;
+      m(c, r) = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigenvalues_symmetric(m));
+  }
+}
+BENCHMARK(BM_JacobiEigenvalues)->Arg(20)->Arg(60)->Arg(100);
+
+void BM_MaxDegreeWeights(benchmark::State& state) {
+  common::Rng rng(2);
+  const auto g = topology::make_random_connected(
+      static_cast<std::size_t>(state.range(0)), 3.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consensus::max_degree_weights(g));
+  }
+}
+BENCHMARK(BM_MaxDegreeWeights)->Arg(60)->Arg(200);
+
+void BM_WeightOptimization(benchmark::State& state) {
+  common::Rng rng(3);
+  const auto g = topology::make_random_connected(
+      static_cast<std::size_t>(state.range(0)), 3.0, rng);
+  consensus::WeightOptimizerConfig cfg;
+  cfg.max_iterations = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consensus::minimize_slem(g, cfg));
+  }
+}
+BENCHMARK(BM_WeightOptimization)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const auto total = static_cast<std::uint32_t>(state.range(0));
+  const auto sent = static_cast<std::size_t>(state.range(1));
+  common::Rng rng(4);
+  const auto idx = rng.sample_without_replacement(total, sent);
+  std::vector<std::size_t> sorted(idx.begin(), idx.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<net::ParamUpdate> updates;
+  for (const auto i : sorted) {
+    updates.push_back({static_cast<std::uint32_t>(i), rng.normal()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_update_frame(total, updates));
+  }
+}
+BENCHMARK(BM_FrameEncode)
+    ->Args({23'860, 23'860})
+    ->Args({23'860, 1'000})
+    ->Args({23'860, 10});
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto total = static_cast<std::uint32_t>(state.range(0));
+  const auto sent = static_cast<std::size_t>(state.range(1));
+  common::Rng rng(5);
+  const auto idx = rng.sample_without_replacement(total, sent);
+  std::vector<std::size_t> sorted(idx.begin(), idx.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<net::ParamUpdate> updates;
+  for (const auto i : sorted) {
+    updates.push_back({static_cast<std::uint32_t>(i), rng.normal()});
+  }
+  const auto bytes = net::encode_update_frame(total, updates);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_update_frame(bytes));
+  }
+}
+BENCHMARK(BM_FrameDecode)->Args({23'860, 23'860})->Args({23'860, 10});
+
+void BM_SvmGradient(benchmark::State& state) {
+  data::SyntheticCreditConfig cfg;
+  cfg.samples = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::make_synthetic_credit(cfg);
+  const ml::LinearSvm svm{ml::LinearSvmConfig{}};
+  common::Rng rng(6);
+  const linalg::Vector params = svm.initial_params(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm.loss_gradient(params, dataset));
+  }
+}
+BENCHMARK(BM_SvmGradient)->Arg(1'000)->Arg(10'000);
+
+void BM_MlpGradient(benchmark::State& state) {
+  common::Rng rng(7);
+  data::Dataset d(784, 10);
+  std::vector<double> row(784);
+  for (int s = 0; s < state.range(0); ++s) {
+    for (double& px : row) px = rng.uniform();
+    d.add(row, static_cast<std::size_t>(rng.uniform_u64(10)));
+  }
+  const ml::Mlp mlp{ml::MlpConfig{}};
+  common::Rng init(8);
+  const linalg::Vector params = mlp.initial_params(init);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.loss_gradient(params, d));
+  }
+}
+BENCHMARK(BM_MlpGradient)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Ternarize(benchmark::State& state) {
+  common::Rng rng(9);
+  linalg::Vector g(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = rng.normal();
+  common::Rng draw(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::ternarize(g, draw));
+  }
+}
+BENCHMARK(BM_Ternarize)->Arg(23'860);
+
+void BM_AllPairsHops(benchmark::State& state) {
+  common::Rng rng(11);
+  const auto g = topology::make_random_connected(
+      static_cast<std::size_t>(state.range(0)), 3.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.all_pairs_hops());
+  }
+}
+BENCHMARK(BM_AllPairsHops)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

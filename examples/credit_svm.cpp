@@ -1,0 +1,60 @@
+// Credit-default SVM across a city-scale edge network — the paper's
+// large-scale simulation workload (§V-B) as an application: 40 branch
+// servers each hold their own customers' records and collaboratively
+// fit a default-risk SVM without sharing a single row.
+//
+// Runs every scheme on the identical workload and prints the comparison
+// table, using the experiments harness (the same machinery behind the
+// figure benches).
+//
+// Build & run:  cmake --build build && ./build/examples/credit_svm
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+
+int main() {
+  using namespace snap;
+  using experiments::Scheme;
+
+  experiments::ScenarioConfig cfg;
+  cfg.workload = experiments::Workload::kCreditSvm;
+  cfg.nodes = 40;
+  cfg.average_degree = 3.0;
+  cfg.train_samples = 8'000;
+  cfg.test_samples = 2'000;
+  cfg.alpha = 0.3;
+  cfg.convergence.loss_tolerance = 1e-3;
+  cfg.convergence.consensus_tolerance = 1e-2;
+  cfg.convergence.max_iterations = 400;
+  cfg.ape.initial_budget_fraction = 0.02;
+  cfg.seed = 77;
+
+  const experiments::Scenario scenario(cfg);
+  std::cout << "workload: " << scenario.model().name() << " on "
+            << scenario.train_size() << " records, "
+            << scenario.graph().node_count() << " branches (avg degree "
+            << common::format_double(scenario.graph().average_degree(), 1)
+            << ")\n\n";
+
+  experiments::Table table({"scheme", "converged", "iterations",
+                            "accuracy", "wire bytes", "hop-weighted cost"});
+  for (const Scheme scheme :
+       {Scheme::kCentralized, Scheme::kSnap, Scheme::kSnap0, Scheme::kSno,
+        Scheme::kPs, Scheme::kTernGrad}) {
+    const auto result = scenario.run(scheme);
+    table.add_row({std::string(experiments::scheme_name(scheme)),
+                   result.converged ? "yes" : "no",
+                   std::to_string(result.converged_after),
+                   common::format_percent(result.final_test_accuracy, 2),
+                   common::format_bytes(double(result.total_bytes)),
+                   common::format_bytes(double(result.total_cost))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAll distributed schemes keep raw records on their "
+               "branch; SNAP additionally avoids the parameter server's "
+               "multi-hop flows and withholds sub-threshold updates.\n";
+  return 0;
+}

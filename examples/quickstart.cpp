@@ -1,0 +1,79 @@
+// Quickstart: train a model with SNAP on a small edge network.
+//
+// This example walks the full public API surface in ~80 lines:
+//   1. build an edge-server topology,
+//   2. optimize the mixing matrix for it (paper §IV-B),
+//   3. shard a dataset across the servers,
+//   4. run the SNAP trainer (EXTRA iteration + APE-filtered exchange),
+//   5. inspect accuracy and communication cost.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "consensus/weight_optimizer.hpp"
+#include "core/snap_trainer.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic_credit.hpp"
+#include "ml/linear_svm.hpp"
+#include "topology/generators.hpp"
+
+int main() {
+  using namespace snap;
+
+  // 1. Topology: 12 edge servers, randomly connected, average degree 3.
+  //    Each edge is a one-hop peer link (paper §II-B).
+  common::Rng rng(/*seed=*/42);
+  const topology::Graph graph = topology::make_random_connected(
+      /*n=*/12, /*average_degree=*/3.0, rng);
+  std::cout << "topology: " << graph.node_count() << " servers, "
+            << graph.edge_count() << " links, diameter "
+            << graph.diameter() << "\n";
+
+  // 2. Mixing matrix: initialize with the max-degree rule (eq. 24) and
+  //    improve it with the spectral optimizers of §IV-B. The selection
+  //    keeps whichever candidate predicts the fastest convergence.
+  const consensus::WeightSelection weights =
+      consensus::select_weight_matrix(graph);
+  std::cout << "mixing matrix selected (score "
+            << common::format_double(weights.score, 4) << ")\n";
+
+  // 3. Data: a synthetic credit-scoring dataset (24 features, binary
+  //    label), split into train/test and sharded uniformly at random —
+  //    each server keeps its shard private.
+  data::SyntheticCreditConfig data_cfg;
+  data_cfg.samples = 12'000;
+  const data::Dataset all = data::make_synthetic_credit(data_cfg);
+  const auto split = data::split_train_test(all, /*test_fraction=*/0.2,
+                                            /*seed=*/7);
+  common::Rng shard_rng = rng.fork("shards");
+  std::vector<data::Dataset> shards =
+      data::partition_uniform_random(split.train, graph.node_count(),
+                                     shard_rng);
+
+  // 4. Model + trainer: an L2-regularized linear SVM trained with SNAP.
+  const ml::LinearSvm model{ml::LinearSvmConfig{.feature_dim = 24}};
+  core::SnapTrainerConfig train_cfg;
+  train_cfg.alpha = 0.3;                        // EXTRA step size
+  train_cfg.filter = core::FilterMode::kApe;    // SNAP's APE filtering
+  train_cfg.ape.initial_budget_fraction = 0.02; // tuned for a 25-param model
+  train_cfg.convergence.loss_tolerance = 1e-3;
+  train_cfg.convergence.consensus_tolerance = 1e-2;
+  train_cfg.convergence.max_iterations = 400;
+  core::SnapTrainer trainer(graph, weights.w, model, std::move(shards),
+                            train_cfg);
+
+  const core::TrainResult result = trainer.train(split.test);
+
+  // 5. Results.
+  std::cout << "converged: " << (result.converged ? "yes" : "no")
+            << " after " << result.converged_after << " iterations\n"
+            << "test accuracy: "
+            << common::format_percent(result.final_test_accuracy, 2) << '\n'
+            << "bytes on the wire: "
+            << common::format_bytes(double(result.total_bytes)) << '\n'
+            << "hop-weighted cost: "
+            << common::format_bytes(double(result.total_cost)) << '\n';
+  return result.converged ? 0 : 1;
+}

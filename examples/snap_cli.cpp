@@ -1,0 +1,188 @@
+// snap_cli — run any paper scheme on a configurable scenario from the
+// command line, with optional CSV export of the per-iteration series.
+//
+// Examples:
+//   snap_cli --scheme=snap --nodes=60 --degree=3
+//   snap_cli --scheme=terngrad --nodes=40 --alpha=0.2 --csv=run.csv
+//   snap_cli --workload=mnist --nodes=3 --complete --iterations=40
+//   snap_cli --help
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/strings.hpp"
+#include "experiments/csv.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+#include "ml/checkpoint.hpp"
+#include "topology/io.hpp"
+
+namespace {
+
+using namespace snap;
+
+void print_help() {
+  std::cout <<
+      R"(snap_cli — run SNAP and its baselines on synthetic edge workloads
+
+options (defaults in brackets):
+  --scheme=NAME       centralized | snap | snap0 | sno | ps | terngrad [snap]
+  --workload=NAME     credit (SVM) | mnist (MLP 784-30-10) [credit]
+  --nodes=N           edge servers [60]
+  --degree=D          average node degree of the random topology [3]
+  --complete          use the complete graph instead of a random one
+  --train=N           training samples (0 = generator default) [12000]
+  --test=N            test samples [3000]
+  --alpha=A           step size [0.3]
+  --iterations=K      iteration cap [400]
+  --failure=P         per-round link failure probability [0]
+  --seed=S            experiment seed [2020]
+  --csv=FILE          write the per-iteration series as CSV
+  --topology=FILE     load the peer topology from an edge-list file
+                      (see topology/io.hpp for the format)
+  --save-model=FILE   write the trained parameters as a checkpoint
+  --help              this text
+)";
+}
+
+std::optional<std::map<std::string, std::string>> parse_args(
+    int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!common::starts_with(arg, "--")) {
+      std::cerr << "unrecognized argument: " << arg << "\n";
+      return std::nullopt;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      args.emplace(std::string(arg), "1");  // boolean flag
+    } else {
+      args.emplace(std::string(arg.substr(0, eq)),
+                   std::string(arg.substr(eq + 1)));
+    }
+  }
+  return args;
+}
+
+std::optional<experiments::Scheme> parse_scheme(const std::string& name) {
+  if (name == "centralized") return experiments::Scheme::kCentralized;
+  if (name == "snap") return experiments::Scheme::kSnap;
+  if (name == "snap0") return experiments::Scheme::kSnap0;
+  if (name == "sno") return experiments::Scheme::kSno;
+  if (name == "ps") return experiments::Scheme::kPs;
+  if (name == "terngrad") return experiments::Scheme::kTernGrad;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed.has_value()) return 2;
+  const auto& args = *parsed;
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+  if (args.contains("help")) {
+    print_help();
+    return 0;
+  }
+  for (const auto& [key, value] : args) {
+    static const std::set<std::string> known{
+        "scheme", "workload", "nodes", "degree", "complete", "train",
+        "test", "alpha", "iterations", "failure", "seed", "csv",
+        "topology", "save-model", "help"};
+    if (!known.contains(key)) {
+      std::cerr << "unknown option --" << key << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  const auto scheme = parse_scheme(get("scheme", "snap"));
+  if (!scheme.has_value()) {
+    std::cerr << "unknown scheme (try --help)\n";
+    return 2;
+  }
+
+  experiments::ScenarioConfig cfg;
+  cfg.workload = get("workload", "credit") == "mnist"
+                     ? experiments::Workload::kMnistMlp
+                     : experiments::Workload::kCreditSvm;
+  cfg.nodes = std::stoul(get("nodes", "60"));
+  cfg.average_degree = std::stod(get("degree", "3"));
+  cfg.complete_topology = args.contains("complete");
+  cfg.train_samples = std::stoul(get("train", "12000"));
+  cfg.test_samples = std::stoul(get("test", "3000"));
+  cfg.alpha = std::stod(get("alpha", "0.3"));
+  cfg.convergence.max_iterations = std::stoul(get("iterations", "400"));
+  cfg.convergence.loss_tolerance = 1e-3;
+  cfg.convergence.consensus_tolerance = 1e-2;
+  cfg.link_failure_probability = std::stod(get("failure", "0"));
+  cfg.seed = std::stoull(get("seed", "2020"));
+  if (args.contains("topology")) {
+    std::string error;
+    auto loaded = topology::load_edge_list(get("topology", ""), &error);
+    if (!loaded.has_value()) {
+      std::cerr << "bad topology file: " << error << "\n";
+      return 1;
+    }
+    if (!loaded->is_connected()) {
+      std::cerr << "topology must be connected\n";
+      return 1;
+    }
+    cfg.custom_topology = std::move(*loaded);
+  }
+
+  std::cout << "building scenario: "
+            << (cfg.workload == experiments::Workload::kMnistMlp
+                    ? "mnist-mlp"
+                    : "credit-svm")
+            << ", " << cfg.nodes << " nodes, seed " << cfg.seed << "\n";
+  const experiments::Scenario scenario(cfg);
+  const auto result = scenario.run(*scheme);
+
+  experiments::Table table({"metric", "value"});
+  table.add_row({"scheme", std::string(experiments::scheme_name(*scheme))});
+  table.add_row({"converged", result.converged ? "yes" : "no"});
+  table.add_row({"iterations", std::to_string(result.converged_after)});
+  table.add_row(
+      {"final accuracy",
+       common::format_percent(result.final_test_accuracy, 2)});
+  table.add_row(
+      {"final train loss",
+       common::format_double(result.final_train_loss, 5)});
+  table.add_row(
+      {"wire bytes", common::format_bytes(double(result.total_bytes))});
+  table.add_row({"hop-weighted cost",
+                 common::format_bytes(double(result.total_cost))});
+  table.print(std::cout);
+
+  if (args.contains("save-model")) {
+    const std::string path = get("save-model", "");
+    const ml::Checkpoint checkpoint{scenario.model().name(),
+                                    result.final_params};
+    if (!ml::save_checkpoint(path, checkpoint)) {
+      std::cerr << "cannot write checkpoint to " << path << "\n";
+      return 1;
+    }
+    std::cout << "model checkpoint written to " << path << "\n";
+  }
+
+  if (args.contains("csv")) {
+    const std::string path = get("csv", "");
+    std::ofstream file(path);
+    if (!file) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 1;
+    }
+    experiments::write_train_result_csv(file, result);
+    std::cout << "per-iteration series written to " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "baselines/centralized.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snap::baselines {
+
+core::TrainResult train_centralized(const ml::Model& model,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test,
+                                    const CentralizedConfig& config) {
+  SNAP_REQUIRE(config.alpha > 0.0);
+  common::Rng rng(config.seed);
+  common::Rng init_rng = rng.fork("init");
+  linalg::Vector params = model.initial_params(init_rng);
+
+  core::ConvergenceDetector detector(config.convergence);
+  core::TrainResult result;
+
+  std::size_t iteration = 0;
+  while (iteration < config.convergence.max_iterations &&
+         !detector.converged()) {
+    ++iteration;
+    const ml::LossGradient lg = model.loss_gradient(params, train);
+    params.axpy(-config.alpha, lg.gradient);
+
+    core::IterationStats stats;
+    stats.train_loss = model.loss(params, train);
+    const bool evaluate =
+        (iteration % std::max<std::size_t>(config.eval.every, 1)) == 0 ||
+        iteration == config.convergence.max_iterations;
+    if (evaluate) {
+      stats.test_accuracy = model.accuracy(params, test);
+      stats.evaluated = true;
+    }
+    result.iterations.push_back(stats);
+    detector.observe(stats.train_loss, 0.0,
+                     stats.evaluated ? stats.test_accuracy : -1.0);
+  }
+
+  result.converged = detector.converged();
+  result.converged_after =
+      result.converged ? detector.converged_after() : iteration;
+  result.final_params = params;
+  result.final_train_loss = model.loss(params, train);
+  result.final_test_accuracy = model.accuracy(params, test);
+  return result;
+}
+
+}  // namespace snap::baselines

@@ -1,0 +1,31 @@
+// Centralized training baseline (paper §V "Comparisons").
+//
+// All raw data is gathered on one machine and trained with full-batch
+// gradient descent. This is the accuracy yardstick: SNAP's claim is that
+// it matches this scheme's accuracy without moving any raw data. No
+// network traffic is charged (the paper likewise treats it purely as an
+// accuracy baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "core/training.hpp"
+#include "data/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace snap::baselines {
+
+struct CentralizedConfig {
+  double alpha = 0.05;  ///< gradient-descent step size
+  core::ConvergenceCriteria convergence;
+  core::EvalConfig eval;
+  std::uint64_t seed = 1;
+};
+
+/// Full-batch gradient descent on the pooled dataset.
+core::TrainResult train_centralized(const ml::Model& model,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test,
+                                    const CentralizedConfig& config);
+
+}  // namespace snap::baselines

@@ -1,0 +1,113 @@
+#include "baselines/parameter_server.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "net/cost_model.hpp"
+
+namespace snap::baselines {
+
+core::TrainResult train_parameter_server(
+    const topology::Graph& graph, const ml::Model& model,
+    std::vector<data::Dataset> shards, const data::Dataset& test,
+    const ParameterServerConfig& config) {
+  SNAP_REQUIRE(config.alpha > 0.0);
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE(shards.size() == n);
+
+  common::Rng rng(config.seed);
+  // Random PS selection, least-hop routing (paper §V "Comparisons").
+  const auto ps = static_cast<topology::NodeId>(
+      rng.fork("ps-select").uniform_u64(n));
+
+  common::Rng init_rng = rng.fork("init");
+  common::Rng batch_rng = rng.fork("batches");
+  linalg::Vector params = model.initial_params(init_rng);
+  const std::size_t p = model.param_count();
+  const std::size_t dense_bytes = 8 * p;
+
+  net::CostTracker cost{net::HopMatrix(graph)};
+  core::ConvergenceDetector detector(config.convergence);
+  core::TrainResult result;
+
+  std::size_t iteration = 0;
+  while (iteration < config.convergence.max_iterations &&
+         !detector.converged()) {
+    ++iteration;
+
+    // Workers compute and upload gradients; the PS averages them.
+    linalg::Vector mean_gradient(p);
+    for (std::size_t worker = 0; worker < n; ++worker) {
+      linalg::Vector gradient;
+      if (config.batch_size == 0 ||
+          config.batch_size >= shards[worker].size()) {
+        gradient = model.gradient(params, shards[worker]);
+      } else {
+        const auto chosen = batch_rng.sample_without_replacement(
+            shards[worker].size(), config.batch_size);
+        gradient = model.gradient(params, shards[worker].subset(chosen));
+      }
+      std::size_t wire_bytes = dense_bytes;
+      if (config.compressor) {
+        CompressedGradient compressed =
+            config.compressor(gradient, worker);
+        SNAP_ASSERT(compressed.gradient.size() == p);
+        gradient = std::move(compressed.gradient);
+        wire_bytes = compressed.wire_bytes;
+      }
+      if (worker != ps) {
+        cost.record_flow(worker, ps, wire_bytes);
+      }
+      mean_gradient += gradient;
+    }
+    mean_gradient *= 1.0 / static_cast<double>(n);
+
+    // Server step, then parameter push-back (uncompressed doubles).
+    params.axpy(-config.alpha, mean_gradient);
+    for (std::size_t worker = 0; worker < n; ++worker) {
+      if (worker != ps) {
+        cost.record_flow(ps, worker, dense_bytes);
+      }
+    }
+
+    // Bookkeeping: aggregate objective over all shards at the global
+    // model (identical definition to the SNAP trainer's).
+    double loss = 0.0;
+    for (const auto& shard : shards) loss += model.loss(params, shard);
+    loss /= static_cast<double>(n);
+
+    core::IterationStats stats;
+    stats.train_loss = loss;
+    const bool evaluate =
+        (iteration % std::max<std::size_t>(config.eval.every, 1)) == 0 ||
+        iteration == config.convergence.max_iterations;
+    if (evaluate) {
+      stats.test_accuracy = model.accuracy(params, test);
+      stats.evaluated = true;
+    }
+    cost.end_iteration();
+    stats.bytes = cost.bytes_per_iteration().back();
+    stats.cost = cost.cost_per_iteration().back();
+    stats.max_node_inbound_bytes = cost.max_inbound_per_iteration().back();
+    stats.max_node_outbound_bytes =
+        cost.max_outbound_per_iteration().back();
+    result.iterations.push_back(stats);
+    detector.observe(loss, 0.0,
+                     stats.evaluated ? stats.test_accuracy : -1.0);
+  }
+
+  result.converged = detector.converged();
+  result.converged_after =
+      result.converged ? detector.converged_after() : iteration;
+  result.final_params = params;
+  double loss = 0.0;
+  for (const auto& shard : shards) loss += model.loss(params, shard);
+  result.final_train_loss = loss / static_cast<double>(n);
+  result.final_test_accuracy = model.accuracy(params, test);
+  result.total_bytes = cost.total_bytes();
+  result.total_cost = cost.total_cost();
+  return result;
+}
+
+}  // namespace snap::baselines

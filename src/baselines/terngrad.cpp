@@ -1,0 +1,59 @@
+#include "baselines/terngrad.hpp"
+
+#include <cmath>
+#include <memory>
+
+namespace snap::baselines {
+
+linalg::Vector ternarize(const linalg::Vector& gradient, common::Rng& rng) {
+  double scaler = 0.0;
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    scaler = std::max(scaler, std::abs(gradient[i]));
+  }
+  linalg::Vector out(gradient.size());
+  if (scaler == 0.0) return out;
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    const double p = std::abs(gradient[i]) / scaler;
+    if (rng.bernoulli(p)) {
+      out[i] = gradient[i] > 0.0 ? scaler : -scaler;
+    }
+  }
+  return out;
+}
+
+std::size_t terngrad_wire_bytes(std::size_t param_count) noexcept {
+  return (2 * param_count + 7) / 8 + 4;
+}
+
+GradientCompressor make_terngrad_compressor(std::uint64_t seed) {
+  // Each (call, worker) pair gets its own forked stream: fork() never
+  // perturbs the parent, so a per-compressor call counter keeps
+  // successive iterations decorrelated while staying reproducible.
+  struct State {
+    common::Rng root;
+    std::uint64_t calls = 0;
+    explicit State(std::uint64_t s) : root(s) {}
+  };
+  auto state = std::make_shared<State>(seed);
+  return [state](const linalg::Vector& gradient,
+                 std::size_t worker) -> CompressedGradient {
+    const std::uint64_t call = state->calls++;
+    common::Rng stream =
+        state->root.fork((call << 20) ^ (0x7E57ULL + worker));
+    CompressedGradient out;
+    out.gradient = ternarize(gradient, stream);
+    out.wire_bytes = terngrad_wire_bytes(gradient.size());
+    return out;
+  };
+}
+
+ParameterServerConfig terngrad_config(ParameterServerConfig base) {
+  base.compressor = make_terngrad_compressor(base.seed ^ 0x7E59C0DEULL);
+  // TernGrad is an SGD scheme (Wen et al. quantize minibatch
+  // gradients); smooth full-batch gradients would average its ternary
+  // noise away across workers and understate its convergence cost.
+  if (base.batch_size == 0) base.batch_size = 32;
+  return base;
+}
+
+}  // namespace snap::baselines

@@ -1,0 +1,38 @@
+// TernGrad gradient compression (Wen et al., NeurIPS 2017) — the
+// state-of-the-art communication-reduction baseline the paper compares
+// against (§V).
+//
+// Each worker ternarizes its gradient before upload:
+//     s   = max_p |g_p|                       (per-worker scaler)
+//     t_p = s · sign(g_p) · b_p,  b_p ~ Bernoulli(|g_p| / s)
+// E[t_p] = g_p, so the server's average remains an unbiased gradient
+// estimate — at the price of variance that slows convergence and costs
+// accuracy, which is precisely the behaviour the paper reports (Figs 4,
+// 6, 7). On the wire each parameter takes 2 bits (three states) plus one
+// 4-byte float for the scaler.
+#pragma once
+
+#include <cstddef>
+
+#include "baselines/parameter_server.hpp"
+#include "common/rng.hpp"
+#include "linalg/vector.hpp"
+
+namespace snap::baselines {
+
+/// Stochastic ternarization of one gradient. Deterministic given `rng`.
+linalg::Vector ternarize(const linalg::Vector& gradient, common::Rng& rng);
+
+/// Wire size of a ternarized gradient: ceil(2·P / 8) bytes of ternary
+/// codes plus a 4-byte scaler.
+std::size_t terngrad_wire_bytes(std::size_t param_count) noexcept;
+
+/// Builds the GradientCompressor implementing TernGrad. Worker streams
+/// are forked from `seed` so runs are reproducible.
+GradientCompressor make_terngrad_compressor(std::uint64_t seed);
+
+/// Convenience: a ParameterServerConfig with the TernGrad compressor
+/// installed (all other fields copied from `base`).
+ParameterServerConfig terngrad_config(ParameterServerConfig base);
+
+}  // namespace snap::baselines

@@ -1,0 +1,112 @@
+// Byte-level serialization used by the SNAP wire protocol (src/net).
+//
+// ByteWriter appends little-endian primitives to a growable buffer;
+// ByteReader consumes them back. The reader reports truncation through
+// ok()/error() rather than throwing, because malformed frames are an
+// expected runtime condition for a network component.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace snap::common {
+
+/// Append-only little-endian byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Pre-reserves capacity for an expected payload size.
+  explicit ByteWriter(std::size_t reserve_bytes) {
+    buffer_.reserve(reserve_bytes);
+  }
+
+  void write_u8(std::uint8_t value) {
+    buffer_.push_back(static_cast<std::byte>(value));
+  }
+  void write_u16(std::uint16_t value) { write_raw(&value, sizeof value); }
+  void write_u32(std::uint32_t value) { write_raw(&value, sizeof value); }
+  void write_u64(std::uint64_t value) { write_raw(&value, sizeof value); }
+  void write_i32(std::int32_t value) { write_raw(&value, sizeof value); }
+  void write_i64(std::int64_t value) { write_raw(&value, sizeof value); }
+  void write_f32(float value) { write_raw(&value, sizeof value); }
+  void write_f64(double value) { write_raw(&value, sizeof value); }
+
+  /// Appends raw bytes verbatim.
+  void write_bytes(std::span<const std::byte> bytes) {
+    write_raw(bytes.data(), bytes.size());
+  }
+
+  /// Number of bytes written so far.
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+  /// Read-only view of the serialized buffer.
+  std::span<const std::byte> bytes() const noexcept {
+    return {buffer_.data(), buffer_.size()};
+  }
+
+  /// Moves the buffer out, leaving the writer empty.
+  std::vector<std::byte> take() noexcept { return std::move(buffer_); }
+
+ private:
+  void write_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequential little-endian reader over a byte span.
+///
+/// All read_* methods return a value-initialized result and set the error
+/// flag if the buffer is exhausted; callers check ok() once after a batch
+/// of reads (monadic-style short circuit: reads after failure are no-ops).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) noexcept
+      : bytes_(bytes) {}
+
+  std::uint8_t read_u8() noexcept { return read_as<std::uint8_t>(); }
+  std::uint16_t read_u16() noexcept { return read_as<std::uint16_t>(); }
+  std::uint32_t read_u32() noexcept { return read_as<std::uint32_t>(); }
+  std::uint64_t read_u64() noexcept { return read_as<std::uint64_t>(); }
+  std::int32_t read_i32() noexcept { return read_as<std::int32_t>(); }
+  std::int64_t read_i64() noexcept { return read_as<std::int64_t>(); }
+  float read_f32() noexcept { return read_as<float>(); }
+  double read_f64() noexcept { return read_as<double>(); }
+
+  /// True while no read has run past the end of the buffer.
+  bool ok() const noexcept { return !failed_; }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const noexcept { return bytes_.size() - offset_; }
+
+  /// Human-readable description of the failure, empty when ok().
+  std::string error() const {
+    return failed_ ? "truncated buffer: read past end" : std::string{};
+  }
+
+ private:
+  template <typename T>
+  T read_as() noexcept {
+    T value{};
+    if (failed_ || offset_ + sizeof(T) > bytes_.size()) {
+      failed_ = true;
+      return value;
+    }
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace snap::common

@@ -1,0 +1,76 @@
+// Lightweight contract checking for SNAP.
+//
+// Programming errors (violated preconditions, broken invariants) throw
+// snap::common::ContractViolation carrying the failing expression and
+// location. Recoverable conditions use ordinary return values instead;
+// these macros are for bugs, not for expected runtime failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snap::common {
+
+/// Thrown when a SNAP_REQUIRE / SNAP_ENSURE / SNAP_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_contract(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace snap::common
+
+/// Precondition check: validates arguments at a function boundary.
+#define SNAP_REQUIRE(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::snap::common::detail::fail_contract("Precondition", #cond,          \
+                                            __FILE__, __LINE__, "");       \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check with an explanatory message (streamed expression).
+#define SNAP_REQUIRE_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream snap_require_os_;                                  \
+      snap_require_os_ << msg;                                              \
+      ::snap::common::detail::fail_contract(                                \
+          "Precondition", #cond, __FILE__, __LINE__,                        \
+          snap_require_os_.str());                                          \
+    }                                                                       \
+  } while (false)
+
+/// Postcondition check: validates results before returning them.
+#define SNAP_ENSURE(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::snap::common::detail::fail_contract("Postcondition", #cond,         \
+                                            __FILE__, __LINE__, "");       \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check.
+#define SNAP_ASSERT(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::snap::common::detail::fail_contract("Invariant", #cond, __FILE__,   \
+                                            __LINE__, "");                 \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// SNAP components log through SNAP_LOG(level) << ...; the sink is stderr.
+// The global threshold defaults to Info and can be raised by benches that
+// want quiet output (set_log_level). Logging is not on any hot path, so a
+// simple mutex-free ostringstream-per-message design is sufficient.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace snap::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the current global threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+
+/// Sets the global threshold.
+void set_log_level(LogLevel level) noexcept;
+
+/// Short uppercase tag for a level ("DEBUG", "INFO", ...).
+std::string_view log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace snap::common
+
+#define SNAP_LOG(level)                                             \
+  ::snap::common::detail::LogMessage(                               \
+      ::snap::common::LogLevel::k##level, __FILE__, __LINE__)

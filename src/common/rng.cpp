@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace snap::common {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next();
+  state_ += seed;
+  next();
+}
+
+Pcg32::result_type Pcg32::next() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+Rng::Rng(std::uint64_t seed) noexcept : Rng(seed, 0xDA3E39CB94B95BDBULL) {}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : seed_(seed), engine_([&] {
+        SplitMix64 mixer(seed ^ (stream * 0x9E3779B97F4A7C15ULL));
+        const std::uint64_t s = mixer.next();
+        const std::uint64_t inc = mixer.next();
+        return Pcg32(s, inc);
+      }()) {}
+
+Rng Rng::fork(std::uint64_t tag) noexcept {
+  // Mix the parent seed with the tag through SplitMix64 so nearby tags
+  // produce unrelated child streams. The parent's engine is untouched.
+  SplitMix64 mixer(seed_ ^ (tag + 0x9E3779B97F4A7C15ULL));
+  const std::uint64_t child_seed = mixer.next();
+  const std::uint64_t child_stream = mixer.next();
+  return Rng(child_seed, child_stream);
+}
+
+Rng Rng::fork(std::string_view label) noexcept {
+  // FNV-1a over the label, then the integral fork.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return fork(h);
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  if (bound <= 0xFFFFFFFFULL) {
+    // Lemire's nearly-divisionless method on 32-bit draws.
+    const auto b32 = static_cast<std::uint32_t>(bound);
+    std::uint64_t m = static_cast<std::uint64_t>(engine_.next()) * b32;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < b32) {
+      const std::uint32_t threshold = (0u - b32) % b32;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(engine_.next()) * b32;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return m >> 32;
+  }
+  // Large bound: combine two 32-bit words with rejection sampling.
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % bound) - 1;
+  for (;;) {
+    const std::uint64_t value =
+        (static_cast<std::uint64_t>(engine_.next()) << 32) | engine_.next();
+    if (value <= limit) return value % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 on full range
+  if (span == 0) {
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(engine_.next()) << 32) | engine_.next());
+  }
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform double in [0,1).
+  const std::uint64_t bits =
+      ((static_cast<std::uint64_t>(engine_.next()) << 32) | engine_.next()) >>
+      11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  if (lo >= hi) return lo;
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller: generate a pair, cache the second.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + (stddev > 0.0 ? stddev : 0.0) * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  SNAP_REQUIRE_MSG(k <= n, "cannot sample " << k << " of " << n);
+  // Partial Fisher–Yates: only the first k swaps are needed.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(uniform_u64(
+                static_cast<std::uint64_t>(n - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace snap::common

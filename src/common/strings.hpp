@@ -1,0 +1,40 @@
+// Small string and formatting helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snap::common {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Human-readable byte count, e.g. "1.21 MiB".
+std::string format_bytes(double bytes);
+
+/// Fixed-precision decimal formatting, e.g. format_double(3.14159, 2) ==
+/// "3.14".
+std::string format_double(double value, int precision);
+
+/// Formats `value` as a percentage with the given precision ("42.5%").
+std::string format_percent(double fraction, int precision = 1);
+
+/// Left-pads `text` with spaces to at least `width` characters.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads `text` with spaces to at least `width` characters.
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+}  // namespace snap::common

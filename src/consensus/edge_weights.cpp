@@ -1,0 +1,137 @@
+#include "consensus/edge_weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::consensus {
+
+EdgeWeightSpace::EdgeWeightSpace(const topology::Graph& graph)
+    : node_count_(graph.node_count()),
+      edges_(graph.edges()),
+      incident_(graph.node_count()) {
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    incident_[edges_[e].first].push_back(e);
+    incident_[edges_[e].second].push_back(e);
+  }
+}
+
+std::pair<topology::NodeId, topology::NodeId> EdgeWeightSpace::edge(
+    std::size_t e) const {
+  SNAP_REQUIRE(e < edges_.size());
+  return edges_[e];
+}
+
+linalg::Matrix EdgeWeightSpace::to_matrix(
+    const std::vector<double>& weights) const {
+  SNAP_REQUIRE(weights.size() == edges_.size());
+  linalg::Matrix w(node_count_, node_count_);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    w(u, v) = weights[e];
+    w(v, u) = weights[e];
+  }
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    double off = 0.0;
+    for (const std::size_t e : incident_[i]) off += weights[e];
+    w(i, i) = 1.0 - off;
+  }
+  return w;
+}
+
+std::vector<double> EdgeWeightSpace::from_matrix(
+    const linalg::Matrix& w) const {
+  SNAP_REQUIRE(w.rows() == node_count_ && w.cols() == node_count_);
+  std::vector<double> weights(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    weights[e] = 0.5 * (w(u, v) + w(v, u));
+  }
+  return weights;
+}
+
+bool EdgeWeightSpace::is_feasible(const std::vector<double>& weights,
+                                  double tol) const {
+  SNAP_REQUIRE(weights.size() == edges_.size());
+  for (const double w : weights) {
+    if (w < -tol) return false;
+  }
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    double off = 0.0;
+    for (const std::size_t e : incident_[i]) off += weights[e];
+    if (off > 1.0 + tol) return false;
+  }
+  return true;
+}
+
+std::vector<double> EdgeWeightSpace::project(std::vector<double> weights,
+                                             std::size_t max_rounds,
+                                             double tol) const {
+  SNAP_REQUIRE(weights.size() == edges_.size());
+  // Dykstra's algorithm over (node_count_ + 1) convex sets: one
+  // half-space per node plus the nonnegative orthant. Each set keeps its
+  // own correction term.
+  const std::size_t num_sets = node_count_ + 1;
+  std::vector<std::vector<double>> corrections(
+      num_sets, std::vector<double>(edges_.size(), 0.0));
+
+  std::vector<double> previous_round;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    previous_round = weights;
+    for (std::size_t set = 0; set < num_sets; ++set) {
+      auto& corr = corrections[set];
+      // y = x + correction, then project y onto the set.
+      for (std::size_t e = 0; e < weights.size(); ++e) {
+        weights[e] += corr[e];
+      }
+      std::vector<double> projected = weights;
+      if (set < node_count_) {
+        // Half-space Σ_{e ∋ i} w_e ≤ 1: subtract the violation evenly
+        // along the (unit-normalized) constraint normal.
+        const auto& inc = incident_[set];
+        if (!inc.empty()) {
+          double sum = 0.0;
+          for (const std::size_t e : inc) sum += projected[e];
+          if (sum > 1.0) {
+            const double shift =
+                (sum - 1.0) / static_cast<double>(inc.size());
+            for (const std::size_t e : inc) projected[e] -= shift;
+          }
+        }
+      } else {
+        for (double& w : projected) w = std::max(w, 0.0);
+      }
+      for (std::size_t e = 0; e < weights.size(); ++e) {
+        corr[e] = weights[e] - projected[e];
+      }
+      weights = std::move(projected);
+    }
+    // Stop once the iterate has stabilized (Dykstra has converged to the
+    // projection). Stopping at mere feasibility is NOT enough: the first
+    // feasible iterate of a sequential pass is order-dependent and can
+    // sit far from the true projection.
+    double round_change = 0.0;
+    for (std::size_t e = 0; e < weights.size(); ++e) {
+      round_change =
+          std::max(round_change, std::abs(weights[e] - previous_round[e]));
+    }
+    if (round_change < tol && is_feasible(weights, 1e-9)) break;
+  }
+
+  // Final exact clamp: tiny residual violations are clipped, then any
+  // node still over budget has its incident weights rescaled.
+  for (double& w : weights) w = std::max(w, 0.0);
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    double sum = 0.0;
+    for (const std::size_t e : incident_[i]) sum += weights[e];
+    if (sum > 1.0) {
+      const double scale = 1.0 / sum;
+      for (const std::size_t e : incident_[i]) weights[e] *= scale;
+    }
+  }
+  SNAP_ENSURE(is_feasible(weights, 1e-12));
+  return weights;
+}
+
+}  // namespace snap::consensus

@@ -1,0 +1,61 @@
+// Edge-weight parameterization of the feasible mixing-matrix set.
+//
+// Every feasible W for topology G (symmetric, doubly stochastic,
+// supported on G) is determined by its off-diagonal edge weights: pick
+// one weight w_e ≥ 0 per undirected edge e = {i, j}, set
+// w_ij = w_ji = w_e, and let the diagonal absorb the slack
+// w_ii = 1 − Σ_{e ∋ i} w_e. Feasibility in this coordinate system is the
+// polytope
+//     P = { w ∈ R^|E| : w_e ≥ 0,  Σ_{e ∋ i} w_e ≤ 1 ∀ i }.
+// The weight optimizers (problems (22)/(23)) run projected subgradient
+// in these coordinates; EdgeWeightSpace provides the coordinate maps and
+// the Dykstra projection onto P.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+
+class EdgeWeightSpace {
+ public:
+  explicit EdgeWeightSpace(const topology::Graph& graph);
+
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+  std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Endpoints of edge e (u < v).
+  std::pair<topology::NodeId, topology::NodeId> edge(std::size_t e) const;
+
+  /// Builds the full mixing matrix from edge weights (diagonal absorbs
+  /// slack). weights.size() must equal edge_count().
+  linalg::Matrix to_matrix(const std::vector<double>& weights) const;
+
+  /// Extracts the edge weights of a matrix supported on the graph.
+  std::vector<double> from_matrix(const linalg::Matrix& w) const;
+
+  /// True when `weights` lies in the polytope P within tol.
+  bool is_feasible(const std::vector<double>& weights,
+                   double tol = 1e-9) const;
+
+  /// Euclidean projection onto P via Dykstra's alternating projections
+  /// over the nonnegative orthant and the per-node half-spaces
+  /// Σ_{e ∋ i} w_e ≤ 1. Runs until the iterate is feasible within
+  /// `tol` or `max_rounds` passes complete; the result is then clamped
+  /// to exact feasibility (tiny clip) so callers always receive a
+  /// feasible point.
+  std::vector<double> project(std::vector<double> weights,
+                              std::size_t max_rounds = 200,
+                              double tol = 1e-10) const;
+
+ private:
+  std::size_t node_count_;
+  std::vector<std::pair<topology::NodeId, topology::NodeId>> edges_;
+  /// incident_[i] lists edge indices touching node i.
+  std::vector<std::vector<std::size_t>> incident_;
+};
+
+}  // namespace snap::consensus

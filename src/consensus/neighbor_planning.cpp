@@ -1,0 +1,84 @@
+#include "consensus/neighbor_planning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::consensus {
+
+namespace {
+
+struct WeightedEdge {
+  topology::NodeId u;
+  topology::NodeId v;
+  double weight;
+};
+
+}  // namespace
+
+NeighborPlan plan_neighbor_sets(std::size_t nodes, double weight_threshold,
+                                const WeightOptimizerConfig& config) {
+  SNAP_REQUIRE(nodes >= 2);
+  return plan_neighbor_sets(topology::make_complete(nodes),
+                            weight_threshold, config);
+}
+
+NeighborPlan plan_neighbor_sets(const topology::Graph& candidates,
+                                double weight_threshold,
+                                const WeightOptimizerConfig& config) {
+  SNAP_REQUIRE(candidates.node_count() >= 2);
+  SNAP_REQUIRE_MSG(candidates.is_connected(),
+                   "candidate topology must be connected");
+  SNAP_REQUIRE(weight_threshold >= 0.0);
+
+  // 1. Optimize the mixing matrix over the candidate topology.
+  const WeightSelection dense = select_weight_matrix(candidates, config);
+
+  // 2. Partition edges by the pruning bar.
+  std::vector<WeightedEdge> kept;
+  std::vector<WeightedEdge> dropped;
+  for (const auto& [u, v] : candidates.edges()) {
+    const WeightedEdge edge{u, v, std::abs(dense.w(u, v))};
+    if (edge.weight >= weight_threshold) {
+      kept.push_back(edge);
+    } else {
+      dropped.push_back(edge);
+    }
+  }
+
+  // 3. Rebuild; restore the strongest dropped edges until connected.
+  topology::Graph pruned(candidates.node_count());
+  for (const auto& edge : kept) pruned.add_edge(edge.u, edge.v);
+  std::sort(dropped.begin(), dropped.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight > b.weight;
+            });
+  std::size_t restored = 0;
+  for (const auto& edge : dropped) {
+    if (pruned.is_connected()) break;
+    // Only useful if it joins two components; has_edge is impossible
+    // here (each edge appears once), so just try it when the endpoints
+    // are currently disconnected.
+    const auto hops = pruned.hops_from(edge.u);
+    if (!hops[edge.v].has_value()) {
+      pruned.add_edge(edge.u, edge.v);
+      ++restored;
+    }
+  }
+  SNAP_ENSURE(pruned.is_connected());
+
+  // 4. Re-optimize on the pruned topology (the dense solution is not
+  // feasible for it once any edge is gone).
+  NeighborPlan plan;
+  plan.weights = select_weight_matrix(pruned, config);
+  plan.pruned_edges =
+      candidates.edge_count() - pruned.edge_count();
+  plan.restored_edges = restored;
+  plan.graph = std::move(pruned);
+  return plan;
+}
+
+}  // namespace snap::consensus

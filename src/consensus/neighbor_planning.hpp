@@ -1,0 +1,49 @@
+// Neighbor-set planning (paper §IV-D).
+//
+// When the physical neighbor sets are not known in advance, SNAP
+// "assume[s] that every edge server is neighboring with all other edge
+// servers and optimize[s] the weight matrix; if the weight between two
+// edge servers is less than a predefined threshold, we can remove them
+// from each other's neighbor set" — pruning weak links both reduces the
+// topology maintenance burden and the communication cost.
+//
+// plan_neighbor_sets implements exactly that: optimize W over the
+// complete graph, drop edges whose optimized weight falls below the
+// threshold (re-adding the strongest dropped edges if pruning would
+// disconnect the network), then re-optimize W on the pruned topology.
+#pragma once
+
+#include <cstddef>
+
+#include "consensus/weight_optimizer.hpp"
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+
+struct NeighborPlan {
+  /// The pruned peer topology (each remaining edge is a neighbor pair).
+  topology::Graph graph;
+  /// Mixing matrix re-optimized for the pruned topology.
+  WeightSelection weights;
+  /// Edges removed relative to the complete graph.
+  std::size_t pruned_edges = 0;
+  /// Edges that had to be re-added to keep the network connected.
+  std::size_t restored_edges = 0;
+};
+
+/// Plans neighbor sets for `nodes` edge servers with no prior topology
+/// knowledge. `weight_threshold` is the §IV-D pruning bar on the
+/// optimized complete-graph weights. Requires nodes >= 2 and
+/// weight_threshold >= 0. The result's graph is always connected.
+NeighborPlan plan_neighbor_sets(std::size_t nodes, double weight_threshold,
+                                const WeightOptimizerConfig& config = {});
+
+/// Variant that prunes an *existing* candidate topology instead of the
+/// complete graph (useful when a coarse reachability graph is known but
+/// should be thinned to cut communication cost).
+NeighborPlan plan_neighbor_sets(const topology::Graph& candidates,
+                                double weight_threshold,
+                                const WeightOptimizerConfig& config = {});
+
+}  // namespace snap::consensus

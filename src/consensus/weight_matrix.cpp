@@ -1,0 +1,65 @@
+#include "consensus/weight_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/eigen.hpp"
+
+namespace snap::consensus {
+
+linalg::Matrix max_degree_weights(const topology::Graph& graph,
+                                  double epsilon) {
+  SNAP_REQUIRE(epsilon > 0.0);
+  const std::size_t n = graph.node_count();
+  linalg::Matrix w(n, n);
+  for (const auto& [u, v] : graph.edges()) {
+    const double denom =
+        static_cast<double>(std::max(graph.degree(u), graph.degree(v))) +
+        epsilon;
+    w(u, v) = 1.0 / denom;
+    w(v, u) = 1.0 / denom;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += w(i, j);
+    }
+    w(i, i) = 1.0 - off;
+  }
+  SNAP_ENSURE(linalg::is_doubly_stochastic(w, 1e-9));
+  return w;
+}
+
+linalg::Matrix w_tilde(const linalg::Matrix& w) {
+  SNAP_REQUIRE(w.is_square());
+  linalg::Matrix out = w;
+  out += linalg::Matrix::identity(w.rows());
+  out *= 0.5;
+  return out;
+}
+
+bool is_feasible_weight_matrix(const linalg::Matrix& w,
+                               const topology::Graph& graph, double tol) {
+  const std::size_t n = graph.node_count();
+  if (w.rows() != n || w.cols() != n) return false;
+  if (!w.is_symmetric(tol)) return false;
+  if (!linalg::is_doubly_stochastic(w, tol)) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || graph.has_edge(i, j)) continue;
+      if (std::abs(w(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double convergence_score(const linalg::Matrix& w) {
+  const auto spectrum = linalg::spectral_summary(w);
+  const double gap = 1.0 - spectrum.lambda_bar_max;
+  const double safety =
+      std::min(1.0, (1.0 + spectrum.lambda_min) / 0.2);
+  return gap * std::max(safety, 0.0);
+}
+
+}  // namespace snap::consensus

@@ -1,0 +1,46 @@
+// Mixing ("weight") matrix utilities for the EXTRA iteration.
+//
+// A feasible mixing matrix W for topology G must be symmetric, doubly
+// stochastic, and supported on G: w_ij ≠ 0 only when j ∈ B_i or j == i
+// (paper §IV-A). W̃ = (W + I)/2 is the second matrix in recursion (6).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+
+/// Max-degree initialization, paper eq. (24):
+///   w_ij = 1 / (max{deg(i), deg(j)} + ε)  for j ∈ B_i,
+///   w_ij = 0                              for j ∉ B_i, i ≠ j,
+///   w_ii = 1 − Σ_{j≠i} w_ij.
+/// The result is symmetric and doubly stochastic for every graph and any
+/// ε > 0.
+linalg::Matrix max_degree_weights(const topology::Graph& graph,
+                                  double epsilon = 0.01);
+
+/// W̃ = (W + I) / 2 (paper eq. (7)).
+linalg::Matrix w_tilde(const linalg::Matrix& w);
+
+/// True when `w` is a feasible mixing matrix for `graph`: square of the
+/// right size, symmetric, doubly stochastic (entrywise ≥ −tol), and
+/// supported on the graph's edges plus the diagonal.
+bool is_feasible_weight_matrix(const linalg::Matrix& w,
+                               const topology::Graph& graph,
+                               double tol = 1e-8);
+
+/// Convergence-rate surrogate used to pick between candidate matrices.
+///
+/// Paper eq. (17): the linear rate bound grows with
+/// λ̄_min(I−W) = 1 − λ̄_max(W) and needs λ_min(W) bounded away from −1
+/// (EXTRA's W̃ = (W+I)/2 must stay positive definite for a usable step
+/// size). Empirically the spectral gap dominates once λ_min clears a
+/// safety margin, so candidates are scored as
+///   score(W) = (1 − λ̄_max(W)) · min(1, (1 + λ_min(W)) / 0.2),
+/// i.e. full credit for the gap when λ_min ≥ −0.8, linear discount
+/// toward the periodic limit λ_min → −1, zero at exactly −1. The engine
+/// then "implement[s] the solution that can result in the larger
+/// convergence rate" (§IV-B).
+double convergence_score(const linalg::Matrix& w);
+
+}  // namespace snap::consensus

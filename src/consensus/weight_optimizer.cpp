@@ -1,0 +1,198 @@
+#include "consensus/weight_optimizer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "linalg/eigen.hpp"
+
+namespace snap::consensus {
+
+namespace {
+
+/// One subgradient step's working data: the (minimization) objective
+/// value and a subgradient with respect to each edge weight.
+///
+/// For a simple eigenvalue λ with unit eigenvector u, dλ/dw_e along the
+/// edge direction of e = {i, j} (bump w_ij, w_ji by +1; w_ii, w_jj by
+/// −1) is 2u_i u_j − u_i² − u_j² = −(u_i − u_j)². Repeated eigenvalues
+/// are the norm on symmetric topologies (rings, complete graphs) and a
+/// single-eigenvector subgradient oscillates between the copies, so the
+/// uuᵀ term is averaged over the eigenvalue *cluster* (all eigenvalues
+/// within kClusterTol of the extreme one).
+struct ObjectivePoint {
+  double value = 0.0;
+  std::vector<double> subgradient;  // one entry per edge
+};
+
+constexpr double kClusterTol = 1e-6;
+
+/// Cluster-averaged −(u_i − u_j)² over eigenvector columns
+/// [from, from+count) of `eig`, evaluated on every edge of `space`.
+std::vector<double> eigenvalue_subgradient(
+    const EdgeWeightSpace& space, const linalg::EigenDecomposition& eig,
+    std::size_t from, std::size_t count) {
+  std::vector<double> grad(space.edge_count(), 0.0);
+  for (std::size_t e = 0; e < space.edge_count(); ++e) {
+    const auto [i, j] = space.edge(e);
+    for (std::size_t c = from; c < from + count; ++c) {
+      const double diff = eig.vectors(i, c) - eig.vectors(j, c);
+      grad[e] -= diff * diff;
+    }
+    grad[e] /= static_cast<double>(count);
+  }
+  return grad;
+}
+
+/// Problem (23) as a minimization: the second-largest eigenvalue.
+/// λ_max(W) = 1 always holds on the feasible set, so minimizing
+/// λ_max + λ̄_max reduces to minimizing the second-largest eigenvalue.
+ObjectivePoint second_eigenvalue_objective(
+    const EdgeWeightSpace& space, const linalg::EigenDecomposition& eig) {
+  const std::size_t n = eig.values.size();
+  SNAP_REQUIRE(n >= 2);
+  ObjectivePoint point;
+  point.value = eig.values[n - 2];
+  std::size_t from = n - 2;
+  while (from > 0 && point.value - eig.values[from - 1] <= kClusterTol) {
+    --from;
+  }
+  point.subgradient = eigenvalue_subgradient(space, eig, from, n - 1 - from);
+  return point;
+}
+
+/// Problem (22) as a minimization: −λ_min(W).
+ObjectivePoint neg_smallest_eigenvalue_objective(
+    const EdgeWeightSpace& space, const linalg::EigenDecomposition& eig) {
+  const std::size_t n = eig.values.size();
+  SNAP_REQUIRE(n >= 1);
+  std::size_t count = 1;
+  while (count < n && eig.values[count] - eig.values[0] <= kClusterTol) {
+    ++count;
+  }
+  ObjectivePoint point;
+  point.value = -eig.values[0];
+  point.subgradient = eigenvalue_subgradient(space, eig, 0, count);
+  for (double& g : point.subgradient) g = -g;  // chain rule for −λ_min
+  return point;
+}
+
+/// The combined objective (20): minimize max(λ̄_max(W), −λ_min(W)) — the
+/// second-largest eigenvalue *modulus* (SLEM). At a tie both pieces are
+/// active and their subgradients are averaged.
+ObjectivePoint slem_objective(const EdgeWeightSpace& space,
+                              const linalg::EigenDecomposition& eig) {
+  const ObjectivePoint top = second_eigenvalue_objective(space, eig);
+  const ObjectivePoint bottom = neg_smallest_eigenvalue_objective(space, eig);
+  if (std::abs(top.value - bottom.value) <= kClusterTol) {
+    ObjectivePoint point;
+    point.value = std::max(top.value, bottom.value);
+    point.subgradient.resize(space.edge_count());
+    for (std::size_t e = 0; e < space.edge_count(); ++e) {
+      point.subgradient[e] =
+          0.5 * (top.subgradient[e] + bottom.subgradient[e]);
+    }
+    return point;
+  }
+  return top.value > bottom.value ? top : bottom;
+}
+
+/// Shared projected-subgradient driver, always minimizing.
+template <typename Objective>
+OptimizedWeights run_subgradient(const topology::Graph& graph,
+                                 const WeightOptimizerConfig& config,
+                                 Objective objective) {
+  SNAP_REQUIRE(graph.node_count() >= 2);
+  const EdgeWeightSpace space(graph);
+
+  std::vector<double> weights =
+      space.from_matrix(max_degree_weights(graph, config.init_epsilon));
+
+  auto evaluate = [&](const std::vector<double>& w) {
+    return objective(space, linalg::eigen_symmetric(space.to_matrix(w)));
+  };
+
+  ObjectivePoint current = evaluate(weights);
+  std::vector<double> best_weights = weights;
+  double best_value = current.value;
+  std::size_t since_improvement = 0;
+  std::size_t steps = 0;
+
+  for (std::size_t k = 0; k < config.max_iterations; ++k) {
+    double norm_sq = 0.0;
+    for (const double g : current.subgradient) norm_sq += g * g;
+    if (norm_sq < 1e-24) break;  // flat: eigenvector constant on edges
+
+    const double step =
+        config.initial_step / std::sqrt(static_cast<double>(k) + 1.0) /
+        std::sqrt(norm_sq);
+    for (std::size_t e = 0; e < space.edge_count(); ++e) {
+      weights[e] -= step * current.subgradient[e];
+    }
+    weights = space.project(std::move(weights));
+    current = evaluate(weights);
+    ++steps;
+
+    if (current.value < best_value - 1e-12) {
+      best_value = current.value;
+      best_weights = weights;
+      since_improvement = 0;
+    } else if (++since_improvement >= config.patience) {
+      break;
+    }
+  }
+
+  OptimizedWeights out;
+  out.w = space.to_matrix(best_weights);
+  out.objective = best_value;
+  out.iterations = steps;
+  SNAP_ENSURE(is_feasible_weight_matrix(out.w, graph, 1e-8));
+  return out;
+}
+
+}  // namespace
+
+OptimizedWeights minimize_second_eigenvalue(
+    const topology::Graph& graph, const WeightOptimizerConfig& config) {
+  return run_subgradient(graph, config, second_eigenvalue_objective);
+}
+
+OptimizedWeights maximize_smallest_eigenvalue(
+    const topology::Graph& graph, const WeightOptimizerConfig& config) {
+  OptimizedWeights out =
+      run_subgradient(graph, config, neg_smallest_eigenvalue_objective);
+  out.objective = -out.objective;  // report λ_min itself
+  return out;
+}
+
+OptimizedWeights minimize_slem(const topology::Graph& graph,
+                               const WeightOptimizerConfig& config) {
+  return run_subgradient(graph, config, slem_objective);
+}
+
+WeightSelection select_weight_matrix(const topology::Graph& graph,
+                                     const WeightOptimizerConfig& config) {
+  WeightSelection best;
+  best.w = max_degree_weights(graph, config.init_epsilon);
+  best.choice = WeightChoice::kMaxDegreeInit;
+  best.score = convergence_score(best.w);
+
+  const auto consider = [&](OptimizedWeights candidate, WeightChoice choice) {
+    const double score = convergence_score(candidate.w);
+    if (score > best.score) {
+      best.w = std::move(candidate.w);
+      best.choice = choice;
+      best.score = score;
+    }
+  };
+
+  consider(minimize_second_eigenvalue(graph, config),
+           WeightChoice::kMinSecondEigenvalue);
+  consider(maximize_smallest_eigenvalue(graph, config),
+           WeightChoice::kMaxSmallestEigenvalue);
+  consider(minimize_slem(graph, config), WeightChoice::kMinSlem);
+  return best;
+}
+
+}  // namespace snap::consensus

@@ -1,0 +1,68 @@
+#include "core/ape.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::core {
+
+ApeController::ApeController(const ApeConfig& config, double mean_abs_param)
+    : config_(config),
+      budget_(config.initial_budget_fraction * std::abs(mean_abs_param)) {
+  SNAP_REQUIRE(config.growth_factor >= 1.0);
+  SNAP_REQUIRE(config.budget_decay > 0.0 && config.budget_decay < 1.0);
+  SNAP_REQUIRE(config.stage_iterations >= 1);
+  SNAP_REQUIRE(config.epsilon > 0.0);
+  if (budget_ < config_.epsilon) {
+    active_ = false;
+    threshold_ = 0.0;
+  } else {
+    recompute_threshold();
+  }
+}
+
+void ApeController::recompute_threshold() {
+  // Δ_max = T / (I · (1 + αG)^I) — Algorithm 1 line 4.
+  const double growth = std::pow(config_.growth_factor,
+                                 static_cast<double>(config_.stage_iterations));
+  threshold_ =
+      budget_ / (static_cast<double>(config_.stage_iterations) * growth);
+}
+
+void ApeController::advance_stage() {
+  budget_ *= config_.budget_decay;
+  accumulated_ = 0.0;
+  iterations_in_stage_ = 0;
+  ++stage_;
+  if (budget_ < config_.epsilon) {
+    active_ = false;
+    threshold_ = 0.0;
+  } else {
+    recompute_threshold();
+  }
+}
+
+void ApeController::record_iteration(double max_withheld_change) {
+  if (!active_) return;
+  SNAP_REQUIRE(max_withheld_change >= 0.0);
+  // Running form of bound (27): every previously-accrued term ages by one
+  // factor of (1 + αG), and this iteration contributes its withheld max.
+  accumulated_ =
+      accumulated_ * config_.growth_factor + max_withheld_change;
+  ++iterations_in_stage_;
+  // Algorithm 1: a stage ends when the APE estimate exceeds the budget —
+  // but §V requires the threshold stay in effect "at least 10
+  // iterations", so both conditions gate the advance. A quiet stage
+  // (almost nothing withheld) still advances at the hard cap so the
+  // threshold schedule keeps marching toward ε.
+  const bool budget_consumed =
+      accumulated_ >= budget_ &&
+      iterations_in_stage_ >= config_.stage_iterations;
+  const bool timed_out = config_.max_stage_iterations > 0 &&
+                         iterations_in_stage_ >= config_.max_stage_iterations;
+  if (budget_consumed || timed_out) {
+    advance_stage();
+  }
+}
+
+}  // namespace snap::core

@@ -1,0 +1,66 @@
+#include "core/dgd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::core {
+
+DgdIteration::DgdIteration(linalg::Matrix w,
+                           std::vector<linalg::Vector> initial,
+                           double alpha, GradientFn gradient)
+    : w_(std::move(w)),
+      alpha_(alpha),
+      gradient_(std::move(gradient)),
+      current_(std::move(initial)) {
+  SNAP_REQUIRE(alpha_ > 0.0);
+  SNAP_REQUIRE(gradient_ != nullptr);
+  SNAP_REQUIRE(!current_.empty());
+  SNAP_REQUIRE(w_.rows() == current_.size());
+  SNAP_REQUIRE_MSG(w_.is_symmetric(1e-9), "W must be symmetric");
+  SNAP_REQUIRE_MSG(linalg::is_doubly_stochastic(w_, 1e-8),
+                   "W must be doubly stochastic");
+  const std::size_t dim = current_.front().size();
+  for (const auto& row : current_) {
+    SNAP_REQUIRE_MSG(row.size() == dim, "ragged initial parameters");
+  }
+}
+
+void DgdIteration::step() {
+  const std::size_t n = current_.size();
+  const std::size_t dim = current_.front().size();
+  std::vector<linalg::Vector> next(n, linalg::Vector(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = w_(i, j);
+      if (w != 0.0) next[i].axpy(w, current_[j]);
+    }
+    next[i].axpy(-alpha_, gradient_(i, current_[i]));
+  }
+  current_ = std::move(next);
+  ++iteration_;
+}
+
+const linalg::Vector& DgdIteration::params(std::size_t node) const {
+  SNAP_REQUIRE(node < current_.size());
+  return current_[node];
+}
+
+linalg::Vector DgdIteration::mean_params() const {
+  linalg::Vector mean(current_.front().size());
+  for (const auto& x : current_) mean += x;
+  mean *= 1.0 / static_cast<double>(current_.size());
+  return mean;
+}
+
+double DgdIteration::consensus_residual() const {
+  const linalg::Vector mean = mean_params();
+  double residual = 0.0;
+  for (const auto& x : current_) {
+    residual = std::max(residual, linalg::max_abs_diff(x, mean));
+  }
+  return residual;
+}
+
+}  // namespace snap::core

@@ -1,0 +1,51 @@
+// Decentralized gradient descent (DGD) — the classic consensus-
+// optimization baseline EXTRA improves on.
+//
+//     xᵏ⁺¹ = W xᵏ − α ∇f(xᵏ)
+//
+// With a constant step size DGD converges only to an O(α)-neighborhood
+// of the optimum (its fixed point balances the gradient against the
+// consensus pull), whereas EXTRA's corrected recursion is exact. This
+// class exists as the reference point for that comparison — it is the
+// quantitative justification for the paper building SNAP on EXTRA
+// rather than on plain DGD (§IV-A), and the ablation bench measures the
+// gap.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace snap::core {
+
+class DgdIteration {
+ public:
+  using GradientFn =
+      std::function<linalg::Vector(std::size_t node, const linalg::Vector&)>;
+
+  /// `w` must be symmetric doubly stochastic; one row of `initial` per
+  /// node; `alpha` is the (constant) step size.
+  DgdIteration(linalg::Matrix w, std::vector<linalg::Vector> initial,
+               double alpha, GradientFn gradient);
+
+  /// Advances one DGD iteration.
+  void step();
+
+  std::size_t iteration() const noexcept { return iteration_; }
+  const linalg::Vector& params(std::size_t node) const;
+  linalg::Vector mean_params() const;
+  double consensus_residual() const;
+  std::size_t node_count() const noexcept { return current_.size(); }
+
+ private:
+  linalg::Matrix w_;
+  double alpha_;
+  GradientFn gradient_;
+  std::vector<linalg::Vector> current_;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace snap::core

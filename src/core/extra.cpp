@@ -1,0 +1,100 @@
+#include "core/extra.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "consensus/weight_matrix.hpp"
+
+namespace snap::core {
+
+ExtraIteration::ExtraIteration(linalg::Matrix w,
+                               std::vector<linalg::Vector> initial,
+                               double alpha, GradientFn gradient)
+    : w_(std::move(w)),
+      w_tilde_(consensus::w_tilde(w_)),
+      alpha_(alpha),
+      gradient_(std::move(gradient)),
+      current_(std::move(initial)) {
+  SNAP_REQUIRE(alpha_ > 0.0);
+  SNAP_REQUIRE(gradient_ != nullptr);
+  SNAP_REQUIRE(!current_.empty());
+  SNAP_REQUIRE(w_.rows() == current_.size());
+  SNAP_REQUIRE_MSG(w_.is_symmetric(1e-9), "W must be symmetric");
+  SNAP_REQUIRE_MSG(linalg::is_doubly_stochastic(w_, 1e-8),
+                   "W must be doubly stochastic");
+  const std::size_t dim = current_.front().size();
+  for (const auto& row : current_) {
+    SNAP_REQUIRE_MSG(row.size() == dim, "ragged initial parameters");
+  }
+}
+
+std::vector<linalg::Vector> ExtraIteration::mix(
+    const linalg::Matrix& m, const std::vector<linalg::Vector>& x) const {
+  const std::size_t n = x.size();
+  const std::size_t dim = x.front().size();
+  std::vector<linalg::Vector> out(n, linalg::Vector(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = m(i, j);
+      if (w == 0.0) continue;
+      out[i].axpy(w, x[j]);
+    }
+  }
+  return out;
+}
+
+void ExtraIteration::step() {
+  const std::size_t n = current_.size();
+  if (iteration_ == 0) {
+    // x¹ = W x⁰ − α ∇f(x⁰); remember x⁰ and ∇f(x⁰) for the next step.
+    grad_previous_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      grad_previous_[i] = gradient_(i, current_[i]);
+    }
+    std::vector<linalg::Vector> next = mix(w_, current_);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i].axpy(-alpha_, grad_previous_[i]);
+    }
+    previous_ = std::move(current_);
+    current_ = std::move(next);
+  } else {
+    // xᵏ⁺² = (W+I) xᵏ⁺¹ − W̃ xᵏ − α (∇f(xᵏ⁺¹) − ∇f(xᵏ)).
+    std::vector<linalg::Vector> next = mix(w_, current_);
+    const std::vector<linalg::Vector> mixed_prev = mix(w_tilde_, previous_);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] += current_[i];      // the +I xᵏ⁺¹ term
+      next[i] -= mixed_prev[i];
+      linalg::Vector grad_now = gradient_(i, current_[i]);
+      next[i].axpy(-alpha_, grad_now);
+      next[i].axpy(alpha_, grad_previous_[i]);
+      grad_previous_[i] = std::move(grad_now);
+    }
+    previous_ = std::move(current_);
+    current_ = std::move(next);
+  }
+  ++iteration_;
+}
+
+const linalg::Vector& ExtraIteration::params(std::size_t node) const {
+  SNAP_REQUIRE(node < current_.size());
+  return current_[node];
+}
+
+linalg::Vector ExtraIteration::mean_params() const {
+  linalg::Vector mean(current_.front().size());
+  for (const auto& x : current_) mean += x;
+  mean *= 1.0 / static_cast<double>(current_.size());
+  return mean;
+}
+
+double ExtraIteration::consensus_residual() const {
+  const linalg::Vector mean = mean_params();
+  double residual = 0.0;
+  for (const auto& x : current_) {
+    residual = std::max(residual, linalg::max_abs_diff(x, mean));
+  }
+  return residual;
+}
+
+}  // namespace snap::core

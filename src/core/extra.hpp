@@ -1,0 +1,70 @@
+// Matrix-form EXTRA iteration (paper §IV-A, recursion (6)).
+//
+// This is the centralized reference implementation of the consensus
+// optimization SNAP inherits from EXTRA [Shi et al., SIAM J. Optim.
+// 2015]:
+//     x¹    = W x⁰ − α ∇f(x⁰)
+//     xᵏ⁺²  = (W + I) xᵏ⁺¹ − W̃ xᵏ − α (∇f(xᵏ⁺¹) − ∇f(xᵏ))
+// with W̃ = (W + I)/2. Rows of x are per-node parameter vectors.
+//
+// The distributed SnapTrainer reproduces this arithmetic through
+// message passing; this class exists so tests can verify (a) the two
+// implementations agree bit-for-bit when no filtering is applied and
+// (b) Theorem 1 (convergence to the consensual optimum for convex
+// objectives) holds numerically.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace snap::core {
+
+class ExtraIteration {
+ public:
+  /// Local gradient oracle: gradient of f_i at the given parameters.
+  using GradientFn =
+      std::function<linalg::Vector(std::size_t node, const linalg::Vector&)>;
+
+  /// `w` must be symmetric doubly stochastic (checked); one row of
+  /// `initial` per node. `alpha` is the EXTRA step size.
+  ExtraIteration(linalg::Matrix w, std::vector<linalg::Vector> initial,
+                 double alpha, GradientFn gradient);
+
+  /// Advances one iteration of recursion (6).
+  void step();
+
+  /// Number of step() calls so far.
+  std::size_t iteration() const noexcept { return iteration_; }
+
+  /// Current parameters of node i.
+  const linalg::Vector& params(std::size_t node) const;
+
+  /// Row-mean of the current iterate.
+  linalg::Vector mean_params() const;
+
+  /// max_i ‖x_i − x̄‖_∞.
+  double consensus_residual() const;
+
+  std::size_t node_count() const noexcept { return current_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  /// Mixes neighbor values: (M x)_i for the given mixing matrix.
+  std::vector<linalg::Vector> mix(const linalg::Matrix& m,
+                                  const std::vector<linalg::Vector>& x) const;
+
+  linalg::Matrix w_;
+  linalg::Matrix w_tilde_;
+  double alpha_;
+  GradientFn gradient_;
+  std::vector<linalg::Vector> previous_;       // xᵏ
+  std::vector<linalg::Vector> current_;        // xᵏ⁺¹
+  std::vector<linalg::Vector> grad_previous_;  // ∇f(xᵏ)
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace snap::core

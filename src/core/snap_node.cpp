@@ -1,0 +1,177 @@
+#include "core/snap_node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::core {
+
+SnapNode::SnapNode(topology::NodeId id, const ml::Model& model,
+                   data::Dataset shard,
+                   std::vector<topology::NodeId> neighbors,
+                   std::unordered_map<topology::NodeId, double> weights_row,
+                   StragglerPolicy straggler_policy)
+    : id_(id),
+      model_(&model),
+      shard_(std::move(shard)),
+      neighbors_(std::move(neighbors)),
+      w_row_(std::move(weights_row)),
+      straggler_policy_(straggler_policy) {
+  std::sort(neighbors_.begin(), neighbors_.end());
+  double row_sum = 0.0;
+  for (const auto j : neighbors_) {
+    SNAP_REQUIRE_MSG(w_row_.contains(j),
+                     "missing weight for neighbor " << j);
+    row_sum += w_row_.at(j);
+  }
+  SNAP_REQUIRE_MSG(w_row_.contains(id_), "missing self weight");
+  w_self_ = w_row_.at(id_);
+  SNAP_REQUIRE_MSG(std::abs(row_sum + w_self_ - 1.0) < 1e-6,
+                   "weight row of node " << id_ << " sums to "
+                                         << row_sum + w_self_);
+}
+
+void SnapNode::set_initial(const linalg::Vector& x0) {
+  SNAP_REQUIRE(x0.size() == model_->param_count());
+  x_current_ = x0;
+  x_previous_ = x0;
+  advertised_ = x0;
+  grad_previous_ = linalg::Vector();
+  view_current_.clear();
+  view_previous_.clear();
+  fresh_.clear();
+  fresh_previous_.clear();
+  for (const auto j : neighbors_) {
+    view_current_.emplace(j, x0);
+    view_previous_.emplace(j, x0);
+    fresh_.emplace(j, true);  // identical x⁰ everywhere: views are exact
+    fresh_previous_.emplace(j, true);
+  }
+  iteration_ = 0;
+  mean_abs_initial_ = x0.empty() ? 0.0 : x0.norm1() / double(x0.size());
+}
+
+void SnapNode::compute_update(double alpha) {
+  SNAP_REQUIRE_MSG(!x_current_.empty(), "set_initial not called");
+  const std::size_t dim = x_current_.size();
+
+  // kReweight: an absent neighbor's weight folds into the node's own
+  // value, so the round's effective mixing matrix remains stochastic.
+  // Each of the recursion's two terms consults the freshness of *its
+  // own* round: after a dropped round, the W̃ term's view is two rounds
+  // stale even though the W term's just recovered — substituting per
+  // term keeps the perturbation one-round transient (anchoring the W̃
+  // term to a 2-stale view feeds a slow exponential divergence through
+  // EXTRA's accumulator).
+  const auto current_of = [&](topology::NodeId j) -> const linalg::Vector& {
+    if (straggler_policy_ == StragglerPolicy::kReweight && !fresh_.at(j)) {
+      return x_current_;
+    }
+    return view_current_.at(j);
+  };
+  const auto previous_of = [&](topology::NodeId j) -> const linalg::Vector& {
+    if (straggler_policy_ == StragglerPolicy::kReweight &&
+        !fresh_previous_.at(j)) {
+      return x_previous_;
+    }
+    return view_previous_.at(j);
+  };
+
+  if (iteration_ == 0) {
+    // x¹ = Σ_j w_ij x̂_j⁰ − α ∇f_i(x⁰).
+    grad_previous_ = model_->gradient(x_current_, shard_);
+    linalg::Vector next(dim);
+    next.axpy(w_self_, x_current_);
+    for (const auto j : neighbors_) {
+      next.axpy(w_row_.at(j), current_of(j));
+    }
+    next.axpy(-alpha, grad_previous_);
+    x_previous_ = std::move(x_current_);
+    x_current_ = std::move(next);
+  } else {
+    // xᵏ⁺² = xᵏ⁺¹ + Σ_j w_ij x̂_jᵏ⁺¹ − Σ_j w̃_ij x̂_jᵏ
+    //        − α (∇f_i(xᵏ⁺¹) − ∇f_i(xᵏ)),  with w̃_ij = (w_ij+1{i=j})/2.
+    linalg::Vector grad_now = model_->gradient(x_current_, shard_);
+    linalg::Vector next = x_current_;
+    next.axpy(w_self_, x_current_);
+    next.axpy(-(w_self_ + 1.0) / 2.0, x_previous_);
+    for (const auto j : neighbors_) {
+      const double w = w_row_.at(j);
+      next.axpy(w, current_of(j));
+      next.axpy(-w / 2.0, previous_of(j));
+    }
+    next.axpy(-alpha, grad_now);
+    next.axpy(alpha, grad_previous_);
+    grad_previous_ = std::move(grad_now);
+    x_previous_ = std::move(x_current_);
+    x_current_ = std::move(next);
+  }
+  ++iteration_;
+}
+
+SnapNode::Outgoing SnapNode::collect_updates(FilterMode mode,
+                                             double threshold) {
+  SNAP_REQUIRE(threshold >= 0.0);
+  Outgoing out;
+  const std::size_t dim = x_current_.size();
+  out.updates.reserve(dim / 4);
+  for (std::size_t p = 0; p < dim; ++p) {
+    const double change = std::abs(x_current_[p] - advertised_[p]);
+    bool send = false;
+    switch (mode) {
+      case FilterMode::kSendAll:
+        send = true;
+        break;
+      case FilterMode::kExactChange:
+        send = change > 0.0;
+        break;
+      case FilterMode::kApe:
+        send = change >= threshold && change > 0.0;
+        break;
+    }
+    if (send) {
+      out.updates.push_back(
+          {static_cast<std::uint32_t>(p), x_current_[p]});
+      advertised_[p] = x_current_[p];
+    } else {
+      out.max_withheld = std::max(out.max_withheld, change);
+    }
+  }
+  return out;
+}
+
+void SnapNode::advance_views() {
+  for (const auto j : neighbors_) {
+    view_previous_.at(j) = view_current_.at(j);
+    fresh_previous_.at(j) = fresh_.at(j);
+    fresh_.at(j) = false;
+  }
+}
+
+void SnapNode::apply_update(topology::NodeId from,
+                            std::span<const net::ParamUpdate> updates) {
+  auto it = view_current_.find(from);
+  SNAP_REQUIRE_MSG(it != view_current_.end(),
+                   "update from non-neighbor " << from);
+  linalg::Vector& view = it->second;
+  for (const net::ParamUpdate& u : updates) {
+    SNAP_REQUIRE(u.index < view.size());
+    view[u.index] = u.value;
+  }
+  fresh_.at(from) = true;
+}
+
+bool SnapNode::is_fresh(topology::NodeId j) const {
+  const auto it = fresh_.find(j);
+  SNAP_REQUIRE_MSG(it != fresh_.end(), "no neighbor " << j);
+  return it->second;
+}
+
+const linalg::Vector& SnapNode::view_of(topology::NodeId j) const {
+  const auto it = view_current_.find(j);
+  SNAP_REQUIRE_MSG(it != view_current_.end(), "no view of node " << j);
+  return it->second;
+}
+
+}  // namespace snap::core

@@ -1,0 +1,154 @@
+// Per-edge-server state and update rule (paper eq. (8)).
+//
+// A SnapNode owns one copy of the model parameters, its local data
+// shard, and its *views* of each neighbor's parameters — the values it
+// most recently received, which may be stale (filtered updates,
+// stragglers). Each iteration it:
+//   1. computes the EXTRA update from its own exact history and the
+//      neighbor views (compute_update),
+//   2. decides which parameters to transmit by comparing its new
+//      parameters against the values it last advertised
+//      (collect_updates), and
+//   3. folds incoming frames into its views (advance_views /
+//      apply_update).
+// The "advertised" bookkeeping makes the withheld error per parameter
+// at most the current threshold regardless of how many iterations it
+// has been withheld — a slightly stronger guarantee than per-iteration
+// deltas, with identical traffic behaviour (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/vector.hpp"
+#include "ml/model.hpp"
+#include "net/frame.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::core {
+
+/// How a node treats a neighbor whose round update never arrived
+/// (paper §IV-D stragglers).
+enum class StragglerPolicy {
+  /// Fold the absent neighbor's mixing weight into the node's own value
+  /// for this round — the neighbor is dropped from the average, and the
+  /// round's effective mixing matrix stays (symmetric) doubly
+  /// stochastic. This matches the paper's dropout intuition and keeps
+  /// EXTRA's error floor proportional to the *dropout rate*, not to the
+  /// staleness of old values. Default.
+  kReweight,
+  /// Use the last received values in place of the missing update — the
+  /// paper's literal text ("leverage the latest parameter updates").
+  /// Stale anchors perturb EXTRA's telescoped invariant, so heavy
+  /// failure rates cost noticeably more accuracy under this policy (see
+  /// the straggler ablation bench).
+  kStaleValues,
+};
+
+/// Which parameters a node transmits each iteration.
+enum class FilterMode {
+  kApe,          ///< SNAP: APE-controlled threshold (Algorithm 1)
+  kExactChange,  ///< SNAP-0: drop only parameters with zero change
+  kSendAll,      ///< SNO: every parameter, every iteration
+};
+
+class SnapNode {
+ public:
+  /// `weights_row` is row i of the mixing matrix W restricted to
+  /// {self} ∪ neighbors (all other entries of W are zero). The W̃ row is
+  /// derived internally as (w + 1{j==i})/2.
+  SnapNode(topology::NodeId id, const ml::Model& model,
+           data::Dataset shard, std::vector<topology::NodeId> neighbors,
+           std::unordered_map<topology::NodeId, double> weights_row,
+           StragglerPolicy straggler_policy = StragglerPolicy::kReweight);
+
+  /// Installs x⁰ and primes views/advertised values. All nodes must be
+  /// seeded with the same x⁰ (they are in SNAP: a shared initial model),
+  /// so initial views are exact without a broadcast round.
+  void set_initial(const linalg::Vector& x0);
+
+  /// Advances the local iterate one EXTRA step (eq. (8)) using the
+  /// current neighbor views. `alpha` is the step size.
+  void compute_update(double alpha);
+
+  /// Restarts the EXTRA recursion from the current iterate: the next
+  /// compute_update performs a fresh first step (x¹ = Wx⁰ − α∇f) with
+  /// the current parameters as x⁰. Views and advertised values are
+  /// kept. Exposed for ablations; the production trainer does NOT
+  /// restart at APE stage boundaries — the first EXTRA step moves by
+  /// the full local gradient α∇f_i (nonzero even at the consensual
+  /// optimum), so a restart near convergence re-injects error.
+  void restart() noexcept { iteration_ = 0; }
+
+  struct Outgoing {
+    /// Parameters to transmit (sorted by index).
+    std::vector<net::ParamUpdate> updates;
+    /// Largest |change| among *withheld* parameters (APE bookkeeping).
+    double max_withheld = 0.0;
+  };
+
+  /// Selects parameters whose |x − advertised| meets the mode/threshold,
+  /// marks them advertised, and returns them. `threshold` only applies
+  /// to kApe mode.
+  Outgoing collect_updates(FilterMode mode, double threshold);
+
+  /// Shifts every neighbor view one iteration back (x̂ᵏ becomes the
+  /// "previous" view) and marks every neighbor stale until a frame
+  /// (possibly an empty heartbeat) arrives. Call once per round before
+  /// apply_update.
+  void advance_views();
+
+  /// Applies a received frame from neighbor `from` onto the current view
+  /// and marks that neighbor fresh for the next update. An empty frame
+  /// is a heartbeat: no values change, but the neighbor counts as heard
+  /// from.
+  void apply_update(topology::NodeId from,
+                    std::span<const net::ParamUpdate> updates);
+
+  /// True when `j`'s latest round update arrived (used by kReweight).
+  bool is_fresh(topology::NodeId j) const;
+
+  topology::NodeId id() const noexcept { return id_; }
+  const std::vector<topology::NodeId>& neighbors() const noexcept {
+    return neighbors_;
+  }
+  const linalg::Vector& params() const noexcept { return x_current_; }
+  const data::Dataset& shard() const noexcept { return shard_; }
+  std::size_t iteration() const noexcept { return iteration_; }
+
+  /// Local objective f_i evaluated at arbitrary parameters.
+  double local_loss(const linalg::Vector& at) const {
+    return model_->loss(at, shard_);
+  }
+
+  /// Node-local mean |x⁰_p| (used to size the initial APE budget).
+  double mean_abs_initial() const noexcept { return mean_abs_initial_; }
+
+  /// The view this node currently holds of neighbor `j` (for tests).
+  const linalg::Vector& view_of(topology::NodeId j) const;
+
+ private:
+  topology::NodeId id_;
+  const ml::Model* model_;
+  data::Dataset shard_;
+  std::vector<topology::NodeId> neighbors_;
+  std::unordered_map<topology::NodeId, double> w_row_;
+  double w_self_ = 0.0;
+
+  linalg::Vector x_previous_;
+  linalg::Vector x_current_;
+  linalg::Vector grad_previous_;
+  linalg::Vector advertised_;
+  StragglerPolicy straggler_policy_;
+  std::unordered_map<topology::NodeId, linalg::Vector> view_current_;
+  std::unordered_map<topology::NodeId, linalg::Vector> view_previous_;
+  std::unordered_map<topology::NodeId, bool> fresh_;
+  std::unordered_map<topology::NodeId, bool> fresh_previous_;
+  std::size_t iteration_ = 0;
+  double mean_abs_initial_ = 0.0;
+};
+
+}  // namespace snap::core

@@ -1,0 +1,244 @@
+#include "core/snap_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "net/cost_model.hpp"
+#include "net/frame.hpp"
+#include "net/link_failure.hpp"
+#include "net/mailbox.hpp"
+
+namespace snap::core {
+
+namespace {
+
+linalg::Vector mean_of(const std::vector<SnapNode>& nodes) {
+  linalg::Vector mean(nodes.front().params().size());
+  for (const auto& node : nodes) mean += node.params();
+  mean *= 1.0 / static_cast<double>(nodes.size());
+  return mean;
+}
+
+double residual_of(const std::vector<SnapNode>& nodes,
+                   const linalg::Vector& mean) {
+  double residual = 0.0;
+  for (const auto& node : nodes) {
+    residual = std::max(residual, linalg::max_abs_diff(node.params(), mean));
+  }
+  return residual;
+}
+
+}  // namespace
+
+SnapTrainer::SnapTrainer(const topology::Graph& graph,
+                         const linalg::Matrix& w, const ml::Model& model,
+                         std::vector<data::Dataset> shards,
+                         SnapTrainerConfig config)
+    : graph_(&graph),
+      w_(w),
+      model_(&model),
+      shards_(std::move(shards)),
+      config_(config) {
+  SNAP_REQUIRE(config_.alpha > 0.0);
+  SNAP_REQUIRE_MSG(shards_.size() == graph.node_count(),
+                   "one shard per node required");
+  SNAP_REQUIRE_MSG(consensus::is_feasible_weight_matrix(w_, graph, 1e-6),
+                   "W is not feasible for this topology");
+}
+
+TrainResult SnapTrainer::train(const data::Dataset& test) {
+  SNAP_REQUIRE_MSG(!trained_,
+                   "SnapTrainer is one-shot: shards were consumed by the "
+                   "previous train() call");
+  trained_ = true;
+  const std::size_t n = graph_->node_count();
+  common::Rng rng(config_.seed);
+
+  // Build nodes with their weight rows.
+  std::vector<SnapNode> nodes;
+  nodes.reserve(n);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    std::unordered_map<topology::NodeId, double> row;
+    row.emplace(i, w_(i, i));
+    for (const auto j : graph_->neighbors(i)) {
+      row.emplace(j, w_(i, j));
+    }
+    nodes.emplace_back(i, *model_, std::move(shards_[i]),
+                       graph_->neighbors(i), std::move(row),
+                       config_.straggler_policy);
+  }
+
+  // Shared initial model (every edge server starts from the same copy of
+  // the uniform model, §II-B).
+  common::Rng init_rng = rng.fork("init");
+  const linalg::Vector x0 = model_->initial_params(init_rng);
+  for (auto& node : nodes) node.set_initial(x0);
+
+  // Per-node APE controllers (fully local, §IV-C). Armed lazily after
+  // the warmup so the 10%-of-mean-|parameter| budget reflects the
+  // model's working scale rather than the near-zero initialization.
+  std::vector<ApeController> ape;
+
+  net::CostTracker cost{net::HopMatrix(*graph_)};
+  net::RoundMailbox<std::vector<net::ParamUpdate>> mailbox(n);
+  net::LinkFailureModel failures(*graph_, config_.link_failure_probability,
+                                 rng.fork("links"));
+  ConvergenceDetector detector(config_.convergence);
+
+  const auto total_params =
+      static_cast<std::uint32_t>(model_->param_count());
+
+  // Per-directed-link transmit backlog. Peers talk over persistent TCP
+  // connections (§II-B), so a congested round delays a frame rather than
+  // destroying it: updates that could not be sent are merged
+  // (last-write-wins per parameter) into the next frame on that link.
+  std::vector<std::unordered_map<topology::NodeId,
+                                 std::map<std::uint32_t, double>>>
+      backlog(n);
+
+  TrainResult result;
+  std::size_t iteration = 0;
+  bool restarted = false;
+  while (iteration < config_.convergence.max_iterations &&
+         !detector.converged()) {
+    ++iteration;
+    failures.advance_round();
+
+    // 1. Local EXTRA updates from current views.
+    for (auto& node : nodes) node.compute_update(config_.alpha);
+
+    // Arm the APE controllers once the model has found its scale.
+    const bool ape_enabled = config_.filter == FilterMode::kApe &&
+                             iteration > config_.ape_warmup_iterations;
+    if (ape_enabled && ape.empty()) {
+      ape.reserve(n);
+      for (const auto& node : nodes) {
+        const linalg::Vector& x = node.params();
+        const double mean_abs =
+            x.empty() ? 0.0 : x.norm1() / static_cast<double>(x.size());
+        ape.emplace_back(config_.ape, mean_abs);
+      }
+    }
+
+    // 2. Filter, frame, and transmit. A link that is down this round
+    // keeps its frame in the backlog and retransmits (merged) when it
+    // recovers — persistent-TCP semantics; only frames actually written
+    // to a live link are charged.
+    for (topology::NodeId i = 0; i < n; ++i) {
+      // Warmup (and non-APE modes) behave like SNAP-0: send every
+      // changed parameter.
+      const FilterMode mode =
+          config_.filter == FilterMode::kApe && !ape_enabled
+              ? FilterMode::kExactChange
+              : config_.filter;
+      const double threshold = ape_enabled ? ape[i].threshold() : 0.0;
+      SnapNode::Outgoing outgoing = nodes[i].collect_updates(mode, threshold);
+      if (ape_enabled) {
+        // A stage advance resets the controller's APE accounting window
+        // (the paper's per-stage "restart" of the error bound).
+        ape[i].record_iteration(outgoing.max_withheld);
+      }
+      for (const auto j : nodes[i].neighbors()) {
+        auto& queued = backlog[i][j];
+        for (const net::ParamUpdate& u : outgoing.updates) {
+          queued[u.index] = u.value;
+        }
+        if (failures.is_down(i, j)) continue;
+        // A live link always carries a frame — an empty one is the
+        // heartbeat that lets the receiver distinguish "nothing above
+        // threshold" from "link down" (kReweight needs to know).
+        std::vector<net::ParamUpdate> frame;
+        frame.reserve(queued.size());
+        for (const auto& [index, value] : queued) {
+          frame.push_back({index, value});
+        }
+        queued.clear();
+        cost.record_flow(
+            i, j, net::best_frame_payload_bytes(total_params, frame.size()));
+        mailbox.post(i, j, std::move(frame));
+      }
+    }
+
+    // 2b. One synchronized recursion restart, the round after every
+    // controller has decayed below ε. Filtered views break the
+    // telescoped invariant that makes EXTRA exact, so the filtered
+    // phase is treated as producing an *initial value* for one exact
+    // run — "the convergence and optimality of iteration (6) has
+    // nothing to do with the initial parameter values" (§IV-C). The
+    // restart must be simultaneous: nodes mid-recursion mixed with
+    // nodes on their first step destabilize each other. All controllers
+    // share the same schedule parameters and initial model, so in a
+    // real deployment each node reaches ε within a bounded window of
+    // the others and can arm the restart off the shared clock.
+    if (ape_enabled && !restarted) {
+      const bool all_inactive =
+          std::all_of(ape.begin(), ape.end(),
+                      [](const ApeController& c) { return !c.active(); });
+      if (all_inactive) {
+        for (auto& node : nodes) node.restart();
+        restarted = true;
+      }
+    }
+
+    // 3. Synchronous delivery.
+    mailbox.flip_round();
+    for (auto& node : nodes) node.advance_views();
+    for (topology::NodeId i = 0; i < n; ++i) {
+      for (const auto& message : mailbox.inbox(i)) {
+        nodes[i].apply_update(message.from, message.payload);
+      }
+    }
+
+    // 4. Bookkeeping: evaluate the mean model, test convergence.
+    const linalg::Vector mean = mean_of(nodes);
+    const double residual = residual_of(nodes, mean);
+
+    IterationStats stats;
+    stats.consensus_residual = residual;
+    const bool evaluate =
+        (iteration % std::max<std::size_t>(config_.eval.every, 1)) == 0 ||
+        iteration == config_.convergence.max_iterations;
+    // The aggregate objective (1/N) Σ_i f_i(x̄) feeds the convergence
+    // detector every iteration; only the (pricier) accuracy is gated on
+    // the eval schedule.
+    double loss = 0.0;
+    for (const auto& node : nodes) loss += node.local_loss(mean);
+    loss /= static_cast<double>(n);
+    stats.train_loss = loss;
+    if (evaluate) {
+      stats.test_accuracy = model_->accuracy(mean, test);
+      stats.evaluated = true;
+    }
+    cost.end_iteration();
+    stats.bytes = cost.bytes_per_iteration().back();
+    stats.cost = cost.cost_per_iteration().back();
+    stats.max_node_inbound_bytes = cost.max_inbound_per_iteration().back();
+    stats.max_node_outbound_bytes =
+        cost.max_outbound_per_iteration().back();
+    result.iterations.push_back(stats);
+
+    detector.observe(loss, residual,
+                     stats.evaluated ? stats.test_accuracy : -1.0);
+    if (observer_) observer_(iteration, nodes);
+  }
+
+  const linalg::Vector mean = mean_of(nodes);
+  result.converged = detector.converged();
+  result.converged_after =
+      result.converged ? detector.converged_after() : iteration;
+  result.final_params = mean;
+  double loss = 0.0;
+  for (const auto& node : nodes) loss += node.local_loss(mean);
+  result.final_train_loss = loss / static_cast<double>(n);
+  result.final_test_accuracy = model_->accuracy(mean, test);
+  result.total_bytes = cost.total_bytes();
+  result.total_cost = cost.total_cost();
+  return result;
+}
+
+}  // namespace snap::core

@@ -1,0 +1,85 @@
+// Distributed SNAP training run (the paper's full system).
+//
+// SnapTrainer wires together every piece of §IV: the per-node EXTRA
+// update (eq. 8), the optimized mixing matrix (§IV-B), APE-controlled
+// parameter filtering with the two-format wire protocol (§IV-C), the
+// synchronous-round exchange and straggler tolerance (§IV-D), and the
+// hop-weighted communication-cost accounting of §II-B. The three
+// published variants are configurations of the same engine:
+//   SNAP    = FilterMode::kApe
+//   SNAP-0  = FilterMode::kExactChange
+//   SNO     = FilterMode::kSendAll
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/ape.hpp"
+#include "core/snap_node.hpp"
+#include "core/training.hpp"
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/model.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::core {
+
+struct SnapTrainerConfig {
+  double alpha = 0.05;                ///< EXTRA step size
+  FilterMode filter = FilterMode::kApe;
+  ApeConfig ape;                      ///< used when filter == kApe
+  /// Iterations to run before arming the APE controllers. The budget is
+  /// 10% of the mean |parameter| (§V) — anchored to the model *after*
+  /// it has reached its natural scale, not to the near-zero random
+  /// initialization. During warmup the node sends every changed
+  /// parameter (SNAP-0 behaviour), which is what the early iterations
+  /// do anyway since every change dwarfs any reasonable threshold.
+  std::size_t ape_warmup_iterations = 5;
+  ConvergenceCriteria convergence;
+  EvalConfig eval;
+  /// Per-round probability that a link drops both directions' frames
+  /// (straggler injection, Fig. 9). 0 disables.
+  double link_failure_probability = 0.0;
+  /// How nodes treat neighbors whose round update never arrived.
+  StragglerPolicy straggler_policy = StragglerPolicy::kReweight;
+  /// Seeds model initialization and failure sampling.
+  std::uint64_t seed = 1;
+};
+
+/// Optional per-iteration observer: (iteration index starting at 1,
+/// per-node parameter vectors after the update).
+using IterationObserver =
+    std::function<void(std::size_t, const std::vector<SnapNode>&)>;
+
+class SnapTrainer {
+ public:
+  /// `w` must be a feasible mixing matrix for `graph`
+  /// (consensus::is_feasible_weight_matrix). One shard per node.
+  SnapTrainer(const topology::Graph& graph, const linalg::Matrix& w,
+              const ml::Model& model, std::vector<data::Dataset> shards,
+              SnapTrainerConfig config);
+
+  /// Runs until convergence or config.convergence.max_iterations.
+  /// `test` is used for accuracy reporting (may be empty — accuracy 1.0).
+  /// One-shot: the trainer consumes its shards; a second call is a
+  /// contract violation (construct a fresh trainer instead).
+  TrainResult train(const data::Dataset& test);
+
+  /// Installs an observer invoked after every iteration (e.g. Fig. 2's
+  /// parameter-evolution probes).
+  void set_observer(IterationObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  const topology::Graph* graph_;
+  linalg::Matrix w_;
+  const ml::Model* model_;
+  std::vector<data::Dataset> shards_;
+  SnapTrainerConfig config_;
+  IterationObserver observer_;
+  bool trained_ = false;
+};
+
+}  // namespace snap::core

@@ -1,0 +1,45 @@
+#include "core/training.hpp"
+
+#include <cmath>
+
+namespace snap::core {
+
+bool ConvergenceDetector::observe(double loss, double consensus_residual,
+                                  double accuracy) {
+  if (converged_) return true;
+  losses_.push_back(loss);
+  const std::size_t k = losses_.size();
+
+  if (criteria_.target_accuracy.has_value()) {
+    if (accuracy >= *criteria_.target_accuracy &&
+        consensus_residual < criteria_.consensus_tolerance) {
+      converged_ = true;
+      converged_after_ = k;
+    }
+    return converged_;
+  }
+
+  if (criteria_.target_loss.has_value()) {
+    if (loss <= *criteria_.target_loss &&
+        consensus_residual < criteria_.consensus_tolerance) {
+      converged_ = true;
+      converged_after_ = k;
+    }
+    return converged_;
+  }
+
+  if (k < criteria_.min_iterations || k <= criteria_.window) return false;
+
+  const double previous = losses_[k - 1 - criteria_.window];
+  const double denom = std::max(std::abs(previous), 1e-12);
+  const double relative_change = std::abs(loss - previous) / denom;
+
+  if (relative_change < criteria_.loss_tolerance &&
+      consensus_residual < criteria_.consensus_tolerance) {
+    converged_ = true;
+    converged_after_ = k;
+  }
+  return converged_;
+}
+
+}  // namespace snap::core

@@ -1,0 +1,69 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snap::data {
+
+Dataset::Dataset(std::size_t feature_dim, std::size_t num_classes)
+    : feature_dim_(feature_dim), num_classes_(num_classes) {
+  SNAP_REQUIRE(feature_dim > 0);
+  SNAP_REQUIRE(num_classes >= 2);
+}
+
+void Dataset::add(std::span<const double> features, std::size_t label) {
+  SNAP_REQUIRE_MSG(features.size() == feature_dim_,
+                   "feature dim " << features.size() << " != "
+                                  << feature_dim_);
+  SNAP_REQUIRE_MSG(label < num_classes_,
+                   "label " << label << " out of range");
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::span<const double> Dataset::features(std::size_t i) const {
+  SNAP_REQUIRE(i < size());
+  return {features_.data() + i * feature_dim_, feature_dim_};
+}
+
+std::size_t Dataset::label(std::size_t i) const {
+  SNAP_REQUIRE(i < size());
+  return labels_[i];
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_dim_, num_classes_);
+  for (const std::size_t i : indices) {
+    out.add(features(i), label(i));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (const std::size_t l : labels_) ++histogram[l];
+  return histogram;
+}
+
+TrainTestSplit split_train_test(const Dataset& all, double test_fraction,
+                                std::uint64_t seed) {
+  SNAP_REQUIRE(test_fraction >= 0.0 && test_fraction < 1.0);
+  common::Rng rng(seed);
+  const auto perm = rng.permutation(all.size());
+  auto test_count = static_cast<std::size_t>(
+      static_cast<double>(all.size()) * test_fraction);
+  if (test_fraction > 0.0 && test_count == 0 && all.size() > 1) {
+    test_count = 1;
+  }
+
+  std::vector<std::size_t> test_idx(perm.begin(),
+                                    perm.begin() +
+                                        static_cast<std::ptrdiff_t>(test_count));
+  std::vector<std::size_t> train_idx(
+      perm.begin() + static_cast<std::ptrdiff_t>(test_count), perm.end());
+  return TrainTestSplit{all.subset(train_idx), all.subset(test_idx)};
+}
+
+}  // namespace snap::data

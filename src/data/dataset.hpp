@@ -1,0 +1,59 @@
+// In-memory labeled dataset.
+//
+// Feature rows are stored contiguously (row-major) so gradient loops
+// stream through memory. Labels are class indices in [0, num_classes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace snap::data {
+
+class Dataset {
+ public:
+  /// Empty dataset with a fixed feature dimension and class count.
+  Dataset(std::size_t feature_dim, std::size_t num_classes);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  std::size_t feature_dim() const noexcept { return feature_dim_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  bool empty() const noexcept { return labels_.empty(); }
+
+  /// Appends one sample. `features.size()` must equal feature_dim() and
+  /// `label` must be < num_classes().
+  void add(std::span<const double> features, std::size_t label);
+
+  /// Feature row of sample i.
+  std::span<const double> features(std::size_t i) const;
+
+  /// Label of sample i.
+  std::size_t label(std::size_t i) const;
+
+  /// New dataset containing the listed samples (indices may repeat).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_histogram() const;
+
+ private:
+  std::size_t feature_dim_;
+  std::size_t num_classes_;
+  std::vector<double> features_;  // size() * feature_dim_, row-major
+  std::vector<std::size_t> labels_;
+};
+
+/// Deterministically splits `all` into a train/test pair: `test_fraction`
+/// of the samples (rounded down, at least 1 when possible) are held out,
+/// chosen by a seeded shuffle.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit split_train_test(const Dataset& all, double test_fraction,
+                                std::uint64_t seed);
+
+}  // namespace snap::data

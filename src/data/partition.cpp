@@ -1,0 +1,67 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snap::data {
+
+namespace {
+
+std::vector<Dataset> shards_from_assignment(
+    const Dataset& all, std::size_t num_nodes,
+    const std::vector<std::size_t>& owner) {
+  std::vector<std::vector<std::size_t>> indices(num_nodes);
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    indices[owner[i]].push_back(i);
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(num_nodes);
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    shards.push_back(all.subset(indices[node]));
+  }
+  return shards;
+}
+
+}  // namespace
+
+std::vector<Dataset> partition_uniform_random(const Dataset& all,
+                                              std::size_t num_nodes,
+                                              common::Rng& rng) {
+  SNAP_REQUIRE(num_nodes >= 1);
+  std::vector<std::size_t> owner(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    owner[i] = static_cast<std::size_t>(rng.uniform_u64(num_nodes));
+  }
+  return shards_from_assignment(all, num_nodes, owner);
+}
+
+std::vector<Dataset> partition_equal(const Dataset& all,
+                                     std::size_t num_nodes,
+                                     common::Rng& rng) {
+  SNAP_REQUIRE(num_nodes >= 1);
+  const auto perm = rng.permutation(all.size());
+  std::vector<std::size_t> owner(all.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    owner[perm[i]] = i % num_nodes;
+  }
+  return shards_from_assignment(all, num_nodes, owner);
+}
+
+std::vector<Dataset> partition_label_skew(const Dataset& all,
+                                          std::size_t num_nodes, double skew,
+                                          common::Rng& rng) {
+  SNAP_REQUIRE(num_nodes >= 1);
+  SNAP_REQUIRE(skew >= 0.0 && skew <= 1.0);
+  std::vector<std::size_t> owner(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (rng.bernoulli(skew)) {
+      owner[i] = all.label(i) % num_nodes;
+    } else {
+      owner[i] = static_cast<std::size_t>(rng.uniform_u64(num_nodes));
+    }
+  }
+  return shards_from_assignment(all, num_nodes, owner);
+}
+
+}  // namespace snap::data

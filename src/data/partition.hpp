@@ -1,0 +1,37 @@
+// Distributed data placement.
+//
+// The paper "randomly allocate[s] each training sample to one of the
+// servers" to emulate edge collection; we reproduce that (uniform random
+// placement) and also provide contiguous equal shards and a
+// label-skewed placement used by robustness tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace snap::data {
+
+/// Assigns every sample of `all` to one of `num_nodes` shards uniformly
+/// at random. Some shards may be empty for tiny datasets; callers that
+/// require non-empty shards should use partition_equal.
+std::vector<Dataset> partition_uniform_random(const Dataset& all,
+                                              std::size_t num_nodes,
+                                              common::Rng& rng);
+
+/// Shuffles then deals samples round-robin, so shard sizes differ by at
+/// most one and every shard is non-empty when all.size() >= num_nodes.
+std::vector<Dataset> partition_equal(const Dataset& all,
+                                     std::size_t num_nodes,
+                                     common::Rng& rng);
+
+/// Non-IID placement: samples of class c gravitate to shard c % num_nodes
+/// with probability `skew`, otherwise placed uniformly. skew = 0 is
+/// uniform, skew = 1 fully sorts classes onto shards.
+std::vector<Dataset> partition_label_skew(const Dataset& all,
+                                          std::size_t num_nodes, double skew,
+                                          common::Rng& rng);
+
+}  // namespace snap::data

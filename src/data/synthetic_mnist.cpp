@@ -1,0 +1,147 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snap::data {
+
+namespace {
+
+using Image = std::vector<double>;  // image_side² pixels in [0,1]
+
+/// Renders one class prototype: a handful of soft Gaussian blobs strung
+/// along a random polyline, approximating a pen stroke.
+Image render_prototype(std::size_t side, common::Rng& rng) {
+  Image img(side * side, 0.0);
+  const double s = static_cast<double>(side);
+  // Real MNIST digits are size-normalized into a centered 20×20 box
+  // with an empty 4-pixel border; replicate that geometry (it is what
+  // makes a sizable fraction of first-layer weights never change —
+  // paper Fig. 2).
+  const double margin = std::max(4.0, s / 7.0);
+  const double lo = margin + 1.0;
+  const double hi = s - margin - 2.0;
+
+  // 2-4 strokes, each a short polyline of blobs.
+  const auto strokes = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  for (std::size_t stroke = 0; stroke < strokes; ++stroke) {
+    double x = rng.uniform(lo, hi);
+    double y = rng.uniform(lo, hi);
+    double dx = rng.uniform(-2.0, 2.0);
+    double dy = rng.uniform(-2.0, 2.0);
+    const double sigma = rng.uniform(1.2, 2.2);
+    const auto steps = static_cast<std::size_t>(rng.uniform_int(4, 9));
+    for (std::size_t step = 0; step < steps; ++step) {
+      // Stamp a Gaussian blob at (x, y).
+      for (std::size_t r = 0; r < side; ++r) {
+        for (std::size_t c = 0; c < side; ++c) {
+          const double dr = static_cast<double>(r) - y;
+          const double dc = static_cast<double>(c) - x;
+          const double value =
+              std::exp(-(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+          img[r * side + c] = std::min(1.0, img[r * side + c] + value);
+        }
+      }
+      x = std::clamp(x + dx + rng.uniform(-0.7, 0.7), lo, hi);
+      y = std::clamp(y + dy + rng.uniform(-0.7, 0.7), lo, hi);
+    }
+  }
+  // Truncate the faint Gaussian tails to exact zero (real MNIST
+  // backgrounds are hard zeros) and clear the border band entirely.
+  const auto border = static_cast<std::size_t>(margin);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double& px = img[r * side + c];
+      const bool in_border = r < border || c < border ||
+                             r >= side - border || c >= side - border;
+      if (in_border || px < 0.05) px = 0.0;
+    }
+  }
+  return img;
+}
+
+/// Copies `proto` shifted by (shift_r, shift_c) with zero padding, then
+/// adds clamped Gaussian pixel noise.
+Image jitter(const Image& proto, std::size_t side, int shift_r, int shift_c,
+             double noise, common::Rng& rng) {
+  Image img(side * side, 0.0);
+  const auto n = static_cast<int>(side);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const int src_r = r - shift_r;
+      const int src_c = c - shift_c;
+      if (src_r >= 0 && src_r < n && src_c >= 0 && src_c < n) {
+        img[static_cast<std::size_t>(r * n + c)] =
+            proto[static_cast<std::size_t>(src_r * n + src_c)];
+      }
+    }
+  }
+  if (noise > 0.0) {
+    // Noise only where the stroke has ink: real MNIST backgrounds are
+    // exactly zero, and that property is what makes a visible fraction
+    // of first-layer weights never change during training (Fig. 2 of
+    // the paper). Keep it.
+    for (double& px : img) {
+      if (px > 1e-3) {
+        px = std::clamp(px + rng.normal(0.0, noise), 0.0, 1.0);
+      }
+    }
+  }
+  return img;
+}
+
+Dataset generate(const SyntheticMnistConfig& config,
+                 const std::vector<Image>& prototypes, std::size_t count,
+                 double label_noise, common::Rng& rng) {
+  const std::size_t dim = config.image_side * config.image_side;
+  Dataset out(dim, config.num_classes);
+  const auto max_shift = static_cast<int>(config.max_shift);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label =
+        static_cast<std::size_t>(rng.uniform_u64(config.num_classes));
+    const int shift_r =
+        static_cast<int>(rng.uniform_int(-max_shift, max_shift));
+    const int shift_c =
+        static_cast<int>(rng.uniform_int(-max_shift, max_shift));
+    const Image img = jitter(prototypes[label], config.image_side, shift_r,
+                             shift_c, config.pixel_noise, rng);
+    std::size_t observed = label;
+    if (label_noise > 0.0 && rng.bernoulli(label_noise)) {
+      observed = static_cast<std::size_t>(
+          rng.uniform_u64(config.num_classes - 1));
+      if (observed >= label) ++observed;  // uniformly *other* class
+    }
+    out.add(img, observed);
+  }
+  return out;
+}
+
+}  // namespace
+
+SyntheticMnist make_synthetic_mnist(const SyntheticMnistConfig& config) {
+  SNAP_REQUIRE(config.image_side >= 8);
+  SNAP_REQUIRE(config.num_classes >= 2);
+  common::Rng root(config.seed);
+
+  common::Rng proto_rng = root.fork("prototypes");
+  std::vector<Image> prototypes;
+  prototypes.reserve(config.num_classes);
+  for (std::size_t c = 0; c < config.num_classes; ++c) {
+    prototypes.push_back(render_prototype(config.image_side, proto_rng));
+  }
+
+  common::Rng train_rng = root.fork("train");
+  common::Rng test_rng = root.fork("test");
+  SyntheticMnist out{
+      generate(config, prototypes, config.train_samples,
+               config.label_noise, train_rng),
+      generate(config, prototypes, config.test_samples, /*label_noise=*/0.0,
+               test_rng)};
+  return out;
+}
+
+}  // namespace snap::data

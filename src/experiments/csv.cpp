@@ -1,0 +1,48 @@
+#include "experiments/csv.hpp"
+
+#include <sstream>
+
+namespace snap::experiments {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& os,
+                   const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    os << csv_escape(cells[i]);
+  }
+  os << '\n';
+}
+
+void write_train_result_csv(std::ostream& os,
+                            const core::TrainResult& result) {
+  write_csv_row(os, {"iteration", "train_loss", "test_accuracy",
+                     "evaluated", "bytes", "cost", "consensus_residual"});
+  for (std::size_t k = 0; k < result.iterations.size(); ++k) {
+    const auto& stat = result.iterations[k];
+    std::ostringstream loss;
+    loss << stat.train_loss;
+    std::ostringstream acc;
+    acc << stat.test_accuracy;
+    std::ostringstream res;
+    res << stat.consensus_residual;
+    write_csv_row(os, {std::to_string(k + 1), loss.str(), acc.str(),
+                       stat.evaluated ? "1" : "0",
+                       std::to_string(stat.bytes),
+                       std::to_string(stat.cost), res.str()});
+  }
+}
+
+}  // namespace snap::experiments

@@ -1,0 +1,25 @@
+// CSV export for experiment results — machine-readable counterpart of
+// the printed tables, for plotting the reproduced figures.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/training.hpp"
+
+namespace snap::experiments {
+
+/// RFC-4180-style field quoting: fields containing commas, quotes or
+/// newlines are wrapped in double quotes with inner quotes doubled.
+std::string csv_escape(const std::string& field);
+
+/// Writes one CSV row.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+/// Writes the per-iteration series of a TrainResult:
+/// iteration,train_loss,test_accuracy,evaluated,bytes,cost,consensus_residual
+void write_train_result_csv(std::ostream& os,
+                            const core::TrainResult& result);
+
+}  // namespace snap::experiments

@@ -1,0 +1,58 @@
+#include "experiments/report.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace snap::experiments {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SNAP_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SNAP_REQUIRE_MSG(cells.size() == headers_.size(),
+                   "row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << common::pad_right(cells[c], widths[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (const std::size_t w : widths) rule.emplace_back(w, '-');
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<double>& x,
+                  const std::vector<double>& y) {
+  SNAP_REQUIRE(x.size() == y.size());
+  os << "# " << title << '\n';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    os << x[i] << ' ' << y[i] << '\n';
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace snap::experiments

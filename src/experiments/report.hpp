@@ -1,0 +1,40 @@
+// Plain-text table/series printers used by the figure benches so every
+// reproduced table and figure series prints in a uniform, diffable
+// format.
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace snap::experiments {
+
+/// Column-aligned text table. Usage:
+///   Table t({"scheme", "iterations", "bytes"});
+///   t.add_row({"SNAP", "42", "1.2 MiB"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "# <title>" followed by "x y" pairs — one figure series.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<double>& x,
+                  const std::vector<double>& y);
+
+/// Prints a section banner for a figure ("==== Fig. 4(a) ... ====").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace snap::experiments

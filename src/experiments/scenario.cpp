@@ -1,0 +1,262 @@
+#include "experiments/scenario.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "baselines/centralized.hpp"
+#include "baselines/parameter_server.hpp"
+#include "baselines/terngrad.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic_credit.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/mlp.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::experiments {
+
+std::string_view scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kCentralized:
+      return "Centralized";
+    case Scheme::kSnap:
+      return "SNAP";
+    case Scheme::kSnap0:
+      return "SNAP-0";
+    case Scheme::kSno:
+      return "SNO";
+    case Scheme::kPs:
+      return "PS";
+    case Scheme::kTernGrad:
+      return "TernGrad";
+  }
+  return "?";
+}
+
+struct Scenario::Impl {
+  ScenarioConfig config;
+  topology::Graph graph;
+  std::unique_ptr<ml::Model> model;
+  data::Dataset pooled_train{1, 2};
+  data::Dataset test{1, 2};
+  std::vector<data::Dataset> shards;
+  linalg::Matrix w_baseline;
+  consensus::WeightSelection w_optimized;
+  mutable std::optional<double> reference_loss;
+  mutable std::optional<double> reference_accuracy;
+};
+
+namespace {
+
+/// Subsamples `all` down to `count` samples (0 keeps everything).
+data::Dataset subsample(const data::Dataset& all, std::size_t count,
+                        common::Rng& rng) {
+  if (count == 0 || count >= all.size()) {
+    std::vector<std::size_t> identity(all.size());
+    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    return all.subset(identity);
+  }
+  const auto chosen = rng.sample_without_replacement(all.size(), count);
+  return all.subset(chosen);
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+  common::Rng root(config.seed);
+
+  // Topology.
+  if (config.custom_topology.has_value()) {
+    SNAP_REQUIRE_MSG(config.custom_topology->is_connected(),
+                     "custom topology must be connected");
+    impl_->graph = *config.custom_topology;
+    impl_->config.nodes = impl_->graph.node_count();
+  } else if (config.complete_topology) {
+    impl_->graph = topology::make_complete(config.nodes);
+  } else {
+    common::Rng topo_rng = root.fork("topology");
+    impl_->graph = topology::make_random_connected(
+        config.nodes, config.average_degree, topo_rng);
+  }
+
+  // Workload: dataset + model.
+  common::Rng data_rng = root.fork("data");
+  if (config.workload == Workload::kCreditSvm) {
+    data::SyntheticCreditConfig credit;
+    credit.seed = data_rng.fork("credit").seed();
+    const data::Dataset all = data::make_synthetic_credit(credit);
+    auto split = data::split_train_test(all, 0.2, config.seed ^ 0x5117ULL);
+    common::Rng sub_rng = data_rng.fork("subsample");
+    impl_->pooled_train =
+        subsample(split.train, config.train_samples, sub_rng);
+    impl_->test = subsample(split.test, config.test_samples, sub_rng);
+    ml::LinearSvmConfig svm;
+    svm.feature_dim = all.feature_dim();
+    impl_->model = std::make_unique<ml::LinearSvm>(svm);
+  } else {
+    data::SyntheticMnistConfig mnist;
+    mnist.seed = data_rng.fork("mnist").seed();
+    mnist.label_noise = config.mnist_label_noise;
+    // Generate only what the run needs; the generator is O(samples).
+    mnist.train_samples =
+        config.train_samples == 0 ? mnist.train_samples
+                                  : config.train_samples;
+    mnist.test_samples =
+        config.test_samples == 0 ? mnist.test_samples : config.test_samples;
+    data::SyntheticMnist generated = data::make_synthetic_mnist(mnist);
+    impl_->pooled_train = std::move(generated.train);
+    impl_->test = std::move(generated.test);
+    impl_->model = std::make_unique<ml::Mlp>(ml::MlpConfig{});
+  }
+
+  // Random placement of samples onto edge servers (§V).
+  common::Rng part_rng = root.fork("partition");
+  if (config.label_skew > 0.0) {
+    impl_->shards =
+        data::partition_label_skew(impl_->pooled_train,
+                                   impl_->graph.node_count(),
+                                   config.label_skew, part_rng);
+  } else {
+    impl_->shards = data::partition_equal(
+        impl_->pooled_train, impl_->graph.node_count(), part_rng);
+  }
+
+  // Mixing matrices.
+  impl_->w_baseline = consensus::max_degree_weights(impl_->graph);
+  impl_->w_optimized =
+      consensus::select_weight_matrix(impl_->graph, config.weight_optimizer);
+}
+
+Scenario::~Scenario() = default;
+
+core::TrainResult Scenario::run(Scheme scheme) const {
+  return run(scheme, impl_->config.convergence);
+}
+
+core::TrainResult Scenario::run(
+    Scheme scheme, const core::ConvergenceCriteria& criteria) const {
+  const ScenarioConfig& cfg = impl_->config;
+  switch (scheme) {
+    case Scheme::kCentralized: {
+      baselines::CentralizedConfig c;
+      c.alpha = cfg.alpha;
+      c.convergence = criteria;
+      c.seed = cfg.seed;
+      return baselines::train_centralized(*impl_->model,
+                                          impl_->pooled_train, impl_->test,
+                                          c);
+    }
+    case Scheme::kSnap:
+      return run_snap_variant(core::FilterMode::kApe, true,
+                              cfg.link_failure_probability, criteria);
+    case Scheme::kSnap0:
+      return run_snap_variant(core::FilterMode::kExactChange, true,
+                              cfg.link_failure_probability, criteria);
+    case Scheme::kSno:
+      return run_snap_variant(core::FilterMode::kSendAll, true,
+                              cfg.link_failure_probability, criteria);
+    case Scheme::kPs: {
+      baselines::ParameterServerConfig c;
+      c.alpha = cfg.alpha;
+      c.convergence = criteria;
+      c.seed = cfg.seed;
+      return baselines::train_parameter_server(impl_->graph, *impl_->model,
+                                               impl_->shards, impl_->test,
+                                               c);
+    }
+    case Scheme::kTernGrad: {
+      baselines::ParameterServerConfig c;
+      c.alpha = cfg.alpha;
+      c.convergence = criteria;
+      c.seed = cfg.seed;
+      return baselines::train_parameter_server(
+          impl_->graph, *impl_->model, impl_->shards, impl_->test,
+          baselines::terngrad_config(c));
+    }
+  }
+  SNAP_ASSERT(false);
+  return {};
+}
+
+core::TrainResult Scenario::run_snap_variant(
+    core::FilterMode filter, bool optimized_weights,
+    double link_failure_probability) const {
+  return run_snap_variant(filter, optimized_weights,
+                          link_failure_probability,
+                          impl_->config.convergence);
+}
+
+core::TrainResult Scenario::run_snap_variant(
+    core::FilterMode filter, bool optimized_weights,
+    double link_failure_probability,
+    const core::ConvergenceCriteria& criteria) const {
+  return run_snap_variant(filter, optimized_weights,
+                          link_failure_probability, criteria,
+                          core::StragglerPolicy::kReweight);
+}
+
+core::TrainResult Scenario::run_snap_variant(
+    core::FilterMode filter, bool optimized_weights,
+    double link_failure_probability,
+    const core::ConvergenceCriteria& criteria,
+    core::StragglerPolicy straggler_policy) const {
+  const ScenarioConfig& cfg = impl_->config;
+  core::SnapTrainerConfig c;
+  c.straggler_policy = straggler_policy;
+  c.alpha = cfg.alpha;
+  c.filter = filter;
+  c.ape = cfg.ape;
+  c.ape_warmup_iterations = cfg.ape_warmup_iterations;
+  c.convergence = criteria;
+  c.link_failure_probability = link_failure_probability;
+  c.seed = cfg.seed;
+  const linalg::Matrix& w =
+      optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
+  core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,
+                            c);
+  return trainer.train(impl_->test);
+}
+
+double Scenario::reference_loss() const {
+  if (!impl_->reference_loss.has_value()) {
+    const core::TrainResult reference = run(Scheme::kCentralized);
+    impl_->reference_loss = reference.final_train_loss;
+    impl_->reference_accuracy = reference.final_test_accuracy;
+  }
+  return *impl_->reference_loss;
+}
+
+double Scenario::reference_accuracy() const {
+  if (!impl_->reference_accuracy.has_value()) {
+    (void)reference_loss();  // runs and caches the reference
+  }
+  return *impl_->reference_accuracy;
+}
+
+const topology::Graph& Scenario::graph() const noexcept {
+  return impl_->graph;
+}
+const ml::Model& Scenario::model() const noexcept { return *impl_->model; }
+const consensus::WeightSelection& Scenario::optimized_weights()
+    const noexcept {
+  return impl_->w_optimized;
+}
+const linalg::Matrix& Scenario::baseline_weights() const noexcept {
+  return impl_->w_baseline;
+}
+const ScenarioConfig& Scenario::config() const noexcept {
+  return impl_->config;
+}
+const data::Dataset& Scenario::test_set() const noexcept {
+  return impl_->test;
+}
+std::size_t Scenario::train_size() const noexcept {
+  return impl_->pooled_train.size();
+}
+
+}  // namespace snap::experiments

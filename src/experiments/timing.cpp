@@ -1,0 +1,44 @@
+#include "experiments/timing.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snap::experiments {
+
+double TimingModel::round_duration(
+    double gradient_flops_value, std::uint64_t max_node_inbound_bytes,
+    std::uint64_t max_node_outbound_bytes) const {
+  SNAP_REQUIRE(nic_bandwidth_bytes_per_s > 0.0);
+  SNAP_REQUIRE(compute_flops_per_s > 0.0);
+  SNAP_REQUIRE(gradient_flops_value >= 0.0);
+  const double compute = gradient_flops_value / compute_flops_per_s;
+  const double transfer =
+      static_cast<double>(
+          std::max(max_node_inbound_bytes, max_node_outbound_bytes)) /
+      nic_bandwidth_bytes_per_s;
+  return compute + transfer + propagation_s;
+}
+
+double TimingModel::total_duration(const core::TrainResult& result,
+                                   double gradient_flops_value) const {
+  const std::size_t rounds =
+      result.converged
+          ? std::min(result.converged_after, result.iterations.size())
+          : result.iterations.size();
+  double total = 0.0;
+  for (std::size_t k = 0; k < rounds; ++k) {
+    const auto& stat = result.iterations[k];
+    total += round_duration(gradient_flops_value,
+                            stat.max_node_inbound_bytes,
+                            stat.max_node_outbound_bytes);
+  }
+  return total;
+}
+
+double gradient_flops(std::size_t param_count, std::size_t samples) {
+  return 4.0 * static_cast<double>(param_count) *
+         static_cast<double>(samples);
+}
+
+}  // namespace snap::experiments

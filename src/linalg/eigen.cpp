@@ -1,0 +1,155 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace snap::linalg {
+
+namespace {
+
+/// Sum of squares of strictly-off-diagonal entries.
+double off_diagonal_sq(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (r != c) acc += a(r, c) * a(r, c);
+    }
+  }
+  return acc;
+}
+
+/// One cyclic Jacobi pass over all (p,q) pairs; rotates `a` toward
+/// diagonal form and accumulates rotations into `v` when provided.
+void jacobi_sweep(Matrix& a, Matrix* v) {
+  const std::size_t n = a.rows();
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      const double apq = a(p, q);
+      if (apq == 0.0) continue;
+      const double app = a(p, p);
+      const double aqq = a(q, q);
+      // Classic stable rotation computation (Golub & Van Loan §8.5).
+      const double tau = (aqq - app) / (2.0 * apq);
+      const double t = (tau >= 0.0)
+                           ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                           : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+      const double c = 1.0 / std::sqrt(1.0 + t * t);
+      const double s = t * c;
+
+      for (std::size_t k = 0; k < n; ++k) {
+        const double akp = a(k, p);
+        const double akq = a(k, q);
+        a(k, p) = c * akp - s * akq;
+        a(k, q) = s * akp + c * akq;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const double apk = a(p, k);
+        const double aqk = a(q, k);
+        a(p, k) = c * apk - s * aqk;
+        a(q, k) = s * apk + c * aqk;
+      }
+      if (v != nullptr) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = (*v)(k, p);
+          const double vkq = (*v)(k, q);
+          (*v)(k, p) = c * vkp - s * vkq;
+          (*v)(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+}
+
+/// Runs Jacobi to convergence; returns unsorted eigenvalues in the
+/// diagonal of `a`, rotations accumulated into *v when non-null.
+void jacobi(Matrix& a, Matrix* v, double tol, std::size_t max_sweeps) {
+  SNAP_REQUIRE_MSG(a.is_square(), "eigendecomposition requires square input");
+  SNAP_REQUIRE_MSG(a.is_symmetric(1e-9),
+                   "eigendecomposition requires symmetric input");
+  const double scale = std::max(a.frobenius_norm(), 1e-300);
+  const double threshold_sq = (tol * scale) * (tol * scale);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_sq(a) <= threshold_sq) return;
+    jacobi_sweep(a, v);
+  }
+}
+
+}  // namespace
+
+EigenDecomposition eigen_symmetric(const Matrix& a, double tol,
+                                   std::size_t max_sweeps) {
+  Matrix work = a;
+  Matrix v = Matrix::identity(a.rows());
+  jacobi(work, &v, tol, max_sweeps);
+
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return work(i, i) < work(j, j);
+  });
+
+  EigenDecomposition out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = work(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) {
+      out.vectors(r, k) = v(r, order[k]);
+    }
+  }
+  return out;
+}
+
+Vector eigenvalues_symmetric(const Matrix& a, double tol,
+                             std::size_t max_sweeps) {
+  Matrix work = a;
+  jacobi(work, nullptr, tol, max_sweeps);
+  const std::size_t n = a.rows();
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = work(i, i);
+  std::sort(diag.begin(), diag.end());
+  return Vector(std::move(diag));
+}
+
+SpectralSummary spectral_summary(const Vector& sorted_eigenvalues,
+                                 double one_tol) {
+  SNAP_REQUIRE(!sorted_eigenvalues.empty());
+  const std::size_t n = sorted_eigenvalues.size();
+  SpectralSummary s;
+  s.lambda_min = sorted_eigenvalues[0];
+  s.lambda_max = sorted_eigenvalues[n - 1];
+
+  // λ̄_max: largest eigenvalue strictly smaller than 1 (the paper uses
+  // this to exclude W's trivial eigenvalue at 1). Defaults to λ_min when
+  // every eigenvalue sits at 1 (complete consensus matrix).
+  s.lambda_bar_max = sorted_eigenvalues[0];
+  for (std::size_t i = n; i-- > 0;) {
+    if (sorted_eigenvalues[i] < 1.0 - one_tol) {
+      s.lambda_bar_max = sorted_eigenvalues[i];
+      break;
+    }
+  }
+
+  // λ̄_min: smallest eigenvalue strictly above 0. Defaults to λ_max when
+  // no eigenvalue is positive.
+  s.lambda_bar_min = sorted_eigenvalues[n - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sorted_eigenvalues[i] > one_tol) {
+      s.lambda_bar_min = sorted_eigenvalues[i];
+      break;
+    }
+  }
+
+  s.slem = std::max(std::abs(s.lambda_bar_max), std::abs(s.lambda_min));
+  return s;
+}
+
+SpectralSummary spectral_summary(const Matrix& a, double one_tol) {
+  return spectral_summary(eigenvalues_symmetric(a), one_tol);
+}
+
+}  // namespace snap::linalg

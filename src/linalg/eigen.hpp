@@ -1,0 +1,58 @@
+// Symmetric eigendecomposition and the spectral quantities SNAP's
+// weight-matrix optimization needs (paper §IV-B).
+//
+// The mixing matrix W is symmetric and at most a few hundred rows, so the
+// cyclic Jacobi method is the right solver: unconditionally stable,
+// dependency-free, and accurate to machine precision for this size.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace snap::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(λ) Vᵀ.
+struct EigenDecomposition {
+  /// Eigenvalues sorted ascending.
+  Vector values;
+  /// Column k of `vectors` is the unit eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Preconditions: `a` is square and symmetric (within 1e-9). Sweeps until
+/// the off-diagonal Frobenius norm falls below `tol` times the matrix
+/// norm, or `max_sweeps` cyclic sweeps have run.
+EigenDecomposition eigen_symmetric(const Matrix& a, double tol = 1e-12,
+                                   std::size_t max_sweeps = 64);
+
+/// Eigenvalues only (sorted ascending) — same algorithm, skips
+/// accumulating eigenvectors. This is the hot call in the weight
+/// optimizer's line search.
+Vector eigenvalues_symmetric(const Matrix& a, double tol = 1e-12,
+                             std::size_t max_sweeps = 64);
+
+/// Spectral summary of a symmetric stochastic matrix, in the paper's
+/// notation (§III-A): λ_max, λ_min, λ̄_max (largest eigenvalue < 1) and
+/// λ̄_min (smallest eigenvalue > 0).
+struct SpectralSummary {
+  double lambda_max = 0.0;   ///< largest eigenvalue
+  double lambda_min = 0.0;   ///< smallest eigenvalue
+  double lambda_bar_max = 0.0;  ///< largest eigenvalue strictly below 1
+  double lambda_bar_min = 0.0;  ///< smallest eigenvalue strictly above 0
+  double slem = 0.0;  ///< second-largest eigenvalue modulus, max(|λ̄_max|, |λ_min|)
+};
+
+/// Computes the summary from sorted-ascending eigenvalues. `one_tol`
+/// controls how close to 1 (resp. 0) an eigenvalue must be to count as
+/// the trivial eigenvalue when computing λ̄.
+SpectralSummary spectral_summary(const Vector& sorted_eigenvalues,
+                                 double one_tol = 1e-9);
+
+/// Convenience: eigendecompose and summarize a symmetric matrix.
+SpectralSummary spectral_summary(const Matrix& a, double one_tol = 1e-9);
+
+}  // namespace snap::linalg

@@ -1,0 +1,193 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  values_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    SNAP_REQUIRE_MSG(r.size() == cols_, "ragged initializer rows");
+    values_.insert(values_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  SNAP_REQUIRE_MSG(r < rows_ && c < cols_,
+                   "(" << r << "," << c << ") out of range for " << rows_
+                       << "x" << cols_);
+  return (*this)(r, c);
+}
+
+void Matrix::fill(double value) noexcept {
+  std::fill(values_.begin(), values_.end(), value);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SNAP_REQUIRE(other.rows_ == rows_ && other.cols_ == cols_);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SNAP_REQUIRE(other.rows_ == rows_ && other.cols_ == cols_);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] -= other.values_[i];
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) noexcept {
+  for (double& v : values_) v *= scale;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  SNAP_REQUIRE(x.size() == cols_);
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = values_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  SNAP_REQUIRE(other.rows_ == cols_);
+  Matrix out(rows_, other.cols_);
+  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* b_row = other.values_.data() + k * other.cols_;
+      double* out_row = out.values_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Matrix::row_sum(std::size_t r) const {
+  SNAP_REQUIRE(r < rows_);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c);
+  return acc;
+}
+
+double Matrix::col_sum(std::size_t c) const {
+  SNAP_REQUIRE(c < cols_);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) acc += (*this)(r, c);
+  return acc;
+}
+
+double Matrix::trace() const {
+  SNAP_REQUIRE(is_square());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+bool Matrix::is_symmetric(double tol) const noexcept {
+  if (!is_square()) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double scale) noexcept {
+  a *= scale;
+  return a;
+}
+
+Matrix operator*(double scale, Matrix a) noexcept {
+  a *= scale;
+  return a;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) noexcept {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool is_doubly_stochastic(const Matrix& m, double tol) noexcept {
+  if (!m.is_square()) return false;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (m(r, c) < -tol) return false;
+    }
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (std::abs(m.row_sum(r) - 1.0) > tol) return false;
+  }
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    if (std::abs(m.col_sum(c) - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace snap::linalg

@@ -1,0 +1,121 @@
+// Dense row-major double-precision matrix.
+//
+// The consensus layer works with small dense matrices (the N×N mixing
+// matrix W for N ≤ a few hundred edge servers), so a straightforward
+// row-major dense representation is the right tool: simple, cache
+// friendly, and trivially correct.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace snap::linalg {
+
+class Matrix {
+ public:
+  /// Empty 0×0 matrix.
+  Matrix() = default;
+
+  /// Zero matrix with the given shape.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {}
+
+  /// Constant matrix with the given shape.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+  /// From nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n×n identity.
+  static Matrix identity(std::size_t n);
+
+  /// n×n matrix with `diag` on the diagonal.
+  static Matrix diagonal(const Vector& diag);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool is_square() const noexcept { return rows_ == cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return values_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return values_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// View of row r.
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {values_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) noexcept {
+    return {values_.data() + r * cols_, cols_};
+  }
+
+  /// Sets every entry to `value`.
+  void fill(double value) noexcept;
+
+  // Compound arithmetic (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scale) noexcept;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Matrix-vector product; requires x.size() == cols().
+  Vector multiply(const Vector& x) const;
+
+  /// Matrix-matrix product; requires other.rows() == cols().
+  Matrix multiply(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+  /// Largest absolute entry.
+  double max_abs() const noexcept;
+
+  /// Sum of row r.
+  double row_sum(std::size_t r) const;
+
+  /// Sum of column c.
+  double col_sum(std::size_t c) const;
+
+  /// Sum of the diagonal (requires square).
+  double trace() const;
+
+  /// True when |a_ij - a_ji| <= tol for all entries (requires square).
+  bool is_symmetric(double tol = 1e-12) const noexcept;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double scale) noexcept;
+Matrix operator*(double scale, Matrix a) noexcept;
+
+/// True when |a_ij - b_ij| <= tol for all entries (shapes must match to
+/// compare equal).
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) noexcept;
+
+/// True when M is (entrywise nonnegative and) doubly stochastic: every
+/// row and column sums to 1 within tol.
+bool is_doubly_stochastic(const Matrix& m, double tol = 1e-9) noexcept;
+
+}  // namespace snap::linalg

@@ -1,0 +1,122 @@
+#include "linalg/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::linalg {
+
+double Vector::at(std::size_t i) const {
+  SNAP_REQUIRE_MSG(i < values_.size(),
+                   "index " << i << " out of range for size "
+                            << values_.size());
+  return values_[i];
+}
+
+void Vector::fill(double value) noexcept {
+  std::fill(values_.begin(), values_.end(), value);
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  SNAP_REQUIRE(other.size() == size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  SNAP_REQUIRE(other.size() == size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] -= other.values_[i];
+  }
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) noexcept {
+  for (double& v : values_) v *= scale;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scale) {
+  SNAP_REQUIRE(scale != 0.0);
+  return (*this) *= (1.0 / scale);
+}
+
+void Vector::axpy(double alpha, const Vector& other) {
+  SNAP_REQUIRE(other.size() == size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += alpha * other.values_[i];
+  }
+}
+
+double Vector::norm2() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Vector::norm1() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc += std::abs(v);
+  return acc;
+}
+
+double Vector::norm_inf() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Vector::sum() const noexcept {
+  double acc = 0.0;
+  for (const double v : values_) acc += v;
+  return acc;
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  a += b;
+  return a;
+}
+
+Vector operator-(Vector a, const Vector& b) {
+  a -= b;
+  return a;
+}
+
+Vector operator*(Vector a, double scale) noexcept {
+  a *= scale;
+  return a;
+}
+
+Vector operator*(double scale, Vector a) noexcept {
+  a *= scale;
+  return a;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  SNAP_REQUIRE(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  SNAP_REQUIRE(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = std::max(acc, std::abs(a[i] - b[i]));
+  }
+  return acc;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace snap::linalg

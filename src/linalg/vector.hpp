@@ -1,0 +1,104 @@
+// Dense double-precision vector.
+//
+// snap::linalg::Vector is the parameter container used everywhere in the
+// library: model parameters, gradients, and per-node state are all flat
+// Vectors. It is a thin value type over contiguous storage with the
+// arithmetic the consensus iteration needs (axpy, scaling, norms). All
+// binary operations require equal dimensions (checked precondition).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace snap::linalg {
+
+class Vector {
+ public:
+  /// Empty (zero-dimensional) vector.
+  Vector() = default;
+
+  /// Zero vector of dimension n.
+  explicit Vector(std::size_t n) : values_(n, 0.0) {}
+
+  /// Constant vector of dimension n.
+  Vector(std::size_t n, double fill) : values_(n, fill) {}
+
+  /// From explicit values.
+  Vector(std::initializer_list<double> values) : values_(values) {}
+
+  /// Takes ownership of existing storage.
+  explicit Vector(std::vector<double> values) noexcept
+      : values_(std::move(values)) {}
+
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double operator[](std::size_t i) const noexcept { return values_[i]; }
+  double& operator[](std::size_t i) noexcept { return values_[i]; }
+
+  /// Bounds-checked access (throws ContractViolation when out of range).
+  double at(std::size_t i) const;
+
+  std::span<const double> span() const noexcept {
+    return {values_.data(), values_.size()};
+  }
+  std::span<double> span() noexcept { return {values_.data(), values_.size()}; }
+
+  const double* data() const noexcept { return values_.data(); }
+  double* data() noexcept { return values_.data(); }
+
+  auto begin() noexcept { return values_.begin(); }
+  auto end() noexcept { return values_.end(); }
+  auto begin() const noexcept { return values_.begin(); }
+  auto end() const noexcept { return values_.end(); }
+
+  /// Sets every component to `value`.
+  void fill(double value) noexcept;
+
+  /// Resizes, zero-filling any new components.
+  void resize(std::size_t n) { values_.resize(n, 0.0); }
+
+  // Compound arithmetic. All require other.size() == size().
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scale) noexcept;
+  Vector& operator/=(double scale);
+
+  /// this += alpha * other (fused multiply-add over components).
+  void axpy(double alpha, const Vector& other);
+
+  /// Euclidean norm.
+  double norm2() const noexcept;
+  /// Sum of absolute values.
+  double norm1() const noexcept;
+  /// Largest absolute component (0 for the empty vector).
+  double norm_inf() const noexcept;
+  /// Sum of components.
+  double sum() const noexcept;
+
+  friend bool operator==(const Vector& a, const Vector& b) noexcept {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+// Value-returning arithmetic (dimensions must match).
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector a, double scale) noexcept;
+Vector operator*(double scale, Vector a) noexcept;
+
+/// Inner product <a, b>.
+double dot(const Vector& a, const Vector& b);
+
+/// Largest |a_i - b_i|.
+double max_abs_diff(const Vector& a, const Vector& b);
+
+/// True when |a_i - b_i| <= tol for every component.
+bool approx_equal(const Vector& a, const Vector& b, double tol) noexcept;
+
+}  // namespace snap::linalg

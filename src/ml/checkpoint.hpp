@@ -1,0 +1,40 @@
+// Model checkpointing: save/load a flat parameter vector with a small
+// self-describing header, so a trained edge model can be persisted and
+// shipped (e.g. to newly joining edge servers).
+//
+// Format (little-endian):
+//   magic "SNAPCKPT" (8 bytes) | version u32 | name length u32 |
+//   model name bytes | param count u64 | params f64 × count |
+//   checksum u64 (FNV-1a over everything before it)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace snap::ml {
+
+struct Checkpoint {
+  std::string model_name;  ///< e.g. "mlp-784-30-10" — matched on load
+  linalg::Vector params;
+};
+
+/// Serializes a checkpoint to bytes.
+std::vector<std::byte> encode_checkpoint(const Checkpoint& checkpoint);
+
+/// Parses bytes produced by encode_checkpoint. Returns nullopt on a
+/// malformed buffer, wrong magic/version, or checksum mismatch.
+std::optional<Checkpoint> decode_checkpoint(
+    std::span<const std::byte> bytes);
+
+/// Writes a checkpoint to `path`. Returns false on I/O failure.
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Reads a checkpoint from `path`. Returns nullopt on I/O failure or a
+/// malformed file.
+std::optional<Checkpoint> load_checkpoint(const std::string& path);
+
+}  // namespace snap::ml

@@ -1,0 +1,201 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ml/softmax_regression.hpp"  // softmax_inplace
+
+namespace snap::ml {
+
+namespace {
+
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  SNAP_REQUIRE(config.input_dim >= 1);
+  SNAP_REQUIRE(config.hidden_dim >= 1);
+  SNAP_REQUIRE(config.output_dim >= 2);
+  SNAP_REQUIRE(config.l2 >= 0.0);
+}
+
+std::size_t Mlp::param_count() const noexcept {
+  return config_.hidden_dim * config_.input_dim + config_.hidden_dim +
+         config_.output_dim * config_.hidden_dim + config_.output_dim;
+}
+
+std::string Mlp::name() const {
+  std::ostringstream os;
+  os << "mlp-" << config_.input_dim << "-" << config_.hidden_dim << "-"
+     << config_.output_dim;
+  return os.str();
+}
+
+double Mlp::forward(const linalg::Vector& params,
+                    std::span<const double> features, std::size_t label,
+                    std::span<double> hidden,
+                    std::span<double> probs) const {
+  const std::size_t in = config_.input_dim;
+  const std::size_t hid = config_.hidden_dim;
+  const std::size_t out = config_.output_dim;
+  const double* w1 = params.data() + w1_offset();
+  const double* b1 = params.data() + b1_offset();
+  const double* w2 = params.data() + w2_offset();
+  const double* b2 = params.data() + b2_offset();
+
+  for (std::size_t h = 0; h < hid; ++h) {
+    double acc = b1[h];
+    const double* row = w1 + h * in;
+    for (std::size_t i = 0; i < in; ++i) acc += row[i] * features[i];
+    hidden[h] = sigmoid(acc);
+  }
+  for (std::size_t o = 0; o < out; ++o) {
+    double acc = b2[o];
+    const double* row = w2 + o * hid;
+    for (std::size_t h = 0; h < hid; ++h) acc += row[h] * hidden[h];
+    probs[o] = acc;
+  }
+  softmax_inplace(probs);
+  if (label == std::numeric_limits<std::size_t>::max()) return 0.0;
+  return -std::log(std::max(probs[label], 1e-300));
+}
+
+double Mlp::loss(const linalg::Vector& params,
+                 const data::Dataset& data) const {
+  SNAP_REQUIRE(params.size() == param_count());
+  SNAP_REQUIRE(data.feature_dim() == config_.input_dim);
+  std::vector<double> hidden(config_.hidden_dim);
+  std::vector<double> probs(config_.output_dim);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    acc += forward(params, data.features(s), data.label(s), hidden, probs);
+  }
+  const double mean =
+      data.empty() ? 0.0 : acc / static_cast<double>(data.size());
+
+  double reg = 0.0;
+  const std::size_t w1_count = config_.hidden_dim * config_.input_dim;
+  const std::size_t w2_count = config_.output_dim * config_.hidden_dim;
+  for (std::size_t i = 0; i < w1_count; ++i) {
+    reg += params[w1_offset() + i] * params[w1_offset() + i];
+  }
+  for (std::size_t i = 0; i < w2_count; ++i) {
+    reg += params[w2_offset() + i] * params[w2_offset() + i];
+  }
+  return mean + 0.5 * config_.l2 * reg;
+}
+
+LossGradient Mlp::loss_gradient(const linalg::Vector& params,
+                                const data::Dataset& data) const {
+  SNAP_REQUIRE(params.size() == param_count());
+  SNAP_REQUIRE(data.feature_dim() == config_.input_dim);
+
+  const std::size_t in = config_.input_dim;
+  const std::size_t hid = config_.hidden_dim;
+  const std::size_t out = config_.output_dim;
+  const double* w2 = params.data() + w2_offset();
+
+  LossGradient result;
+  result.gradient = linalg::Vector(param_count());
+  double* g_w1 = result.gradient.data() + w1_offset();
+  double* g_b1 = result.gradient.data() + b1_offset();
+  double* g_w2 = result.gradient.data() + w2_offset();
+  double* g_b2 = result.gradient.data() + b2_offset();
+
+  std::vector<double> hidden(hid);
+  std::vector<double> probs(out);
+  std::vector<double> delta_hidden(hid);
+  double loss_acc = 0.0;
+
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const auto x = data.features(s);
+    const std::size_t label = data.label(s);
+    loss_acc += forward(params, x, label, hidden, probs);
+
+    // Output layer: δ_o = p_o − 1{o == label}.
+    for (std::size_t o = 0; o < out; ++o) {
+      const double delta = probs[o] - (o == label ? 1.0 : 0.0);
+      g_b2[o] += delta;
+      double* g_row = g_w2 + o * hid;
+      for (std::size_t h = 0; h < hid; ++h) {
+        g_row[h] += delta * hidden[h];
+      }
+    }
+    // Hidden layer: δ_h = σ'(z_h) Σ_o w2[o,h]·δ_o.
+    for (std::size_t h = 0; h < hid; ++h) {
+      double back = 0.0;
+      for (std::size_t o = 0; o < out; ++o) {
+        back += w2[o * hid + h] * (probs[o] - (o == label ? 1.0 : 0.0));
+      }
+      delta_hidden[h] = back * hidden[h] * (1.0 - hidden[h]);
+    }
+    for (std::size_t h = 0; h < hid; ++h) {
+      const double dh = delta_hidden[h];
+      if (dh == 0.0) continue;
+      g_b1[h] += dh;
+      double* g_row = g_w1 + h * in;
+      for (std::size_t i = 0; i < in; ++i) {
+        g_row[i] += dh * x[i];
+      }
+    }
+  }
+
+  if (!data.empty()) {
+    const double inv = 1.0 / static_cast<double>(data.size());
+    result.gradient *= inv;
+    loss_acc *= inv;
+  }
+
+  // L2 on both weight matrices.
+  double reg = 0.0;
+  const std::size_t w1_count = hid * in;
+  const std::size_t w2_count = out * hid;
+  for (std::size_t i = 0; i < w1_count; ++i) {
+    const double w = params[w1_offset() + i];
+    result.gradient[w1_offset() + i] += config_.l2 * w;
+    reg += w * w;
+  }
+  for (std::size_t i = 0; i < w2_count; ++i) {
+    const double w = params[w2_offset() + i];
+    result.gradient[w2_offset() + i] += config_.l2 * w;
+    reg += w * w;
+  }
+  result.loss = loss_acc + 0.5 * config_.l2 * reg;
+  return result;
+}
+
+std::size_t Mlp::predict(const linalg::Vector& params,
+                         std::span<const double> features) const {
+  SNAP_REQUIRE(params.size() == param_count());
+  SNAP_REQUIRE(features.size() == config_.input_dim);
+  std::vector<double> hidden(config_.hidden_dim);
+  std::vector<double> probs(config_.output_dim);
+  forward(params, features, std::numeric_limits<std::size_t>::max(), hidden,
+          probs);
+  return static_cast<std::size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+linalg::Vector Mlp::initial_params(common::Rng& rng) const {
+  linalg::Vector params(param_count());
+  const double w1_scale =
+      config_.init_scale / std::sqrt(static_cast<double>(config_.input_dim));
+  const double w2_scale =
+      config_.init_scale / std::sqrt(static_cast<double>(config_.hidden_dim));
+  const std::size_t w1_count = config_.hidden_dim * config_.input_dim;
+  const std::size_t w2_count = config_.output_dim * config_.hidden_dim;
+  for (std::size_t i = 0; i < w1_count; ++i) {
+    params[w1_offset() + i] = rng.normal(0.0, w1_scale);
+  }
+  for (std::size_t i = 0; i < w2_count; ++i) {
+    params[w2_offset() + i] = rng.normal(0.0, w2_scale);
+  }
+  return params;
+}
+
+}  // namespace snap::ml

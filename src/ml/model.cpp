@@ -1,0 +1,17 @@
+#include "ml/model.hpp"
+
+namespace snap::ml {
+
+double Model::accuracy(const linalg::Vector& params,
+                       const data::Dataset& data) const {
+  if (data.empty()) return 1.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(params, data.features(i)) == data.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace snap::ml

@@ -1,0 +1,59 @@
+// Multinomial logistic (softmax) regression with L2 regularization.
+//
+// A convex multi-class model used by the test suite and examples as a
+// middle ground between the SVM (binary, tiny) and the MLP (non-convex,
+// large): it exercises multi-class code paths while keeping EXTRA's
+// convex-convergence guarantees (Theorem 1) checkable in tests.
+// Flat layout: row-major W (num_classes × feature_dim) followed by the
+// per-class biases.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/model.hpp"
+
+namespace snap::ml {
+
+struct SoftmaxRegressionConfig {
+  std::size_t feature_dim = 0;
+  std::size_t num_classes = 0;
+  double l2 = 1e-4;  ///< L2 strength on W (biases unregularized)
+  double init_scale = 0.01;
+};
+
+class SoftmaxRegression final : public Model {
+ public:
+  explicit SoftmaxRegression(const SoftmaxRegressionConfig& config);
+
+  std::size_t param_count() const noexcept override {
+    return config_.num_classes * (config_.feature_dim + 1);
+  }
+  std::string name() const override;
+
+  double loss(const linalg::Vector& params,
+              const data::Dataset& data) const override;
+  LossGradient loss_gradient(const linalg::Vector& params,
+                             const data::Dataset& data) const override;
+  std::size_t predict(const linalg::Vector& params,
+                      std::span<const double> features) const override;
+  linalg::Vector initial_params(common::Rng& rng) const override;
+
+  const SoftmaxRegressionConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Writes class logits for one sample into `logits`.
+  void logits_for(const linalg::Vector& params,
+                  std::span<const double> features,
+                  std::span<double> logits) const;
+
+  std::size_t weight_count() const noexcept {
+    return config_.num_classes * config_.feature_dim;
+  }
+
+  SoftmaxRegressionConfig config_;
+};
+
+/// Numerically stable in-place softmax.
+void softmax_inplace(std::span<double> logits);
+
+}  // namespace snap::ml

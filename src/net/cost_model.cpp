@@ -1,0 +1,69 @@
+#include "net/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snap::net {
+
+HopMatrix::HopMatrix(const topology::Graph& graph) {
+  SNAP_REQUIRE_MSG(graph.is_connected(),
+                   "cost model requires a connected topology");
+  const auto all = graph.all_pairs_hops();
+  hops_.resize(all.size());
+  for (std::size_t u = 0; u < all.size(); ++u) {
+    hops_[u].resize(all.size());
+    for (std::size_t v = 0; v < all.size(); ++v) {
+      hops_[u][v] = all[u][v].value();
+    }
+  }
+}
+
+std::size_t HopMatrix::hops(topology::NodeId u, topology::NodeId v) const {
+  SNAP_REQUIRE(u < hops_.size() && v < hops_.size());
+  return hops_[u][v];
+}
+
+void CostTracker::record_flow(topology::NodeId u, topology::NodeId v,
+                              std::size_t bytes) {
+  const std::size_t h = hops_.hops(u, v);
+  total_bytes_ += bytes;
+  iter_bytes_ += bytes;
+  const std::uint64_t cost =
+      static_cast<std::uint64_t>(bytes) * static_cast<std::uint64_t>(h);
+  total_cost_ += cost;
+  iter_cost_ += cost;
+  if (iter_inbound_.size() != hops_.node_count()) {
+    iter_inbound_.assign(hops_.node_count(), 0);
+    iter_outbound_.assign(hops_.node_count(), 0);
+  }
+  if (u != v) {
+    iter_outbound_[u] += bytes;
+    iter_inbound_[v] += bytes;
+  }
+}
+
+std::uint64_t CostTracker::iteration_max_inbound() const noexcept {
+  std::uint64_t worst = 0;
+  for (const std::uint64_t b : iter_inbound_) worst = std::max(worst, b);
+  return worst;
+}
+
+std::uint64_t CostTracker::iteration_max_outbound() const noexcept {
+  std::uint64_t worst = 0;
+  for (const std::uint64_t b : iter_outbound_) worst = std::max(worst, b);
+  return worst;
+}
+
+void CostTracker::end_iteration() {
+  bytes_series_.push_back(iter_bytes_);
+  cost_series_.push_back(iter_cost_);
+  max_inbound_series_.push_back(iteration_max_inbound());
+  max_outbound_series_.push_back(iteration_max_outbound());
+  iter_bytes_ = 0;
+  iter_cost_ = 0;
+  iter_inbound_.assign(iter_inbound_.size(), 0);
+  iter_outbound_.assign(iter_outbound_.size(), 0);
+}
+
+}  // namespace snap::net

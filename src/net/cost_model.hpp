@@ -1,0 +1,107 @@
+// Communication-cost accounting (paper §II-B).
+//
+// "Communication cost is defined as the total traffic amount carried by
+// the network. If a flow traverses h hops of physical links, the
+// communication cost incurred by this flow would be h times the flow
+// size." Peer exchanges between topological neighbors are 1 hop by
+// construction; parameter-server flows are charged along the BFS
+// least-hop route. The tracker also keeps raw socket bytes (hops
+// ignored), which is the quantity the testbed experiment (Fig. 4)
+// reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace snap::net {
+
+/// Precomputed all-pairs hop counts over a connected topology.
+class HopMatrix {
+ public:
+  /// Requires a connected graph (every flow must be routable).
+  explicit HopMatrix(const topology::Graph& graph);
+
+  std::size_t node_count() const noexcept { return hops_.size(); }
+
+  /// Least-hop distance between u and v (0 when u == v).
+  std::size_t hops(topology::NodeId u, topology::NodeId v) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> hops_;
+};
+
+/// Accumulates the bytes and hop-weighted cost of every recorded flow.
+class CostTracker {
+ public:
+  explicit CostTracker(HopMatrix hop_matrix)
+      : hops_(std::move(hop_matrix)) {}
+
+  /// Records one flow of `bytes` from u to v. Flows between co-located
+  /// endpoints (u == v) carry no network cost.
+  void record_flow(topology::NodeId u, topology::NodeId v,
+                   std::size_t bytes);
+
+  /// Marks the end of an iteration: snapshots the per-iteration series.
+  void end_iteration();
+
+  /// Raw bytes written since construction (hop count ignored).
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Hop-weighted cost: Σ flow_bytes × hops.
+  std::uint64_t total_cost() const noexcept { return total_cost_; }
+
+  /// Bytes recorded in the current (not yet ended) iteration.
+  std::uint64_t iteration_bytes() const noexcept { return iter_bytes_; }
+
+  /// Hop-weighted cost recorded in the current iteration.
+  std::uint64_t iteration_cost() const noexcept { return iter_cost_; }
+
+  /// Per-iteration byte series, one entry per end_iteration() call.
+  const std::vector<std::uint64_t>& bytes_per_iteration() const noexcept {
+    return bytes_series_;
+  }
+
+  /// Per-iteration hop-weighted cost series.
+  const std::vector<std::uint64_t>& cost_per_iteration() const noexcept {
+    return cost_series_;
+  }
+
+  /// Largest per-node inbound byte count in the current iteration — the
+  /// quantity that saturates a NIC under incast (paper §I: "when an
+  /// edge server is selected as a parameter server ... the incast
+  /// problem may occur").
+  std::uint64_t iteration_max_inbound() const noexcept;
+
+  /// Largest per-node outbound byte count in the current iteration.
+  std::uint64_t iteration_max_outbound() const noexcept;
+
+  /// Per-iteration series of the two maxima above.
+  const std::vector<std::uint64_t>& max_inbound_per_iteration()
+      const noexcept {
+    return max_inbound_series_;
+  }
+  const std::vector<std::uint64_t>& max_outbound_per_iteration()
+      const noexcept {
+    return max_outbound_series_;
+  }
+
+  const HopMatrix& hop_matrix() const noexcept { return hops_; }
+
+ private:
+  HopMatrix hops_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_cost_ = 0;
+  std::uint64_t iter_bytes_ = 0;
+  std::uint64_t iter_cost_ = 0;
+  std::vector<std::uint64_t> iter_inbound_;   // per node, current iteration
+  std::vector<std::uint64_t> iter_outbound_;  // per node, current iteration
+  std::vector<std::uint64_t> bytes_series_;
+  std::vector<std::uint64_t> cost_series_;
+  std::vector<std::uint64_t> max_inbound_series_;
+  std::vector<std::uint64_t> max_outbound_series_;
+};
+
+}  // namespace snap::net

@@ -1,0 +1,62 @@
+#include "net/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snap::net {
+
+std::uint64_t EventQueue::schedule_at(double at, Action action) {
+  SNAP_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
+  SNAP_REQUIRE(action != nullptr);
+  const std::uint64_t token = next_sequence_++;
+  heap_.push(Entry{at, token, std::move(action)});
+  live_.insert(token);
+  return token;
+}
+
+std::uint64_t EventQueue::schedule_in(double delay, Action action) {
+  SNAP_REQUIRE(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::cancel(std::uint64_t token) {
+  // Lazy cancellation: drop the token from the live set; the heap entry
+  // is discarded when it reaches the top.
+  return live_.erase(token) > 0;
+}
+
+bool EventQueue::run_next() {
+  while (!heap_.empty()) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    if (live_.erase(entry.sequence) == 0) continue;  // was cancelled
+    now_ = entry.at;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(double deadline) {
+  SNAP_REQUIRE(deadline >= now_);
+  while (!heap_.empty()) {
+    if (live_.find(heap_.top().sequence) == live_.end()) {
+      heap_.pop();  // discard cancelled entries without firing
+      continue;
+    }
+    if (heap_.top().at > deadline) break;
+    (void)run_next();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void EventQueue::run_all(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (run_next()) {
+    SNAP_REQUIRE_MSG(++fired <= max_events,
+                     "event cascade exceeded max_events");
+  }
+}
+
+}  // namespace snap::net

@@ -1,0 +1,78 @@
+// SNAP wire protocol: the two candidate frame structures of paper §IV-C.
+//
+// A node hosting `total` parameters that withholds `unchanged` of them in
+// an iteration can encode the update in either of two layouts (Fig. 3):
+//
+//   Format A (kUnchangedIndex): [count of unchanged : u32]
+//                               [index of each unchanged param : u32]*
+//                               [value of each *sent* param : f64]*
+//     size = 4 + 4·M + 8·(N−M) = 4 + 8N − 4M bytes.
+//     The receiver reconstructs which values arrived by walking indices
+//     0..N−1 and skipping the listed unchanged ones.
+//
+//   Format B (kIndexValue): [(index : u32, value : f64)]* for each sent
+//     parameter; size = 12·(N−M) bytes.
+//
+// The cheaper format is chosen per frame: A wins iff N > 2M + 1
+// (paper §IV-C). One extra tag byte identifies the format on the wire;
+// size accounting matches the paper's arithmetic (tag excluded) so the
+// reported byte counts line up with §V.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace snap::net {
+
+/// One transmitted parameter: flat index and new value.
+struct ParamUpdate {
+  std::uint32_t index = 0;
+  double value = 0.0;
+
+  friend bool operator==(const ParamUpdate&, const ParamUpdate&) = default;
+};
+
+enum class FrameFormat : std::uint8_t {
+  kUnchangedIndex = 0,  ///< format A: unchanged-index list + dense values
+  kIndexValue = 1,      ///< format B: (index, value) pairs
+};
+
+/// A decoded parameter-update frame.
+struct UpdateFrame {
+  /// Total number of parameters the sender hosts (N in the paper).
+  std::uint32_t total_params = 0;
+  /// The parameters actually transmitted, sorted by index ascending.
+  std::vector<ParamUpdate> updates;
+  /// The layout used on the wire.
+  FrameFormat format = FrameFormat::kIndexValue;
+};
+
+/// Payload size in bytes of a frame under `format`, using the paper's
+/// arithmetic (4-byte integers, 8-byte doubles, no tag byte).
+std::size_t frame_payload_bytes(FrameFormat format, std::size_t total_params,
+                                std::size_t sent_params);
+
+/// The cheaper of the two formats for the given counts; ties favour
+/// format B (pure index-value), matching the paper's "otherwise" branch.
+FrameFormat choose_frame_format(std::size_t total_params,
+                                std::size_t sent_params);
+
+/// Payload size of the cheaper format.
+std::size_t best_frame_payload_bytes(std::size_t total_params,
+                                     std::size_t sent_params);
+
+/// Serializes the frame using the cheaper format. `updates` must be
+/// sorted by index ascending, with indices < total_params and no
+/// duplicates (checked preconditions).
+std::vector<std::byte> encode_update_frame(
+    std::uint32_t total_params, std::span<const ParamUpdate> updates);
+
+/// Parses a frame produced by encode_update_frame. Returns nullopt on a
+/// malformed or truncated buffer.
+std::optional<UpdateFrame> decode_update_frame(
+    std::span<const std::byte> bytes);
+
+}  // namespace snap::net

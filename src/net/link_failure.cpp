@@ -1,0 +1,38 @@
+#include "net/link_failure.hpp"
+
+#include <algorithm>
+
+namespace snap::net {
+
+LinkFailureModel::LinkFailureModel(const topology::Graph& graph,
+                                   double failure_probability,
+                                   common::Rng rng)
+    : graph_(&graph),
+      probability_(std::clamp(failure_probability, 0.0, 1.0)),
+      rng_(rng) {
+  advance_round();
+}
+
+std::uint64_t LinkFailureModel::key(topology::NodeId u,
+                                    topology::NodeId v) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+void LinkFailureModel::advance_round() {
+  down_.clear();
+  if (probability_ <= 0.0) return;
+  for (const auto& [u, v] : graph_->edges()) {
+    if (rng_.bernoulli(probability_)) {
+      down_.insert(key(u, v));
+    }
+  }
+}
+
+bool LinkFailureModel::is_down(topology::NodeId u,
+                               topology::NodeId v) const {
+  return down_.contains(key(u, v));
+}
+
+}  // namespace snap::net

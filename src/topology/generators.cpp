@@ -1,0 +1,110 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace snap::topology {
+
+Graph make_complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  SNAP_REQUIRE_MSG(n >= 3, "ring requires at least 3 nodes");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_edge(u, (u + 1) % n);
+  }
+  return g;
+}
+
+Graph make_line(std::size_t n) {
+  SNAP_REQUIRE_MSG(n >= 2, "line requires at least 2 nodes");
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    g.add_edge(u, u + 1);
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  SNAP_REQUIRE_MSG(n >= 2, "star requires at least 2 nodes");
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) {
+    g.add_edge(0, u);
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  SNAP_REQUIRE(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_random_connected(std::size_t n, double average_degree,
+                            common::Rng& rng) {
+  SNAP_REQUIRE_MSG(n >= 2, "need at least 2 nodes");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  const std::size_t min_edges = n - 1;  // spanning tree
+  auto target_edges = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * average_degree / 2.0));
+  target_edges = std::clamp(target_edges, min_edges, max_edges);
+
+  Graph g(n);
+
+  // Uniform spanning tree over K_n via Aldous–Broder random walk.
+  std::vector<bool> visited(n, false);
+  NodeId current = static_cast<NodeId>(rng.uniform_u64(n));
+  visited[current] = true;
+  std::size_t visited_count = 1;
+  while (visited_count < n) {
+    const NodeId next = static_cast<NodeId>(rng.uniform_u64(n));
+    if (next == current) continue;
+    if (!visited[next]) {
+      g.add_edge(current, next);
+      visited[next] = true;
+      ++visited_count;
+    }
+    current = next;
+  }
+
+  // Densify: add uniformly random non-edges until the target edge count.
+  while (g.edge_count() < target_edges) {
+    const NodeId u = static_cast<NodeId>(rng.uniform_u64(n));
+    const NodeId v = static_cast<NodeId>(rng.uniform_u64(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+  }
+
+  SNAP_ENSURE(g.is_connected());
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, common::Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace snap::topology

@@ -1,0 +1,47 @@
+// Topology generators for the evaluation scenarios.
+//
+// The paper's large-scale simulations (§V-B) use "randomly generate[d]
+// networks with various topologies and average node degrees". We provide
+// that generator (random connected graph with a target average degree)
+// plus the standard reference shapes used by tests, examples, and the
+// 3-server testbed reproduction.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::topology {
+
+/// Complete graph K_n (the 3-server testbed is K_3).
+Graph make_complete(std::size_t n);
+
+/// Cycle 0-1-...-n-1-0. Requires n >= 3.
+Graph make_ring(std::size_t n);
+
+/// Path 0-1-...-n-1. Requires n >= 2.
+Graph make_line(std::size_t n);
+
+/// Star with node 0 at the center. Requires n >= 2.
+Graph make_star(std::size_t n);
+
+/// rows×cols 4-connected grid.
+Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// Random connected graph over n nodes whose average degree approaches
+/// `average_degree` (clamped to [2(n-1)/n, n-1]).
+///
+/// Construction: a uniform random spanning tree (random-walk based)
+/// guarantees connectivity, then extra edges are added uniformly at
+/// random among the non-edges until the target edge count
+/// round(n * average_degree / 2) is reached. This mirrors the paper's
+/// random peer-to-peer topologies where each edge is a one-hop link.
+Graph make_random_connected(std::size_t n, double average_degree,
+                            common::Rng& rng);
+
+/// Erdős–Rényi G(n, p) — not necessarily connected; used by property
+/// tests to exercise robustness on arbitrary graphs.
+Graph make_erdos_renyi(std::size_t n, double p, common::Rng& rng);
+
+}  // namespace snap::topology

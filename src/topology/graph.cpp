@@ -1,0 +1,96 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace snap::topology {
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  SNAP_REQUIRE_MSG(u < node_count() && v < node_count(),
+                   "edge (" << u << "," << v << ") out of range for "
+                            << node_count() << " nodes");
+  SNAP_REQUIRE_MSG(u != v, "self-loop at node " << u);
+  SNAP_REQUIRE_MSG(!has_edge(u, v),
+                   "duplicate edge (" << u << "," << v << ")");
+  // Keep adjacency sorted for deterministic iteration order.
+  auto insert_sorted = [](std::vector<NodeId>& list, NodeId value) {
+    list.insert(std::lower_bound(list.begin(), list.end(), value), value);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  SNAP_REQUIRE(u < node_count() && v < node_count());
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId u) const {
+  SNAP_REQUIRE(u < node_count());
+  return adjacency_[u];
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  SNAP_REQUIRE(u < node_count());
+  return adjacency_[u].size();
+}
+
+double Graph::average_degree() const noexcept {
+  if (node_count() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) /
+         static_cast<double>(node_count());
+}
+
+bool Graph::is_connected() const {
+  if (node_count() == 0) return true;
+  const auto hops = hops_from(0);
+  return std::all_of(hops.begin(), hops.end(),
+                     [](const auto& h) { return h.has_value(); });
+}
+
+std::vector<std::optional<std::size_t>> Graph::hops_from(
+    NodeId source) const {
+  SNAP_REQUIRE(source < node_count());
+  std::vector<std::optional<std::size_t>> dist(node_count());
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : adjacency_[u]) {
+      if (!dist[v].has_value()) {
+        dist[v] = *dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::optional<std::size_t>>> Graph::all_pairs_hops()
+    const {
+  std::vector<std::vector<std::optional<std::size_t>>> all;
+  all.reserve(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    all.push_back(hops_from(u));
+  }
+  return all;
+}
+
+std::size_t Graph::diameter() const {
+  SNAP_REQUIRE_MSG(is_connected(), "diameter of a disconnected graph");
+  std::size_t best = 0;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const auto& h : hops_from(u)) {
+      best = std::max(best, h.value());
+    }
+  }
+  return best;
+}
+
+}  // namespace snap::topology

@@ -1,0 +1,69 @@
+// Undirected edge-server topology.
+//
+// In SNAP's system model (paper §II-B) each vertex is an edge server and
+// each edge is a one-hop connection; the neighbor set B_i of server i is
+// exactly its adjacency. The graph also provides BFS hop counts, which
+// the communication-cost model uses to charge multi-hop flows
+// (parameter-server traffic crosses h physical hops and costs h× the
+// flow size).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace snap::topology {
+
+using NodeId = std::size_t;
+
+/// Simple undirected graph with adjacency lists and an edge list.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Graph with n isolated vertices.
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicate edges are
+  /// rejected (checked precondition).
+  void add_edge(NodeId u, NodeId v);
+
+  /// True when {u, v} is an edge.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Neighbor set B_u, sorted ascending.
+  const std::vector<NodeId>& neighbors(NodeId u) const;
+
+  /// Node degree |B_u|.
+  std::size_t degree(NodeId u) const;
+
+  /// Mean node degree, 2|E|/|V| (0 for the empty graph).
+  double average_degree() const noexcept;
+
+  /// All edges as (u, v) pairs with u < v.
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// True when every vertex can reach every other vertex.
+  bool is_connected() const;
+
+  /// BFS hop counts from `source`; unreachable nodes are nullopt.
+  std::vector<std::optional<std::size_t>> hops_from(NodeId source) const;
+
+  /// All-pairs hop counts via per-source BFS. hops[u][v] is nullopt when
+  /// v is unreachable from u.
+  std::vector<std::vector<std::optional<std::size_t>>> all_pairs_hops() const;
+
+  /// Largest finite shortest-path distance (requires connected graph).
+  std::size_t diameter() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace snap::topology

@@ -1,0 +1,100 @@
+#include "topology/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace snap::topology {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Strips comments/whitespace; returns empty for skippable lines.
+std::string_view payload_of(std::string_view line) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return common::trim(line);
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& os, const Graph& graph) {
+  os << "# snap topology: " << graph.node_count() << " nodes, "
+     << graph.edge_count() << " edges\n"
+     << graph.node_count() << '\n';
+  for (const auto& [u, v] : graph.edges()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+std::optional<Graph> read_edge_list(std::istream& is, std::string* error) {
+  std::string line;
+  std::optional<Graph> graph;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string_view payload = payload_of(line);
+    if (payload.empty()) continue;
+    std::istringstream fields{std::string(payload)};
+    if (!graph.has_value()) {
+      std::size_t node_count = 0;
+      if (!(fields >> node_count) || node_count == 0) {
+        set_error(error, "line " + std::to_string(line_number) +
+                             ": expected positive node count");
+        return std::nullopt;
+      }
+      std::string extra;
+      if (fields >> extra) {
+        set_error(error, "line " + std::to_string(line_number) +
+                             ": trailing tokens after node count");
+        return std::nullopt;
+      }
+      graph.emplace(node_count);
+      continue;
+    }
+    std::size_t u = 0;
+    std::size_t v = 0;
+    std::string extra;
+    if (!(fields >> u >> v) || (fields >> extra)) {
+      set_error(error, "line " + std::to_string(line_number) +
+                           ": expected 'u v'");
+      return std::nullopt;
+    }
+    if (u >= graph->node_count() || v >= graph->node_count() || u == v ||
+        graph->has_edge(u, v)) {
+      set_error(error, "line " + std::to_string(line_number) +
+                           ": invalid edge (" + std::to_string(u) + "," +
+                           std::to_string(v) + ")");
+      return std::nullopt;
+    }
+    graph->add_edge(u, v);
+  }
+  if (!graph.has_value()) {
+    set_error(error, "empty input: missing node count");
+  }
+  return graph;
+}
+
+bool save_edge_list(const std::string& path, const Graph& graph) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  write_edge_list(file, graph);
+  return static_cast<bool>(file);
+}
+
+std::optional<Graph> load_edge_list(const std::string& path,
+                                    std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_edge_list(file, error);
+}
+
+}  // namespace snap::topology

@@ -1,0 +1,39 @@
+// Edge-list text I/O for topologies, so custom networks can be fed to
+// the CLI and examples.
+//
+// Format: first non-comment line is the node count; each following
+// non-comment line is "u v" (one undirected edge). '#' starts a comment;
+// blank lines are ignored.
+//
+//   # five nodes in a ring
+//   5
+//   0 1
+//   1 2
+//   2 3
+//   3 4
+//   4 0
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace snap::topology {
+
+/// Serializes a graph as an edge list.
+void write_edge_list(std::ostream& os, const Graph& graph);
+
+/// Parses an edge list. Returns nullopt (with a human-readable message
+/// in *error when provided) on malformed input: missing node count,
+/// out-of-range endpoints, self-loops, or duplicate edges.
+std::optional<Graph> read_edge_list(std::istream& is,
+                                    std::string* error = nullptr);
+
+/// File convenience wrappers.
+bool save_edge_list(const std::string& path, const Graph& graph);
+std::optional<Graph> load_edge_list(const std::string& path,
+                                    std::string* error = nullptr);
+
+}  // namespace snap::topology

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/centralized.hpp"
+#include "baselines/parameter_server.hpp"
+#include "baselines/terngrad.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "support/quadratic_model.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::baselines {
+namespace {
+
+using snap::testing::QuadraticModel;
+using snap::testing::point_shard;
+
+// ----------------------------------------------------------- Centralized
+
+TEST(CentralizedTest, ConvergesToShardCenter) {
+  QuadraticModel model(3);
+  const data::Dataset train = point_shard(linalg::Vector{1.0, -2.0, 3.0});
+  CentralizedConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.convergence.max_iterations = 200;
+  cfg.convergence.loss_tolerance = 1e-10;
+  const auto result = train_centralized(model, train, data::Dataset(3, 2),
+                                        cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.final_params[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.final_params[1], -2.0, 1e-3);
+  EXPECT_NEAR(result.final_params[2], 3.0, 1e-3);
+  EXPECT_EQ(result.total_bytes, 0u);  // no network traffic
+}
+
+TEST(CentralizedTest, LossDecreasesMonotonically) {
+  QuadraticModel model(2);
+  const data::Dataset train = point_shard(linalg::Vector{4.0, 4.0});
+  CentralizedConfig cfg;
+  cfg.alpha = 0.1;
+  cfg.convergence.max_iterations = 50;
+  cfg.convergence.loss_tolerance = 0.0;
+  const auto result = train_centralized(model, train, data::Dataset(2, 2),
+                                        cfg);
+  for (std::size_t k = 1; k < result.iterations.size(); ++k) {
+    EXPECT_LE(result.iterations[k].train_loss,
+              result.iterations[k - 1].train_loss + 1e-12);
+  }
+}
+
+TEST(CentralizedTest, RejectsNonPositiveAlpha) {
+  QuadraticModel model(1);
+  CentralizedConfig cfg;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(train_centralized(model, point_shard(linalg::Vector{1.0}),
+                                 data::Dataset(1, 2), cfg),
+               common::ContractViolation);
+}
+
+// ------------------------------------------------------ Parameter server
+
+std::vector<data::Dataset> corner_shards() {
+  return {point_shard(linalg::Vector{1.0, 0.0}),
+          point_shard(linalg::Vector{0.0, 1.0}),
+          point_shard(linalg::Vector{-1.0, 0.0}),
+          point_shard(linalg::Vector{0.0, -1.0})};
+}
+
+TEST(ParameterServerTest, ConvergesToMeanOfCenters) {
+  const auto g = topology::make_ring(4);
+  QuadraticModel model(2);
+  ParameterServerConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.convergence.max_iterations = 300;
+  cfg.convergence.loss_tolerance = 1e-10;
+  const auto result = train_parameter_server(g, model, corner_shards(),
+                                             data::Dataset(2, 2), cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.final_params[0], 0.0, 1e-3);
+  EXPECT_NEAR(result.final_params[1], 0.0, 1e-3);
+}
+
+TEST(ParameterServerTest, CostAccountingPerIteration) {
+  // Star topology, 4 nodes. Whoever is PS, each other worker is 1 or 2
+  // hops away; every iteration moves (n−1) uploads + (n−1) downloads of
+  // 8·P bytes each.
+  const auto g = topology::make_star(4);
+  QuadraticModel model(2);
+  ParameterServerConfig cfg;
+  cfg.alpha = 0.1;
+  cfg.convergence.max_iterations = 5;
+  cfg.convergence.loss_tolerance = 0.0;
+  const auto result = train_parameter_server(g, model, corner_shards(),
+                                             data::Dataset(2, 2), cfg);
+  const std::uint64_t per_iter = 2u * 3u * 8u * 2u;  // up+down, 3 workers, 8B, P=2
+  for (const auto& iter : result.iterations) {
+    EXPECT_EQ(iter.bytes, per_iter);
+    EXPECT_GE(iter.cost, iter.bytes);  // hops ≥ 1 for every flow
+  }
+  EXPECT_EQ(result.total_bytes, per_iter * 5);
+}
+
+TEST(ParameterServerTest, PsPlacementAffectsHopCostOnly) {
+  // On a line the hop-weighted cost depends on which node hosts the PS,
+  // but raw bytes do not.
+  const auto g = topology::make_line(4);
+  QuadraticModel model(2);
+  std::uint64_t bytes_first = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ParameterServerConfig cfg;
+    cfg.alpha = 0.1;
+    cfg.convergence.max_iterations = 3;
+    cfg.convergence.loss_tolerance = 0.0;
+    cfg.seed = seed;
+    const auto result = train_parameter_server(g, model, corner_shards(),
+                                               data::Dataset(2, 2), cfg);
+    if (seed == 0) {
+      bytes_first = result.total_bytes;
+    } else {
+      EXPECT_EQ(result.total_bytes, bytes_first);
+    }
+    EXPECT_GE(result.total_cost, result.total_bytes);
+  }
+}
+
+TEST(ParameterServerTest, MatchesCentralizedOnEqualShards) {
+  // With equal-size shards, mean-of-shard-gradients equals the pooled
+  // gradient, so PS and centralized GD follow identical trajectories.
+  const auto g = topology::make_complete(4);
+  QuadraticModel model(2);
+  ParameterServerConfig ps_cfg;
+  ps_cfg.alpha = 0.25;
+  ps_cfg.convergence.max_iterations = 40;
+  ps_cfg.convergence.loss_tolerance = 0.0;
+  ps_cfg.seed = 3;
+  const auto ps = train_parameter_server(g, model, corner_shards(),
+                                         data::Dataset(2, 2), ps_cfg);
+
+  // Pooled data: all four corners in one dataset.
+  data::Dataset pooled(2, 2);
+  for (const auto& shard : corner_shards()) {
+    pooled.add(shard.features(0), shard.label(0));
+  }
+  CentralizedConfig central_cfg;
+  central_cfg.alpha = 0.25;
+  central_cfg.convergence.max_iterations = 40;
+  central_cfg.convergence.loss_tolerance = 0.0;
+  central_cfg.seed = 3;
+  const auto central = train_centralized(model, pooled, data::Dataset(2, 2),
+                                         central_cfg);
+  EXPECT_LT(linalg::max_abs_diff(ps.final_params, central.final_params),
+            1e-12);
+}
+
+// --------------------------------------------------------------- TernGrad
+
+TEST(TernGradTest, WireBytesFormula) {
+  EXPECT_EQ(terngrad_wire_bytes(0), 4u);
+  EXPECT_EQ(terngrad_wire_bytes(1), 5u);
+  EXPECT_EQ(terngrad_wire_bytes(4), 5u);
+  EXPECT_EQ(terngrad_wire_bytes(5), 6u);
+  EXPECT_EQ(terngrad_wire_bytes(1000), 254u);
+}
+
+TEST(TernGradTest, TernarizeProducesThreeLevels) {
+  common::Rng rng(1);
+  linalg::Vector g{0.5, -1.0, 0.25, 0.0};
+  const linalg::Vector t = ternarize(g, rng);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool valid = t[i] == 0.0 || std::abs(std::abs(t[i]) - 1.0) < 1e-12;
+    EXPECT_TRUE(valid) << "component " << i << " = " << t[i];
+  }
+  EXPECT_DOUBLE_EQ(t[3], 0.0);  // zero gradient stays zero
+}
+
+TEST(TernGradTest, MaxMagnitudeComponentAlwaysSent) {
+  common::Rng rng(2);
+  linalg::Vector g{0.1, -2.0, 0.3};
+  for (int trial = 0; trial < 50; ++trial) {
+    const linalg::Vector t = ternarize(g, rng);
+    EXPECT_DOUBLE_EQ(t[1], -2.0);  // |g|/s == 1 → deterministic
+  }
+}
+
+TEST(TernGradTest, ZeroGradientStaysZero) {
+  common::Rng rng(3);
+  const linalg::Vector t = ternarize(linalg::Vector(5), rng);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(t[i], 0.0);
+}
+
+TEST(TernGradTest, TernarizationIsUnbiased) {
+  common::Rng rng(4);
+  const linalg::Vector g{0.6, -0.3, 0.9};
+  linalg::Vector sum(3);
+  const int trials = 40'000;
+  for (int i = 0; i < trials; ++i) {
+    sum += ternarize(g, rng);
+  }
+  sum *= 1.0 / trials;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sum[i], g[i], 0.02) << "component " << i;
+  }
+}
+
+TEST(TernGradTest, CompressorReportsCompressedBytes) {
+  auto compressor = make_terngrad_compressor(7);
+  const linalg::Vector g{1.0, 0.5, -0.25};
+  const auto out = compressor(g, 0);
+  EXPECT_EQ(out.wire_bytes, terngrad_wire_bytes(3));
+  EXPECT_EQ(out.gradient.size(), 3u);
+}
+
+TEST(TernGradTest, SuccessiveCallsUseFreshRandomness) {
+  auto compressor = make_terngrad_compressor(8);
+  // Half-scaler magnitudes → each component is a fair coin; two
+  // identical 100-component draws are overwhelmingly unlikely.
+  linalg::Vector g(100, 0.5);
+  g[0] = 1.0;  // pins the scaler at 1 so p = 0.5 elsewhere
+  const auto a = compressor(g, 0);
+  const auto b = compressor(g, 0);
+  EXPECT_FALSE(linalg::approx_equal(a.gradient, b.gradient, 0.0));
+}
+
+TEST(TernGradTest, EndToEndConvergesButSlowerThanPs) {
+  const auto g = topology::make_complete(4);
+  QuadraticModel model(4);
+  std::vector<data::Dataset> shards{
+      point_shard(linalg::Vector{2.0, 0.0, 0.0, 0.0}),
+      point_shard(linalg::Vector{0.0, 2.0, 0.0, 0.0}),
+      point_shard(linalg::Vector{0.0, 0.0, 2.0, 0.0}),
+      point_shard(linalg::Vector{0.0, 0.0, 0.0, 2.0})};
+
+  ParameterServerConfig cfg;
+  cfg.alpha = 0.2;
+  cfg.convergence.max_iterations = 500;
+  cfg.convergence.loss_tolerance = 1e-6;
+  cfg.convergence.window = 5;
+  const auto ps = train_parameter_server(g, model, shards,
+                                         data::Dataset(4, 2), cfg);
+  const auto tern = train_parameter_server(g, model, shards,
+                                           data::Dataset(4, 2),
+                                           terngrad_config(cfg));
+  EXPECT_TRUE(ps.converged);
+  // The ternary noise must slow convergence (or at minimum not beat PS).
+  EXPECT_GE(tern.converged_after, ps.converged_after);
+  // Final solution still lands near the optimum (0.5, 0.5, 0.5, 0.5).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tern.final_params[i], 0.5, 0.2);
+  }
+  // TernGrad's per-iteration upload is cheaper than PS's.
+  EXPECT_LT(tern.iterations[0].bytes, ps.iterations[0].bytes);
+}
+
+}  // namespace
+}  // namespace snap::baselines

@@ -1,0 +1,269 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace snap::common {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Pcg32Test, DeterministicForEqualSeeds) {
+  Pcg32 a(7, 11);
+  Pcg32 b(7, 11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Pcg32Test, StreamsAreIndependent) {
+  Pcg32 a(7, 1);
+  Pcg32 b(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SeedReproducibility) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, UniformIsInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_u64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64ZeroBoundReturnsZero) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_u64(0), 0u);
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(12);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, NormalMomentsMatchStandardGaussian) {
+  Rng rng(13);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParamsScalesAndShifts) {
+  Rng rng(14);
+  const int n = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, NormalNegativeStddevIsClamped) {
+  Rng rng(15);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, -1.0), 3.0);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  const int n = 100'000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(18);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(19);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  EXPECT_EQ(rng.permutation(1), std::vector<std::size_t>{0});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(20);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(21);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(22);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ContractViolation);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(33);
+  Rng b(33);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+  }
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(34);
+  Rng b(34);
+  (void)a.fork(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentForkTagsDecorrelated) {
+  Rng root(35);
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (f1.uniform() == f2.uniform()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, StringForkMatchesAcrossInstances) {
+  Rng a(36);
+  Rng b(36);
+  Rng fa = a.fork("links");
+  Rng fb = b.fork("links");
+  EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+TEST(RngTest, StringForkDiffersByLabel) {
+  Rng root(37);
+  Rng f1 = root.fork("alpha");
+  Rng f2 = root.fork("beta");
+  EXPECT_NE(f1.uniform(), f2.uniform());
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(38);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+/// Property sweep: the uniform integer generator must be near-uniform
+/// for a range of bounds (chi-squared sanity bound).
+class RngUniformityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformityTest, FrequenciesAreBalanced) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(100 + bound);
+  const int draws = 20'000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_u64(bound)];
+  }
+  const double expected = static_cast<double>(draws) / double(bound);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 6.0 * std::sqrt(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformityTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 64, 100));
+
+}  // namespace
+}  // namespace snap::common

@@ -1,0 +1,90 @@
+// Neighbor-set planning (paper §IV-D).
+#include "consensus/neighbor_planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::consensus {
+namespace {
+
+WeightOptimizerConfig fast_config() {
+  WeightOptimizerConfig cfg;
+  cfg.max_iterations = 80;
+  return cfg;
+}
+
+TEST(NeighborPlanningTest, ZeroThresholdKeepsCompleteGraph) {
+  const NeighborPlan plan = plan_neighbor_sets(6, 0.0, fast_config());
+  EXPECT_EQ(plan.graph.node_count(), 6u);
+  EXPECT_EQ(plan.graph.edge_count(), 15u);  // K_6
+  EXPECT_EQ(plan.pruned_edges, 0u);
+  EXPECT_EQ(plan.restored_edges, 0u);
+  EXPECT_TRUE(
+      is_feasible_weight_matrix(plan.weights.w, plan.graph, 1e-8));
+}
+
+TEST(NeighborPlanningTest, PrunesWeakEdgesAndStaysConnected) {
+  // On K_10 the optimized weights sit near the uniform 1/10, so the bar
+  // must exceed that to bite.
+  const NeighborPlan plan = plan_neighbor_sets(10, 0.12, fast_config());
+  EXPECT_TRUE(plan.graph.is_connected());
+  EXPECT_LT(plan.graph.edge_count(), 45u);  // something was pruned
+  EXPECT_EQ(plan.pruned_edges, 45u - plan.graph.edge_count());
+  EXPECT_TRUE(
+      is_feasible_weight_matrix(plan.weights.w, plan.graph, 1e-8));
+}
+
+TEST(NeighborPlanningTest, HugeThresholdCollapsesToSpanningStructure) {
+  // With an impossible bar every edge is dropped, then restored edges
+  // must reconnect the graph: exactly n−1 restored in the extreme case
+  // (or slightly more, but connectivity is mandatory).
+  const NeighborPlan plan = plan_neighbor_sets(8, 10.0, fast_config());
+  EXPECT_TRUE(plan.graph.is_connected());
+  EXPECT_GE(plan.graph.edge_count(), 7u);
+  EXPECT_EQ(plan.restored_edges, plan.graph.edge_count());
+}
+
+TEST(NeighborPlanningTest, WorksOnCandidateTopology) {
+  common::Rng rng(3);
+  const auto candidates = topology::make_random_connected(14, 5.0, rng);
+  const NeighborPlan plan =
+      plan_neighbor_sets(candidates, 0.03, fast_config());
+  EXPECT_TRUE(plan.graph.is_connected());
+  EXPECT_LE(plan.graph.edge_count(), candidates.edge_count());
+  // Pruned graph's edges are a subset of the candidates (plus nothing).
+  for (const auto& [u, v] : plan.graph.edges()) {
+    EXPECT_TRUE(candidates.has_edge(u, v));
+  }
+}
+
+TEST(NeighborPlanningTest, ValidatesInputs) {
+  EXPECT_THROW(plan_neighbor_sets(1, 0.1), common::ContractViolation);
+  EXPECT_THROW(plan_neighbor_sets(4, -0.1), common::ContractViolation);
+  topology::Graph disconnected(3);
+  EXPECT_THROW(plan_neighbor_sets(disconnected, 0.1),
+               common::ContractViolation);
+}
+
+class PlanningPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanningPropertyTest, PlansAreAlwaysUsable) {
+  const auto nodes = static_cast<std::size_t>(6 + GetParam() * 3);
+  const NeighborPlan plan =
+      plan_neighbor_sets(nodes, 0.04, fast_config());
+  EXPECT_TRUE(plan.graph.is_connected());
+  EXPECT_TRUE(
+      is_feasible_weight_matrix(plan.weights.w, plan.graph, 1e-8));
+  // Pruning monotonicity bookkeeping holds.
+  const std::size_t complete_edges = nodes * (nodes - 1) / 2;
+  EXPECT_EQ(plan.graph.edge_count() + plan.pruned_edges, complete_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanningPropertyTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace snap::consensus

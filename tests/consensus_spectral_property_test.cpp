@@ -1,0 +1,102 @@
+// Spectral invariants of feasible mixing matrices — the mathematical
+// facts §IV-B's derivation rests on, checked over random topologies:
+//   - every feasible W has λ_max = 1 with eigenvector 1 (eq. 12),
+//   - the whole spectrum lies in [−1, 1],
+//   - W̃ = (W+I)/2 halves the spectrum into [0, 1] (eq. 13),
+//   - the optimizers never leave the feasible set and never worsen
+//     their own objective relative to the eq.(24) initialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "consensus/edge_weights.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "consensus/weight_optimizer.hpp"
+#include "linalg/eigen.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::consensus {
+namespace {
+
+struct SpectralCase {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+};
+
+class SpectralPropertyTest
+    : public ::testing::TestWithParam<SpectralCase> {};
+
+linalg::Matrix random_feasible_matrix(const topology::Graph& graph,
+                                      common::Rng& rng) {
+  // Random point of the edge-weight polytope via projection.
+  const EdgeWeightSpace space(graph);
+  std::vector<double> weights(space.edge_count());
+  for (double& w : weights) w = rng.uniform(0.0, 1.0);
+  return space.to_matrix(space.project(std::move(weights)));
+}
+
+TEST_P(SpectralPropertyTest, FeasibleSpectraAreInUnitInterval) {
+  const auto [nodes, degree, seed] = GetParam();
+  common::Rng rng(seed);
+  const auto graph = topology::make_random_connected(nodes, degree, rng);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const linalg::Matrix w = random_feasible_matrix(graph, rng);
+    ASSERT_TRUE(is_feasible_weight_matrix(w, graph, 1e-9));
+    const linalg::Vector values = linalg::eigenvalues_symmetric(w);
+    // Spectrum of a symmetric doubly stochastic matrix ⊆ [−1, 1].
+    EXPECT_GE(values[0], -1.0 - 1e-9);
+    EXPECT_LE(values[values.size() - 1], 1.0 + 1e-9);
+    // λ_max = 1 exactly (eq. 12): 1 is always an eigenvector.
+    EXPECT_NEAR(values[values.size() - 1], 1.0, 1e-9);
+  }
+}
+
+TEST_P(SpectralPropertyTest, WTildeSpectrumIsHalfShifted) {
+  const auto [nodes, degree, seed] = GetParam();
+  common::Rng rng(seed + 1000);
+  const auto graph = topology::make_random_connected(nodes, degree, rng);
+  const linalg::Matrix w = random_feasible_matrix(graph, rng);
+  const linalg::Vector w_values = linalg::eigenvalues_symmetric(w);
+  const linalg::Vector t_values =
+      linalg::eigenvalues_symmetric(w_tilde(w));
+  ASSERT_EQ(w_values.size(), t_values.size());
+  for (std::size_t i = 0; i < w_values.size(); ++i) {
+    // λ(W̃) = (λ(W) + 1) / 2, order preserved.
+    EXPECT_NEAR(t_values[i], (w_values[i] + 1.0) / 2.0, 1e-8);
+    EXPECT_GE(t_values[i], -1e-9);  // W̃ ⪰ 0 (eq. 13's consequence)
+  }
+}
+
+TEST_P(SpectralPropertyTest, OptimizersNeverWorsenTheirObjective) {
+  const auto [nodes, degree, seed] = GetParam();
+  common::Rng rng(seed + 2000);
+  const auto graph = topology::make_random_connected(nodes, degree, rng);
+  WeightOptimizerConfig cfg;
+  cfg.max_iterations = 60;  // keep the sweep fast
+
+  const auto init = linalg::spectral_summary(max_degree_weights(graph));
+  const std::size_t n = graph.node_count();
+
+  const OptimizedWeights p23 = minimize_second_eigenvalue(graph, cfg);
+  EXPECT_LE(p23.objective,
+            linalg::eigenvalues_symmetric(max_degree_weights(graph))
+                    [n - 2] +
+                1e-9);
+
+  const OptimizedWeights p22 = maximize_smallest_eigenvalue(graph, cfg);
+  EXPECT_GE(p22.objective, init.lambda_min - 1e-9);
+
+  const OptimizedWeights slem = minimize_slem(graph, cfg);
+  EXPECT_LE(slem.objective, init.slem + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, SpectralPropertyTest,
+    ::testing::Values(SpectralCase{6, 2.5, 1}, SpectralCase{10, 3.0, 2},
+                      SpectralCase{14, 4.0, 3}, SpectralCase{20, 3.0, 4},
+                      SpectralCase{12, 6.0, 5}, SpectralCase{8, 7.0, 6}));
+
+}  // namespace
+}  // namespace snap::consensus

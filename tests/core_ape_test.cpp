@@ -1,0 +1,181 @@
+#include "core/ape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::core {
+namespace {
+
+ApeConfig default_config() {
+  ApeConfig cfg;
+  cfg.growth_factor = 1.01;
+  cfg.initial_budget_fraction = 0.10;
+  cfg.budget_decay = 0.90;
+  cfg.stage_iterations = 10;
+  cfg.epsilon = 1e-4;
+  return cfg;
+}
+
+TEST(ApeControllerTest, InitialBudgetIsTenPercentOfMeanParam) {
+  ApeController ape(default_config(), 2.0);
+  EXPECT_NEAR(ape.budget(), 0.2, 1e-12);
+  EXPECT_TRUE(ape.active());
+  EXPECT_EQ(ape.stage(), 0u);
+}
+
+TEST(ApeControllerTest, ThresholdMatchesAlgorithmOneLineFour) {
+  // Δ_max = T / (I · (1+αG)^I).
+  const ApeConfig cfg = default_config();
+  ApeController ape(cfg, 2.0);
+  const double expected = 0.2 / (10.0 * std::pow(1.01, 10.0));
+  EXPECT_NEAR(ape.threshold(), expected, 1e-12);
+}
+
+TEST(ApeControllerTest, StageAdvancesWhenBudgetConsumedAfterMinLength) {
+  ApeController ape(default_config(), 1.0);
+  const double budget0 = ape.budget();
+  // Consume the full budget immediately: the stage still must run its
+  // §V minimum of 10 iterations before advancing.
+  ape.record_iteration(budget0);
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_EQ(ape.stage(), 0u) << "iteration " << i;
+    ape.record_iteration(0.0);
+  }
+  EXPECT_EQ(ape.stage(), 1u);
+  EXPECT_NEAR(ape.budget(), budget0 * 0.9, 1e-12);
+  EXPECT_NEAR(ape.accumulated_error(), 0.0, 1e-15);  // reset per stage
+}
+
+TEST(ApeControllerTest, QuietStageAdvancesAtTheCap) {
+  // No error accrues when nothing is withheld, so the budget holds for
+  // the stage cap — then still advances, so the threshold schedule keeps
+  // marching toward ε.
+  ApeConfig cfg = default_config();
+  cfg.max_stage_iterations = 12;
+  ApeController ape(cfg, 1.0);
+  for (int i = 0; i < 11; ++i) ape.record_iteration(0.0);
+  EXPECT_EQ(ape.stage(), 0u);
+  ape.record_iteration(0.0);
+  EXPECT_EQ(ape.stage(), 1u);
+}
+
+TEST(ApeControllerTest, QuietStageNeverAdvancesWithCapDisabled) {
+  ApeConfig cfg = default_config();
+  cfg.max_stage_iterations = 0;
+  ApeController ape(cfg, 1.0);
+  for (int i = 0; i < 100; ++i) ape.record_iteration(0.0);
+  EXPECT_EQ(ape.stage(), 0u);
+  EXPECT_TRUE(ape.active());
+}
+
+TEST(ApeControllerTest, StageHoldsUntilBudgetConsumed) {
+  ApeConfig cfg = default_config();
+  cfg.max_stage_iterations = 0;
+  ApeController ape(cfg, 1.0);
+  // Withhold a trickle far below the budget: after the 10-iteration
+  // minimum the stage still waits for the APE estimate to reach T.
+  for (int i = 0; i < 20; ++i) ape.record_iteration(ape.budget() / 1000.0);
+  EXPECT_EQ(ape.stage(), 0u);
+  // A burst that consumes the budget now advances immediately.
+  ape.record_iteration(ape.budget());
+  EXPECT_EQ(ape.stage(), 1u);
+}
+
+TEST(ApeControllerTest, AccumulationUsesGrowthFactor) {
+  ApeConfig cfg = default_config();
+  cfg.growth_factor = 2.0;
+  cfg.stage_iterations = 50;
+  ApeController ape(cfg, 10.0);  // budget 1.0
+  ape.record_iteration(0.1);
+  EXPECT_NEAR(ape.accumulated_error(), 0.1, 1e-12);
+  ape.record_iteration(0.1);
+  // 0.1·2 + 0.1 = 0.3.
+  EXPECT_NEAR(ape.accumulated_error(), 0.3, 1e-12);
+}
+
+TEST(ApeControllerTest, ThresholdShrinksAcrossStages) {
+  ApeController ape(default_config(), 1.0);
+  double last_threshold = ape.threshold();
+  for (int stage = 0; stage < 5; ++stage) {
+    // Saturate the budget so the stage ends at its minimum length.
+    for (int i = 0; i < 10; ++i) ape.record_iteration(ape.budget());
+    EXPECT_LT(ape.threshold(), last_threshold);
+    last_threshold = ape.threshold();
+  }
+}
+
+TEST(ApeControllerTest, DeactivatesBelowEpsilon) {
+  ApeConfig cfg = default_config();
+  cfg.epsilon = 0.05;
+  ApeController ape(cfg, 1.0);  // budget 0.1
+  // Budget after k stages: 0.1·0.9^k; first below ε = 0.05 at k = 7.
+  int stages = 0;
+  while (ape.active() && stages < 100) {
+    for (int i = 0; i < 10 && ape.active(); ++i) {
+      ape.record_iteration(ape.budget());
+    }
+    ++stages;
+  }
+  EXPECT_FALSE(ape.active());
+  EXPECT_DOUBLE_EQ(ape.threshold(), 0.0);
+  EXPECT_EQ(stages, 7);
+  // Once inactive, recording is a no-op.
+  ape.record_iteration(123.0);
+  EXPECT_FALSE(ape.active());
+}
+
+TEST(ApeControllerTest, TinyInitialParamsStartInactive) {
+  ApeConfig cfg = default_config();
+  cfg.epsilon = 1e-3;
+  ApeController ape(cfg, 1e-4);  // budget 1e-5 < ε
+  EXPECT_FALSE(ape.active());
+  EXPECT_DOUBLE_EQ(ape.threshold(), 0.0);
+}
+
+TEST(ApeControllerTest, RejectsInvalidConfigs) {
+  ApeConfig cfg = default_config();
+  cfg.growth_factor = 0.99;
+  EXPECT_THROW(ApeController(cfg, 1.0), common::ContractViolation);
+  cfg = default_config();
+  cfg.budget_decay = 1.0;
+  EXPECT_THROW(ApeController(cfg, 1.0), common::ContractViolation);
+  cfg = default_config();
+  cfg.stage_iterations = 0;
+  EXPECT_THROW(ApeController(cfg, 1.0), common::ContractViolation);
+  cfg = default_config();
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(ApeController(cfg, 1.0), common::ContractViolation);
+}
+
+TEST(ApeControllerTest, NegativeWithheldRejected) {
+  ApeController ape(default_config(), 1.0);
+  EXPECT_THROW(ape.record_iteration(-1.0), common::ContractViolation);
+}
+
+/// Invariant sweep: for any sequence of withheld amounts below the
+/// threshold, the accumulated APE estimate never exceeds the stage
+/// budget before the stage advances — the guarantee Algorithm 1's
+/// threshold formula is designed to give.
+class ApeBudgetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApeBudgetPropertyTest, WithinThresholdNeverOverrunsBudget) {
+  ApeConfig cfg = default_config();
+  ApeController ape(cfg, 1.0 + GetParam());
+  for (int iter = 0; iter < 200 && ape.active(); ++iter) {
+    const double budget = ape.budget();
+    // Withhold exactly the allowed maximum.
+    ape.record_iteration(ape.threshold());
+    if (ape.stage() == 0 || ape.accumulated_error() > 0.0) {
+      EXPECT_LE(ape.accumulated_error(), budget + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ApeBudgetPropertyTest,
+                         ::testing::Values(0, 1, 4, 9));
+
+}  // namespace
+}  // namespace snap::core

@@ -1,0 +1,209 @@
+#include "core/extra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "core/training.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::core {
+namespace {
+
+/// Quadratic oracle: node i's objective is ½‖x − c_i‖², so the aggregate
+/// optimum is mean(c_i) — Theorem 1's consensual optimum in closed form.
+struct QuadraticOracle {
+  std::vector<linalg::Vector> centers;
+
+  linalg::Vector operator()(std::size_t node,
+                            const linalg::Vector& x) const {
+    linalg::Vector g = x;
+    g -= centers[node];
+    return g;
+  }
+
+  linalg::Vector optimum() const {
+    linalg::Vector mean(centers.front().size());
+    for (const auto& c : centers) mean += c;
+    mean *= 1.0 / static_cast<double>(centers.size());
+    return mean;
+  }
+};
+
+QuadraticOracle random_oracle(std::size_t nodes, std::size_t dim,
+                              std::uint64_t seed) {
+  common::Rng rng(seed);
+  QuadraticOracle oracle;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    linalg::Vector c(dim);
+    for (std::size_t d = 0; d < dim; ++d) c[d] = rng.normal(0.0, 2.0);
+    oracle.centers.push_back(std::move(c));
+  }
+  return oracle;
+}
+
+std::vector<linalg::Vector> zero_init(std::size_t nodes, std::size_t dim) {
+  return std::vector<linalg::Vector>(nodes, linalg::Vector(dim));
+}
+
+TEST(ExtraIterationTest, ValidatesInputs) {
+  const auto g = topology::make_ring(3);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  auto oracle = random_oracle(3, 2, 1);
+  // Non-doubly-stochastic matrix rejected.
+  EXPECT_THROW(ExtraIteration(linalg::Matrix(3, 3), zero_init(3, 2), 0.1,
+                              oracle),
+               common::ContractViolation);
+  // Zero step size rejected.
+  EXPECT_THROW(ExtraIteration(w, zero_init(3, 2), 0.0, oracle),
+               common::ContractViolation);
+  // Ragged initial parameters rejected.
+  auto ragged = zero_init(3, 2);
+  ragged[1] = linalg::Vector(3);
+  EXPECT_THROW(ExtraIteration(w, ragged, 0.1, oracle),
+               common::ContractViolation);
+}
+
+TEST(ExtraIterationTest, FirstStepMatchesClosedForm) {
+  // x¹ = W x⁰ − α∇f(x⁰) checked against hand-computed values on a
+  // 2-node graph.
+  const auto g = topology::make_complete(2);
+  linalg::Matrix w{{0.5, 0.5}, {0.5, 0.5}};
+  QuadraticOracle oracle;
+  oracle.centers = {linalg::Vector{1.0}, linalg::Vector{3.0}};
+  std::vector<linalg::Vector> init{linalg::Vector{0.0},
+                                   linalg::Vector{4.0}};
+  ExtraIteration extra(w, init, 0.1, oracle);
+  extra.step();
+  // Node 0: 0.5·0 + 0.5·4 − 0.1·(0 − 1) = 2.1.
+  EXPECT_NEAR(extra.params(0)[0], 2.1, 1e-12);
+  // Node 1: 0.5·0 + 0.5·4 − 0.1·(4 − 3) = 1.9.
+  EXPECT_NEAR(extra.params(1)[0], 1.9, 1e-12);
+  EXPECT_EQ(extra.iteration(), 1u);
+}
+
+TEST(ExtraIterationTest, ConvergesToConsensualOptimumOnRing) {
+  const auto g = topology::make_ring(6);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  const auto oracle = random_oracle(6, 4, 2);
+  ExtraIteration extra(w, zero_init(6, 4), 0.2, oracle);
+  for (int k = 0; k < 400; ++k) extra.step();
+
+  const linalg::Vector opt = oracle.optimum();
+  EXPECT_LT(extra.consensus_residual(), 1e-6);
+  for (std::size_t node = 0; node < 6; ++node) {
+    EXPECT_TRUE(linalg::approx_equal(extra.params(node), opt, 1e-5))
+        << "node " << node;
+  }
+}
+
+TEST(ExtraIterationTest, MeanParamsIsRowMean) {
+  QuadraticOracle oracle;
+  oracle.centers = {linalg::Vector{0.0}, linalg::Vector{0.0}};
+  linalg::Matrix w{{0.5, 0.5}, {0.5, 0.5}};
+  std::vector<linalg::Vector> init{linalg::Vector{2.0},
+                                   linalg::Vector{4.0}};
+  ExtraIteration extra(w, init, 0.1, oracle);
+  EXPECT_NEAR(extra.mean_params()[0], 3.0, 1e-15);
+  EXPECT_NEAR(extra.consensus_residual(), 1.0, 1e-15);
+}
+
+struct ExtraCase {
+  std::size_t nodes;
+  double degree;
+  double alpha;
+  std::uint64_t seed;
+};
+
+class ExtraConvergencePropertyTest
+    : public ::testing::TestWithParam<ExtraCase> {};
+
+TEST_P(ExtraConvergencePropertyTest, Theorem1HoldsOnRandomTopologies) {
+  const auto [nodes, degree, alpha, seed] = GetParam();
+  common::Rng rng(seed);
+  const auto g = topology::make_random_connected(nodes, degree, rng);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  const auto oracle = random_oracle(nodes, 3, seed + 1);
+  ExtraIteration extra(w, zero_init(nodes, 3), alpha, oracle);
+  for (int k = 0; k < 1200; ++k) extra.step();
+
+  const linalg::Vector opt = oracle.optimum();
+  EXPECT_LT(extra.consensus_residual(), 1e-4);
+  EXPECT_LT(linalg::max_abs_diff(extra.mean_params(), opt), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ExtraConvergencePropertyTest,
+    ::testing::Values(ExtraCase{4, 2.0, 0.2, 10}, ExtraCase{8, 3.0, 0.2, 11},
+                      ExtraCase{12, 3.0, 0.1, 12},
+                      ExtraCase{16, 4.0, 0.2, 13},
+                      ExtraCase{24, 3.0, 0.15, 14},
+                      ExtraCase{6, 5.0, 0.3, 15}));
+
+// -------------------------------------------------- ConvergenceDetector
+
+TEST(ConvergenceDetectorTest, FiresOnPlateauWithConsensus) {
+  ConvergenceCriteria criteria;
+  criteria.loss_tolerance = 1e-3;
+  criteria.consensus_tolerance = 1e-2;
+  criteria.window = 2;
+  criteria.min_iterations = 3;
+  ConvergenceDetector detector(criteria);
+  EXPECT_FALSE(detector.observe(10.0, 0.0));
+  EXPECT_FALSE(detector.observe(5.0, 0.0));
+  EXPECT_FALSE(detector.observe(5.0, 0.0));
+  // Loss flat over the window AND consensus fine → converged.
+  EXPECT_TRUE(detector.observe(5.0, 1e-3));
+  EXPECT_EQ(detector.converged_after(), 4u);
+}
+
+TEST(ConvergenceDetectorTest, BlockedByConsensusResidual) {
+  ConvergenceCriteria criteria;
+  criteria.loss_tolerance = 1e-3;
+  criteria.consensus_tolerance = 1e-6;
+  criteria.window = 1;
+  criteria.min_iterations = 1;
+  ConvergenceDetector detector(criteria);
+  detector.observe(1.0, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(detector.observe(1.0, 1.0));  // loss flat, no consensus
+  }
+  EXPECT_TRUE(detector.observe(1.0, 1e-7));
+}
+
+TEST(ConvergenceDetectorTest, RespectsMinIterations) {
+  ConvergenceCriteria criteria;
+  criteria.window = 1;
+  criteria.min_iterations = 5;
+  ConvergenceDetector detector(criteria);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(detector.observe(1.0, 0.0));
+  }
+  EXPECT_TRUE(detector.observe(1.0, 0.0));
+}
+
+TEST(ConvergenceDetectorTest, StaysConvergedOnceFired) {
+  ConvergenceCriteria criteria;
+  criteria.window = 1;
+  criteria.min_iterations = 2;
+  ConvergenceDetector detector(criteria);
+  detector.observe(1.0, 0.0);
+  EXPECT_TRUE(detector.observe(1.0, 0.0));
+  EXPECT_TRUE(detector.observe(100.0, 5.0));  // later noise ignored
+  EXPECT_EQ(detector.converged_after(), 2u);
+}
+
+TEST(ConvergenceDetectorTest, RelativeNotAbsoluteChange) {
+  ConvergenceCriteria criteria;
+  criteria.loss_tolerance = 1e-2;
+  criteria.window = 1;
+  criteria.min_iterations = 2;
+  ConvergenceDetector detector(criteria);
+  detector.observe(1000.0, 0.0);
+  // Absolute change 5 but relative 0.5% < 1% → converged.
+  EXPECT_TRUE(detector.observe(995.0, 0.0));
+}
+
+}  // namespace
+}  // namespace snap::core

@@ -1,0 +1,99 @@
+// ConvergenceDetector target modes (target_loss / target_accuracy) and
+// their precedence, added for the cross-scheme sweeps.
+#include <gtest/gtest.h>
+
+#include "core/training.hpp"
+
+namespace snap::core {
+namespace {
+
+TEST(TargetLossModeTest, FiresOnReachingTarget) {
+  ConvergenceCriteria criteria;
+  criteria.target_loss = 1.0;
+  criteria.consensus_tolerance = 1e-2;
+  ConvergenceDetector detector(criteria);
+  EXPECT_FALSE(detector.observe(2.0, 0.0));
+  EXPECT_FALSE(detector.observe(1.5, 0.0));
+  EXPECT_TRUE(detector.observe(0.99, 0.0));
+  EXPECT_EQ(detector.converged_after(), 3u);
+}
+
+TEST(TargetLossModeTest, IgnoresPlateauRule) {
+  ConvergenceCriteria criteria;
+  criteria.target_loss = 0.1;
+  criteria.loss_tolerance = 1.0;  // plateau rule would fire immediately
+  criteria.window = 1;
+  criteria.min_iterations = 1;
+  ConvergenceDetector detector(criteria);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(detector.observe(1.0, 0.0));  // flat but above target
+  }
+}
+
+TEST(TargetLossModeTest, BlockedByConsensus) {
+  ConvergenceCriteria criteria;
+  criteria.target_loss = 1.0;
+  criteria.consensus_tolerance = 1e-3;
+  ConvergenceDetector detector(criteria);
+  EXPECT_FALSE(detector.observe(0.5, 0.1));  // loss fine, no consensus
+  EXPECT_TRUE(detector.observe(0.5, 1e-4));
+}
+
+TEST(TargetLossModeTest, NoMinimumIterationGate) {
+  ConvergenceCriteria criteria;
+  criteria.target_loss = 1.0;
+  criteria.min_iterations = 100;  // plateau-mode gate does not apply
+  ConvergenceDetector detector(criteria);
+  EXPECT_TRUE(detector.observe(0.5, 0.0));
+  EXPECT_EQ(detector.converged_after(), 1u);
+}
+
+TEST(TargetAccuracyModeTest, FiresOnEvaluatedAccuracy) {
+  ConvergenceCriteria criteria;
+  criteria.target_accuracy = 0.9;
+  ConvergenceDetector detector(criteria);
+  EXPECT_FALSE(detector.observe(1.0, 0.0, 0.85));
+  EXPECT_TRUE(detector.observe(1.0, 0.0, 0.91));
+  EXPECT_EQ(detector.converged_after(), 2u);
+}
+
+TEST(TargetAccuracyModeTest, SkipsUnevaluatedIterations) {
+  ConvergenceCriteria criteria;
+  criteria.target_accuracy = 0.5;
+  ConvergenceDetector detector(criteria);
+  // Accuracy defaults to −1 on iterations without evaluation — the
+  // detector must not fire on them even if the bar is low.
+  EXPECT_FALSE(detector.observe(1.0, 0.0));
+  EXPECT_FALSE(detector.observe(1.0, 0.0, -1.0));
+  EXPECT_TRUE(detector.observe(1.0, 0.0, 0.6));
+}
+
+TEST(TargetAccuracyModeTest, TakesPrecedenceOverTargetLoss) {
+  ConvergenceCriteria criteria;
+  criteria.target_accuracy = 0.9;
+  criteria.target_loss = 10.0;  // would fire instantly
+  ConvergenceDetector detector(criteria);
+  EXPECT_FALSE(detector.observe(0.1, 0.0, 0.5));  // loss target ignored
+  EXPECT_TRUE(detector.observe(0.1, 0.0, 0.95));
+}
+
+TEST(TargetAccuracyModeTest, BlockedByConsensus) {
+  ConvergenceCriteria criteria;
+  criteria.target_accuracy = 0.5;
+  criteria.consensus_tolerance = 1e-3;
+  ConvergenceDetector detector(criteria);
+  EXPECT_FALSE(detector.observe(1.0, 0.5, 0.9));
+  EXPECT_TRUE(detector.observe(1.0, 1e-4, 0.9));
+}
+
+TEST(TargetModesTest, StayConvergedAfterFiring) {
+  ConvergenceCriteria criteria;
+  criteria.target_loss = 1.0;
+  ConvergenceDetector detector(criteria);
+  EXPECT_TRUE(detector.observe(0.5, 0.0));
+  EXPECT_TRUE(detector.observe(100.0, 10.0));  // later noise ignored
+  EXPECT_EQ(detector.converged_after(), 1u);
+}
+
+}  // namespace
+}  // namespace snap::core

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic_credit.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace snap::data {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d(2, 3);
+  d.add(std::vector<double>{0.0, 0.0}, 0);
+  d.add(std::vector<double>{1.0, 0.0}, 1);
+  d.add(std::vector<double>{0.0, 1.0}, 2);
+  d.add(std::vector<double>{1.0, 1.0}, 1);
+  return d;
+}
+
+// --------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, ConstructionValidation) {
+  EXPECT_THROW(Dataset(0, 2), common::ContractViolation);
+  EXPECT_THROW(Dataset(3, 1), common::ContractViolation);
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  const Dataset d = tiny_dataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.feature_dim(), 2u);
+  EXPECT_EQ(d.num_classes(), 3u);
+  EXPECT_DOUBLE_EQ(d.features(1)[0], 1.0);
+  EXPECT_EQ(d.label(2), 2u);
+}
+
+TEST(DatasetTest, AddValidatesShapeAndLabel) {
+  Dataset d(2, 2);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 0),
+               common::ContractViolation);
+  EXPECT_THROW(d.add(std::vector<double>{1.0, 2.0}, 2),
+               common::ContractViolation);
+}
+
+TEST(DatasetTest, AccessOutOfRangeThrows) {
+  const Dataset d = tiny_dataset();
+  EXPECT_THROW(d.features(4), common::ContractViolation);
+  EXPECT_THROW(d.label(4), common::ContractViolation);
+}
+
+TEST(DatasetTest, SubsetSelectsAndRepeats) {
+  const Dataset d = tiny_dataset();
+  const std::vector<std::size_t> idx{3, 0, 3};
+  const Dataset sub = d.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.label(0), 1u);
+  EXPECT_EQ(sub.label(1), 0u);
+  EXPECT_DOUBLE_EQ(sub.features(2)[1], 1.0);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  const auto hist = tiny_dataset().class_histogram();
+  EXPECT_EQ(hist, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(DatasetTest, TrainTestSplitSizesAndDeterminism) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, i % 2);
+  }
+  const auto s1 = split_train_test(d, 0.2, 7);
+  EXPECT_EQ(s1.test.size(), 20u);
+  EXPECT_EQ(s1.train.size(), 80u);
+  const auto s2 = split_train_test(d, 0.2, 7);
+  EXPECT_DOUBLE_EQ(s1.test.features(0)[0], s2.test.features(0)[0]);
+  // Together they cover everything exactly once.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < s1.train.size(); ++i) {
+    sum += s1.train.features(i)[0];
+  }
+  for (std::size_t i = 0; i < s1.test.size(); ++i) {
+    sum += s1.test.features(i)[0];
+  }
+  EXPECT_DOUBLE_EQ(sum, 99.0 * 100.0 / 2.0);
+}
+
+TEST(DatasetTest, SplitZeroFractionKeepsEverything) {
+  const auto split = split_train_test(tiny_dataset(), 0.0, 1);
+  EXPECT_EQ(split.test.size(), 0u);
+  EXPECT_EQ(split.train.size(), 4u);
+}
+
+TEST(DatasetTest, SplitTinyFractionHoldsOutAtLeastOne) {
+  const auto split = split_train_test(tiny_dataset(), 0.01, 1);
+  EXPECT_EQ(split.test.size(), 1u);
+}
+
+// ------------------------------------------------------------- Partition
+
+TEST(PartitionTest, UniformRandomCoversAllSamples) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 500; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, 0);
+  }
+  common::Rng rng(9);
+  const auto shards = partition_uniform_random(d, 7, rng);
+  ASSERT_EQ(shards.size(), 7u);
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(PartitionTest, EqualShardsDifferByAtMostOne) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 101; ++i) {
+    d.add(std::vector<double>{0.0}, 0);
+  }
+  common::Rng rng(10);
+  const auto shards = partition_equal(d, 4, rng);
+  std::size_t smallest = shards[0].size();
+  std::size_t largest = shards[0].size();
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    smallest = std::min(smallest, shard.size());
+    largest = std::max(largest, shard.size());
+    total += shard.size();
+  }
+  EXPECT_EQ(total, 101u);
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(PartitionTest, LabelSkewFullySortsAtOne) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{0.0}, i % 2);
+  }
+  common::Rng rng(11);
+  const auto shards = partition_label_skew(d, 2, 1.0, rng);
+  // With skew=1, shard s holds only labels ≡ s (mod 2).
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t i = 0; i < shards[s].size(); ++i) {
+      EXPECT_EQ(shards[s].label(i) % 2, s);
+    }
+  }
+}
+
+TEST(PartitionTest, LabelSkewZeroIsUniformish) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 1000; ++i) {
+    d.add(std::vector<double>{0.0}, i % 2);
+  }
+  common::Rng rng(12);
+  const auto shards = partition_label_skew(d, 4, 0.0, rng);
+  for (const auto& shard : shards) {
+    EXPECT_GT(shard.size(), 150u);  // far from sorted placement
+  }
+}
+
+TEST(PartitionTest, DeterministicPerSeed) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 60; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, 0);
+  }
+  common::Rng rng1(13);
+  common::Rng rng2(13);
+  const auto a = partition_uniform_random(d, 3, rng1);
+  const auto b = partition_uniform_random(d, 3, rng2);
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (std::size_t i = 0; i < a[s].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[s].features(i)[0], b[s].features(i)[0]);
+    }
+  }
+}
+
+// ------------------------------------------------------ Synthetic MNIST
+
+TEST(SyntheticMnistTest, ShapesMatchConfig) {
+  SyntheticMnistConfig cfg;
+  cfg.train_samples = 200;
+  cfg.test_samples = 50;
+  const auto mnist = make_synthetic_mnist(cfg);
+  EXPECT_EQ(mnist.train.size(), 200u);
+  EXPECT_EQ(mnist.test.size(), 50u);
+  EXPECT_EQ(mnist.train.feature_dim(), 784u);
+  EXPECT_EQ(mnist.train.num_classes(), 10u);
+}
+
+TEST(SyntheticMnistTest, PixelsInUnitRangeWithZeroBackground) {
+  SyntheticMnistConfig cfg;
+  cfg.train_samples = 100;
+  cfg.test_samples = 10;
+  const auto mnist = make_synthetic_mnist(cfg);
+  std::size_t zero_pixels = 0;
+  std::size_t total_pixels = 0;
+  for (std::size_t s = 0; s < mnist.train.size(); ++s) {
+    for (const double px : mnist.train.features(s)) {
+      EXPECT_GE(px, 0.0);
+      EXPECT_LE(px, 1.0);
+      if (px == 0.0) ++zero_pixels;
+      ++total_pixels;
+    }
+  }
+  // MNIST-like: a large fraction of background pixels are exactly zero
+  // (this property drives the paper's Fig. 2 "unchanged parameters").
+  EXPECT_GT(static_cast<double>(zero_pixels) / double(total_pixels), 0.3);
+}
+
+TEST(SyntheticMnistTest, AllClassesPresent) {
+  SyntheticMnistConfig cfg;
+  cfg.train_samples = 500;
+  cfg.test_samples = 10;
+  const auto hist = make_synthetic_mnist(cfg).train.class_histogram();
+  for (const auto count : hist) EXPECT_GT(count, 20u);
+}
+
+TEST(SyntheticMnistTest, DeterministicPerSeed) {
+  SyntheticMnistConfig cfg;
+  cfg.train_samples = 20;
+  cfg.test_samples = 5;
+  const auto a = make_synthetic_mnist(cfg);
+  const auto b = make_synthetic_mnist(cfg);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.train.label(i), b.train.label(i));
+    for (std::size_t p = 0; p < 784; ++p) {
+      EXPECT_DOUBLE_EQ(a.train.features(i)[p], b.train.features(i)[p]);
+    }
+  }
+}
+
+TEST(SyntheticMnistTest, DifferentSeedsDiffer) {
+  SyntheticMnistConfig a_cfg;
+  a_cfg.train_samples = 10;
+  a_cfg.test_samples = 5;
+  SyntheticMnistConfig b_cfg = a_cfg;
+  b_cfg.seed = a_cfg.seed + 1;
+  const auto a = make_synthetic_mnist(a_cfg);
+  const auto b = make_synthetic_mnist(b_cfg);
+  bool any_difference = false;
+  for (std::size_t p = 0; p < 784 && !any_difference; ++p) {
+    any_difference = a.train.features(0)[p] != b.train.features(0)[p];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ----------------------------------------------------- Synthetic credit
+
+TEST(SyntheticCreditTest, ShapesAndPositiveRate) {
+  SyntheticCreditConfig cfg;
+  cfg.samples = 5000;
+  const Dataset d = make_synthetic_credit(cfg);
+  EXPECT_EQ(d.size(), 5000u);
+  EXPECT_EQ(d.feature_dim(), 24u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  const auto hist = d.class_histogram();
+  const double positive_rate =
+      static_cast<double>(hist[1]) / static_cast<double>(d.size());
+  EXPECT_NEAR(positive_rate, cfg.positive_rate, 0.04);
+}
+
+TEST(SyntheticCreditTest, DeterministicPerSeed) {
+  SyntheticCreditConfig cfg;
+  cfg.samples = 100;
+  const Dataset a = make_synthetic_credit(cfg);
+  const Dataset b = make_synthetic_credit(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_DOUBLE_EQ(a.features(i)[0], b.features(i)[0]);
+  }
+}
+
+TEST(SyntheticCreditTest, FeaturesHaveSpread) {
+  SyntheticCreditConfig cfg;
+  cfg.samples = 2000;
+  const Dataset d = make_synthetic_credit(cfg);
+  for (std::size_t f = 0; f < d.feature_dim(); ++f) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) mean += d.features(i)[f];
+    mean /= static_cast<double>(d.size());
+    double var = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double delta = d.features(i)[f] - mean;
+      var += delta * delta;
+    }
+    var /= static_cast<double>(d.size());
+    // Features are standardized then scaled by 1/√d → variance ≈ 1/24.
+    EXPECT_NEAR(var, 1.0 / 24.0, 0.01) << "feature " << f;
+    EXPECT_NEAR(mean, 0.0, 0.01) << "feature " << f;
+  }
+}
+
+}  // namespace
+}  // namespace snap::data

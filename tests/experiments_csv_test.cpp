@@ -1,0 +1,65 @@
+#include "experiments/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace snap::experiments {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvRowTest, JoinsWithCommas) {
+  std::ostringstream os;
+  write_csv_row(os, {"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CsvRowTest, EmptyRowIsJustNewline) {
+  std::ostringstream os;
+  write_csv_row(os, {});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(TrainResultCsvTest, HeaderAndRows) {
+  core::TrainResult result;
+  core::IterationStats s1;
+  s1.train_loss = 1.5;
+  s1.test_accuracy = 0.5;
+  s1.evaluated = true;
+  s1.bytes = 100;
+  s1.cost = 200;
+  s1.consensus_residual = 0.25;
+  core::IterationStats s2;
+  s2.train_loss = 0.75;
+  result.iterations = {s1, s2};
+
+  std::ostringstream os;
+  write_train_result_csv(os, result);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("iteration,train_loss,test_accuracy,evaluated,bytes,"
+                     "cost,consensus_residual\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25\n"), std::string::npos);
+  EXPECT_NE(out.find("2,0.75,0,0,0,0,0\n"), std::string::npos);
+}
+
+TEST(TrainResultCsvTest, EmptyResultWritesHeaderOnly) {
+  std::ostringstream os;
+  write_train_result_csv(os, core::TrainResult{});
+  const std::string out = os.str();
+  EXPECT_EQ(out.find('\n'), out.size() - 1);  // exactly one line
+}
+
+}  // namespace
+}  // namespace snap::experiments

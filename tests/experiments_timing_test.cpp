@@ -1,0 +1,80 @@
+#include "experiments/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace snap::experiments {
+namespace {
+
+TEST(TimingModelTest, RoundDurationComposition) {
+  TimingModel model;
+  model.nic_bandwidth_bytes_per_s = 1000.0;
+  model.propagation_s = 0.5;
+  model.compute_flops_per_s = 100.0;
+  // compute 2 s + transfer 3 s (max of 3000 in, 1000 out) + 0.5 s.
+  EXPECT_DOUBLE_EQ(model.round_duration(200.0, 3000, 1000), 5.5);
+  // Outbound can be the bottleneck too.
+  EXPECT_DOUBLE_EQ(model.round_duration(200.0, 1000, 3000), 5.5);
+}
+
+TEST(TimingModelTest, ZeroTrafficRoundIsComputePlusPropagation) {
+  TimingModel model;
+  model.propagation_s = 0.25;
+  model.compute_flops_per_s = 10.0;
+  EXPECT_DOUBLE_EQ(model.round_duration(5.0, 0, 0), 0.75);
+}
+
+TEST(TimingModelTest, ValidatesConfig) {
+  TimingModel model;
+  model.nic_bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(model.round_duration(1.0, 1, 1), common::ContractViolation);
+  model = TimingModel{};
+  model.compute_flops_per_s = 0.0;
+  EXPECT_THROW(model.round_duration(1.0, 1, 1), common::ContractViolation);
+  model = TimingModel{};
+  EXPECT_THROW(model.round_duration(-1.0, 1, 1),
+               common::ContractViolation);
+}
+
+core::TrainResult three_round_result() {
+  core::TrainResult result;
+  for (int k = 0; k < 3; ++k) {
+    core::IterationStats stat;
+    stat.max_node_inbound_bytes = 1000;
+    stat.max_node_outbound_bytes = 500;
+    result.iterations.push_back(stat);
+  }
+  return result;
+}
+
+TEST(TimingModelTest, TotalDurationSumsConvergedPrefix) {
+  TimingModel model;
+  model.nic_bandwidth_bytes_per_s = 1000.0;
+  model.propagation_s = 0.0;
+  model.compute_flops_per_s = 1.0;
+
+  core::TrainResult result = three_round_result();
+  result.converged = true;
+  result.converged_after = 2;
+  // Two rounds of (0 compute + 1 s transfer).
+  EXPECT_DOUBLE_EQ(model.total_duration(result, 0.0), 2.0);
+}
+
+TEST(TimingModelTest, TotalDurationUsesFullRunWhenNotConverged) {
+  TimingModel model;
+  model.nic_bandwidth_bytes_per_s = 1000.0;
+  model.propagation_s = 0.0;
+
+  core::TrainResult result = three_round_result();
+  result.converged = false;
+  EXPECT_DOUBLE_EQ(model.total_duration(result, 0.0), 3.0);
+}
+
+TEST(GradientFlopsTest, ScalesWithParamsAndSamples) {
+  EXPECT_DOUBLE_EQ(gradient_flops(10, 100), 4000.0);
+  EXPECT_DOUBLE_EQ(gradient_flops(0, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace snap::experiments

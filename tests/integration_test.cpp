@@ -1,0 +1,225 @@
+// End-to-end integration: the full pipeline (topology planning →
+// weight optimization → SNAP training → checkpointing → reload) on real
+// model/data substrates, plus cross-module contracts that no single
+// unit suite covers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/neighbor_planning.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "consensus/weight_optimizer.hpp"
+#include "core/snap_trainer.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic_credit.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "experiments/csv.hpp"
+#include "experiments/scenario.hpp"
+#include "ml/checkpoint.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/mlp.hpp"
+#include "topology/generators.hpp"
+#include "topology/io.hpp"
+
+namespace snap {
+namespace {
+
+TEST(IntegrationTest, PlannedTopologyTrainsEndToEnd) {
+  // §IV-D pipeline: no prior topology → plan neighbor sets from the
+  // complete graph → train SNAP on the planned network.
+  consensus::WeightOptimizerConfig opt_cfg;
+  opt_cfg.max_iterations = 80;
+  const consensus::NeighborPlan plan =
+      consensus::plan_neighbor_sets(8, 0.13, opt_cfg);
+  ASSERT_TRUE(plan.graph.is_connected());
+
+  data::SyntheticCreditConfig data_cfg;
+  data_cfg.samples = 2'000;
+  const data::Dataset all = data::make_synthetic_credit(data_cfg);
+  const auto split = data::split_train_test(all, 0.25, 7);
+  common::Rng rng(9);
+  auto shards =
+      data::partition_equal(split.train, plan.graph.node_count(), rng);
+
+  const ml::LinearSvm model{ml::LinearSvmConfig{.feature_dim = 24}};
+  core::SnapTrainerConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.ape.initial_budget_fraction = 0.02;
+  cfg.convergence.loss_tolerance = 1e-3;
+  cfg.convergence.consensus_tolerance = 1e-2;
+  cfg.convergence.max_iterations = 300;
+  core::SnapTrainer trainer(plan.graph, plan.weights.w, model,
+                            std::move(shards), cfg);
+  const auto result = trainer.train(split.test);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.final_test_accuracy, 0.8);
+}
+
+TEST(IntegrationTest, TrainedModelSurvivesCheckpointRoundTrip) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 6;
+  cfg.train_samples = 1'000;
+  cfg.test_samples = 300;
+  cfg.convergence.max_iterations = 120;
+  cfg.convergence.loss_tolerance = 1e-3;
+  cfg.convergence.consensus_tolerance = 1e-2;
+  cfg.weight_optimizer.max_iterations = 40;
+  const experiments::Scenario scenario(cfg);
+  const auto result = scenario.run(experiments::Scheme::kSnap);
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    "snap_integration.ckpt";
+  const ml::Checkpoint saved{scenario.model().name(), result.final_params};
+  ASSERT_TRUE(ml::save_checkpoint(path.string(), saved));
+  const auto loaded = ml::load_checkpoint(path.string());
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->model_name, scenario.model().name());
+
+  // The reloaded parameters give bit-identical accuracy.
+  const double before =
+      scenario.model().accuracy(result.final_params, scenario.test_set());
+  const double after =
+      scenario.model().accuracy(loaded->params, scenario.test_set());
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(IntegrationTest, CustomTopologyScenarioMatchesGraph) {
+  experiments::ScenarioConfig cfg;
+  cfg.custom_topology = topology::make_ring(7);
+  cfg.train_samples = 700;
+  cfg.test_samples = 200;
+  cfg.convergence.max_iterations = 20;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.weight_optimizer.max_iterations = 30;
+  const experiments::Scenario scenario(cfg);
+  EXPECT_EQ(scenario.graph().node_count(), 7u);
+  EXPECT_EQ(scenario.graph().edge_count(), 7u);
+  const auto result = scenario.run(experiments::Scheme::kSno);
+  EXPECT_EQ(result.iterations.size(), 20u);
+  // SNO on a 7-ring: 14 directed frames per iteration of a dense
+  // 25-parameter frame (format A: 4 + 8·25 = 204 bytes).
+  EXPECT_EQ(result.iterations.front().bytes, 14u * 204u);
+}
+
+TEST(IntegrationTest, ScenarioRejectsDisconnectedCustomTopology) {
+  experiments::ScenarioConfig cfg;
+  cfg.custom_topology = topology::Graph(4);  // no edges
+  EXPECT_THROW(experiments::Scenario scenario(cfg),
+               common::ContractViolation);
+}
+
+TEST(IntegrationTest, TopologyFileDrivesTraining) {
+  // Write a topology file, read it back, train on it — the CLI's path.
+  const auto path = std::filesystem::temp_directory_path() /
+                    "snap_integration_topo.txt";
+  ASSERT_TRUE(topology::save_edge_list(path.string(),
+                                       topology::make_grid(2, 3)));
+  std::string error;
+  auto loaded = topology::load_edge_list(path.string(), &error);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  experiments::ScenarioConfig cfg;
+  cfg.custom_topology = std::move(*loaded);
+  cfg.train_samples = 600;
+  cfg.test_samples = 200;
+  cfg.convergence.max_iterations = 150;
+  cfg.convergence.loss_tolerance = 1e-3;
+  cfg.convergence.consensus_tolerance = 1e-2;
+  cfg.weight_optimizer.max_iterations = 30;
+  const experiments::Scenario scenario(cfg);
+  const auto result = scenario.run(experiments::Scheme::kSnap);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 5;
+  cfg.train_samples = 500;
+  cfg.test_samples = 150;
+  cfg.convergence.max_iterations = 10;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.weight_optimizer.max_iterations = 20;
+  const experiments::Scenario scenario(cfg);
+  const auto result = scenario.run(experiments::Scheme::kSnap0);
+
+  std::ostringstream os;
+  experiments::write_train_result_csv(os, result);
+  // Header + one line per iteration, all with 7 fields.
+  const std::string csv = os.str();
+  std::size_t lines = 0;
+  std::size_t field_commas = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+    if (c == ',') ++field_commas;
+  }
+  EXPECT_EQ(lines, result.iterations.size() + 1);
+  EXPECT_EQ(field_commas, lines * 6);
+}
+
+TEST(IntegrationTest, SnapTrainerIsOneShot) {
+  const auto g = topology::make_ring(3);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  data::SyntheticCreditConfig data_cfg;
+  data_cfg.samples = 90;
+  const data::Dataset all = data::make_synthetic_credit(data_cfg);
+  common::Rng rng(1);
+  auto shards = data::partition_equal(all, 3, rng);
+  const ml::LinearSvm model{ml::LinearSvmConfig{.feature_dim = 24}};
+  core::SnapTrainerConfig cfg;
+  cfg.convergence.max_iterations = 3;
+  cfg.convergence.loss_tolerance = 0.0;
+  core::SnapTrainer trainer(g, w, model, std::move(shards), cfg);
+  (void)trainer.train(all);
+  EXPECT_THROW((void)trainer.train(all), common::ContractViolation);
+}
+
+TEST(IntegrationTest, EvalGatingControlsAccuracyCost) {
+  // eval.every gates accuracy evaluation; loss is always recorded.
+  const auto g = topology::make_ring(4);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  data::SyntheticCreditConfig data_cfg;
+  data_cfg.samples = 400;
+  const data::Dataset all = data::make_synthetic_credit(data_cfg);
+  common::Rng rng(2);
+  auto shards = data::partition_equal(all, 4, rng);
+  const ml::LinearSvm model{ml::LinearSvmConfig{.feature_dim = 24}};
+  core::SnapTrainerConfig cfg;
+  cfg.convergence.max_iterations = 9;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.eval.every = 4;
+  core::SnapTrainer trainer(g, w, model, std::move(shards), cfg);
+  const auto result = trainer.train(all);
+  ASSERT_EQ(result.iterations.size(), 9u);
+  for (std::size_t k = 0; k < 9; ++k) {
+    const bool expect_eval = ((k + 1) % 4 == 0) || (k + 1 == 9);
+    EXPECT_EQ(result.iterations[k].evaluated, expect_eval) << "iter " << k;
+    EXPECT_GT(result.iterations[k].train_loss, 0.0);
+  }
+}
+
+TEST(IntegrationTest, MlpScenarioEndToEndSmoke) {
+  experiments::ScenarioConfig cfg;
+  cfg.workload = experiments::Workload::kMnistMlp;
+  cfg.nodes = 3;
+  cfg.complete_topology = true;
+  cfg.train_samples = 240;
+  cfg.test_samples = 90;
+  cfg.alpha = 1.0;
+  cfg.convergence.max_iterations = 25;
+  cfg.convergence.loss_tolerance = 0.0;
+  const experiments::Scenario scenario(cfg);
+  const auto snap = scenario.run(experiments::Scheme::kSnap);
+  const auto central = scenario.run(experiments::Scheme::kCentralized);
+  // Nontrivial learning happened on both paths.
+  EXPECT_GT(snap.final_test_accuracy, 0.5);
+  EXPECT_GT(central.final_test_accuracy, 0.5);
+  EXPECT_NEAR(snap.final_test_accuracy, central.final_test_accuracy, 0.15);
+}
+
+}  // namespace
+}  // namespace snap

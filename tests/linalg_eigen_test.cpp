@@ -1,0 +1,172 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snap::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, common::Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.normal();
+      m(r, c) = v;
+      m(c, r) = v;
+    }
+  }
+  return m;
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  const Matrix d = Matrix::diagonal(Vector{3.0, -1.0, 2.0});
+  const Vector values = eigenvalues_symmetric(d);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], -1.0, 1e-12);
+  EXPECT_NEAR(values[1], 2.0, 1e-12);
+  EXPECT_NEAR(values[2], 3.0, 1e-12);
+}
+
+TEST(EigenTest, TwoByTwoAnalytic) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3 with eigenvectors (1,∓1)/√2.
+  const Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenDecomposition eig = eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  // Eigenvector for λ=3 is proportional to (1,1).
+  EXPECT_NEAR(std::abs(eig.vectors(0, 1)), std::abs(eig.vectors(1, 1)),
+              1e-10);
+}
+
+TEST(EigenTest, RingMixingMatrixSpectrumIsAnalytic) {
+  // Circulant averaging matrix on a 5-ring: w_ii = 1/2, w_{i,i±1} = 1/4.
+  // Eigenvalues are 1/2 + cos(2πk/5)/2.
+  const std::size_t n = 5;
+  Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w(i, i) = 0.5;
+    w(i, (i + 1) % n) = 0.25;
+    w(i, (i + n - 1) % n) = 0.25;
+  }
+  const Vector values = eigenvalues_symmetric(w);
+  std::vector<double> expected;
+  for (std::size_t k = 0; k < n; ++k) {
+    expected.push_back(
+        0.5 + 0.5 * std::cos(2.0 * std::numbers::pi *
+                             static_cast<double>(k) / double(n)));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(values[k], expected[k], 1e-10);
+  }
+}
+
+TEST(EigenTest, RequiresSymmetric) {
+  Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(eigenvalues_symmetric(m), common::ContractViolation);
+}
+
+TEST(EigenTest, RequiresSquare) {
+  EXPECT_THROW(eigenvalues_symmetric(Matrix(2, 3)),
+               common::ContractViolation);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenPropertyTest, ReconstructsInput) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam() % 9);
+  const Matrix a = random_symmetric(n, rng);
+  const EigenDecomposition eig = eigen_symmetric(a);
+
+  // A == V diag(λ) Vᵀ.
+  const Matrix reconstructed =
+      eig.vectors.multiply(Matrix::diagonal(eig.values))
+          .multiply(eig.vectors.transposed());
+  EXPECT_TRUE(approx_equal(reconstructed, a, 1e-8));
+}
+
+TEST_P(EigenPropertyTest, EigenvectorsAreOrthonormal) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam() % 9);
+  const Matrix a = random_symmetric(n, rng);
+  const EigenDecomposition eig = eigen_symmetric(a);
+  const Matrix gram = eig.vectors.transposed().multiply(eig.vectors);
+  EXPECT_TRUE(approx_equal(gram, Matrix::identity(n), 1e-9));
+}
+
+TEST_P(EigenPropertyTest, EigenvaluesSortedAndTracePreserved) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam() % 8);
+  const Matrix a = random_symmetric(n, rng);
+  const Vector values = eigenvalues_symmetric(a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      EXPECT_LE(values[i - 1], values[i] + 1e-12);
+    }
+    sum += values[i];
+  }
+  EXPECT_NEAR(sum, a.trace(), 1e-8);
+}
+
+TEST_P(EigenPropertyTest, ValuesOnlyAgreesWithFullDecomposition) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) + 123);
+  const std::size_t n = 4 + static_cast<std::size_t>(GetParam() % 5);
+  const Matrix a = random_symmetric(n, rng);
+  const Vector fast = eigenvalues_symmetric(a);
+  const EigenDecomposition full = eigen_symmetric(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast[i], full.values[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenPropertyTest, ::testing::Range(0, 12));
+
+TEST(SpectralSummaryTest, BasicQuantities) {
+  // Doubly stochastic 3×3 averaging matrix spectrum: {1, λ2, λ3}.
+  const Vector values{-0.2, 0.5, 1.0};
+  const SpectralSummary s = spectral_summary(values);
+  EXPECT_DOUBLE_EQ(s.lambda_max, 1.0);
+  EXPECT_DOUBLE_EQ(s.lambda_min, -0.2);
+  EXPECT_DOUBLE_EQ(s.lambda_bar_max, 0.5);   // largest below 1
+  EXPECT_DOUBLE_EQ(s.lambda_bar_min, 0.5);   // smallest above 0
+  EXPECT_DOUBLE_EQ(s.slem, 0.5);
+}
+
+TEST(SpectralSummaryTest, SlemPicksNegativeTail) {
+  const Vector values{-0.9, 0.1, 1.0};
+  EXPECT_DOUBLE_EQ(spectral_summary(values).slem, 0.9);
+}
+
+TEST(SpectralSummaryTest, CompleteConsensusMatrix) {
+  // (1/n) 11ᵀ has spectrum {0, ..., 0, 1}.
+  const std::size_t n = 4;
+  Matrix j(n, n, 1.0 / static_cast<double>(n));
+  const SpectralSummary s = spectral_summary(j);
+  EXPECT_NEAR(s.lambda_max, 1.0, 1e-10);
+  EXPECT_NEAR(s.lambda_min, 0.0, 1e-10);
+  EXPECT_NEAR(s.lambda_bar_max, 0.0, 1e-10);
+  EXPECT_NEAR(s.slem, 0.0, 1e-10);
+}
+
+TEST(SpectralSummaryTest, IdentityHasEverythingAtOne) {
+  const SpectralSummary s = spectral_summary(Matrix::identity(3));
+  EXPECT_DOUBLE_EQ(s.lambda_max, 1.0);
+  EXPECT_DOUBLE_EQ(s.lambda_min, 1.0);
+  // No eigenvalue strictly below 1: λ̄_max falls back to λ_min.
+  EXPECT_DOUBLE_EQ(s.lambda_bar_max, 1.0);
+  EXPECT_DOUBLE_EQ(s.slem, 1.0);
+}
+
+TEST(SpectralSummaryTest, EmptySpectrumRejected) {
+  EXPECT_THROW(spectral_summary(Vector{}), common::ContractViolation);
+}
+
+}  // namespace
+}  // namespace snap::linalg

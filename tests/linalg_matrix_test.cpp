@@ -1,0 +1,193 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snap::linalg {
+namespace {
+
+TEST(MatrixTest, ShapeAndZeroFill) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.is_square());
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), common::ContractViolation);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), common::ContractViolation);
+  EXPECT_THROW(m.at(0, 2), common::ContractViolation);
+}
+
+TEST(MatrixTest, ArithmeticAndShapeChecks) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  Matrix wrong(1, 2);
+  EXPECT_THROW(a += wrong, common::ContractViolation);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.multiply(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_THROW(m.multiply(Vector{1.0}), common::ContractViolation);
+}
+
+TEST(MatrixTest, MatrixMatrixProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(MatrixTest, MultiplyIdentityIsNoOp) {
+  common::Rng rng(3);
+  Matrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = rng.normal();
+  }
+  EXPECT_TRUE(approx_equal(m.multiply(Matrix::identity(4)), m, 1e-12));
+  EXPECT_TRUE(approx_equal(Matrix::identity(4).multiply(m), m, 1e-12));
+}
+
+TEST(MatrixTest, NormsAndSums) {
+  Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(1), -4.0);
+  EXPECT_DOUBLE_EQ(m.trace(), -1.0);
+}
+
+TEST(MatrixTest, TraceRequiresSquare) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.trace(), common::ContractViolation);
+}
+
+TEST(MatrixTest, SymmetryDetection) {
+  Matrix sym{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_TRUE(sym.is_symmetric());
+  Matrix asym{{1.0, 2.0}, {2.1, 5.0}};
+  EXPECT_FALSE(asym.is_symmetric(1e-6));
+  EXPECT_TRUE(asym.is_symmetric(0.2));
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(MatrixTest, DoublyStochasticDetection) {
+  Matrix ds{{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_TRUE(is_doubly_stochastic(ds));
+  EXPECT_TRUE(is_doubly_stochastic(Matrix::identity(3)));
+  Matrix rows_only{{0.3, 0.7}, {0.3, 0.7}};  // columns sum to 0.6 / 1.4
+  EXPECT_FALSE(is_doubly_stochastic(rows_only));
+  Matrix negative{{1.5, -0.5}, {-0.5, 1.5}};  // sums fine, entries < 0
+  EXPECT_FALSE(is_doubly_stochastic(negative));
+  EXPECT_FALSE(is_doubly_stochastic(Matrix(2, 3)));
+}
+
+TEST(MatrixTest, RowSpanWritesThrough) {
+  Matrix m(2, 2);
+  m.row(1)[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, FillSetsEverything) {
+  Matrix m(2, 2);
+  m.fill(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+}
+
+TEST(MatrixTest, EqualityAndApproxEquality) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = a;
+  EXPECT_TRUE(a == b);
+  b(0, 0) += 1e-10;
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, Matrix(2, 3), 1.0));
+}
+
+/// (AB)ᵀ = BᵀAᵀ on random matrices.
+class MatrixAlgebraPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixAlgebraPropertyTest, TransposeOfProduct) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam() % 4);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.normal();
+      b(r, c) = rng.normal();
+    }
+  }
+  const Matrix left = a.multiply(b).transposed();
+  const Matrix right = b.transposed().multiply(a.transposed());
+  EXPECT_TRUE(approx_equal(left, right, 1e-10));
+}
+
+TEST_P(MatrixAlgebraPropertyTest, DistributivityOverAddition) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t n = 4;
+  Matrix a(n, n);
+  Matrix b(n, n);
+  Matrix c(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < n; ++k) {
+      a(r, k) = rng.normal();
+      b(r, k) = rng.normal();
+      c(r, k) = rng.normal();
+    }
+  }
+  const Matrix left = a.multiply(b + c);
+  const Matrix right = a.multiply(b) + a.multiply(c);
+  EXPECT_TRUE(approx_equal(left, right, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixAlgebraPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace snap::linalg

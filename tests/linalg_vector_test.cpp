@@ -1,0 +1,136 @@
+#include "linalg/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::linalg {
+namespace {
+
+TEST(VectorTest, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VectorTest, SizedConstructionZeroFills) {
+  Vector v(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(VectorTest, FillConstruction) {
+  Vector v(3, 2.5);
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+  EXPECT_DOUBLE_EQ(v[2], 2.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, -2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(VectorTest, AtBoundsChecked) {
+  Vector v{1.0};
+  EXPECT_DOUBLE_EQ(v.at(0), 1.0);
+  EXPECT_THROW(v.at(1), common::ContractViolation);
+}
+
+TEST(VectorTest, AdditionAndSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{10.0, 20.0};
+  const Vector sum = a + b;
+  const Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(sum[0], 11.0);
+  EXPECT_DOUBLE_EQ(sum[1], 22.0);
+  EXPECT_DOUBLE_EQ(diff[0], 9.0);
+  EXPECT_DOUBLE_EQ(diff[1], 18.0);
+}
+
+TEST(VectorTest, DimensionMismatchThrows) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0};
+  EXPECT_THROW(a += b, common::ContractViolation);
+  EXPECT_THROW(a -= b, common::ContractViolation);
+  EXPECT_THROW(dot(a, b), common::ContractViolation);
+  EXPECT_THROW(max_abs_diff(a, b), common::ContractViolation);
+  EXPECT_THROW(a.axpy(1.0, b), common::ContractViolation);
+}
+
+TEST(VectorTest, ScalarOps) {
+  Vector v{1.0, -2.0};
+  v *= 3.0;
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], -6.0);
+  v /= 2.0;
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_THROW(v /= 0.0, common::ContractViolation);
+  const Vector w = 2.0 * Vector{1.0, 1.0} * 3.0;
+  EXPECT_DOUBLE_EQ(w[0], 6.0);
+}
+
+TEST(VectorTest, AxpyFusedUpdate) {
+  Vector y{1.0, 1.0};
+  Vector x{2.0, -3.0};
+  y.axpy(0.5, x);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -0.5);
+}
+
+TEST(VectorTest, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.sum(), -1.0);
+  EXPECT_DOUBLE_EQ(Vector{}.norm_inf(), 0.0);
+}
+
+TEST(VectorTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorTest, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(max_abs_diff(Vector{1.0, 5.0}, Vector{2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(Vector{}, Vector{}), 0.0);
+}
+
+TEST(VectorTest, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(Vector{1.0, 2.0}, Vector{1.0 + 1e-10, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.1}, 1e-3));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.0, 2.0}, 1.0));
+}
+
+TEST(VectorTest, FillAndResize) {
+  Vector v(2);
+  v.fill(7.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  v.resize(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);  // new components zero-filled
+  EXPECT_DOUBLE_EQ(v[0], 7.0);  // old preserved
+}
+
+TEST(VectorTest, EqualityIsExact) {
+  EXPECT_TRUE(Vector({1.0, 2.0}) == Vector({1.0, 2.0}));
+  EXPECT_FALSE(Vector({1.0}) == Vector({1.0 + 1e-15}));
+}
+
+TEST(VectorTest, SpanViewsAliasStorage) {
+  Vector v{1.0, 2.0};
+  v.span()[0] = 9.0;
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+  EXPECT_EQ(v.span().size(), 2u);
+}
+
+TEST(VectorTest, RangeForIteration) {
+  Vector v{1.0, 2.0, 3.0};
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+}  // namespace
+}  // namespace snap::linalg

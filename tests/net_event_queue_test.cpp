@@ -1,0 +1,149 @@
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace snap::net {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule_at(3.0, [&] { fired.push_back(3); });
+  queue.schedule_at(1.0, [&] { fired.push_back(1); });
+  queue.schedule_at(2.0, [&] { fired.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue queue;
+  std::string order;
+  queue.schedule_at(1.0, [&] { order += 'a'; });
+  queue.schedule_at(1.0, [&] { order += 'b'; });
+  queue.schedule_at(1.0, [&] { order += 'c'; });
+  queue.run_all();
+  EXPECT_EQ(order, "abc");
+}
+
+TEST(EventQueueTest, ScheduleInIsRelativeToNow) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule_at(5.0, [&] {
+    queue.schedule_in(2.5, [&] { fired_at = queue.now(); });
+  });
+  queue.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueueTest, RunNextReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_next());
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadlineInclusive) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule_at(1.0, [&] { fired.push_back(1); });
+  queue.schedule_at(2.0, [&] { fired.push_back(2); });
+  queue.schedule_at(3.0, [&] { fired.push_back(3); });
+  queue.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // 2.0 fires, 3.0 waits
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_until(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);  // advances to the deadline
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const auto token = queue.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_TRUE(queue.cancel(token));
+  EXPECT_EQ(queue.pending(), 0u);
+  queue.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelOfFiredOrUnknownTokensFails) {
+  EventQueue queue;
+  const auto token = queue.schedule_at(1.0, [] {});
+  queue.run_all();
+  EXPECT_FALSE(queue.cancel(token));   // already fired
+  EXPECT_FALSE(queue.cancel(9999));    // never existed
+  EXPECT_FALSE(queue.cancel(token));   // double cancel
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) queue.schedule_in(1.0, chain);
+  };
+  queue.schedule_at(0.0, chain);
+  queue.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueueTest, RunAllGuardsAgainstRunawayCascades) {
+  EventQueue queue;
+  std::function<void()> forever = [&] { queue.schedule_in(1.0, forever); };
+  queue.schedule_at(0.0, forever);
+  EXPECT_THROW(queue.run_all(/*max_events=*/100),
+               common::ContractViolation);
+}
+
+TEST(EventQueueTest, RejectsSchedulingIntoThePast) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), common::ContractViolation);
+  EXPECT_THROW(queue.schedule_in(-1.0, [] {}), common::ContractViolation);
+  EXPECT_THROW(queue.schedule_at(6.0, nullptr), common::ContractViolation);
+}
+
+TEST(EventQueueTest, RunUntilRejectsPastDeadlines) {
+  EventQueue queue;
+  queue.schedule_at(2.0, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.run_until(1.0), common::ContractViolation);
+}
+
+TEST(EventQueueTest, TimerSimulationIsDeterministic) {
+  // A miniature §IV-D scenario: three nodes with different compute
+  // times share a 1.0-second exchange timer; the trace must be exactly
+  // reproducible.
+  auto run_trace = [] {
+    EventQueue queue;
+    std::vector<std::pair<double, int>> trace;
+    const double compute[3] = {0.3, 0.5, 0.8};
+    for (int node = 0; node < 3; ++node) {
+      std::function<void()> tick = [&, node]() {
+        trace.emplace_back(queue.now(), node);
+        if (queue.now() < 3.0) {
+          queue.schedule_in(1.0, [&, node] {
+            queue.schedule_in(compute[node],
+                              [&, node] { trace.emplace_back(
+                                              queue.now(), node + 10); });
+          });
+        }
+      };
+      queue.schedule_at(compute[node], tick);
+    }
+    queue.run_all();
+    return trace;
+  };
+  EXPECT_EQ(run_trace(), run_trace());
+}
+
+}  // namespace
+}  // namespace snap::net

@@ -1,0 +1,90 @@
+// Robustness fuzzing for the wire decoder: arbitrary bytes from the
+// network must never crash the parser — it either rejects them or
+// returns a structurally valid frame. (The decoder is the only place
+// untrusted input enters the library.)
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/frame.hpp"
+
+namespace snap::net {
+namespace {
+
+/// Structural validity: indices sorted, unique, in range.
+void expect_valid(const UpdateFrame& frame) {
+  std::uint32_t last = 0;
+  for (std::size_t i = 0; i < frame.updates.size(); ++i) {
+    const auto idx = frame.updates[i].index;
+    EXPECT_LT(idx, frame.total_params);
+    if (i > 0) {
+      EXPECT_GT(idx, last);
+    }
+    last = idx;
+  }
+  EXPECT_LE(frame.updates.size(), frame.total_params);
+}
+
+class FrameFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameFuzzTest, RandomBytesNeverCrashOrYieldInvalidFrames) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto size =
+        static_cast<std::size_t>(rng.uniform_u64(200));
+    std::vector<std::byte> bytes(size);
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>(rng.uniform_u64(256));
+    }
+    const auto decoded = decode_update_frame(bytes);
+    if (decoded.has_value()) expect_valid(*decoded);
+  }
+}
+
+TEST_P(FrameFuzzTest, MutatedValidFramesNeverCrash) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a valid frame, then corrupt a few random bytes.
+    const std::uint32_t total =
+        1 + static_cast<std::uint32_t>(rng.uniform_u64(64));
+    const auto sent = static_cast<std::size_t>(rng.uniform_u64(total + 1));
+    const auto chosen = rng.sample_without_replacement(total, sent);
+    std::vector<std::size_t> sorted(chosen.begin(), chosen.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<ParamUpdate> updates;
+    for (const auto idx : sorted) {
+      updates.push_back({static_cast<std::uint32_t>(idx), rng.normal()});
+    }
+    auto bytes = encode_update_frame(total, updates);
+    const auto flips = 1 + rng.uniform_u64(4);
+    for (std::uint64_t f = 0; f < flips && !bytes.empty(); ++f) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_u64(bytes.size()));
+      bytes[pos] ^= static_cast<std::byte>(1u << rng.uniform_u64(8));
+    }
+    const auto decoded = decode_update_frame(bytes);
+    if (decoded.has_value()) expect_valid(*decoded);
+  }
+}
+
+TEST_P(FrameFuzzTest, TruncationsOfValidFramesNeverCrash) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 11);
+  const std::uint32_t total = 40;
+  const auto chosen = rng.sample_without_replacement(total, 13);
+  std::vector<std::size_t> sorted(chosen.begin(), chosen.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<ParamUpdate> updates;
+  for (const auto idx : sorted) {
+    updates.push_back({static_cast<std::uint32_t>(idx), rng.normal()});
+  }
+  const auto bytes = encode_update_frame(total, updates);
+  for (std::size_t keep = 0; keep <= bytes.size(); ++keep) {
+    const auto decoded = decode_update_frame(
+        std::span<const std::byte>(bytes.data(), keep));
+    if (decoded.has_value()) expect_valid(*decoded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace snap::net

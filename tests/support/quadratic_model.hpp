@@ -1,0 +1,78 @@
+// Test-only model with a closed-form optimum.
+//
+// Each node's objective is f_i(x) = ½‖x − c_i‖², where c_i is the mean
+// of the feature rows in that node's shard. The aggregate objective
+// Σ_i f_i has the unique minimizer x* = mean_i(c_i), so consensus
+// optimization results can be checked against an exact answer.
+#pragma once
+
+#include <string>
+
+#include "ml/model.hpp"
+
+namespace snap::testing {
+
+class QuadraticModel final : public ml::Model {
+ public:
+  explicit QuadraticModel(std::size_t dim) : dim_(dim) {}
+
+  std::size_t param_count() const noexcept override { return dim_; }
+  std::string name() const override { return "quadratic"; }
+
+  double loss(const linalg::Vector& params,
+              const data::Dataset& data) const override {
+    const linalg::Vector c = center(data);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const double d = params[i] - c[i];
+      acc += d * d;
+    }
+    return 0.5 * acc;
+  }
+
+  ml::LossGradient loss_gradient(const linalg::Vector& params,
+                                 const data::Dataset& data) const override {
+    ml::LossGradient out;
+    const linalg::Vector c = center(data);
+    out.gradient = params;
+    out.gradient -= c;
+    out.loss = loss(params, data);
+    return out;
+  }
+
+  std::size_t predict(const linalg::Vector&,
+                      std::span<const double>) const override {
+    return 0;
+  }
+
+  linalg::Vector initial_params(common::Rng& rng) const override {
+    linalg::Vector x(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) x[i] = rng.normal(0.0, 1.0);
+    return x;
+  }
+
+  /// The shard's target point c_i (mean feature row; origin when empty).
+  linalg::Vector center(const data::Dataset& data) const {
+    linalg::Vector c(dim_);
+    if (data.empty()) return c;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+      const auto row = data.features(s);
+      for (std::size_t i = 0; i < dim_; ++i) c[i] += row[i];
+    }
+    c *= 1.0 / static_cast<double>(data.size());
+    return c;
+  }
+
+ private:
+  std::size_t dim_;
+};
+
+/// A single-point shard whose center is exactly `point`.
+inline data::Dataset point_shard(const linalg::Vector& point) {
+  data::Dataset d(point.size(), 2);
+  std::vector<double> row(point.begin(), point.end());
+  d.add(row, 0);
+  return d;
+}
+
+}  // namespace snap::testing

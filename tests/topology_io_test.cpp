@@ -1,0 +1,112 @@
+#include "topology/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::topology {
+namespace {
+
+TEST(EdgeListTest, RoundTripsRing) {
+  const Graph ring = make_ring(5);
+  std::stringstream buffer;
+  write_edge_list(buffer, ring);
+  const auto loaded = read_edge_list(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->node_count(), 5u);
+  EXPECT_EQ(loaded->edges(), ring.edges());
+}
+
+TEST(EdgeListTest, RoundTripsRandomGraphs) {
+  common::Rng rng(3);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const Graph g = make_random_connected(15, 4.0, rng);
+    std::stringstream buffer;
+    write_edge_list(buffer, g);
+    const auto loaded = read_edge_list(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->edges(), g.edges());
+  }
+}
+
+TEST(EdgeListTest, ParsesCommentsAndBlankLines) {
+  std::istringstream input(R"(# a triangle
+3
+
+0 1   # first edge
+1 2
+0 2
+)");
+  const auto loaded = read_edge_list(input);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->edge_count(), 3u);
+  EXPECT_TRUE(loaded->is_connected());
+}
+
+TEST(EdgeListTest, IsolatedNodesAreAllowed) {
+  std::istringstream input("4\n0 1\n");
+  const auto loaded = read_edge_list(input);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->node_count(), 4u);
+  EXPECT_FALSE(loaded->is_connected());
+}
+
+TEST(EdgeListTest, RejectsMalformedInput) {
+  std::string error;
+  {
+    std::istringstream input("");
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+    EXPECT_NE(error.find("missing node count"), std::string::npos);
+  }
+  {
+    std::istringstream input("0\n");
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+  }
+  {
+    std::istringstream input("3 junk\n");
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+  }
+  {
+    std::istringstream input("3\n0\n");
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+    EXPECT_NE(error.find("expected 'u v'"), std::string::npos);
+  }
+  {
+    std::istringstream input("3\n0 3\n");  // out of range
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+  }
+  {
+    std::istringstream input("3\n1 1\n");  // self-loop
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+  }
+  {
+    std::istringstream input("3\n0 1\n1 0\n");  // duplicate
+    EXPECT_FALSE(read_edge_list(input, &error).has_value());
+    EXPECT_NE(error.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(EdgeListFileTest, SaveLoadRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "snap_topology_test.txt";
+  const Graph g = make_grid(3, 3);
+  ASSERT_TRUE(save_edge_list(path.string(), g));
+  std::string error;
+  const auto loaded = load_edge_list(path.string(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->edges(), g.edges());
+  std::filesystem::remove(path);
+}
+
+TEST(EdgeListFileTest, MissingFileSetsError) {
+  std::string error;
+  EXPECT_FALSE(load_edge_list("/nonexistent/topo.txt", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snap::topology
