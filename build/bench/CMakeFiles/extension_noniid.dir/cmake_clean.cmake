@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_noniid.dir/extension_noniid.cpp.o"
+  "CMakeFiles/extension_noniid.dir/extension_noniid.cpp.o.d"
+  "extension_noniid"
+  "extension_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_wallclock.dir/extension_wallclock.cpp.o"
+  "CMakeFiles/extension_wallclock.dir/extension_wallclock.cpp.o.d"
+  "extension_wallclock"
+  "extension_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

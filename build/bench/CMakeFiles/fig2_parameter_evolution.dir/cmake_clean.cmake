@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_parameter_evolution.dir/fig2_parameter_evolution.cpp.o"
+  "CMakeFiles/fig2_parameter_evolution.dir/fig2_parameter_evolution.cpp.o.d"
+  "fig2_parameter_evolution"
+  "fig2_parameter_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_parameter_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

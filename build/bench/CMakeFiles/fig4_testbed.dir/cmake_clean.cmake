@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_testbed.dir/fig4_testbed.cpp.o"
+  "CMakeFiles/fig4_testbed.dir/fig4_testbed.cpp.o.d"
+  "fig4_testbed"
+  "fig4_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

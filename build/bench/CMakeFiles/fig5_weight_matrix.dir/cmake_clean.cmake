@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_weight_matrix.dir/fig5_weight_matrix.cpp.o"
+  "CMakeFiles/fig5_weight_matrix.dir/fig5_weight_matrix.cpp.o.d"
+  "fig5_weight_matrix"
+  "fig5_weight_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_weight_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_comm_cost.dir/fig8_comm_cost.cpp.o"
+  "CMakeFiles/fig8_comm_cost.dir/fig8_comm_cost.cpp.o.d"
+  "fig8_comm_cost"
+  "fig8_comm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

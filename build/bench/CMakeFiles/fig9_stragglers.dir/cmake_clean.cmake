@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_stragglers.dir/fig9_stragglers.cpp.o"
+  "CMakeFiles/fig9_stragglers.dir/fig9_stragglers.cpp.o.d"
+  "fig9_stragglers"
+  "fig9_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_svm.dir/credit_svm.cpp.o"
+  "CMakeFiles/credit_svm.dir/credit_svm.cpp.o.d"
+  "credit_svm"
+  "credit_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_mnist.dir/edge_mnist.cpp.o"
+  "CMakeFiles/edge_mnist.dir/edge_mnist.cpp.o.d"
+  "edge_mnist"
+  "edge_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

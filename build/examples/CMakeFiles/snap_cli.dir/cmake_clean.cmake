@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_cli.dir/snap_cli.cpp.o"
+  "CMakeFiles/snap_cli.dir/snap_cli.cpp.o.d"
+  "snap_cli"
+  "snap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_resilience.dir/straggler_resilience.cpp.o"
+  "CMakeFiles/straggler_resilience.dir/straggler_resilience.cpp.o.d"
+  "straggler_resilience"
+  "straggler_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

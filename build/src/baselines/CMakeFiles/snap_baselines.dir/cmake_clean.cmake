@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_baselines.dir/centralized.cpp.o"
+  "CMakeFiles/snap_baselines.dir/centralized.cpp.o.d"
+  "CMakeFiles/snap_baselines.dir/parameter_server.cpp.o"
+  "CMakeFiles/snap_baselines.dir/parameter_server.cpp.o.d"
+  "CMakeFiles/snap_baselines.dir/terngrad.cpp.o"
+  "CMakeFiles/snap_baselines.dir/terngrad.cpp.o.d"
+  "CMakeFiles/snap_baselines.dir/topk.cpp.o"
+  "CMakeFiles/snap_baselines.dir/topk.cpp.o.d"
+  "libsnap_baselines.a"
+  "libsnap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

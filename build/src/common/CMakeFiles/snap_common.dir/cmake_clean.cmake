@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_common.dir/logging.cpp.o"
+  "CMakeFiles/snap_common.dir/logging.cpp.o.d"
+  "CMakeFiles/snap_common.dir/rng.cpp.o"
+  "CMakeFiles/snap_common.dir/rng.cpp.o.d"
+  "CMakeFiles/snap_common.dir/strings.cpp.o"
+  "CMakeFiles/snap_common.dir/strings.cpp.o.d"
+  "libsnap_common.a"
+  "libsnap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/edge_weights.cpp" "src/consensus/CMakeFiles/snap_consensus.dir/edge_weights.cpp.o" "gcc" "src/consensus/CMakeFiles/snap_consensus.dir/edge_weights.cpp.o.d"
+  "/root/repo/src/consensus/neighbor_planning.cpp" "src/consensus/CMakeFiles/snap_consensus.dir/neighbor_planning.cpp.o" "gcc" "src/consensus/CMakeFiles/snap_consensus.dir/neighbor_planning.cpp.o.d"
+  "/root/repo/src/consensus/weight_matrix.cpp" "src/consensus/CMakeFiles/snap_consensus.dir/weight_matrix.cpp.o" "gcc" "src/consensus/CMakeFiles/snap_consensus.dir/weight_matrix.cpp.o.d"
+  "/root/repo/src/consensus/weight_optimizer.cpp" "src/consensus/CMakeFiles/snap_consensus.dir/weight_optimizer.cpp.o" "gcc" "src/consensus/CMakeFiles/snap_consensus.dir/weight_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/snap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snap_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

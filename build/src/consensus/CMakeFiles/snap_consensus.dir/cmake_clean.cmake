@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_consensus.dir/edge_weights.cpp.o"
+  "CMakeFiles/snap_consensus.dir/edge_weights.cpp.o.d"
+  "CMakeFiles/snap_consensus.dir/neighbor_planning.cpp.o"
+  "CMakeFiles/snap_consensus.dir/neighbor_planning.cpp.o.d"
+  "CMakeFiles/snap_consensus.dir/weight_matrix.cpp.o"
+  "CMakeFiles/snap_consensus.dir/weight_matrix.cpp.o.d"
+  "CMakeFiles/snap_consensus.dir/weight_optimizer.cpp.o"
+  "CMakeFiles/snap_consensus.dir/weight_optimizer.cpp.o.d"
+  "libsnap_consensus.a"
+  "libsnap_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ape.cpp" "src/core/CMakeFiles/snap_core.dir/ape.cpp.o" "gcc" "src/core/CMakeFiles/snap_core.dir/ape.cpp.o.d"
+  "/root/repo/src/core/dgd.cpp" "src/core/CMakeFiles/snap_core.dir/dgd.cpp.o" "gcc" "src/core/CMakeFiles/snap_core.dir/dgd.cpp.o.d"
+  "/root/repo/src/core/extra.cpp" "src/core/CMakeFiles/snap_core.dir/extra.cpp.o" "gcc" "src/core/CMakeFiles/snap_core.dir/extra.cpp.o.d"
+  "/root/repo/src/core/snap_node.cpp" "src/core/CMakeFiles/snap_core.dir/snap_node.cpp.o" "gcc" "src/core/CMakeFiles/snap_core.dir/snap_node.cpp.o.d"
+  "/root/repo/src/core/snap_trainer.cpp" "src/core/CMakeFiles/snap_core.dir/snap_trainer.cpp.o" "gcc" "src/core/CMakeFiles/snap_core.dir/snap_trainer.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/snap_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/snap_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/snap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snap_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/snap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/snap_consensus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_core.dir/ape.cpp.o"
+  "CMakeFiles/snap_core.dir/ape.cpp.o.d"
+  "CMakeFiles/snap_core.dir/dgd.cpp.o"
+  "CMakeFiles/snap_core.dir/dgd.cpp.o.d"
+  "CMakeFiles/snap_core.dir/extra.cpp.o"
+  "CMakeFiles/snap_core.dir/extra.cpp.o.d"
+  "CMakeFiles/snap_core.dir/snap_node.cpp.o"
+  "CMakeFiles/snap_core.dir/snap_node.cpp.o.d"
+  "CMakeFiles/snap_core.dir/snap_trainer.cpp.o"
+  "CMakeFiles/snap_core.dir/snap_trainer.cpp.o.d"
+  "CMakeFiles/snap_core.dir/training.cpp.o"
+  "CMakeFiles/snap_core.dir/training.cpp.o.d"
+  "libsnap_core.a"
+  "libsnap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_data.dir/dataset.cpp.o"
+  "CMakeFiles/snap_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/snap_data.dir/partition.cpp.o"
+  "CMakeFiles/snap_data.dir/partition.cpp.o.d"
+  "CMakeFiles/snap_data.dir/synthetic_credit.cpp.o"
+  "CMakeFiles/snap_data.dir/synthetic_credit.cpp.o.d"
+  "CMakeFiles/snap_data.dir/synthetic_mnist.cpp.o"
+  "CMakeFiles/snap_data.dir/synthetic_mnist.cpp.o.d"
+  "libsnap_data.a"
+  "libsnap_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_experiments.dir/csv.cpp.o"
+  "CMakeFiles/snap_experiments.dir/csv.cpp.o.d"
+  "CMakeFiles/snap_experiments.dir/report.cpp.o"
+  "CMakeFiles/snap_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/snap_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/snap_experiments.dir/scenario.cpp.o.d"
+  "CMakeFiles/snap_experiments.dir/timing.cpp.o"
+  "CMakeFiles/snap_experiments.dir/timing.cpp.o.d"
+  "libsnap_experiments.a"
+  "libsnap_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/snap_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/snap_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/snap_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/snap_linalg.dir/vector.cpp.o"
+  "CMakeFiles/snap_linalg.dir/vector.cpp.o.d"
+  "libsnap_linalg.a"
+  "libsnap_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/checkpoint.cpp" "src/ml/CMakeFiles/snap_ml.dir/checkpoint.cpp.o" "gcc" "src/ml/CMakeFiles/snap_ml.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ml/linear_svm.cpp" "src/ml/CMakeFiles/snap_ml.dir/linear_svm.cpp.o" "gcc" "src/ml/CMakeFiles/snap_ml.dir/linear_svm.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/snap_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/snap_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/snap_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/snap_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/softmax_regression.cpp" "src/ml/CMakeFiles/snap_ml.dir/softmax_regression.cpp.o" "gcc" "src/ml/CMakeFiles/snap_ml.dir/softmax_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/snap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snap_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

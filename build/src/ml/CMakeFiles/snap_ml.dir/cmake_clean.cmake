@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_ml.dir/checkpoint.cpp.o"
+  "CMakeFiles/snap_ml.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/snap_ml.dir/linear_svm.cpp.o"
+  "CMakeFiles/snap_ml.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/snap_ml.dir/mlp.cpp.o"
+  "CMakeFiles/snap_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/snap_ml.dir/model.cpp.o"
+  "CMakeFiles/snap_ml.dir/model.cpp.o.d"
+  "CMakeFiles/snap_ml.dir/softmax_regression.cpp.o"
+  "CMakeFiles/snap_ml.dir/softmax_regression.cpp.o.d"
+  "libsnap_ml.a"
+  "libsnap_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

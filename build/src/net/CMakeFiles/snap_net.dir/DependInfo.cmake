@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cost_model.cpp" "src/net/CMakeFiles/snap_net.dir/cost_model.cpp.o" "gcc" "src/net/CMakeFiles/snap_net.dir/cost_model.cpp.o.d"
+  "/root/repo/src/net/event_queue.cpp" "src/net/CMakeFiles/snap_net.dir/event_queue.cpp.o" "gcc" "src/net/CMakeFiles/snap_net.dir/event_queue.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/snap_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/snap_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/link_failure.cpp" "src/net/CMakeFiles/snap_net.dir/link_failure.cpp.o" "gcc" "src/net/CMakeFiles/snap_net.dir/link_failure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snap_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_net.dir/cost_model.cpp.o"
+  "CMakeFiles/snap_net.dir/cost_model.cpp.o.d"
+  "CMakeFiles/snap_net.dir/event_queue.cpp.o"
+  "CMakeFiles/snap_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/snap_net.dir/frame.cpp.o"
+  "CMakeFiles/snap_net.dir/frame.cpp.o.d"
+  "CMakeFiles/snap_net.dir/link_failure.cpp.o"
+  "CMakeFiles/snap_net.dir/link_failure.cpp.o.d"
+  "libsnap_net.a"
+  "libsnap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_topology.dir/generators.cpp.o"
+  "CMakeFiles/snap_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/snap_topology.dir/graph.cpp.o"
+  "CMakeFiles/snap_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/snap_topology.dir/io.cpp.o"
+  "CMakeFiles/snap_topology.dir/io.cpp.o.d"
+  "libsnap_topology.a"
+  "libsnap_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

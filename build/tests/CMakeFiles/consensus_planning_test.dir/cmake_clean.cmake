@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_planning_test.dir/consensus_planning_test.cpp.o"
+  "CMakeFiles/consensus_planning_test.dir/consensus_planning_test.cpp.o.d"
+  "consensus_planning_test"
+  "consensus_planning_test.pdb"
+  "consensus_planning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_planning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

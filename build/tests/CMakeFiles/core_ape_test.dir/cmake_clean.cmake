@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ape_test.dir/core_ape_test.cpp.o"
+  "CMakeFiles/core_ape_test.dir/core_ape_test.cpp.o.d"
+  "core_ape_test"
+  "core_ape_test.pdb"
+  "core_ape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_straggler_test.cpp" "tests/CMakeFiles/core_straggler_test.dir/core_straggler_test.cpp.o" "gcc" "tests/CMakeFiles/core_straggler_test.dir/core_straggler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/snap_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/snap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/snap_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/snap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snap_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/snap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_straggler_test.dir/core_straggler_test.cpp.o"
+  "CMakeFiles/core_straggler_test.dir/core_straggler_test.cpp.o.d"
+  "core_straggler_test"
+  "core_straggler_test.pdb"
+  "core_straggler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_straggler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_csv_test.dir/experiments_csv_test.cpp.o"
+  "CMakeFiles/experiments_csv_test.dir/experiments_csv_test.cpp.o.d"
+  "experiments_csv_test"
+  "experiments_csv_test.pdb"
+  "experiments_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

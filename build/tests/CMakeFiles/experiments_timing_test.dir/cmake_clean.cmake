@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_timing_test.dir/experiments_timing_test.cpp.o"
+  "CMakeFiles/experiments_timing_test.dir/experiments_timing_test.cpp.o.d"
+  "experiments_timing_test"
+  "experiments_timing_test.pdb"
+  "experiments_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_sim_test.dir/net_sim_test.cpp.o"
+  "CMakeFiles/net_sim_test.dir/net_sim_test.cpp.o.d"
+  "net_sim_test"
+  "net_sim_test.pdb"
+  "net_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
