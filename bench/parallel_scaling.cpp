@@ -1,0 +1,109 @@
+// Round-throughput scaling of the thread-pool parallel trainers.
+//
+// Runs a fixed-length SNAP (SNO mode — every round moves the full
+// model, so the per-round work is constant) training job on a 32-node
+// topology with threads = 1 and threads = N, reports rounds/second and
+// the speedup, and verifies the determinism contract on the side: every
+// thread count must reproduce the serial run bit for bit.
+//
+// SNAP_BENCH_SCALE shrinks/grows the workload as for the figure
+// benches; SNAP_BENCH_THREADS overrides the parallel thread count
+// (default: 4, the acceptance configuration).
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "core/training.hpp"
+#include "experiments/scenario.hpp"
+
+namespace {
+
+using namespace snap;
+
+std::size_t parallel_threads() {
+  if (const char* raw = std::getenv("SNAP_BENCH_THREADS")) {
+    const long value = std::atol(raw);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return 4;
+}
+
+struct TimedRun {
+  core::TrainResult result;
+  double seconds = 0.0;
+};
+
+TimedRun run_with_threads(const experiments::ScenarioConfig& base,
+                          std::size_t threads) {
+  experiments::ScenarioConfig cfg = base;
+  cfg.threads = threads;
+  const experiments::Scenario scenario(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  TimedRun out;
+  out.result = scenario.run(experiments::Scheme::kSno);
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return out;
+}
+
+bool identical(const core::TrainResult& a, const core::TrainResult& b) {
+  if (a.total_bytes != b.total_bytes || a.total_cost != b.total_cost ||
+      a.iterations.size() != b.iterations.size() ||
+      a.final_train_loss != b.final_train_loss ||
+      a.final_params.size() != b.final_params.size()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < a.final_params.size(); ++d) {
+    if (a.final_params[d] != b.final_params[d]) return false;
+  }
+  for (std::size_t k = 0; k < a.iterations.size(); ++k) {
+    if (a.iterations[k].train_loss != b.iterations[k].train_loss ||
+        a.iterations[k].bytes != b.iterations[k].bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  experiments::ScenarioConfig cfg = bench::sim_config(32, 3.0);
+  cfg.convergence.max_iterations = bench::scaled(60);
+  cfg.convergence.loss_tolerance = 0.0;  // fixed-length run
+  cfg.convergence.target_loss = 0.0;
+  bench::print_run_header("parallel round scaling", cfg);
+
+  const std::size_t threads = parallel_threads();
+  std::cout << "nodes=32 rounds=" << cfg.convergence.max_iterations
+            << " hardware_threads=" << common::resolve_thread_count(0)
+            << "\n\n";
+
+  const TimedRun serial = run_with_threads(cfg, 1);
+  const TimedRun parallel = run_with_threads(cfg, threads);
+
+  const double rounds =
+      static_cast<double>(serial.result.iterations.size());
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "threads=1"
+            << "  wall=" << serial.seconds << "s"
+            << "  rounds/s=" << rounds / serial.seconds << "\n";
+  std::cout << "threads=" << threads << "  wall=" << parallel.seconds
+            << "s"
+            << "  rounds/s=" << rounds / parallel.seconds << "\n";
+  const double speedup = serial.seconds / parallel.seconds;
+  std::cout << "speedup=" << speedup << "x\n";
+
+  if (!identical(serial.result, parallel.result)) {
+    std::cout << "DETERMINISM VIOLATION: threads=" << threads
+              << " diverged from threads=1\n";
+    return 1;
+  }
+  std::cout << "determinism: threads=" << threads
+            << " bitwise identical to threads=1\n";
+  return 0;
+}

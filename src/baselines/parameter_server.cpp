@@ -4,9 +4,28 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "net/cost_model.hpp"
+#include "net/frame.hpp"
 
 namespace snap::baselines {
+
+namespace {
+
+/// Mean of the per-shard objectives at `params` — pure per-shard work
+/// fanned out, folded in shard order (same bitwise result for any
+/// thread count).
+double mean_shard_loss(const ml::Model& model, const linalg::Vector& params,
+                       const std::vector<data::Dataset>& shards,
+                       common::ThreadPool& pool) {
+  const double total = common::ordered_parallel_sum(
+      pool, shards.size(), [&](std::size_t worker) {
+        return model.loss(params, shards[worker]);
+      });
+  return total / static_cast<double>(shards.size());
+}
+
+}  // namespace
 
 core::TrainResult train_parameter_server(
     const topology::Graph& graph, const ml::Model& model,
@@ -25,11 +44,18 @@ core::TrainResult train_parameter_server(
   common::Rng batch_rng = rng.fork("batches");
   linalg::Vector params = model.initial_params(init_rng);
   const std::size_t p = model.param_count();
-  const std::size_t dense_bytes = 8 * p;
+  // A dense transfer is 8 bytes per parameter plus the frame header
+  // every scheme pays per socket write (tag + length) — same framing
+  // overhead the SNAP trainer charges, so cross-scheme byte comparisons
+  // stay apples-to-apples.
+  const std::size_t dense_bytes = net::kFrameHeaderBytes + 8 * p;
 
   net::CostTracker cost{net::HopMatrix(graph)};
   core::ConvergenceDetector detector(config.convergence);
   core::TrainResult result;
+  common::ThreadPool pool(config.threads);
+  std::vector<data::Dataset> batches(n, data::Dataset(1, 2));
+  std::vector<linalg::Vector> gradients(n);
 
   std::size_t iteration = 0;
   while (iteration < config.convergence.max_iterations &&
@@ -37,24 +63,37 @@ core::TrainResult train_parameter_server(
     ++iteration;
 
     // Workers compute and upload gradients; the PS averages them.
-    linalg::Vector mean_gradient(p);
+    // Minibatch draws consume batch_rng serially in worker order (so
+    // the sample sequence never depends on scheduling); the gradient
+    // evaluations — the expensive part — then fan out per worker.
+    const bool minibatch = config.batch_size != 0;
     for (std::size_t worker = 0; worker < n; ++worker) {
-      linalg::Vector gradient;
-      if (config.batch_size == 0 ||
-          config.batch_size >= shards[worker].size()) {
-        gradient = model.gradient(params, shards[worker]);
-      } else {
+      if (minibatch && config.batch_size < shards[worker].size()) {
         const auto chosen = batch_rng.sample_without_replacement(
             shards[worker].size(), config.batch_size);
-        gradient = model.gradient(params, shards[worker].subset(chosen));
+        batches[worker] = shards[worker].subset(chosen);
       }
+    }
+    pool.parallel_for(0, n, [&](std::size_t worker) {
+      const bool sampled =
+          minibatch && config.batch_size < shards[worker].size();
+      gradients[worker] = model.gradient(
+          params, sampled ? batches[worker] : shards[worker]);
+    });
+
+    // Compression is stateful (per-worker error feedback, rng streams),
+    // so it replays serially in worker order, as do the byte accounting
+    // and the gradient average.
+    linalg::Vector mean_gradient(p);
+    for (std::size_t worker = 0; worker < n; ++worker) {
+      linalg::Vector gradient = std::move(gradients[worker]);
       std::size_t wire_bytes = dense_bytes;
       if (config.compressor) {
         CompressedGradient compressed =
             config.compressor(gradient, worker);
         SNAP_ASSERT(compressed.gradient.size() == p);
         gradient = std::move(compressed.gradient);
-        wire_bytes = compressed.wire_bytes;
+        wire_bytes = net::kFrameHeaderBytes + compressed.wire_bytes;
       }
       if (worker != ps) {
         cost.record_flow(worker, ps, wire_bytes);
@@ -73,9 +112,7 @@ core::TrainResult train_parameter_server(
 
     // Bookkeeping: aggregate objective over all shards at the global
     // model (identical definition to the SNAP trainer's).
-    double loss = 0.0;
-    for (const auto& shard : shards) loss += model.loss(params, shard);
-    loss /= static_cast<double>(n);
+    const double loss = mean_shard_loss(model, params, shards, pool);
 
     core::IterationStats stats;
     stats.train_loss = loss;
@@ -101,9 +138,7 @@ core::TrainResult train_parameter_server(
   result.converged_after =
       result.converged ? detector.converged_after() : iteration;
   result.final_params = params;
-  double loss = 0.0;
-  for (const auto& shard : shards) loss += model.loss(params, shard);
-  result.final_train_loss = loss / static_cast<double>(n);
+  result.final_train_loss = mean_shard_loss(model, params, shards, pool);
   result.final_test_accuracy = model.accuracy(params, test);
   result.total_bytes = cost.total_bytes();
   result.total_cost = cost.total_cost();

@@ -48,6 +48,12 @@ struct ParameterServerConfig {
   /// enables minibatching — that stochasticity is what its ternary
   /// quantizer amplifies.
   std::size_t batch_size = 0;
+  /// Threads for the per-worker gradient and loss evaluation (0 = one
+  /// per hardware thread). Results are bitwise identical for every
+  /// value: batch sampling, compression (stateful), accounting, and the
+  /// gradient average all run serially in worker order — only the pure
+  /// gradient/loss computations fan out.
+  std::size_t threads = 1;
 };
 
 /// Runs the PS scheme over `graph` with one data shard per node.

@@ -1,0 +1,169 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace snap::common {
+
+std::size_t resolve_thread_count(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+namespace {
+
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+/// Shared state between the caller and the persistent workers. Workers
+/// sleep on work_cv_ until the generation counter moves, run their
+/// assigned chunk, then report back through pending_ / done_cv_.
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::vector<Range> assignments;  // one slot per worker
+  std::uint64_t generation = 0;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop(std::size_t slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Range range;
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock lock(mutex);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        range = assignments[slot];
+        task = body;
+      }
+      if (task != nullptr && range.begin < range.end) {
+        try {
+          for (std::size_t i = range.begin; i < range.end; ++i) (*task)(i);
+        } catch (...) {
+          std::lock_guard lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard lock(mutex);
+        if (--pending == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_thread_count(threads);
+  worker_count_ = count - 1;
+  if (worker_count_ == 0) return;
+  impl_ = new Impl();
+  impl_->assignments.resize(worker_count_);
+  impl_->workers.reserve(worker_count_);
+  for (std::size_t slot = 0; slot < worker_count_; ++slot) {
+    impl_->workers.emplace_back([this, slot] { impl_->worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& body) {
+  SNAP_REQUIRE(begin <= end);
+  const std::size_t items = end - begin;
+  if (items == 0) return;
+  if (impl_ == nullptr || items == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Chunk c covers [begin + c·items/parts, begin + (c+1)·items/parts):
+  // a pure function of (items, parts), which is what makes the schedule
+  // reproducible. Workers take chunks 1..parts−1; the caller runs 0.
+  const std::size_t parts = std::min(thread_count(), items);
+  const auto chunk = [&](std::size_t c) {
+    return Range{begin + c * items / parts, begin + (c + 1) * items / parts};
+  };
+  {
+    std::lock_guard lock(impl_->mutex);
+    SNAP_REQUIRE_MSG(impl_->body == nullptr,
+                     "parallel_for is not reentrant");
+    impl_->body = &body;
+    impl_->error = nullptr;
+    for (std::size_t slot = 0; slot < worker_count_; ++slot) {
+      impl_->assignments[slot] =
+          (slot + 1 < parts) ? chunk(slot + 1) : Range{};
+    }
+    impl_->pending = worker_count_;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  const Range own = chunk(0);
+  try {
+    for (std::size_t i = own.begin; i < own.end; ++i) body(i);
+  } catch (...) {
+    std::lock_guard lock(impl_->mutex);
+    if (!impl_->error) impl_->error = std::current_exception();
+  }
+
+  std::unique_lock lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+  impl_->body = nullptr;
+  if (impl_->error) {
+    std::exception_ptr error = impl_->error;
+    impl_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+double ordered_parallel_sum(
+    ThreadPool& pool, std::size_t n,
+    const std::function<double(std::size_t)>& body) {
+  std::vector<double> results(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { results[i] = body(i); });
+  double acc = 0.0;
+  for (const double v : results) acc += v;
+  return acc;
+}
+
+double ordered_parallel_max(
+    ThreadPool& pool, std::size_t n,
+    const std::function<double(std::size_t)>& body) {
+  std::vector<double> results(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { results[i] = body(i); });
+  double acc = 0.0;
+  for (const double v : results) acc = std::max(acc, v);
+  return acc;
+}
+
+}  // namespace snap::common

@@ -1,0 +1,70 @@
+// Fixed-size worker pool with a statically-chunked parallel_for.
+//
+// The round loop of every trainer is embarrassingly parallel across
+// nodes *within* a round, but the simulator's results must not depend on
+// how that work is scheduled. The pool therefore makes one promise the
+// usual work-stealing executors do not:
+//
+//   Determinism contract — parallel_for splits [begin, end) into at most
+//   thread_count() contiguous chunks whose boundaries depend only on the
+//   range size and the pool size, never on timing. The body must write
+//   only to state owned by its index (e.g. slot i of a preallocated
+//   buffer); cross-index reductions belong *after* the call, folded in a
+//   fixed order. Under that discipline results are bitwise identical for
+//   every thread count — the guarantee behind the `threads` knob on
+//   SnapTrainerConfig and friends.
+//
+// ordered_parallel_sum / ordered_parallel_max package the buffer-then-
+// fold pattern for the common scalar reductions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace snap::common {
+
+/// Resolves a user-facing thread-count knob: 0 means "one per hardware
+/// thread" (at least 1), any other value is taken literally.
+std::size_t resolve_thread_count(std::size_t requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// A pool of size k spawns k−1 workers: the caller's thread is pool
+  /// member 0 and executes the first chunk of every parallel_for.
+  /// `threads` of 0 resolves to the hardware concurrency; 1 yields a
+  /// pool that runs everything inline on the caller.
+  explicit ThreadPool(std::size_t threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in parallel regions (workers + caller).
+  std::size_t thread_count() const noexcept { return worker_count_ + 1; }
+
+  /// Invokes body(i) for every i in [begin, end), statically chunked
+  /// across the pool. Blocks until every index has run. Exceptions from
+  /// any chunk are rethrown here (the first one thrown wins; the region
+  /// still runs to completion). Not reentrant: body must not call back
+  /// into parallel_for on the same pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;         // null for single-thread pools
+  std::size_t worker_count_ = 0;
+};
+
+/// Evaluates body(i) for i in [0, n) in parallel, then sums the results
+/// in index order — bitwise identical to the serial loop
+/// `for (i = 0; i < n; ++i) acc += body(i);` regardless of thread count.
+double ordered_parallel_sum(ThreadPool& pool, std::size_t n,
+                            const std::function<double(std::size_t)>& body);
+
+/// Same pattern for a running max (0 for an empty range, matching the
+/// trainers' residual accumulators).
+double ordered_parallel_max(ThreadPool& pool, std::size_t n,
+                            const std::function<double(std::size_t)>& body);
+
+}  // namespace snap::common

@@ -9,11 +9,13 @@ namespace snap::core {
 
 DgdIteration::DgdIteration(linalg::Matrix w,
                            std::vector<linalg::Vector> initial,
-                           double alpha, GradientFn gradient)
+                           double alpha, GradientFn gradient,
+                           std::size_t threads)
     : w_(std::move(w)),
       alpha_(alpha),
       gradient_(std::move(gradient)),
-      current_(std::move(initial)) {
+      current_(std::move(initial)),
+      pool_(std::make_unique<common::ThreadPool>(threads)) {
   SNAP_REQUIRE(alpha_ > 0.0);
   SNAP_REQUIRE(gradient_ != nullptr);
   SNAP_REQUIRE(!current_.empty());
@@ -30,14 +32,16 @@ DgdIteration::DgdIteration(linalg::Matrix w,
 void DgdIteration::step() {
   const std::size_t n = current_.size();
   const std::size_t dim = current_.front().size();
+  // Each node's next iterate reads the (frozen) current_ snapshot and
+  // writes only its own row — independent across nodes.
   std::vector<linalg::Vector> next(n, linalg::Vector(dim));
-  for (std::size_t i = 0; i < n; ++i) {
+  pool_->parallel_for(0, n, [&](std::size_t i) {
     for (std::size_t j = 0; j < n; ++j) {
       const double w = w_(i, j);
       if (w != 0.0) next[i].axpy(w, current_[j]);
     }
     next[i].axpy(-alpha_, gradient_(i, current_[i]));
-  }
+  });
   current_ = std::move(next);
   ++iteration_;
 }
@@ -48,19 +52,25 @@ const linalg::Vector& DgdIteration::params(std::size_t node) const {
 }
 
 linalg::Vector DgdIteration::mean_params() const {
-  linalg::Vector mean(current_.front().size());
-  for (const auto& x : current_) mean += x;
-  mean *= 1.0 / static_cast<double>(current_.size());
+  // Parallel over dimensions; per-entry folds stay in node order, so
+  // the mean is bitwise independent of the thread count.
+  const std::size_t dim = current_.front().size();
+  const double inverse_count = 1.0 / static_cast<double>(current_.size());
+  linalg::Vector mean(dim);
+  pool_->parallel_for(0, dim, [&](std::size_t d) {
+    double acc = 0.0;
+    for (const auto& x : current_) acc += x[d];
+    mean[d] = acc * inverse_count;
+  });
   return mean;
 }
 
 double DgdIteration::consensus_residual() const {
   const linalg::Vector mean = mean_params();
-  double residual = 0.0;
-  for (const auto& x : current_) {
-    residual = std::max(residual, linalg::max_abs_diff(x, mean));
-  }
-  return residual;
+  return common::ordered_parallel_max(
+      *pool_, current_.size(), [&](std::size_t i) {
+        return linalg::max_abs_diff(current_[i], mean);
+      });
 }
 
 }  // namespace snap::core

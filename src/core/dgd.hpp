@@ -14,8 +14,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
@@ -27,9 +29,12 @@ class DgdIteration {
       std::function<linalg::Vector(std::size_t node, const linalg::Vector&)>;
 
   /// `w` must be symmetric doubly stochastic; one row of `initial` per
-  /// node; `alpha` is the (constant) step size.
+  /// node; `alpha` is the (constant) step size. `threads` parallelizes
+  /// the per-node mixing/gradient work (0 = hardware concurrency);
+  /// iterates are bitwise identical for every value — `gradient` must
+  /// be safe to call concurrently for distinct nodes.
   DgdIteration(linalg::Matrix w, std::vector<linalg::Vector> initial,
-               double alpha, GradientFn gradient);
+               double alpha, GradientFn gradient, std::size_t threads = 1);
 
   /// Advances one DGD iteration.
   void step();
@@ -45,6 +50,7 @@ class DgdIteration {
   double alpha_;
   GradientFn gradient_;
   std::vector<linalg::Vector> current_;
+  std::unique_ptr<common::ThreadPool> pool_;  // keeps the class movable
   std::size_t iteration_ = 0;
 };
 

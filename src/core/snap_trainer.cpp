@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "consensus/weight_matrix.hpp"
 #include "net/cost_model.hpp"
 #include "net/frame.hpp"
@@ -17,20 +18,36 @@ namespace snap::core {
 
 namespace {
 
-linalg::Vector mean_of(const std::vector<SnapNode>& nodes) {
-  linalg::Vector mean(nodes.front().params().size());
-  for (const auto& node : nodes) mean += node.params();
-  mean *= 1.0 / static_cast<double>(nodes.size());
+// Parallelized over the parameter dimension: each entry's sum still
+// folds node contributions in node order, so the result is bitwise
+// identical to the serial mean for any thread count.
+linalg::Vector mean_of(const std::vector<SnapNode>& nodes,
+                       common::ThreadPool& pool) {
+  const std::size_t dim = nodes.front().params().size();
+  const double inverse_count = 1.0 / static_cast<double>(nodes.size());
+  linalg::Vector mean(dim);
+  pool.parallel_for(0, dim, [&](std::size_t d) {
+    double acc = 0.0;
+    for (const auto& node : nodes) acc += node.params()[d];
+    mean[d] = acc * inverse_count;
+  });
   return mean;
 }
 
 double residual_of(const std::vector<SnapNode>& nodes,
-                   const linalg::Vector& mean) {
-  double residual = 0.0;
-  for (const auto& node : nodes) {
-    residual = std::max(residual, linalg::max_abs_diff(node.params(), mean));
-  }
-  return residual;
+                   const linalg::Vector& mean, common::ThreadPool& pool) {
+  return common::ordered_parallel_max(pool, nodes.size(), [&](std::size_t i) {
+    return linalg::max_abs_diff(nodes[i].params(), mean);
+  });
+}
+
+double mean_local_loss(const std::vector<SnapNode>& nodes,
+                       const linalg::Vector& at, common::ThreadPool& pool) {
+  const double total =
+      common::ordered_parallel_sum(pool, nodes.size(), [&](std::size_t i) {
+        return nodes[i].local_loss(at);
+      });
+  return total / static_cast<double>(nodes.size());
 }
 
 }  // namespace
@@ -101,6 +118,17 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
                                  std::map<std::uint32_t, double>>>
       backlog(n);
 
+  // Per-node phases of a round run on the pool; everything that touches
+  // shared state (mailbox, CostTracker, convergence detector) replays
+  // serially in node order from these preallocated staging buffers, so
+  // the round is bitwise reproducible for any config_.threads.
+  common::ThreadPool pool(config_.threads);
+  struct StagedFrame {
+    topology::NodeId to = 0;
+    std::vector<net::ParamUpdate> frame;
+  };
+  std::vector<std::vector<StagedFrame>> staged(n);
+
   TrainResult result;
   std::size_t iteration = 0;
   bool restarted = false;
@@ -109,8 +137,12 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     ++iteration;
     failures.advance_round();
 
-    // 1. Local EXTRA updates from current views.
-    for (auto& node : nodes) node.compute_update(config_.alpha);
+    // 1. Local EXTRA updates from current views. Each node only reads
+    // its own state plus immutable views of its neighbors' last frames,
+    // so nodes are independent within the step.
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      nodes[i].compute_update(config_.alpha);
+    });
 
     // Arm the APE controllers once the model has found its scale.
     const bool ape_enabled = config_.filter == FilterMode::kApe &&
@@ -129,13 +161,18 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     // keeps its frame in the backlog and retransmits (merged) when it
     // recovers — persistent-TCP semantics; only frames actually written
     // to a live link are charged.
-    for (topology::NodeId i = 0; i < n; ++i) {
-      // Warmup (and non-APE modes) behave like SNAP-0: send every
-      // changed parameter.
-      const FilterMode mode =
-          config_.filter == FilterMode::kApe && !ape_enabled
-              ? FilterMode::kExactChange
-              : config_.filter;
+    //
+    // Filtering and frame assembly touch only node-i state (its APE
+    // controller, its backlog row, its staging slot) and read-only
+    // round state (the failure draw), so they run on the pool; the
+    // mailbox posts and byte accounting replay in node order below.
+    //
+    // Warmup (and non-APE modes) behave like SNAP-0: send every changed
+    // parameter.
+    const FilterMode mode = config_.filter == FilterMode::kApe && !ape_enabled
+                                ? FilterMode::kExactChange
+                                : config_.filter;
+    pool.parallel_for(0, n, [&](std::size_t i) {
       const double threshold = ape_enabled ? ape[i].threshold() : 0.0;
       SnapNode::Outgoing outgoing = nodes[i].collect_updates(mode, threshold);
       if (ape_enabled) {
@@ -143,6 +180,7 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
         // (the paper's per-stage "restart" of the error bound).
         ape[i].record_iteration(outgoing.max_withheld);
       }
+      staged[i].clear();
       for (const auto j : nodes[i].neighbors()) {
         auto& queued = backlog[i][j];
         for (const net::ParamUpdate& u : outgoing.updates) {
@@ -158,10 +196,18 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
           frame.push_back({index, value});
         }
         queued.clear();
-        cost.record_flow(
-            i, j, net::best_frame_payload_bytes(total_params, frame.size()));
+        staged[i].push_back({j, std::move(frame)});
+      }
+    });
+    for (topology::NodeId i = 0; i < n; ++i) {
+      for (auto& [j, frame] : staged[i]) {
+        // Charge the frame's full on-wire size — header included, so
+        // even a heartbeat costs its kFrameHeaderBytes.
+        cost.record_flow(i, j,
+                         net::encoded_frame_bytes(total_params, frame.size()));
         mailbox.post(i, j, std::move(frame));
       }
+      staged[i].clear();
     }
 
     // 2b. One synchronized recursion restart, the round after every
@@ -185,18 +231,19 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       }
     }
 
-    // 3. Synchronous delivery.
+    // 3. Synchronous delivery. Each receiver folds its own inbox into
+    // its own views; inboxes are disjoint and read-only after the flip.
     mailbox.flip_round();
-    for (auto& node : nodes) node.advance_views();
-    for (topology::NodeId i = 0; i < n; ++i) {
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      nodes[i].advance_views();
       for (const auto& message : mailbox.inbox(i)) {
         nodes[i].apply_update(message.from, message.payload);
       }
-    }
+    });
 
     // 4. Bookkeeping: evaluate the mean model, test convergence.
-    const linalg::Vector mean = mean_of(nodes);
-    const double residual = residual_of(nodes, mean);
+    const linalg::Vector mean = mean_of(nodes, pool);
+    const double residual = residual_of(nodes, mean, pool);
 
     IterationStats stats;
     stats.consensus_residual = residual;
@@ -206,9 +253,7 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     // The aggregate objective (1/N) Σ_i f_i(x̄) feeds the convergence
     // detector every iteration; only the (pricier) accuracy is gated on
     // the eval schedule.
-    double loss = 0.0;
-    for (const auto& node : nodes) loss += node.local_loss(mean);
-    loss /= static_cast<double>(n);
+    const double loss = mean_local_loss(nodes, mean, pool);
     stats.train_loss = loss;
     if (evaluate) {
       stats.test_accuracy = model_->accuracy(mean, test);
@@ -227,14 +272,12 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     if (observer_) observer_(iteration, nodes);
   }
 
-  const linalg::Vector mean = mean_of(nodes);
+  const linalg::Vector mean = mean_of(nodes, pool);
   result.converged = detector.converged();
   result.converged_after =
       result.converged ? detector.converged_after() : iteration;
   result.final_params = mean;
-  double loss = 0.0;
-  for (const auto& node : nodes) loss += node.local_loss(mean);
-  result.final_train_loss = loss / static_cast<double>(n);
+  result.final_train_loss = mean_local_loss(nodes, mean, pool);
   result.final_test_accuracy = model_->accuracy(mean, test);
   result.total_bytes = cost.total_bytes();
   result.total_cost = cost.total_cost();

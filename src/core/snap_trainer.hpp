@@ -45,6 +45,14 @@ struct SnapTrainerConfig {
   StragglerPolicy straggler_policy = StragglerPolicy::kReweight;
   /// Seeds model initialization and failure sampling.
   std::uint64_t seed = 1;
+  /// Threads for the embarrassingly-parallel per-node phases of each
+  /// round (local updates, filtering, loss evaluation). 0 = one per
+  /// hardware thread, 1 = fully serial. Results are bitwise identical
+  /// for every value: parallel regions only write per-node slots of
+  /// preallocated buffers, and every reduction (byte accounting,
+  /// mailbox delivery, loss/mean/residual folds) runs serially in fixed
+  /// node order afterwards.
+  std::size_t threads = 1;
 };
 
 /// Optional per-iteration observer: (iteration index starting at 1,

@@ -165,6 +165,7 @@ core::TrainResult Scenario::run(
       c.alpha = cfg.alpha;
       c.convergence = criteria;
       c.seed = cfg.seed;
+      c.threads = cfg.threads;
       return baselines::train_parameter_server(impl_->graph, *impl_->model,
                                                impl_->shards, impl_->test,
                                                c);
@@ -174,6 +175,7 @@ core::TrainResult Scenario::run(
       c.alpha = cfg.alpha;
       c.convergence = criteria;
       c.seed = cfg.seed;
+      c.threads = cfg.threads;
       return baselines::train_parameter_server(
           impl_->graph, *impl_->model, impl_->shards, impl_->test,
           baselines::terngrad_config(c));
@@ -215,6 +217,7 @@ core::TrainResult Scenario::run_snap_variant(
   c.convergence = criteria;
   c.link_failure_probability = link_failure_probability;
   c.seed = cfg.seed;
+  c.threads = cfg.threads;
   const linalg::Matrix& w =
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
   core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,

@@ -77,6 +77,10 @@ struct ScenarioConfig {
   std::size_t ape_warmup_iterations = 5;
   double link_failure_probability = 0.0;
   consensus::WeightOptimizerConfig weight_optimizer;
+  /// Threads for the per-node phases of every scheme's round (0 = one
+  /// per hardware thread). Results are bitwise identical for every
+  /// value — see SnapTrainerConfig::threads.
+  std::size_t threads = 1;
   std::uint64_t seed = 2020;  ///< venue year — printed by every bench
 };
 

@@ -63,18 +63,23 @@ void jacobi_sweep(Matrix& a, Matrix* v) {
   }
 }
 
-/// Runs Jacobi to convergence; returns unsorted eigenvalues in the
-/// diagonal of `a`, rotations accumulated into *v when non-null.
-void jacobi(Matrix& a, Matrix* v, double tol, std::size_t max_sweeps) {
+/// Runs Jacobi until the off-diagonal mass falls below tolerance,
+/// leaving unsorted eigenvalues on the diagonal of `a` and rotations
+/// accumulated into *v when non-null. Returns whether the tolerance was
+/// reached within `max_sweeps` — a false return means the diagonal is
+/// NOT a valid spectrum and must not be reported as one.
+[[nodiscard]] bool jacobi(Matrix& a, Matrix* v, double tol,
+                          std::size_t max_sweeps) {
   SNAP_REQUIRE_MSG(a.is_square(), "eigendecomposition requires square input");
   SNAP_REQUIRE_MSG(a.is_symmetric(1e-9),
                    "eigendecomposition requires symmetric input");
   const double scale = std::max(a.frobenius_norm(), 1e-300);
   const double threshold_sq = (tol * scale) * (tol * scale);
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (off_diagonal_sq(a) <= threshold_sq) return;
+    if (off_diagonal_sq(a) <= threshold_sq) return true;
     jacobi_sweep(a, v);
   }
+  return off_diagonal_sq(a) <= threshold_sq;
 }
 
 }  // namespace
@@ -83,7 +88,10 @@ EigenDecomposition eigen_symmetric(const Matrix& a, double tol,
                                    std::size_t max_sweeps) {
   Matrix work = a;
   Matrix v = Matrix::identity(a.rows());
-  jacobi(work, &v, tol, max_sweeps);
+  SNAP_REQUIRE_MSG(jacobi(work, &v, tol, max_sweeps),
+                   "Jacobi eigensolver did not converge within "
+                       << max_sweeps << " sweeps (tol " << tol
+                       << ") — raise max_sweeps or loosen tol");
 
   const std::size_t n = a.rows();
   std::vector<std::size_t> order(n);
@@ -107,7 +115,10 @@ EigenDecomposition eigen_symmetric(const Matrix& a, double tol,
 Vector eigenvalues_symmetric(const Matrix& a, double tol,
                              std::size_t max_sweeps) {
   Matrix work = a;
-  jacobi(work, nullptr, tol, max_sweeps);
+  SNAP_REQUIRE_MSG(jacobi(work, nullptr, tol, max_sweeps),
+                   "Jacobi eigensolver did not converge within "
+                       << max_sweeps << " sweeps (tol " << tol
+                       << ") — raise max_sweeps or loosen tol");
   const std::size_t n = a.rows();
   std::vector<double> diag(n);
   for (std::size_t i = 0; i < n; ++i) diag[i] = work(i, i);
@@ -116,7 +127,7 @@ Vector eigenvalues_symmetric(const Matrix& a, double tol,
 }
 
 SpectralSummary spectral_summary(const Vector& sorted_eigenvalues,
-                                 double one_tol) {
+                                 double one_tol, double zero_tol) {
   SNAP_REQUIRE(!sorted_eigenvalues.empty());
   const std::size_t n = sorted_eigenvalues.size();
   SpectralSummary s;
@@ -134,11 +145,13 @@ SpectralSummary spectral_summary(const Vector& sorted_eigenvalues,
     }
   }
 
-  // λ̄_min: smallest eigenvalue strictly above 0. Defaults to λ_max when
-  // no eigenvalue is positive.
+  // λ̄_min: smallest eigenvalue strictly above 0, judged against
+  // zero_tol — "how far from 0 counts as positive" is a different
+  // question from one_tol's "how close to 1 is the trivial eigenvalue".
+  // Defaults to λ_max when no eigenvalue is positive.
   s.lambda_bar_min = sorted_eigenvalues[n - 1];
   for (std::size_t i = 0; i < n; ++i) {
-    if (sorted_eigenvalues[i] > one_tol) {
+    if (sorted_eigenvalues[i] > zero_tol) {
       s.lambda_bar_min = sorted_eigenvalues[i];
       break;
     }
@@ -148,8 +161,9 @@ SpectralSummary spectral_summary(const Vector& sorted_eigenvalues,
   return s;
 }
 
-SpectralSummary spectral_summary(const Matrix& a, double one_tol) {
-  return spectral_summary(eigenvalues_symmetric(a), one_tol);
+SpectralSummary spectral_summary(const Matrix& a, double one_tol,
+                                 double zero_tol) {
+  return spectral_summary(eigenvalues_symmetric(a), one_tol, zero_tol);
 }
 
 }  // namespace snap::linalg

@@ -25,13 +25,16 @@ struct EigenDecomposition {
 ///
 /// Preconditions: `a` is square and symmetric (within 1e-9). Sweeps until
 /// the off-diagonal Frobenius norm falls below `tol` times the matrix
-/// norm, or `max_sweeps` cyclic sweeps have run.
+/// norm. Exhausting `max_sweeps` before reaching tolerance throws
+/// ContractViolation — a partially-rotated diagonal is not a spectrum,
+/// and silently returning one poisons every downstream spectral
+/// quantity (SLEM, step-size bounds, optimizer objectives).
 EigenDecomposition eigen_symmetric(const Matrix& a, double tol = 1e-12,
                                    std::size_t max_sweeps = 64);
 
-/// Eigenvalues only (sorted ascending) — same algorithm, skips
-/// accumulating eigenvectors. This is the hot call in the weight
-/// optimizer's line search.
+/// Eigenvalues only (sorted ascending) — same algorithm and convergence
+/// contract, skips accumulating eigenvectors. This is the hot call in
+/// the weight optimizer's line search.
 Vector eigenvalues_symmetric(const Matrix& a, double tol = 1e-12,
                              std::size_t max_sweeps = 64);
 
@@ -47,12 +50,19 @@ struct SpectralSummary {
 };
 
 /// Computes the summary from sorted-ascending eigenvalues. `one_tol`
-/// controls how close to 1 (resp. 0) an eigenvalue must be to count as
-/// the trivial eigenvalue when computing λ̄.
+/// controls how close to 1 an eigenvalue must be to count as the
+/// trivial eigenvalue when computing λ̄_max; `zero_tol` is the separate
+/// threshold deciding when an eigenvalue counts as strictly positive
+/// for λ̄_min. The zero threshold is much tighter than the one
+/// threshold: Jacobi resolves eigenvalues near 0 to machine precision,
+/// whereas "the" eigenvalue at 1 carries the accumulated rounding of a
+/// whole row-stochastic matrix.
 SpectralSummary spectral_summary(const Vector& sorted_eigenvalues,
-                                 double one_tol = 1e-9);
+                                 double one_tol = 1e-9,
+                                 double zero_tol = 1e-12);
 
 /// Convenience: eigendecompose and summarize a symmetric matrix.
-SpectralSummary spectral_summary(const Matrix& a, double one_tol = 1e-9);
+SpectralSummary spectral_summary(const Matrix& a, double one_tol = 1e-9,
+                                 double zero_tol = 1e-12);
 
 }  // namespace snap::linalg

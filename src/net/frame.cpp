@@ -62,6 +62,12 @@ std::size_t best_frame_payload_bytes(std::size_t total_params,
                              total_params, sent_params);
 }
 
+std::size_t encoded_frame_bytes(std::size_t total_params,
+                                std::size_t sent_params) {
+  return kFrameHeaderBytes + best_frame_payload_bytes(total_params,
+                                                      sent_params);
+}
+
 std::vector<std::byte> encode_update_frame(
     std::uint32_t total_params, std::span<const ParamUpdate> updates) {
   check_updates(total_params, updates);
@@ -69,8 +75,8 @@ std::vector<std::byte> encode_update_frame(
       choose_frame_format(total_params, updates.size());
 
   common::ByteWriter writer(
-      1 + frame_payload_bytes(format, total_params, updates.size()) +
-      kIntBytes);
+      kFrameHeaderBytes +
+      frame_payload_bytes(format, total_params, updates.size()));
   writer.write_u8(static_cast<std::uint8_t>(format));
   writer.write_u32(total_params);
 

@@ -14,9 +14,12 @@
 //     parameter; size = 12·(N−M) bytes.
 //
 // The cheaper format is chosen per frame: A wins iff N > 2M + 1
-// (paper §IV-C). One extra tag byte identifies the format on the wire;
-// size accounting matches the paper's arithmetic (tag excluded) so the
-// reported byte counts line up with §V.
+// (paper §IV-C). On the wire every frame additionally carries a 1-byte
+// format tag and the 4-byte total_params field (kFrameHeaderBytes).
+// frame_payload_bytes keeps the paper's header-free arithmetic for the
+// §IV-C analysis; anything that bills traffic must charge the full
+// encoded size (encoded_frame_bytes) — an empty heartbeat still costs
+// its 5-byte header.
 #pragma once
 
 #include <cstddef>
@@ -50,8 +53,12 @@ struct UpdateFrame {
   FrameFormat format = FrameFormat::kIndexValue;
 };
 
+/// Bytes every encoded frame spends before its payload: the 1-byte
+/// format tag plus the 4-byte total_params field.
+inline constexpr std::size_t kFrameHeaderBytes = 1 + 4;
+
 /// Payload size in bytes of a frame under `format`, using the paper's
-/// arithmetic (4-byte integers, 8-byte doubles, no tag byte).
+/// arithmetic (4-byte integers, 8-byte doubles, header excluded).
 std::size_t frame_payload_bytes(FrameFormat format, std::size_t total_params,
                                 std::size_t sent_params);
 
@@ -63,6 +70,12 @@ FrameFormat choose_frame_format(std::size_t total_params,
 /// Payload size of the cheaper format.
 std::size_t best_frame_payload_bytes(std::size_t total_params,
                                      std::size_t sent_params);
+
+/// Full on-wire size of the frame encode_update_frame would produce:
+/// kFrameHeaderBytes + best_frame_payload_bytes. This is the quantity
+/// traffic accounting must charge per transmitted frame.
+std::size_t encoded_frame_bytes(std::size_t total_params,
+                                std::size_t sent_params);
 
 /// Serializes the frame using the cheaper format. `updates` must be
 /// sorted by index ascending, with indices < total_params and no

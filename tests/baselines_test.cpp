@@ -7,6 +7,7 @@
 #include "baselines/terngrad.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "net/frame.hpp"
 #include "support/quadratic_model.hpp"
 #include "topology/generators.hpp"
 
@@ -84,7 +85,7 @@ TEST(ParameterServerTest, ConvergesToMeanOfCenters) {
 TEST(ParameterServerTest, CostAccountingPerIteration) {
   // Star topology, 4 nodes. Whoever is PS, each other worker is 1 or 2
   // hops away; every iteration moves (n−1) uploads + (n−1) downloads of
-  // 8·P bytes each.
+  // a frame header plus 8·P bytes each.
   const auto g = topology::make_star(4);
   QuadraticModel model(2);
   ParameterServerConfig cfg;
@@ -93,7 +94,9 @@ TEST(ParameterServerTest, CostAccountingPerIteration) {
   cfg.convergence.loss_tolerance = 0.0;
   const auto result = train_parameter_server(g, model, corner_shards(),
                                              data::Dataset(2, 2), cfg);
-  const std::uint64_t per_iter = 2u * 3u * 8u * 2u;  // up+down, 3 workers, 8B, P=2
+  // up+down, 3 workers, header + 8B·(P=2) per transfer
+  const std::uint64_t per_iter =
+      2u * 3u * (net::kFrameHeaderBytes + 8u * 2u);
   for (const auto& iter : result.iterations) {
     EXPECT_EQ(iter.bytes, per_iter);
     EXPECT_GE(iter.cost, iter.bytes);  // hops ≥ 1 for every flow

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "net/frame.hpp"
 #include "support/quadratic_model.hpp"
 #include "topology/generators.hpp"
 
@@ -98,11 +99,12 @@ TEST(TopKEndToEndTest, ConvergesWithErrorFeedback) {
   // Error feedback converges to a small neighborhood (the carried
   // residual oscillates at O(α·residual) scale for constant α).
   EXPECT_LT(linalg::max_abs_diff(result.final_params, optimum), 0.15);
-  // Upload traffic reflects k, not the dimension.
+  // Upload traffic reflects k, not the dimension. Every transfer also
+  // pays the frame header.
   EXPECT_EQ(result.iterations.front().bytes,
             // 3 remote workers upload 24 bytes each; PS pushes back
             // 6×8 = 48 dense bytes to each.
-            3u * (24u + 48u));
+            3u * (2u * net::kFrameHeaderBytes + 24u + 48u));
 }
 
 TEST(TopKEndToEndTest, WithoutFeedbackConvergesLessAccurately) {

@@ -1,0 +1,132 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace snap::common {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // hardware concurrency, ≥ 1
+}
+
+TEST(ThreadPoolTest, ReportsPoolSize) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.thread_count(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.thread_count(), 4u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, HonorsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(4, 10, [&](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(hits[i], i >= 4 ? 1 : 0);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  std::vector<double> buffer(256, 0.0);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, buffer.size(),
+                      [&](std::size_t i) { buffer[i] += 1.0; });
+  }
+  for (const double v : buffer) EXPECT_EQ(v, 50.0);
+}
+
+TEST(ThreadPoolTest, PropagatesBodyExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing region and keeps working.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, RejectsReentrantParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 2,
+                                                     [](std::size_t) {});
+                                 }),
+               ContractViolation);
+}
+
+TEST(ThreadPoolTest, OrderedSumIsBitwiseThreadCountInvariant) {
+  // A sum of values at wildly different magnitudes is exactly the kind
+  // of reduction whose result depends on association order; the ordered
+  // fold must reproduce the serial result bit for bit.
+  const std::size_t n = 1000;
+  const auto term = [](std::size_t i) {
+    return std::pow(-1.0, static_cast<double>(i % 3)) *
+           std::exp(0.01 * static_cast<double>(i % 97)) /
+           static_cast<double>(i + 1);
+  };
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) serial += term(i);
+
+  for (const std::size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const double parallel = ordered_parallel_sum(pool, n, term);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, OrderedMaxMatchesSerialLoop) {
+  const std::size_t n = 513;
+  const auto term = [](std::size_t i) {
+    return std::abs(std::sin(static_cast<double>(i) * 0.37)) *
+           static_cast<double>((i * 7919) % 101);
+  };
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) serial = std::max(serial, term(i));
+
+  for (const std::size_t threads : {1u, 3u, 6u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(ordered_parallel_max(pool, n, term), serial)
+        << "threads=" << threads;
+  }
+  ThreadPool pool(2);
+  EXPECT_EQ(ordered_parallel_max(pool, 0, term), 0.0);  // empty range
+}
+
+TEST(ThreadPoolTest, MorePartsThanItemsStillCoversRange) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, 3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace snap::common

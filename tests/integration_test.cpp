@@ -101,8 +101,9 @@ TEST(IntegrationTest, CustomTopologyScenarioMatchesGraph) {
   const auto result = scenario.run(experiments::Scheme::kSno);
   EXPECT_EQ(result.iterations.size(), 20u);
   // SNO on a 7-ring: 14 directed frames per iteration of a dense
-  // 25-parameter frame (format A: 4 + 8·25 = 204 bytes).
-  EXPECT_EQ(result.iterations.front().bytes, 14u * 204u);
+  // 25-parameter frame (5-byte header + format A payload 4 + 8·25 =
+  // 209 bytes on the wire).
+  EXPECT_EQ(result.iterations.front().bytes, 14u * 209u);
 }
 
 TEST(IntegrationTest, ScenarioRejectsDisconnectedCustomTopology) {

@@ -128,6 +128,28 @@ TEST_P(EigenPropertyTest, ValuesOnlyAgreesWithFullDecomposition) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EigenPropertyTest, ::testing::Range(0, 12));
 
+TEST(EigenTest, SweepExhaustionThrowsInsteadOfReturningGarbage) {
+  // With zero sweeps allowed the rotation loop never runs, so any
+  // matrix with off-diagonal mass cannot meet tolerance — the solver
+  // must refuse rather than report the unrotated diagonal as a
+  // spectrum.
+  common::Rng rng(7);
+  const Matrix a = random_symmetric(6, rng);
+  EXPECT_THROW(eigenvalues_symmetric(a, 1e-12, 0),
+               common::ContractViolation);
+  EXPECT_THROW(eigen_symmetric(a, 1e-12, 0), common::ContractViolation);
+}
+
+TEST(EigenTest, SweepBudgetChecksConvergenceNotIterations) {
+  // An already-diagonal matrix satisfies the tolerance with zero
+  // sweeps; a generic one converges well inside the default budget.
+  const Matrix d = Matrix::diagonal(Vector{1.0, 2.0, 3.0});
+  EXPECT_NO_THROW(eigenvalues_symmetric(d, 1e-12, 0));
+  common::Rng rng(8);
+  const Matrix a = random_symmetric(10, rng);
+  EXPECT_NO_THROW(eigenvalues_symmetric(a));
+}
+
 TEST(SpectralSummaryTest, BasicQuantities) {
   // Doubly stochastic 3×3 averaging matrix spectrum: {1, λ2, λ3}.
   const Vector values{-0.2, 0.5, 1.0};
@@ -166,6 +188,38 @@ TEST(SpectralSummaryTest, IdentityHasEverythingAtOne) {
 
 TEST(SpectralSummaryTest, EmptySpectrumRejected) {
   EXPECT_THROW(spectral_summary(Vector{}), common::ContractViolation);
+}
+
+TEST(SpectralSummaryTest, ZeroTolIsSeparateFromOneTol) {
+  // An eigenvalue at 1e-10 sits *inside* the default one_tol (1e-9) but
+  // *above* the default zero_tol (1e-12): it must count as strictly
+  // positive for λ̄_min. Using one_tol as the zero threshold — the old
+  // bug — would skip it and misreport λ̄_min as 0.5.
+  const Vector values{1e-10, 0.5, 1.0};
+  const SpectralSummary s = spectral_summary(values);
+  EXPECT_DOUBLE_EQ(s.lambda_bar_min, 1e-10);
+  EXPECT_DOUBLE_EQ(s.lambda_bar_max, 0.5);
+
+  // Numerical zeros (≤ zero_tol) still don't count as positive.
+  const SpectralSummary t = spectral_summary(Vector{1e-13, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(t.lambda_bar_min, 0.5);
+
+  // Explicit thresholds override the defaults independently.
+  const SpectralSummary u =
+      spectral_summary(values, /*one_tol=*/1e-9, /*zero_tol=*/1e-8);
+  EXPECT_DOUBLE_EQ(u.lambda_bar_min, 0.5);
+}
+
+TEST(SpectralSummaryTest, OneTolExcludesNearOneEigenvalues) {
+  // 1 − 1e-10 is within one_tol of the trivial eigenvalue, so λ̄_max
+  // must skip past it to the next distinct eigenvalue.
+  const Vector values{0.3, 1.0 - 1e-10, 1.0};
+  const SpectralSummary s = spectral_summary(values);
+  EXPECT_DOUBLE_EQ(s.lambda_bar_max, 0.3);
+  // A looser zero_tol has no effect on the λ̄_max side.
+  const SpectralSummary t =
+      spectral_summary(values, /*one_tol=*/1e-12, /*zero_tol=*/1e-12);
+  EXPECT_DOUBLE_EQ(t.lambda_bar_max, 1.0 - 1e-10);
 }
 
 }  // namespace

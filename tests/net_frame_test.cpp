@@ -108,9 +108,37 @@ TEST(FrameCodecTest, WireSizeMatchesFormulaPlusHeader) {
   for (const std::size_t sent : {0u, 1u, 25u, 50u, 99u, 100u}) {
     const auto updates = make_updates(100, sent, rng);
     const auto bytes = encode_update_frame(100, updates);
-    // 1 tag byte + 4-byte total_params header + paper payload.
-    EXPECT_EQ(bytes.size(), 5 + best_frame_payload_bytes(100, sent));
+    // 1 tag byte + 4-byte total_params header + paper payload. This is
+    // the invariant every accounting site relies on: charging
+    // encoded_frame_bytes charges exactly what encode writes.
+    EXPECT_EQ(bytes.size(),
+              kFrameHeaderBytes + best_frame_payload_bytes(100, sent));
+    EXPECT_EQ(bytes.size(), encoded_frame_bytes(100, sent));
   }
+}
+
+TEST(FrameCodecTest, EmptyHeartbeatCostsExactlyTheHeader) {
+  // An empty frame (the liveness heartbeat) carries no payload but is
+  // not free: the tag + total_params header still crosses the wire.
+  const auto bytes = encode_update_frame(50, {});
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+  EXPECT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(encoded_frame_bytes(50, 0), 5u);
+  const auto decoded = decode_update_frame(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->updates.empty());
+  EXPECT_EQ(decoded->total_params, 50u);
+}
+
+TEST(FrameCodecTest, RoundTripsZeroParamModel) {
+  // total_params = 0 is a degenerate but legal frame (a model with no
+  // parameters): nothing can be sent, and the header round-trips.
+  const auto bytes = encode_update_frame(0, {});
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+  const auto decoded = decode_update_frame(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->total_params, 0u);
+  EXPECT_TRUE(decoded->updates.empty());
 }
 
 TEST(FrameCodecTest, RejectsUnsortedUpdates) {
