@@ -18,6 +18,7 @@
 #include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
 #include "ml/checkpoint.hpp"
+#include "runtime/fabric.hpp"
 #include "topology/io.hpp"
 
 namespace {
@@ -40,6 +41,21 @@ options (defaults in brackets):
   --iterations=K      iteration cap [400]
   --failure=P         per-round link failure probability [0]
   --seed=S            experiment seed [2020]
+  --fabric=NAME       sync (shared-clock rounds) | async (event-driven
+                      runtime; frames arrive when they arrive) [sync]
+  --compute=S         per-round compute time in seconds (async) [0.001]
+  --hetero=H          linear compute spread: the slowest node takes
+                      (1+H)x the base compute time (async) [0]
+  --jitter=J          lognormal-ish compute jitter fraction, 0<=J<1
+                      (async) [0]
+  --latency=S         per-hop link latency in seconds (async) [0.001]
+  --bandwidth=B       NIC bandwidth in bytes/s (async) [1.25e8]
+  --max-staleness=K   bounded-staleness gate: a node may run at most K
+                      rounds ahead of its slowest neighbor; 0 = off
+                      (async) [0]
+  --free-run          async decentralized schemes: drop the
+                      neighborhood pacing gate and let nodes free-run
+                      (EXTRA can diverge under persistent view skew)
   --csv=FILE          write the per-iteration series as CSV
   --topology=FILE     load the peer topology from an edge-list file
                       (see topology/io.hpp for the format)
@@ -97,7 +113,8 @@ int main(int argc, char** argv) {
     static const std::set<std::string> known{
         "scheme", "workload", "nodes", "degree", "complete", "train",
         "test", "alpha", "iterations", "failure", "seed", "csv",
-        "topology", "save-model", "help"};
+        "topology", "save-model", "help", "fabric", "compute", "hetero",
+        "jitter", "latency", "bandwidth", "max-staleness", "free-run"};
     if (!known.contains(key)) {
       std::cerr << "unknown option --" << key << " (try --help)\n";
       return 2;
@@ -137,7 +154,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     cfg.custom_topology = std::move(*loaded);
+    cfg.nodes = cfg.custom_topology->node_count();
   }
+
+  const auto fabric = runtime::parse_fabric_kind(get("fabric", "sync"));
+  if (!fabric.has_value()) {
+    std::cerr << "unknown fabric (sync or async; try --help)\n";
+    return 2;
+  }
+  cfg.fabric = *fabric;
+  const double base_compute = std::stod(get("compute", "0.001"));
+  const double hetero = std::stod(get("hetero", "0"));
+  cfg.async_timing.compute_s = base_compute;
+  if (hetero > 0.0) {
+    cfg.async_timing.node_compute_s =
+        runtime::linear_compute_spread(cfg.nodes, base_compute, hetero);
+  }
+  cfg.async_timing.compute_jitter = std::stod(get("jitter", "0"));
+  cfg.async_timing.link_latency_s = std::stod(get("latency", "0.001"));
+  cfg.async_timing.nic_bandwidth_bytes_per_s =
+      std::stod(get("bandwidth", "1.25e8"));
+  cfg.async_timing.max_staleness_rounds =
+      std::stoul(get("max-staleness", "0"));
+  cfg.async_free_run = args.contains("free-run");
+  cfg.async_timing.seed = cfg.seed;
 
   std::cout << "building scenario: "
             << (cfg.workload == experiments::Workload::kMnistMlp
@@ -149,6 +189,7 @@ int main(int argc, char** argv) {
 
   experiments::Table table({"metric", "value"});
   table.add_row({"scheme", std::string(experiments::scheme_name(*scheme))});
+  table.add_row({"fabric", std::string(runtime::fabric_name(cfg.fabric))});
   table.add_row({"converged", result.converged ? "yes" : "no"});
   table.add_row({"iterations", std::to_string(result.converged_after)});
   table.add_row(
@@ -161,6 +202,9 @@ int main(int argc, char** argv) {
       {"wire bytes", common::format_bytes(double(result.total_bytes))});
   table.add_row({"hop-weighted cost",
                  common::format_bytes(double(result.total_cost))});
+  table.add_row(
+      {"simulated time",
+       common::format_double(result.total_sim_seconds, 3) + " s"});
   table.print(std::cout);
 
   if (args.contains("save-model")) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repo-wide check: the tier-1 build + full ctest suite, then ASan and
+# TSan builds of the runtime/net surface (event queue, mailbox, fabric,
+# thread pool) so the sanitizer wiring is exercised routinely, not just
+# when someone remembers.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer builds (tier-1 only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> tier-1: configure + build + ctest (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$FAST" == 1 ]]; then
+  echo "==> --fast: skipping sanitizer builds"
+  exit 0
+fi
+
+# The concurrency- and event-driven surface the sanitizers are for.
+SAN_TESTS=(
+  net_event_queue_test
+  net_mailbox_test
+  runtime_fabric_test
+  common_thread_pool_test
+  core_parallel_determinism_test
+)
+
+for san in address thread; do
+  dir="build-${san/address/asan}"
+  dir="${dir/thread/tsan}"
+  echo "==> ${san} sanitizer: configure + build + run (${dir}/)"
+  cmake -B "$dir" -S . -DSNAP_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target "${SAN_TESTS[@]}"
+  for t in "${SAN_TESTS[@]}"; do
+    "./$dir/tests/$t" --gtest_brief=1
+  done
+done
+
+echo "==> all checks passed"

@@ -1,12 +1,15 @@
 #include "baselines/parameter_server.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "net/cost_model.hpp"
 #include "net/frame.hpp"
+#include "runtime/make_fabric.hpp"
 
 namespace snap::baselines {
 
@@ -42,7 +45,7 @@ core::TrainResult train_parameter_server(
 
   common::Rng init_rng = rng.fork("init");
   common::Rng batch_rng = rng.fork("batches");
-  linalg::Vector params = model.initial_params(init_rng);
+  linalg::Vector server_params = model.initial_params(init_rng);
   const std::size_t p = model.param_count();
   // A dense transfer is 8 bytes per parameter plus the frame header
   // every scheme pays per socket write (tag + length) — same framing
@@ -50,23 +53,77 @@ core::TrainResult train_parameter_server(
   // stay apples-to-apples.
   const std::size_t dense_bytes = net::kFrameHeaderBytes + 8 * p;
 
-  net::CostTracker cost{net::HopMatrix(graph)};
-  core::ConvergenceDetector detector(config.convergence);
-  core::TrainResult result;
-  common::ThreadPool pool(config.threads);
+  const bool minibatch = config.batch_size != 0;
+  std::size_t max_shard = 0;
+  for (const auto& shard : shards) {
+    max_shard = std::max(max_shard, shard.size());
+  }
+  const std::size_t round_samples =
+      minibatch ? std::min(config.batch_size, max_shard) : max_shard;
+
+  runtime::FabricConfig fabric_config;
+  fabric_config.threads = config.threads;
+  fabric_config.graph = &graph;
+  fabric_config.convergence = config.convergence;
+  fabric_config.eval = config.eval;
+  fabric_config.timing = config.timing;
+  fabric_config.round_compute_flops =
+      runtime::gradient_flops(p, round_samples);
+  using Payload = linalg::Vector;
+  auto fabric = runtime::make_fabric<Payload>(config.fabric, fabric_config,
+                                              config.async);
+
+  // Round-scoped state. Every worker keeps its own copy of the global
+  // model (they are identical under sync execution; under async a
+  // worker's copy is the last push it received).
   std::vector<data::Dataset> batches(n, data::Dataset(1, 2));
   std::vector<linalg::Vector> gradients(n);
+  std::vector<linalg::Vector> worker_params(n, server_params);
+  std::vector<std::optional<linalg::Vector>> pending(n);
+  std::vector<std::size_t> pushes_received(n, 0);
+  std::size_t steps = 0;  // server gradient steps applied
 
-  std::size_t iteration = 0;
-  while (iteration < config.convergence.max_iterations &&
-         !detector.converged()) {
-    ++iteration;
+  // Folds the gradients in worker order (bitwise-stable), steps the
+  // server, and pushes the new parameters. Fires from whichever event
+  // completes the round's gradient set: the last upload's mix, or —
+  // async, when the PS node itself is the last to finish computing —
+  // its own collect.
+  const auto maybe_aggregate =
+      [&](runtime::MessageSink<Payload>* sink,
+          std::vector<runtime::Envelope<Payload>>* out) {
+        if (std::any_of(pending.begin(), pending.end(),
+                        [](const std::optional<linalg::Vector>& g) {
+                          return !g.has_value();
+                        })) {
+          return;
+        }
+        linalg::Vector mean_gradient(p);
+        for (std::size_t worker = 0; worker < n; ++worker) {
+          mean_gradient += *pending[worker];
+          pending[worker].reset();
+        }
+        mean_gradient *= 1.0 / static_cast<double>(n);
+        server_params.axpy(-config.alpha, mean_gradient);
+        ++steps;
+        worker_params[ps] = server_params;
+        // Parameter push-back (uncompressed doubles) to every worker.
+        for (topology::NodeId worker = 0; worker < n; ++worker) {
+          if (worker == ps) continue;
+          if (sink != nullptr) {
+            sink->send(ps, worker, server_params, dense_bytes);
+          } else {
+            out->push_back({worker, server_params, dense_bytes});
+          }
+        }
+      };
 
-    // Workers compute and upload gradients; the PS averages them.
-    // Minibatch draws consume batch_rng serially in worker order (so
-    // the sample sequence never depends on scheduling); the gradient
-    // evaluations — the expensive part — then fan out per worker.
-    const bool minibatch = config.batch_size != 0;
+  runtime::RoundHooks<Payload> hooks;
+  hooks.node_count = n;
+
+  // Minibatch draws consume batch_rng serially in worker order (so the
+  // sample sequence never depends on scheduling); the gradient
+  // evaluations — the expensive part — then fan out per worker.
+  hooks.begin_round = [&](std::size_t) {
     for (std::size_t worker = 0; worker < n; ++worker) {
       if (minibatch && config.batch_size < shards[worker].size()) {
         const auto chosen = batch_rng.sample_without_replacement(
@@ -74,74 +131,85 @@ core::TrainResult train_parameter_server(
         batches[worker] = shards[worker].subset(chosen);
       }
     }
-    pool.parallel_for(0, n, [&](std::size_t worker) {
-      const bool sampled =
-          minibatch && config.batch_size < shards[worker].size();
-      gradients[worker] = model.gradient(
-          params, sampled ? batches[worker] : shards[worker]);
-    });
+  };
 
-    // Compression is stateful (per-worker error feedback, rng streams),
-    // so it replays serially in worker order, as do the byte accounting
-    // and the gradient average.
-    linalg::Vector mean_gradient(p);
-    for (std::size_t worker = 0; worker < n; ++worker) {
-      linalg::Vector gradient = std::move(gradients[worker]);
-      std::size_t wire_bytes = dense_bytes;
-      if (config.compressor) {
-        CompressedGradient compressed =
-            config.compressor(gradient, worker);
-        SNAP_ASSERT(compressed.gradient.size() == p);
-        gradient = std::move(compressed.gradient);
-        wire_bytes = net::kFrameHeaderBytes + compressed.wire_bytes;
-      }
-      if (worker != ps) {
-        cost.record_flow(worker, ps, wire_bytes);
-      }
-      mean_gradient += gradient;
+  hooks.local_update = [&](topology::NodeId worker) {
+    const bool sampled =
+        minibatch && config.batch_size < shards[worker].size();
+    gradients[worker] = model.gradient(
+        worker_params[worker], sampled ? batches[worker] : shards[worker]);
+  };
+
+  // Compression is stateful (per-worker error feedback, rng streams),
+  // so the collect phase replays serially in worker order. The PS's
+  // co-located worker hands its gradient over for free (no envelope).
+  hooks.parallel_collect = false;
+  hooks.collect = [&](topology::NodeId worker) {
+    linalg::Vector gradient = std::move(gradients[worker]);
+    std::size_t wire_bytes = dense_bytes;
+    if (config.compressor) {
+      CompressedGradient compressed = config.compressor(gradient, worker);
+      SNAP_ASSERT(compressed.gradient.size() == p);
+      gradient = std::move(compressed.gradient);
+      wire_bytes = net::kFrameHeaderBytes + compressed.wire_bytes;
     }
-    mean_gradient *= 1.0 / static_cast<double>(n);
+    std::vector<runtime::Envelope<Payload>> envelopes;
+    if (worker == ps) {
+      pending[ps] = std::move(gradient);
+      maybe_aggregate(nullptr, &envelopes);  // async fast path
+    } else {
+      envelopes.push_back({ps, std::move(gradient), wire_bytes});
+    }
+    return envelopes;
+  };
 
-    // Server step, then parameter push-back (uncompressed doubles).
-    params.axpy(-config.alpha, mean_gradient);
-    for (std::size_t worker = 0; worker < n; ++worker) {
-      if (worker != ps) {
-        cost.record_flow(ps, worker, dense_bytes);
+  hooks.mix = [&](topology::NodeId node,
+                  std::span<const runtime::Delivery<Payload>> deliveries,
+                  runtime::MessageSink<Payload>& sink) {
+    if (node == ps) {
+      for (const auto& message : deliveries) {
+        pending[message.from] = message.payload;
+      }
+      maybe_aggregate(&sink, nullptr);
+    } else {
+      // A push from the server: adopt the new global model.
+      for (const auto& message : deliveries) {
+        worker_params[node] = message.payload;
+        ++pushes_received[node];
       }
     }
+  };
 
-    // Bookkeeping: aggregate objective over all shards at the global
-    // model (identical definition to the SNAP trainer's).
-    const double loss = mean_shard_loss(model, params, shards, pool);
-
-    core::IterationStats stats;
-    stats.train_loss = loss;
-    const bool evaluate =
-        (iteration % std::max<std::size_t>(config.eval.every, 1)) == 0 ||
-        iteration == config.convergence.max_iterations;
-    if (evaluate) {
-      stats.test_accuracy = model.accuracy(params, test);
-      stats.evaluated = true;
+  // Bookkeeping: aggregate objective over all shards at the global
+  // model (identical definition to the SNAP trainer's).
+  hooks.evaluate = [&](std::size_t, bool measure_accuracy) {
+    runtime::RoundEval eval;
+    eval.train_loss =
+        mean_shard_loss(model, server_params, shards, fabric->pool());
+    eval.consensus_residual = 0.0;
+    if (measure_accuracy) {
+      eval.test_accuracy = model.accuracy(server_params, test);
+      eval.evaluated = true;
     }
-    cost.end_iteration();
-    stats.bytes = cost.bytes_per_iteration().back();
-    stats.cost = cost.cost_per_iteration().back();
-    stats.max_node_inbound_bytes = cost.max_inbound_per_iteration().back();
-    stats.max_node_outbound_bytes =
-        cost.max_outbound_per_iteration().back();
-    result.iterations.push_back(stats);
-    detector.observe(loss, 0.0,
-                     stats.evaluated ? stats.test_accuracy : -1.0);
-  }
+    return eval;
+  };
 
-  result.converged = detector.converged();
-  result.converged_after =
-      result.converged ? detector.converged_after() : iteration;
-  result.final_params = params;
-  result.final_train_loss = mean_shard_loss(model, params, shards, pool);
-  result.final_test_accuracy = model.accuracy(params, test);
-  result.total_bytes = cost.total_bytes();
-  result.total_cost = cost.total_cost();
+  // Async gates: the PS round is a barrier by construction. A worker
+  // may start round r only once it holds the round r−1 push; the
+  // server once it has applied step r−1; round r is measurable once
+  // step r exists.
+  hooks.ready = [&](topology::NodeId node, std::size_t round) {
+    if (node == ps) return steps >= round - 1;
+    return pushes_received[node] >= round - 1;
+  };
+  hooks.eval_ready = [&](std::size_t round) { return steps >= round; };
+
+  core::TrainResult result = fabric->run(hooks);
+
+  result.final_params = server_params;
+  result.final_train_loss =
+      mean_shard_loss(model, server_params, shards, fabric->pool());
+  result.final_test_accuracy = model.accuracy(server_params, test);
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "data/dataset.hpp"
 #include "linalg/vector.hpp"
 #include "ml/model.hpp"
+#include "runtime/fabric.hpp"
 #include "topology/graph.hpp"
 
 namespace snap::baselines {
@@ -54,6 +55,16 @@ struct ParameterServerConfig {
   /// gradient average all run serially in worker order — only the pure
   /// gradient/loss computations fan out.
   std::size_t threads = 1;
+  /// Execution engine (see SnapTrainerConfig::fabric). Under kAsync the
+  /// PS round stays barrier-synchronized by construction — workers wait
+  /// for the parameter push — so heterogeneity shows up purely as
+  /// wall-clock time: the round takes as long as the slowest worker
+  /// plus the incast-serialized uploads.
+  runtime::FabricKind fabric = runtime::FabricKind::kSync;
+  /// Heterogeneity model used when fabric == kAsync.
+  runtime::AsyncTimingConfig async;
+  /// Closed-form round timing that stamps sim_seconds under kSync.
+  runtime::TimingModel timing;
 };
 
 /// Runs the PS scheme over `graph` with one data shard per node.

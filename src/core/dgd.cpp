@@ -4,8 +4,22 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "runtime/sync_fabric.hpp"
 
 namespace snap::core {
+
+namespace {
+
+// DGD runs on an abstract mixing matrix (possibly dense — no topology),
+// so the fabric does no byte accounting and messages carry pointers
+// into the frozen current_ snapshot.
+runtime::FabricConfig dgd_fabric_config(std::size_t threads) {
+  runtime::FabricConfig config;
+  config.threads = threads;
+  return config;
+}
+
+}  // namespace
 
 DgdIteration::DgdIteration(linalg::Matrix w,
                            std::vector<linalg::Vector> initial,
@@ -15,7 +29,8 @@ DgdIteration::DgdIteration(linalg::Matrix w,
       alpha_(alpha),
       gradient_(std::move(gradient)),
       current_(std::move(initial)),
-      pool_(std::make_unique<common::ThreadPool>(threads)) {
+      fabric_(std::make_unique<runtime::SyncFabric<const linalg::Vector*>>(
+          dgd_fabric_config(threads))) {
   SNAP_REQUIRE(alpha_ > 0.0);
   SNAP_REQUIRE(gradient_ != nullptr);
   SNAP_REQUIRE(!current_.empty());
@@ -29,20 +44,67 @@ DgdIteration::DgdIteration(linalg::Matrix w,
   }
 }
 
+DgdIteration::~DgdIteration() = default;
+DgdIteration::DgdIteration(DgdIteration&&) noexcept = default;
+DgdIteration& DgdIteration::operator=(DgdIteration&&) noexcept = default;
+
+common::ThreadPool& DgdIteration::pool() const noexcept {
+  return fabric_->pool();
+}
+
 void DgdIteration::step() {
   const std::size_t n = current_.size();
   const std::size_t dim = current_.front().size();
-  // Each node's next iterate reads the (frozen) current_ snapshot and
-  // writes only its own row — independent across nodes.
-  std::vector<linalg::Vector> next(n, linalg::Vector(dim));
-  pool_->parallel_for(0, n, [&](std::size_t i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const double w = w_(i, j);
-      if (w != 0.0) next[i].axpy(w, current_[j]);
+  if (next_.size() != n) next_.assign(n, linalg::Vector(dim));
+  if (gradients_.size() != n) gradients_.resize(n);
+
+  // One DGD iteration as fabric phases over the frozen current_
+  // snapshot. Hooks are rebuilt per step so their captures stay valid
+  // across moves of this object.
+  using Payload = const linalg::Vector*;
+  runtime::RoundHooks<Payload> hooks;
+  hooks.node_count = n;
+
+  hooks.local_update = [&](topology::NodeId i) {
+    gradients_[i] = gradient_(i, current_[i]);
+  };
+
+  // Every nonzero off-diagonal W entry is a message: node i ships its
+  // (frozen) iterate to each j with w_ji ≠ 0.
+  hooks.collect = [&](topology::NodeId i) {
+    std::vector<runtime::Envelope<Payload>> envelopes;
+    for (topology::NodeId j = 0; j < n; ++j) {
+      if (j == i || w_(j, i) == 0.0) continue;
+      envelopes.push_back({j, &current_[i], 0});
     }
-    next[i].axpy(-alpha_, gradient_(i, current_[i]));
-  });
-  current_ = std::move(next);
+    return envelopes;
+  };
+
+  // next_[i] = Σ_j w_ij x_j − α ∇f_i(x_i), folding j in ascending
+  // order (deliveries arrive sorted by sender; the self term slots in
+  // at j == i) — bitwise identical to the pre-refactor dense loop.
+  hooks.mix = [&](topology::NodeId i,
+                  std::span<const runtime::Delivery<Payload>> deliveries,
+                  runtime::MessageSink<Payload>&) {
+    linalg::Vector& next = next_[i];
+    next = linalg::Vector(dim);
+    std::size_t d = 0;
+    for (topology::NodeId j = 0; j < n; ++j) {
+      const double w = w_(i, j);
+      if (j == i) {
+        if (w != 0.0) next.axpy(w, current_[i]);
+        continue;
+      }
+      if (d < deliveries.size() && deliveries[d].from == j) {
+        if (w != 0.0) next.axpy(w, *deliveries[d].payload);
+        ++d;
+      }
+    }
+    next.axpy(-alpha_, gradients_[i]);
+  };
+
+  fabric_->step_round(hooks, iteration_ + 1);
+  current_.swap(next_);
   ++iteration_;
 }
 
@@ -57,7 +119,7 @@ linalg::Vector DgdIteration::mean_params() const {
   const std::size_t dim = current_.front().size();
   const double inverse_count = 1.0 / static_cast<double>(current_.size());
   linalg::Vector mean(dim);
-  pool_->parallel_for(0, dim, [&](std::size_t d) {
+  pool().parallel_for(0, dim, [&](std::size_t d) {
     double acc = 0.0;
     for (const auto& x : current_) acc += x[d];
     mean[d] = acc * inverse_count;
@@ -68,7 +130,7 @@ linalg::Vector DgdIteration::mean_params() const {
 double DgdIteration::consensus_residual() const {
   const linalg::Vector mean = mean_params();
   return common::ordered_parallel_max(
-      *pool_, current_.size(), [&](std::size_t i) {
+      pool(), current_.size(), [&](std::size_t i) {
         return linalg::max_abs_diff(current_[i], mean);
       });
 }

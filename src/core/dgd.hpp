@@ -21,6 +21,11 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
+namespace snap::runtime {
+template <typename Payload>
+class SyncFabric;
+}  // namespace snap::runtime
+
 namespace snap::core {
 
 class DgdIteration {
@@ -35,6 +40,9 @@ class DgdIteration {
   /// be safe to call concurrently for distinct nodes.
   DgdIteration(linalg::Matrix w, std::vector<linalg::Vector> initial,
                double alpha, GradientFn gradient, std::size_t threads = 1);
+  ~DgdIteration();
+  DgdIteration(DgdIteration&&) noexcept;
+  DgdIteration& operator=(DgdIteration&&) noexcept;
 
   /// Advances one DGD iteration.
   void step();
@@ -46,11 +54,18 @@ class DgdIteration {
   std::size_t node_count() const noexcept { return current_.size(); }
 
  private:
+  common::ThreadPool& pool() const noexcept;
+
   linalg::Matrix w_;
   double alpha_;
   GradientFn gradient_;
   std::vector<linalg::Vector> current_;
-  std::unique_ptr<common::ThreadPool> pool_;  // keeps the class movable
+  std::vector<linalg::Vector> next_;       // mix-phase staging
+  std::vector<linalg::Vector> gradients_;  // local-update staging
+  /// The shared-clock execution engine: one step() = one fabric round
+  /// (message exchange over the full W support). Heap-held to keep the
+  /// class movable.
+  std::unique_ptr<runtime::SyncFabric<const linalg::Vector*>> fabric_;
   std::size_t iteration_ = 0;
 };
 

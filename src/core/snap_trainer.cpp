@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -12,7 +14,7 @@
 #include "net/cost_model.hpp"
 #include "net/frame.hpp"
 #include "net/link_failure.hpp"
-#include "net/mailbox.hpp"
+#include "runtime/make_fabric.hpp"
 
 namespace snap::core {
 
@@ -76,6 +78,13 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   const std::size_t n = graph_->node_count();
   common::Rng rng(config_.seed);
 
+  // Per-node per-round compute cost for the sync sim-clock — the
+  // slowest node (largest shard) bounds the shared round.
+  std::size_t max_shard = 0;
+  for (const auto& shard : shards_) {
+    max_shard = std::max(max_shard, shard.size());
+  }
+
   // Build nodes with their weight rows.
   std::vector<SnapNode> nodes;
   nodes.reserve(n);
@@ -99,13 +108,10 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   // Per-node APE controllers (fully local, §IV-C). Armed lazily after
   // the warmup so the 10%-of-mean-|parameter| budget reflects the
   // model's working scale rather than the near-zero initialization.
-  std::vector<ApeController> ape;
+  std::vector<std::optional<ApeController>> ape(n);
 
-  net::CostTracker cost{net::HopMatrix(*graph_)};
-  net::RoundMailbox<std::vector<net::ParamUpdate>> mailbox(n);
   net::LinkFailureModel failures(*graph_, config_.link_failure_probability,
                                  rng.fork("links"));
-  ConvergenceDetector detector(config_.convergence);
 
   const auto total_params =
       static_cast<std::uint32_t>(model_->param_count());
@@ -118,169 +124,208 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
                                  std::map<std::uint32_t, double>>>
       backlog(n);
 
-  // Per-node phases of a round run on the pool; everything that touches
-  // shared state (mailbox, CostTracker, convergence detector) replays
-  // serially in node order from these preallocated staging buffers, so
-  // the round is bitwise reproducible for any config_.threads.
-  common::ThreadPool pool(config_.threads);
-  struct StagedFrame {
-    topology::NodeId to = 0;
-    std::vector<net::ParamUpdate> frame;
-  };
-  std::vector<std::vector<StagedFrame>> staged(n);
-
-  TrainResult result;
-  std::size_t iteration = 0;
+  // Local round counter per node: equals the fabric's global round
+  // under sync execution, free-runs under async. Drives APE warmup.
+  std::vector<std::size_t> rounds(n, 0);
   bool restarted = false;
-  while (iteration < config_.convergence.max_iterations &&
-         !detector.converged()) {
-    ++iteration;
-    failures.advance_round();
+  const bool async_mode = config_.fabric == runtime::FabricKind::kAsync;
+  // Round-aligned async (the default): EXTRA's corrected recursion
+  // telescopes only if node i's round-k update consumes each neighbor's
+  // round-(k-1) frame exactly once — views that skip or double-consume
+  // a neighbor round feed a persistent error through the accumulator
+  // and the run diverges (empirically: hetero spread 2.0 blows the loss
+  // up by 5-6 orders of magnitude). So each receiver queues arriving
+  // frames per link and applies exactly one per neighbor at the top of
+  // its next update; the ready gate parks a node until every neighbor
+  // queue is non-empty. No global barrier, no incast hub — each
+  // neighborhood paces itself — and the resulting parameter trajectory
+  // is the sync one, reached on an event-driven clock. Free-run mode
+  // bypasses the queues and mixes whatever is freshest.
+  const bool paced = async_mode && !config_.async_free_run;
+  std::vector<std::unordered_map<
+      topology::NodeId, std::deque<std::vector<net::ParamUpdate>>>>
+      pending(paced ? n : 0);
 
-    // 1. Local EXTRA updates from current views. Each node only reads
-    // its own state plus immutable views of its neighbors' last frames,
-    // so nodes are independent within the step.
-    pool.parallel_for(0, n, [&](std::size_t i) {
-      nodes[i].compute_update(config_.alpha);
-    });
+  runtime::FabricConfig fabric_config;
+  fabric_config.threads = config_.threads;
+  fabric_config.graph = graph_;
+  fabric_config.convergence = config_.convergence;
+  fabric_config.eval = config_.eval;
+  fabric_config.timing = config_.timing;
+  fabric_config.round_compute_flops =
+      runtime::gradient_flops(model_->param_count(), max_shard);
+  auto fabric = runtime::make_fabric<std::vector<net::ParamUpdate>>(
+      config_.fabric, fabric_config, config_.async);
 
-    // Arm the APE controllers once the model has found its scale.
-    const bool ape_enabled = config_.filter == FilterMode::kApe &&
-                             iteration > config_.ape_warmup_iterations;
-    if (ape_enabled && ape.empty()) {
-      ape.reserve(n);
-      for (const auto& node : nodes) {
-        const linalg::Vector& x = node.params();
-        const double mean_abs =
-            x.empty() ? 0.0 : x.norm1() / static_cast<double>(x.size());
-        ape.emplace_back(config_.ape, mean_abs);
+  // The whole algorithm as phase hooks; the fabric owns the clock, the
+  // transport, the accounting, and the convergence detector.
+  using Payload = std::vector<net::ParamUpdate>;
+  runtime::RoundHooks<Payload> hooks;
+  hooks.node_count = n;
+
+  hooks.begin_round = [&](std::size_t) { failures.advance_round(); };
+
+  // 1. Local EXTRA update from the current views, then rotate the view
+  // double-buffer so frames arriving for this round land "fresh". Each
+  // node only touches its own state. Paced async first folds in exactly
+  // one queued frame per neighbor — the round-aligned delivery the
+  // recursion needs (the fabric's event loop is single-threaded, so the
+  // queues are safe to touch here; sync never populates them).
+  hooks.local_update = [&](topology::NodeId i) {
+    if (paced && rounds[i] > 0) {
+      for (const auto j : nodes[i].neighbors()) {
+        auto& queued = pending[i][j];
+        SNAP_ASSERT(!queued.empty());  // the ready gate guarantees this
+        nodes[i].apply_update(j, queued.front());
+        queued.pop_front();
       }
     }
+    nodes[i].compute_update(config_.alpha);
+    nodes[i].advance_views();
+    ++rounds[i];
+  };
 
-    // 2. Filter, frame, and transmit. A link that is down this round
-    // keeps its frame in the backlog and retransmits (merged) when it
-    // recovers — persistent-TCP semantics; only frames actually written
-    // to a live link are charged.
-    //
-    // Filtering and frame assembly touch only node-i state (its APE
-    // controller, its backlog row, its staging slot) and read-only
-    // round state (the failure draw), so they run on the pool; the
-    // mailbox posts and byte accounting replay in node order below.
-    //
-    // Warmup (and non-APE modes) behave like SNAP-0: send every changed
-    // parameter.
+  // 2. Filter, frame, and transmit. A link that is down this round
+  // keeps its frame in the backlog and retransmits (merged) when it
+  // recovers — persistent-TCP semantics; only frames actually written
+  // to a live link are charged (by the fabric, off wire_bytes).
+  //
+  // Warmup (and non-APE modes) behave like SNAP-0: send every changed
+  // parameter. The controller arms itself the first round after warmup,
+  // anchored to the node's current parameter scale.
+  hooks.collect = [&](topology::NodeId i) {
+    const bool ape_enabled = config_.filter == FilterMode::kApe &&
+                             rounds[i] > config_.ape_warmup_iterations;
+    if (ape_enabled && !ape[i].has_value()) {
+      const linalg::Vector& x = nodes[i].params();
+      const double mean_abs =
+          x.empty() ? 0.0 : x.norm1() / static_cast<double>(x.size());
+      ape[i].emplace(config_.ape, mean_abs);
+    }
     const FilterMode mode = config_.filter == FilterMode::kApe && !ape_enabled
                                 ? FilterMode::kExactChange
                                 : config_.filter;
-    pool.parallel_for(0, n, [&](std::size_t i) {
-      const double threshold = ape_enabled ? ape[i].threshold() : 0.0;
-      SnapNode::Outgoing outgoing = nodes[i].collect_updates(mode, threshold);
-      if (ape_enabled) {
-        // A stage advance resets the controller's APE accounting window
-        // (the paper's per-stage "restart" of the error bound).
-        ape[i].record_iteration(outgoing.max_withheld);
-      }
-      staged[i].clear();
-      for (const auto j : nodes[i].neighbors()) {
-        auto& queued = backlog[i][j];
-        for (const net::ParamUpdate& u : outgoing.updates) {
-          queued[u.index] = u.value;
-        }
-        if (failures.is_down(i, j)) continue;
-        // A live link always carries a frame — an empty one is the
-        // heartbeat that lets the receiver distinguish "nothing above
-        // threshold" from "link down" (kReweight needs to know).
-        std::vector<net::ParamUpdate> frame;
-        frame.reserve(queued.size());
-        for (const auto& [index, value] : queued) {
-          frame.push_back({index, value});
-        }
-        queued.clear();
-        staged[i].push_back({j, std::move(frame)});
-      }
-    });
-    for (topology::NodeId i = 0; i < n; ++i) {
-      for (auto& [j, frame] : staged[i]) {
-        // Charge the frame's full on-wire size — header included, so
-        // even a heartbeat costs its kFrameHeaderBytes.
-        cost.record_flow(i, j,
-                         net::encoded_frame_bytes(total_params, frame.size()));
-        mailbox.post(i, j, std::move(frame));
-      }
-      staged[i].clear();
+    const double threshold = ape_enabled ? ape[i]->threshold() : 0.0;
+    SnapNode::Outgoing outgoing = nodes[i].collect_updates(mode, threshold);
+    if (ape_enabled) {
+      // A stage advance resets the controller's APE accounting window
+      // (the paper's per-stage "restart" of the error bound).
+      ape[i]->record_iteration(outgoing.max_withheld);
     }
-
-    // 2b. One synchronized recursion restart, the round after every
-    // controller has decayed below ε. Filtered views break the
-    // telescoped invariant that makes EXTRA exact, so the filtered
-    // phase is treated as producing an *initial value* for one exact
-    // run — "the convergence and optimality of iteration (6) has
-    // nothing to do with the initial parameter values" (§IV-C). The
-    // restart must be simultaneous: nodes mid-recursion mixed with
-    // nodes on their first step destabilize each other. All controllers
-    // share the same schedule parameters and initial model, so in a
-    // real deployment each node reaches ε within a bounded window of
-    // the others and can arm the restart off the shared clock.
-    if (ape_enabled && !restarted) {
-      const bool all_inactive =
-          std::all_of(ape.begin(), ape.end(),
-                      [](const ApeController& c) { return !c.active(); });
-      if (all_inactive) {
-        for (auto& node : nodes) node.restart();
-        restarted = true;
+    std::vector<runtime::Envelope<Payload>> envelopes;
+    for (const auto j : nodes[i].neighbors()) {
+      auto& queued = backlog[i][j];
+      for (const net::ParamUpdate& u : outgoing.updates) {
+        queued[u.index] = u.value;
       }
+      if (failures.is_down(i, j)) continue;
+      // A live link always carries a frame — an empty one is the
+      // heartbeat that lets the receiver distinguish "nothing above
+      // threshold" from "link down" (kReweight needs to know).
+      std::vector<net::ParamUpdate> frame;
+      frame.reserve(queued.size());
+      for (const auto& [index, value] : queued) {
+        frame.push_back({index, value});
+      }
+      queued.clear();
+      const std::size_t wire_bytes =
+          net::encoded_frame_bytes(total_params, frame.size());
+      envelopes.push_back({j, std::move(frame), wire_bytes});
     }
+    return envelopes;
+  };
 
-    // 3. Synchronous delivery. Each receiver folds its own inbox into
-    // its own views; inboxes are disjoint and read-only after the flip.
-    mailbox.flip_round();
-    pool.parallel_for(0, n, [&](std::size_t i) {
-      nodes[i].advance_views();
-      for (const auto& message : mailbox.inbox(i)) {
+  // 2b. One synchronized recursion restart, the round after every
+  // controller has decayed below ε. Filtered views break the
+  // telescoped invariant that makes EXTRA exact, so the filtered
+  // phase is treated as producing an *initial value* for one exact
+  // run — "the convergence and optimality of iteration (6) has
+  // nothing to do with the initial parameter values" (§IV-C). The
+  // restart must be simultaneous: nodes mid-recursion mixed with
+  // nodes on their first step destabilize each other. All controllers
+  // share the same schedule parameters and initial model, so in a
+  // real deployment each node reaches ε within a bounded window of
+  // the others and can arm the restart off the shared clock.
+  const auto maybe_restart = [&] {
+    if (config_.filter != FilterMode::kApe || restarted) return;
+    const bool all_inactive =
+        std::all_of(ape.begin(), ape.end(),
+                    [](const std::optional<ApeController>& c) {
+                      return c.has_value() && !c->active();
+                    });
+    if (all_inactive) {
+      for (auto& node : nodes) node.restart();
+      restarted = true;
+    }
+  };
+  // Sync: between send and delivery, exactly the pre-refactor instant.
+  hooks.after_send = maybe_restart;
+
+  // 3. Delivery: each receiver folds arrived frames into its own views.
+  // Paced async only queues them here — consumption is round-aligned in
+  // local_update above, so a fast neighbor's next frame can never
+  // overwrite a view the receiver has not mixed yet.
+  hooks.mix = [&](topology::NodeId i,
+                  std::span<const runtime::Delivery<Payload>> deliveries,
+                  runtime::MessageSink<Payload>&) {
+    for (const auto& message : deliveries) {
+      if (paced) {
+        pending[i][message.from].push_back(message.payload);
+      } else {
         nodes[i].apply_update(message.from, message.payload);
       }
-    });
-
-    // 4. Bookkeeping: evaluate the mean model, test convergence.
-    const linalg::Vector mean = mean_of(nodes, pool);
-    const double residual = residual_of(nodes, mean, pool);
-
-    IterationStats stats;
-    stats.consensus_residual = residual;
-    const bool evaluate =
-        (iteration % std::max<std::size_t>(config_.eval.every, 1)) == 0 ||
-        iteration == config_.convergence.max_iterations;
-    // The aggregate objective (1/N) Σ_i f_i(x̄) feeds the convergence
-    // detector every iteration; only the (pricier) accuracy is gated on
-    // the eval schedule.
-    const double loss = mean_local_loss(nodes, mean, pool);
-    stats.train_loss = loss;
-    if (evaluate) {
-      stats.test_accuracy = model_->accuracy(mean, test);
-      stats.evaluated = true;
     }
-    cost.end_iteration();
-    stats.bytes = cost.bytes_per_iteration().back();
-    stats.cost = cost.cost_per_iteration().back();
-    stats.max_node_inbound_bytes = cost.max_inbound_per_iteration().back();
-    stats.max_node_outbound_bytes =
-        cost.max_outbound_per_iteration().back();
-    result.iterations.push_back(stats);
+  };
 
-    detector.observe(loss, residual,
-                     stats.evaluated ? stats.test_accuracy : -1.0);
-    if (observer_) observer_(iteration, nodes);
+  // 4. Bookkeeping: the mean model's aggregate objective, consensus
+  // residual, and (gated) test accuracy.
+  hooks.evaluate = [&](std::size_t, bool measure_accuracy) {
+    const linalg::Vector mean = mean_of(nodes, fabric->pool());
+    runtime::RoundEval eval;
+    eval.consensus_residual = residual_of(nodes, mean, fabric->pool());
+    eval.train_loss = mean_local_loss(nodes, mean, fabric->pool());
+    if (measure_accuracy) {
+      eval.test_accuracy = model_->accuracy(mean, test);
+      eval.evaluated = true;
+    }
+    return eval;
+  };
+
+  // Paced-async gate: a node may start round k+1 only once a frame (or
+  // heartbeat) from every neighbor's round k is queued. Neighborhood-
+  // local — no global barrier, and the wall-clock win over the PS comes
+  // from losing the incast hub and the push-back leg, not from skipping
+  // slow nodes. The first update needs no frames (all views start at
+  // the shared x0).
+  if (paced) {
+    hooks.ready = [&](topology::NodeId i, std::size_t) {
+      if (rounds[i] == 0) return true;
+      const auto& neighbors = nodes[i].neighbors();
+      return std::all_of(neighbors.begin(), neighbors.end(),
+                         [&](topology::NodeId j) {
+                           const auto it = pending[i].find(j);
+                           return it != pending[i].end() &&
+                                  !it->second.empty();
+                         });
+    };
   }
 
-  const linalg::Vector mean = mean_of(nodes, pool);
-  result.converged = detector.converged();
-  result.converged_after =
-      result.converged ? detector.converged_after() : iteration;
+  hooks.end_round = [&](std::size_t round) {
+    // Async has no global post-send instant; the eval barrier — every
+    // node has finished the round — is the closest shared-clock point,
+    // so the synchronized restart rides here (a fast node restarts a
+    // round or two into its future; homogeneous timing collapses this
+    // to the sync semantics).
+    if (async_mode) maybe_restart();
+    if (observer_) observer_(round, nodes);
+  };
+
+  TrainResult result = fabric->run(hooks);
+
+  const linalg::Vector mean = mean_of(nodes, fabric->pool());
   result.final_params = mean;
-  result.final_train_loss = mean_local_loss(nodes, mean, pool);
+  result.final_train_loss = mean_local_loss(nodes, mean, fabric->pool());
   result.final_test_accuracy = model_->accuracy(mean, test);
-  result.total_bytes = cost.total_bytes();
-  result.total_cost = cost.total_cost();
   return result;
 }
 

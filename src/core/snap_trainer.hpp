@@ -21,6 +21,7 @@
 #include "data/dataset.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/model.hpp"
+#include "runtime/fabric.hpp"
 #include "topology/graph.hpp"
 
 namespace snap::core {
@@ -53,6 +54,25 @@ struct SnapTrainerConfig {
   /// mailbox delivery, loss/mean/residual folds) runs serially in fixed
   /// node order afterwards.
   std::size_t threads = 1;
+  /// Execution engine. kSync is the paper's shared-clock exchange
+  /// (default, bitwise-deterministic); kAsync runs the same phase hooks
+  /// event-driven with per-node compute times and per-link
+  /// latency/bandwidth from `async`.
+  runtime::FabricKind fabric = runtime::FabricKind::kSync;
+  /// Heterogeneity model used when fabric == kAsync.
+  runtime::AsyncTimingConfig async;
+  /// Async-only: let nodes free-run instead of pacing each round on a
+  /// frame (or heartbeat) from every neighbor. EXTRA's corrected
+  /// recursion assumes aligned view snapshots — under persistent skew
+  /// its accumulator amplifies the misalignment and the run diverges —
+  /// so the default keeps neighborhood-local pacing: no global barrier,
+  /// no incast hub, but a node waits until it has heard from all
+  /// neighbors since its own last update. Enable free-running (with
+  /// AsyncTimingConfig::max_staleness_rounds as the only brake) for
+  /// staleness experiments.
+  bool async_free_run = false;
+  /// Closed-form round timing that stamps sim_seconds under kSync.
+  runtime::TimingModel timing;
 };
 
 /// Optional per-iteration observer: (iteration index starting at 1,
@@ -64,9 +84,14 @@ class SnapTrainer {
  public:
   /// `w` must be a feasible mixing matrix for `graph`
   /// (consensus::is_feasible_weight_matrix). One shard per node.
+  /// `graph` and `model` are borrowed, not copied — they must outlive
+  /// train(); the deleted overload rejects model temporaries, which an
+  /// ASan run caught a test passing.
   SnapTrainer(const topology::Graph& graph, const linalg::Matrix& w,
               const ml::Model& model, std::vector<data::Dataset> shards,
               SnapTrainerConfig config);
+  SnapTrainer(const topology::Graph&, const linalg::Matrix&, ml::Model&&,
+              std::vector<data::Dataset>, SnapTrainerConfig) = delete;
 
   /// Runs until convergence or config.convergence.max_iterations.
   /// `test` is used for accuracy reporting (may be empty — accuracy 1.0).

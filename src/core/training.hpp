@@ -26,6 +26,17 @@ struct IterationStats {
   std::uint64_t max_node_inbound_bytes = 0;
   std::uint64_t max_node_outbound_bytes = 0;
   double consensus_residual = 0.0;  ///< max_i ‖x_i − x̄‖_∞ (0 for central)
+  /// Simulated wall-clock at the end of this iteration (cumulative
+  /// seconds since the start of the run). SyncFabric stamps it via the
+  /// closed-form runtime::TimingModel; AsyncFabric reads its event
+  /// clock. 0 for schemes that don't model time (centralized).
+  double sim_seconds = 0.0;
+  /// Async-fabric staleness of the frames mixed in during this
+  /// iteration window: how many local rounds the receiver was ahead of
+  /// the sender's round, averaged / maxed over deliveries. Always 0
+  /// under synchronous execution.
+  double mean_frame_staleness = 0.0;
+  std::uint64_t max_frame_staleness = 0;
 };
 
 /// Uniform result of a training run.
@@ -41,6 +52,9 @@ struct TrainResult {
   double final_test_accuracy = 0.0;
   std::uint64_t total_bytes = 0;
   std::uint64_t total_cost = 0;
+  /// Simulated wall-clock of the whole run (seconds); the last
+  /// iteration's cumulative sim_seconds. 0 when time is not modeled.
+  double total_sim_seconds = 0.0;
 };
 
 /// When to declare a run converged.

@@ -29,7 +29,8 @@ void write_csv_row(std::ostream& os,
 void write_train_result_csv(std::ostream& os,
                             const core::TrainResult& result) {
   write_csv_row(os, {"iteration", "train_loss", "test_accuracy",
-                     "evaluated", "bytes", "cost", "consensus_residual"});
+                     "evaluated", "bytes", "cost", "consensus_residual",
+                     "sim_seconds"});
   for (std::size_t k = 0; k < result.iterations.size(); ++k) {
     const auto& stat = result.iterations[k];
     std::ostringstream loss;
@@ -38,10 +39,12 @@ void write_train_result_csv(std::ostream& os,
     acc << stat.test_accuracy;
     std::ostringstream res;
     res << stat.consensus_residual;
+    std::ostringstream sim;
+    sim << stat.sim_seconds;
     write_csv_row(os, {std::to_string(k + 1), loss.str(), acc.str(),
                        stat.evaluated ? "1" : "0",
                        std::to_string(stat.bytes),
-                       std::to_string(stat.cost), res.str()});
+                       std::to_string(stat.cost), res.str(), sim.str()});
   }
 }
 

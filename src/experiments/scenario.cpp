@@ -166,6 +166,9 @@ core::TrainResult Scenario::run(
       c.convergence = criteria;
       c.seed = cfg.seed;
       c.threads = cfg.threads;
+      c.fabric = cfg.fabric;
+      c.async = cfg.async_timing;
+      c.timing = cfg.timing;
       return baselines::train_parameter_server(impl_->graph, *impl_->model,
                                                impl_->shards, impl_->test,
                                                c);
@@ -176,6 +179,9 @@ core::TrainResult Scenario::run(
       c.convergence = criteria;
       c.seed = cfg.seed;
       c.threads = cfg.threads;
+      c.fabric = cfg.fabric;
+      c.async = cfg.async_timing;
+      c.timing = cfg.timing;
       return baselines::train_parameter_server(
           impl_->graph, *impl_->model, impl_->shards, impl_->test,
           baselines::terngrad_config(c));
@@ -218,6 +224,10 @@ core::TrainResult Scenario::run_snap_variant(
   c.link_failure_probability = link_failure_probability;
   c.seed = cfg.seed;
   c.threads = cfg.threads;
+  c.fabric = cfg.fabric;
+  c.async = cfg.async_timing;
+  c.async_free_run = cfg.async_free_run;
+  c.timing = cfg.timing;
   const linalg::Matrix& w =
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
   core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,

@@ -16,6 +16,7 @@
 #include "core/snap_trainer.hpp"
 #include "core/training.hpp"
 #include "consensus/weight_optimizer.hpp"
+#include "runtime/fabric.hpp"
 #include "data/dataset.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/model.hpp"
@@ -82,6 +83,20 @@ struct ScenarioConfig {
   /// value — see SnapTrainerConfig::threads.
   std::size_t threads = 1;
   std::uint64_t seed = 2020;  ///< venue year — printed by every bench
+
+  /// Execution engine for the decentralized schemes (ignored by
+  /// kCentralized): kSync is the paper's shared-clock round, kAsync the
+  /// event-driven runtime where frames arrive when they arrive.
+  runtime::FabricKind fabric = runtime::FabricKind::kSync;
+  /// Heterogeneity model (per-node compute, NIC bandwidth, link
+  /// latency) used when fabric == kAsync.
+  runtime::AsyncTimingConfig async_timing;
+  /// Async decentralized schemes: drop the neighborhood-local pacing
+  /// gate and let every node free-run (staleness experiments; EXTRA
+  /// diverges under persistent view skew, so default off).
+  bool async_free_run = false;
+  /// Closed-form round timing that stamps sim_seconds under kSync.
+  runtime::TimingModel timing;
 };
 
 class Scenario {

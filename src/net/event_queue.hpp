@@ -38,9 +38,12 @@ class EventQueue {
   /// Fires the next event. Returns false when the queue is empty.
   bool run_next();
 
-  /// Fires events until the queue is empty or the next event is later
-  /// than `deadline`; advances now() to min(deadline, last fire time...).
-  /// Events scheduled exactly at `deadline` do fire.
+  /// Fires every event with time <= `deadline` — including events an
+  /// action schedules at exactly `deadline` while this call is firing —
+  /// then advances the clock: on return now() == deadline, even when
+  /// the queue drained before reaching it (the idle tail of the window
+  /// still elapses). Strictly-later events stay pending. `deadline`
+  /// must be >= now().
   void run_until(double deadline);
 
   /// Fires everything (events may schedule more events; runs to

@@ -1,0 +1,404 @@
+// Event-driven asynchronous round execution on net::EventQueue.
+//
+// The paper frames exchange as timer-driven ("define a timer to
+// exchange the parameters ... based on network characteristics",
+// §IV-D); AsyncFabric is that execution model. Each node free-runs its
+// own round state machine:
+//
+//   compute finishes at t  →  local_update + collect fire,
+//   every envelope is serialized through the sender's NIC, crosses the
+//   link (per-hop latency), queues behind the receiver's NIC (incast is
+//   emergent, not closed-form), and its mix fires on arrival;
+//   the node then starts its next round — immediately if its gates
+//   allow, otherwise it parks until another event unblocks it.
+//
+// Nodes therefore mix with whatever neighbor parameters are freshest:
+// a frame from a slow sender lands while the receiver is rounds ahead,
+// and that gap — receiver's completed rounds minus the sender's round
+// at transmission — is the per-edge staleness this fabric tracks. An
+// SSP-style bound (AsyncTimingConfig::max_staleness_rounds) optionally
+// parks nodes that run too far ahead of a graph neighbor.
+//
+// Measurement keeps the round as its unit so results stay comparable
+// with SyncFabric: when every node has completed round k (and the
+// scheme's eval_ready gate agrees), the fabric evaluates, stamps
+// sim_seconds with the event clock, and feeds the convergence detector.
+//
+// Determinism: the event loop is single-threaded, EventQueue breaks
+// ties by scheduling order, and all randomness (compute jitter) comes
+// from per-node forked Rng streams — identical configs replay
+// identical event sequences bit for bit. With homogeneous compute
+// times, zero jitter, and equal link parameters, every round-r compute
+// fires before any round-r delivery, in ascending node order — the
+// same per-round interleaving as SyncFabric, which is why the
+// homogeneous async run reproduces the sync loss trajectory.
+//
+// Deliberate approximations (documented, asserted nowhere): the serial
+// begin_round(r) hook fires when the *first* node enters round r (link
+// failure draws and minibatch sequences advance on that global round
+// counter), and SNAP's synchronized EXTRA restart — a shared-clock
+// concept — runs from end_round at the eval barrier, so under skew a
+// fast node restarts a round or two into its future. Both collapse to
+// the sync semantics when compute times are homogeneous.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/training.hpp"
+#include "net/cost_model.hpp"
+#include "net/event_queue.hpp"
+#include "runtime/fabric.hpp"
+
+namespace snap::runtime {
+
+template <typename Payload>
+class AsyncFabric final : public RoundFabric<Payload> {
+ public:
+  AsyncFabric(const FabricConfig& config, const AsyncTimingConfig& timing)
+      : config_(config), timing_(timing), pool_(config.threads) {
+    SNAP_REQUIRE(timing_.compute_s > 0.0);
+    SNAP_REQUIRE(timing_.nic_bandwidth_bytes_per_s > 0.0);
+    SNAP_REQUIRE(timing_.link_latency_s >= 0.0);
+    SNAP_REQUIRE(timing_.compute_jitter >= 0.0 &&
+                 timing_.compute_jitter < 1.0);
+    if (config_.graph != nullptr) {
+      cost_.emplace(net::HopMatrix(*config_.graph));
+    }
+    for (const LinkOverride& link : timing_.link_overrides) {
+      overrides_[link_key(link.u, link.v)] = link;
+    }
+  }
+
+  common::ThreadPool& pool() noexcept override { return pool_; }
+
+  core::TrainResult run(RoundHooks<Payload>& hooks) override {
+    SNAP_REQUIRE_MSG(hooks.evaluate != nullptr,
+                     "run() requires an evaluate hook");
+    const std::size_t n = hooks.node_count;
+    SNAP_REQUIRE(n > 0);
+    if (!timing_.node_compute_s.empty()) {
+      SNAP_REQUIRE_MSG(timing_.node_compute_s.size() == n,
+                       "node_compute_s must have one entry per node");
+    }
+    if (!timing_.node_nic_bandwidth.empty()) {
+      SNAP_REQUIRE_MSG(timing_.node_nic_bandwidth.size() == n,
+                       "node_nic_bandwidth must have one entry per node");
+    }
+
+    hooks_ = &hooks;
+    detector_.emplace(config_.convergence);
+    completed_.assign(n, 0);
+    parked_.assign(n, false);
+    out_busy_.assign(n, 0.0);
+    in_busy_.assign(n, 0.0);
+    edge_staleness_.assign(n, {});
+    jitter_.clear();
+    jitter_.reserve(n);
+    common::Rng root(timing_.seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      jitter_.push_back(root.fork(0x4A177E5ULL + i));
+    }
+
+    // Every node starts computing round 1 at t = 0.
+    for (topology::NodeId i = 0; i < n; ++i) {
+      schedule_compute(i, 1);
+    }
+    while (!stopping_ && queue_.run_next()) {
+    }
+
+    core::TrainResult result = std::move(result_);
+    result.converged = detector_->converged();
+    result.converged_after = result.converged ? detector_->converged_after()
+                                              : evaluated_rounds_;
+    if (cost_) {
+      result.total_bytes = cost_->total_bytes();
+      result.total_cost = cost_->total_cost();
+    }
+    result.total_sim_seconds = result.iterations.empty()
+                                   ? queue_.now()
+                                   : result.iterations.back().sim_seconds;
+    hooks_ = nullptr;
+    return result;
+  }
+
+  /// Last observed staleness (receiver rounds ahead of sender) per
+  /// directed edge to → from, for tests and diagnostics.
+  std::size_t edge_staleness(topology::NodeId to,
+                             topology::NodeId from) const {
+    SNAP_REQUIRE(to < edge_staleness_.size());
+    const auto& row = edge_staleness_[to];
+    const auto it = row.find(from);
+    return it == row.end() ? 0 : it->second;
+  }
+
+ private:
+  class WireSink final : public MessageSink<Payload> {
+   public:
+    explicit WireSink(AsyncFabric* fabric) : fabric_(fabric) {}
+    void send(topology::NodeId from, topology::NodeId to, Payload payload,
+              std::size_t wire_bytes) override {
+      fabric_->send_envelope(
+          from, Envelope<Payload>{to, std::move(payload), wire_bytes},
+          fabric_->completed_[from]);
+    }
+
+   private:
+    AsyncFabric* fabric_;
+  };
+
+  static std::uint64_t link_key(topology::NodeId u,
+                                topology::NodeId v) noexcept {
+    const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+    const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+    return (hi << 32) | lo;
+  }
+
+  double compute_seconds(topology::NodeId node) {
+    double base = timing_.node_compute_s.empty()
+                      ? timing_.compute_s
+                      : timing_.node_compute_s[node];
+    SNAP_REQUIRE(base > 0.0);
+    if (timing_.compute_jitter > 0.0) {
+      const double u = jitter_[node].uniform(-timing_.compute_jitter,
+                                             timing_.compute_jitter);
+      base *= 1.0 + u;
+    }
+    return base;
+  }
+
+  double nic_bandwidth(topology::NodeId node) const {
+    const double bw = timing_.node_nic_bandwidth.empty()
+                          ? timing_.nic_bandwidth_bytes_per_s
+                          : timing_.node_nic_bandwidth[node];
+    SNAP_REQUIRE(bw > 0.0);
+    return bw;
+  }
+
+  /// Calls the serial round preamble for every round up to `round`, in
+  /// order, exactly once each — driven by the first node to finish that
+  /// round's compute.
+  void maybe_begin(std::size_t round) {
+    while (begun_ < round) {
+      ++begun_;
+      if (hooks_->begin_round) hooks_->begin_round(begun_);
+    }
+  }
+
+  bool node_ready(topology::NodeId node, std::size_t round) const {
+    if (hooks_->ready && !hooks_->ready(node, round)) return false;
+    if (timing_.max_staleness_rounds > 0 && config_.graph != nullptr) {
+      // SSP gate: don't start a round that would leave a neighbor more
+      // than max_staleness_rounds behind.
+      for (const topology::NodeId j : config_.graph->neighbors(node)) {
+        if (completed_[j] + timing_.max_staleness_rounds + 1 < round) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void schedule_compute(topology::NodeId node, std::size_t round) {
+    queue_.schedule_in(compute_seconds(node), [this, node, round] {
+      on_compute_done(node, round);
+    });
+  }
+
+  void on_compute_done(topology::NodeId node, std::size_t round) {
+    maybe_begin(round);
+    if (hooks_->local_update) hooks_->local_update(node);
+    std::vector<Envelope<Payload>> envelopes;
+    if (hooks_->collect) envelopes = hooks_->collect(node);
+    completed_[node] = round;
+    for (auto& envelope : envelopes) {
+      send_envelope(node, std::move(envelope), round);
+    }
+    check_eval();
+    advance(node);
+    unpark();
+  }
+
+  /// Two-stage NIC serialization: the frame occupies the sender's
+  /// uplink, crosses the (hop-scaled) latency, then queues behind the
+  /// receiver's downlink. A busy receiver NIC is exactly the incast
+  /// effect the paper's §I argues about — here it emerges from the
+  /// event timeline instead of a closed form.
+  void send_envelope(topology::NodeId from, Envelope<Payload> envelope,
+                     std::size_t sender_round) {
+    const topology::NodeId to = envelope.to;
+    SNAP_REQUIRE(to < completed_.size());
+    SNAP_REQUIRE_MSG(to != from, "node " << from << " messaging itself");
+    double arrival = queue_.now();
+    if (envelope.wire_bytes > 0) {
+      if (cost_) cost_->record_flow(from, to, envelope.wire_bytes);
+      const std::size_t hops =
+          cost_ ? cost_->hop_matrix().hops(from, to) : 1;
+      double latency =
+          timing_.link_latency_s * static_cast<double>(hops);
+      double bw_out = nic_bandwidth(from);
+      double bw_in = nic_bandwidth(to);
+      if (const auto it = overrides_.find(link_key(from, to));
+          it != overrides_.end()) {
+        if (it->second.latency_s > 0.0) latency = it->second.latency_s;
+        if (it->second.bandwidth_bytes_per_s > 0.0) {
+          bw_out = it->second.bandwidth_bytes_per_s;
+          bw_in = it->second.bandwidth_bytes_per_s;
+        }
+      }
+      const double bytes = static_cast<double>(envelope.wire_bytes);
+      const double out_start = std::max(queue_.now(), out_busy_[from]);
+      const double out_done = out_start + bytes / bw_out;
+      out_busy_[from] = out_done;
+      const double at_receiver = out_done + latency;
+      const double in_start = std::max(at_receiver, in_busy_[to]);
+      arrival = in_start + bytes / bw_in;
+      in_busy_[to] = arrival;
+    }
+    // EventQueue actions must be copyable; the payload rides a
+    // shared_ptr so move-only payloads work too.
+    auto payload = std::make_shared<Payload>(std::move(envelope.payload));
+    queue_.schedule_at(arrival, [this, from, to, sender_round, payload] {
+      on_delivery(from, to, sender_round, std::move(*payload));
+    });
+  }
+
+  void on_delivery(topology::NodeId from, topology::NodeId to,
+                   std::size_t sender_round, Payload payload) {
+    const std::size_t staleness = completed_[to] > sender_round
+                                      ? completed_[to] - sender_round
+                                      : 0;
+    edge_staleness_[to][from] = staleness;
+    staleness_sum_ += static_cast<double>(staleness);
+    ++staleness_count_;
+    staleness_max_ = std::max(staleness_max_,
+                              static_cast<std::uint64_t>(staleness));
+    if (hooks_->mix) {
+      const Delivery<Payload> delivery{from, std::move(payload)};
+      WireSink sink(this);
+      hooks_->mix(to, std::span<const Delivery<Payload>>(&delivery, 1),
+                  sink);
+    }
+    check_eval();
+    unpark();
+  }
+
+  /// Starts `node`'s next round, or parks it until a gate opens.
+  void advance(topology::NodeId node) {
+    if (stopping_) return;
+    const std::size_t next = completed_[node] + 1;
+    if (next > config_.convergence.max_iterations) return;
+    if (node_ready(node, next)) {
+      schedule_compute(node, next);
+    } else {
+      parked_[node] = true;
+    }
+  }
+
+  /// Re-checks every parked node after any event — gates only open on
+  /// events, so this keeps the simulation live without busy-waiting.
+  void unpark() {
+    if (stopping_) return;
+    for (topology::NodeId i = 0; i < parked_.size(); ++i) {
+      if (!parked_[i]) continue;
+      const std::size_t next = completed_[i] + 1;
+      if (next > config_.convergence.max_iterations ||
+          node_ready(i, next)) {
+        parked_[i] = false;
+        if (next <= config_.convergence.max_iterations) {
+          schedule_compute(i, next);
+        }
+      }
+    }
+  }
+
+  /// Round k is measured once every node has completed it (and the
+  /// scheme agrees); rounds are evaluated in order, so a fast burst of
+  /// completions produces one stats row per round, just like sync.
+  void check_eval() {
+    while (!stopping_) {
+      const std::size_t k = evaluated_rounds_ + 1;
+      if (k > config_.convergence.max_iterations) break;
+      const std::size_t slowest =
+          *std::min_element(completed_.begin(), completed_.end());
+      if (slowest < k) break;
+      if (hooks_->eval_ready && !hooks_->eval_ready(k)) break;
+      evaluated_rounds_ = k;
+
+      const bool measure_accuracy =
+          (k % std::max<std::size_t>(config_.eval.every, 1)) == 0 ||
+          k == config_.convergence.max_iterations;
+      const RoundEval eval = hooks_->evaluate(k, measure_accuracy);
+
+      core::IterationStats stats;
+      stats.train_loss = eval.train_loss;
+      stats.consensus_residual = eval.consensus_residual;
+      if (eval.evaluated) {
+        stats.test_accuracy = eval.test_accuracy;
+        stats.evaluated = true;
+      }
+      if (cost_) {
+        cost_->end_iteration();
+        stats.bytes = cost_->bytes_per_iteration().back();
+        stats.cost = cost_->cost_per_iteration().back();
+        stats.max_node_inbound_bytes =
+            cost_->max_inbound_per_iteration().back();
+        stats.max_node_outbound_bytes =
+            cost_->max_outbound_per_iteration().back();
+      }
+      stats.sim_seconds = queue_.now();
+      if (staleness_count_ > 0) {
+        stats.mean_frame_staleness =
+            staleness_sum_ / static_cast<double>(staleness_count_);
+      }
+      stats.max_frame_staleness = staleness_max_;
+      staleness_sum_ = 0.0;
+      staleness_count_ = 0;
+      staleness_max_ = 0;
+      result_.iterations.push_back(stats);
+
+      detector_->observe(eval.train_loss, eval.consensus_residual,
+                         stats.evaluated ? stats.test_accuracy : -1.0);
+      if (hooks_->end_round) hooks_->end_round(k);
+      if (detector_->converged() ||
+          k == config_.convergence.max_iterations) {
+        stopping_ = true;
+      }
+    }
+  }
+
+  FabricConfig config_;
+  AsyncTimingConfig timing_;
+  common::ThreadPool pool_;
+  std::optional<net::CostTracker> cost_;
+  std::unordered_map<std::uint64_t, LinkOverride> overrides_;
+  net::EventQueue queue_;
+  RoundHooks<Payload>* hooks_ = nullptr;
+  std::optional<core::ConvergenceDetector> detector_;
+  core::TrainResult result_;
+
+  std::vector<std::size_t> completed_;  // rounds finished per node
+  std::vector<bool> parked_;
+  std::vector<double> out_busy_;  // sender-NIC busy-until, per node
+  std::vector<double> in_busy_;   // receiver-NIC busy-until, per node
+  std::vector<common::Rng> jitter_;
+  std::vector<std::unordered_map<topology::NodeId, std::size_t>>
+      edge_staleness_;
+  double staleness_sum_ = 0.0;
+  std::uint64_t staleness_count_ = 0;
+  std::uint64_t staleness_max_ = 0;
+  std::size_t begun_ = 0;
+  std::size_t evaluated_rounds_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace snap::runtime

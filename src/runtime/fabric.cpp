@@ -1,0 +1,38 @@
+#include "runtime/fabric.hpp"
+
+#include "common/check.hpp"
+
+namespace snap::runtime {
+
+std::string_view fabric_name(FabricKind kind) noexcept {
+  switch (kind) {
+    case FabricKind::kSync:
+      return "sync";
+    case FabricKind::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+std::optional<FabricKind> parse_fabric_kind(
+    std::string_view name) noexcept {
+  if (name == "sync") return FabricKind::kSync;
+  if (name == "async") return FabricKind::kAsync;
+  return std::nullopt;
+}
+
+std::vector<double> linear_compute_spread(std::size_t n, double base_s,
+                                          double spread) {
+  SNAP_REQUIRE(base_s > 0.0);
+  SNAP_REQUIRE(spread >= 0.0);
+  std::vector<double> out(n, base_s);
+  if (n < 2) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double position =
+        static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = base_s * (1.0 + spread * position);
+  }
+  return out;
+}
+
+}  // namespace snap::runtime

@@ -1,0 +1,234 @@
+// Pluggable round fabric — the execution layer under every trainer.
+//
+// The paper's algorithms (SNAP's filtered EXTRA, DGD, the parameter
+// server) are *round-structured*: each node repeatedly runs
+//     local update → filter/encode → deliver → mix → evaluate.
+// What used to be four hand-rolled copies of that loop is now one
+// algorithm-side contract (RoundHooks) executed by a RoundFabric:
+//
+//   - SyncFabric — the paper's shared-clock exchange (§II-B/§IV-D).
+//     Reproduces the pre-refactor semantics bit for bit, including the
+//     `threads` determinism contract: parallel phases write only
+//     per-node slots, and everything stateful (mailbox posts, byte
+//     accounting, convergence folds) replays serially in node order.
+//     Simulated time comes from the closed-form TimingModel.
+//
+//   - AsyncFabric — event-driven execution on net::EventQueue. Each
+//     node has its own compute-time distribution, each link a
+//     latency/bandwidth pair; frames arrive when they arrive and nodes
+//     mix with whatever neighbor parameters are freshest. Simulated
+//     time is native and staleness is tracked per directed edge.
+//
+// The hooks are deliberately scheme-agnostic: a hook never touches a
+// mailbox, a cost tracker, or a clock — it only transforms node state
+// and emits typed envelopes. That is what makes the two fabrics
+// interchangeable underneath an unchanged algorithm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/training.hpp"
+#include "net/mailbox.hpp"
+#include "runtime/timing.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::runtime {
+
+/// One outbound message produced by a node's filter/encode phase.
+/// `wire_bytes` is the full on-wire size charged to the byte accounting
+/// and serialized through NIC bandwidth by the async fabric; 0 marks a
+/// free local hand-off (no charge, no transfer time).
+template <typename Payload>
+struct Envelope {
+  topology::NodeId to = 0;
+  Payload payload{};
+  std::size_t wire_bytes = 0;
+};
+
+/// What a node receives: the fabric delivers the mailbox's own message
+/// type, so sync delivery is literally the RoundMailbox inbox.
+template <typename Payload>
+using Delivery = typename net::RoundMailbox<Payload>::Message;
+
+/// What the evaluate phase reports back to the fabric each round.
+struct RoundEval {
+  double train_loss = 0.0;
+  double consensus_residual = 0.0;
+  double test_accuracy = 0.0;
+  bool evaluated = false;  ///< whether test_accuracy was computed
+};
+
+/// Lets the mix phase reply with follow-up messages in the same round
+/// (the parameter server's push-back). Sync fabrics deliver these in an
+/// extra mailbox wave; async fabrics put them on the wire immediately.
+template <typename Payload>
+class MessageSink {
+ public:
+  virtual void send(topology::NodeId from, topology::NodeId to,
+                    Payload payload, std::size_t wire_bytes) = 0;
+
+ protected:
+  ~MessageSink() = default;
+};
+
+/// The algorithm side of a round, as per-phase callbacks. Phases marked
+/// `parallel_*` may fan out on the fabric's pool; their bodies must
+/// write only node-owned state (the ThreadPool determinism contract).
+/// Unset std::function members are simply skipped.
+///
+/// Call order per round r (sync; async interleaves rounds per node but
+/// preserves the per-node order):
+///   begin_round(r)                       [serial, once per round]
+///   local_update(i)                      [per node]
+///   collect(i) -> envelopes              [per node]
+///   ... fabric sends, charges bytes ...
+///   after_send()                         [serial; sync only]
+///   mix(i, deliveries, sink)             [per receiving node]
+///   evaluate(r, measure_accuracy)        [serial]
+///   end_round(r)                         [serial, after the fabric has
+///                                         observed the eval]
+template <typename Payload>
+struct RoundHooks {
+  std::size_t node_count = 0;
+
+  /// Serial round preamble (advance failure draws, draw minibatches).
+  std::function<void(std::size_t round)> begin_round;
+
+  /// Node-local compute: gradient / EXTRA step / view rotation.
+  std::function<void(topology::NodeId node)> local_update;
+  bool parallel_local_update = true;
+
+  /// Filter + frame: returns everything `node` transmits this round.
+  std::function<std::vector<Envelope<Payload>>(topology::NodeId node)>
+      collect;
+  bool parallel_collect = true;
+
+  /// Serial hook between send and delivery (SNAP's synchronized EXTRA
+  /// restart rides here). Not invoked by async fabrics — there is no
+  /// global post-send instant; see AsyncFabric's notes.
+  std::function<void()> after_send;
+
+  /// Folds arrived messages into `node`'s state. Sync fabrics deliver a
+  /// whole round's inbox at once; the async fabric delivers frames one
+  /// at a time, as they arrive.
+  std::function<void(topology::NodeId node,
+                     std::span<const Delivery<Payload>> deliveries,
+                     MessageSink<Payload>& sink)>
+      mix;
+  bool parallel_mix = true;
+
+  /// Serial round postamble: observers, double-buffer swaps, restarts
+  /// that may tolerate async skew. Runs after the fabric recorded the
+  /// round's stats and fed the convergence detector.
+  std::function<void(std::size_t round)> end_round;
+
+  /// Whole-system measurement: aggregate loss, consensus residual and
+  /// (when `measure_accuracy`) test accuracy. Required by run().
+  std::function<RoundEval(std::size_t round, bool measure_accuracy)>
+      evaluate;
+
+  /// Async-only gate: may `node` begin `round`? Defaults to "always" —
+  /// free-running nodes. The parameter server uses it to wait for the
+  /// previous round's parameter push.
+  std::function<bool(topology::NodeId node, std::size_t round)> ready;
+
+  /// Async-only gate: is round `round` complete enough to evaluate?
+  /// Defaults to "every node finished its local round". The parameter
+  /// server additionally waits for the server step.
+  std::function<bool(std::size_t round)> eval_ready;
+};
+
+/// Which execution engine runs the rounds.
+enum class FabricKind {
+  kSync,   ///< shared-clock rounds, bitwise-deterministic (default)
+  kAsync,  ///< event-driven, heterogeneous compute/links, staleness
+};
+
+std::string_view fabric_name(FabricKind kind) noexcept;
+
+/// Parses "sync" / "async" (CLI spelling). Empty optional on anything
+/// else.
+std::optional<FabricKind> parse_fabric_kind(std::string_view name) noexcept;
+
+/// Per-link parameter override for the async fabric. Matches the
+/// undirected pair {u, v}; zero fields inherit the global defaults.
+struct LinkOverride {
+  topology::NodeId u = 0;
+  topology::NodeId v = 0;
+  double latency_s = 0.0;               ///< one-way, total (not per hop)
+  double bandwidth_bytes_per_s = 0.0;   ///< replaces both endpoints' NICs
+};
+
+/// Heterogeneity model for AsyncFabric: where simulated time comes from.
+struct AsyncTimingConfig {
+  /// Mean seconds one node spends on its local update each round.
+  double compute_s = 1e-3;
+  /// Per-node compute-time overrides (empty = homogeneous; otherwise
+  /// one entry per node). This is the straggler knob.
+  std::vector<double> node_compute_s;
+  /// Relative uniform jitter on every compute draw: each round's
+  /// compute time is base · (1 + U[−jitter, +jitter]). 0 = none.
+  double compute_jitter = 0.0;
+  /// Access-link bandwidth, bytes/second (paper testbed: 1 Gbps).
+  double nic_bandwidth_bytes_per_s = 1e9 / 8.0;
+  /// Per-node NIC overrides (empty = homogeneous).
+  std::vector<double> node_nic_bandwidth;
+  /// One-way propagation per hop, seconds (multi-hop PS flows pay it
+  /// per hop of the least-hop route).
+  double link_latency_s = 1e-3;
+  /// Per-link exceptions to the defaults above.
+  std::vector<LinkOverride> link_overrides;
+  /// SSP-style bound: a node may run at most this many rounds ahead of
+  /// the slowest graph neighbor. 0 = unbounded (fully free-running).
+  std::size_t max_staleness_rounds = 0;
+  /// Seeds the compute-jitter streams (one forked stream per node).
+  std::uint64_t seed = 1;
+};
+
+/// Evenly spreads per-node compute times over [base_s, base_s·(1 +
+/// spread)]: node 0 is the fastest, node n−1 the slowest. spread = 0
+/// (or n = 1) is homogeneous. The standard heterogeneous-node scenario
+/// for benches and the CLI.
+std::vector<double> linear_compute_spread(std::size_t n, double base_s,
+                                          double spread);
+
+/// Everything a fabric needs besides the algorithm itself.
+struct FabricConfig {
+  /// Thread-pool width for the parallel phases (0 = hardware threads).
+  std::size_t threads = 1;
+  /// Topology for byte/cost accounting and hop-aware latency. nullptr
+  /// disables accounting (DGD's abstract mixing-matrix mode).
+  const topology::Graph* graph = nullptr;
+  core::ConvergenceCriteria convergence;
+  core::EvalConfig eval;
+  /// Closed-form round timing used by SyncFabric's sim_seconds stamp.
+  TimingModel timing;
+  /// Per-node per-round compute cost fed to `timing` (FLOPs).
+  double round_compute_flops = 0.0;
+};
+
+/// Executes RoundHooks until convergence (or max_iterations). The
+/// fabric owns everything execution-side: the clock, the message
+/// transport, byte/cost accounting, the convergence detector, and the
+/// per-iteration stats series. The returned TrainResult has every field
+/// populated except the scheme-specific final_* summary, which the
+/// caller fills after run() returns.
+template <typename Payload>
+class RoundFabric {
+ public:
+  virtual ~RoundFabric() = default;
+
+  virtual core::TrainResult run(RoundHooks<Payload>& hooks) = 0;
+
+  /// The pool the parallel phases (and callers' own folds) run on.
+  virtual common::ThreadPool& pool() noexcept = 0;
+};
+
+}  // namespace snap::runtime

@@ -1,0 +1,27 @@
+// Factory tying the fabric interface to its two implementations —
+// schemes pick an engine with a FabricKind knob and never name the
+// concrete types.
+#pragma once
+
+#include <memory>
+
+#include "runtime/async_fabric.hpp"
+#include "runtime/fabric.hpp"
+#include "runtime/sync_fabric.hpp"
+
+namespace snap::runtime {
+
+template <typename Payload>
+std::unique_ptr<RoundFabric<Payload>> make_fabric(
+    FabricKind kind, const FabricConfig& config,
+    const AsyncTimingConfig& timing = {}) {
+  switch (kind) {
+    case FabricKind::kSync:
+      return std::make_unique<SyncFabric<Payload>>(config);
+    case FabricKind::kAsync:
+      return std::make_unique<AsyncFabric<Payload>>(config, timing);
+  }
+  return nullptr;
+}
+
+}  // namespace snap::runtime

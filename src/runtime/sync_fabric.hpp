@@ -1,0 +1,230 @@
+// Shared-clock round execution (the paper's §II-B / §IV-D model).
+//
+// SyncFabric is the extracted form of the round loop the trainers used
+// to hand-roll, with the exact same phase interleaving and — crucially —
+// the exact same determinism discipline:
+//
+//   - parallel phases (local_update, collect, mix) fan out on the pool
+//     and write only node-owned slots of preallocated buffers;
+//   - everything stateful — mailbox posts, CostTracker charges, the
+//     convergence detector — replays serially in ascending node order
+//     from those buffers.
+//
+// Results are therefore bitwise identical for every `threads` value,
+// and bitwise identical to the pre-refactor per-scheme loops.
+//
+// Mix-phase replies (MessageSink) are delivered in follow-up mailbox
+// waves within the same round: sends staged during wave w are posted
+// serially in sender order, the mailbox flips, and wave w+1 runs mix on
+// the nodes that received something — exactly how the parameter
+// server's gradient-up/parameters-down round decomposes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "core/training.hpp"
+#include "net/cost_model.hpp"
+#include "net/mailbox.hpp"
+#include "runtime/fabric.hpp"
+
+namespace snap::runtime {
+
+template <typename Payload>
+class SyncFabric final : public RoundFabric<Payload> {
+ public:
+  explicit SyncFabric(const FabricConfig& config)
+      : config_(config), pool_(config.threads) {
+    if (config_.graph != nullptr) {
+      cost_.emplace(net::HopMatrix(*config_.graph));
+    }
+  }
+
+  common::ThreadPool& pool() noexcept override { return pool_; }
+
+  /// Executes exactly one synchronous round — message exchange
+  /// included, evaluation/stats excluded. `round` is 1-based. This is
+  /// the step-driven entry point (DgdIteration::step); run() composes
+  /// it with the measurement machinery.
+  void step_round(RoundHooks<Payload>& hooks, std::size_t round) {
+    const std::size_t n = hooks.node_count;
+    SNAP_REQUIRE(n > 0);
+    ensure_capacity(n);
+
+    if (hooks.begin_round) hooks.begin_round(round);
+
+    if (hooks.local_update) {
+      run_per_node(n, hooks.parallel_local_update, hooks.local_update);
+    }
+
+    // Filter/encode fans out into per-node staging slots ...
+    if (hooks.collect) {
+      if (hooks.parallel_collect) {
+        pool_.parallel_for(0, n, [&](std::size_t i) {
+          staged_[i] = hooks.collect(i);
+        });
+      } else {
+        for (std::size_t i = 0; i < n; ++i) staged_[i] = hooks.collect(i);
+      }
+    }
+    // ... and the posts + byte accounting replay serially in node order.
+    for (topology::NodeId i = 0; i < n; ++i) {
+      for (auto& envelope : staged_[i]) {
+        post(i, std::move(envelope));
+      }
+      staged_[i].clear();
+    }
+
+    if (hooks.after_send) hooks.after_send();
+
+    deliver_waves(hooks, n);
+  }
+
+  core::TrainResult run(RoundHooks<Payload>& hooks) override {
+    SNAP_REQUIRE_MSG(hooks.evaluate != nullptr,
+                     "run() requires an evaluate hook");
+    core::ConvergenceDetector detector(config_.convergence);
+    core::TrainResult result;
+    double sim_seconds = 0.0;
+
+    std::size_t round = 0;
+    while (round < config_.convergence.max_iterations &&
+           !detector.converged()) {
+      ++round;
+      step_round(hooks, round);
+
+      const bool measure_accuracy =
+          (round % std::max<std::size_t>(config_.eval.every, 1)) == 0 ||
+          round == config_.convergence.max_iterations;
+      const RoundEval eval = hooks.evaluate(round, measure_accuracy);
+
+      core::IterationStats stats;
+      stats.train_loss = eval.train_loss;
+      stats.consensus_residual = eval.consensus_residual;
+      if (eval.evaluated) {
+        stats.test_accuracy = eval.test_accuracy;
+        stats.evaluated = true;
+      }
+      if (cost_) {
+        cost_->end_iteration();
+        stats.bytes = cost_->bytes_per_iteration().back();
+        stats.cost = cost_->cost_per_iteration().back();
+        stats.max_node_inbound_bytes =
+            cost_->max_inbound_per_iteration().back();
+        stats.max_node_outbound_bytes =
+            cost_->max_outbound_per_iteration().back();
+      }
+      sim_seconds += config_.timing.round_duration(
+          config_.round_compute_flops, stats.max_node_inbound_bytes,
+          stats.max_node_outbound_bytes);
+      stats.sim_seconds = sim_seconds;
+      result.iterations.push_back(stats);
+
+      detector.observe(eval.train_loss, eval.consensus_residual,
+                       stats.evaluated ? stats.test_accuracy : -1.0);
+      if (hooks.end_round) hooks.end_round(round);
+    }
+
+    result.converged = detector.converged();
+    result.converged_after =
+        result.converged ? detector.converged_after() : round;
+    if (cost_) {
+      result.total_bytes = cost_->total_bytes();
+      result.total_cost = cost_->total_cost();
+    }
+    result.total_sim_seconds = sim_seconds;
+    return result;
+  }
+
+ private:
+  // Staged replies from the mix phase, indexed by sender.
+  class StagingSink final : public MessageSink<Payload> {
+   public:
+    explicit StagingSink(std::vector<std::vector<Envelope<Payload>>>* slots)
+        : slots_(slots) {}
+    void send(topology::NodeId from, topology::NodeId to, Payload payload,
+              std::size_t wire_bytes) override {
+      SNAP_REQUIRE(from < slots_->size());
+      (*slots_)[from].push_back(
+          Envelope<Payload>{to, std::move(payload), wire_bytes});
+    }
+
+   private:
+    std::vector<std::vector<Envelope<Payload>>>* slots_;
+  };
+
+  void ensure_capacity(std::size_t n) {
+    if (staged_.size() != n) {
+      staged_.assign(n, {});
+      replies_.assign(n, {});
+      mailbox_.emplace(n);
+    }
+  }
+
+  void run_per_node(std::size_t n, bool parallel,
+                    const std::function<void(topology::NodeId)>& body) {
+    if (parallel) {
+      pool_.parallel_for(0, n, [&](std::size_t i) { body(i); });
+    } else {
+      for (topology::NodeId i = 0; i < n; ++i) body(i);
+    }
+  }
+
+  /// Charges and posts one envelope. wire_bytes == 0 marks a co-located
+  /// hand-off: nothing crosses the network and nothing is charged (the
+  /// mailbox still carries it so the receiver's mix phase is uniform).
+  void post(topology::NodeId from, Envelope<Payload> envelope) {
+    if (cost_ && envelope.wire_bytes > 0) {
+      cost_->record_flow(from, envelope.to, envelope.wire_bytes);
+    }
+    mailbox_->post(from, envelope.to, std::move(envelope.payload));
+  }
+
+  /// Flips the mailbox and runs mix waves until no node replies. Wave 1
+  /// is the round's main exchange; the parameter server's push-back
+  /// lands in wave 2. Bounded to catch hooks that ping-pong forever.
+  void deliver_waves(RoundHooks<Payload>& hooks, std::size_t n) {
+    if (!hooks.mix) return;
+    constexpr std::size_t kMaxWaves = 8;
+    StagingSink sink(&replies_);
+    for (std::size_t wave = 0; wave < kMaxWaves; ++wave) {
+      mailbox_->flip_round();
+      // Receivers touch only their own state (and their own reply
+      // slot), so the wave fans out; replies replay serially below.
+      run_per_node(n, hooks.parallel_mix, [&](topology::NodeId i) {
+        const auto& inbox = mailbox_->inbox(i);
+        hooks.mix(i, std::span<const Delivery<Payload>>(inbox), sink);
+      });
+      bool any_reply = false;
+      for (topology::NodeId i = 0; i < n; ++i) {
+        for (auto& envelope : replies_[i]) {
+          post(i, std::move(envelope));
+          any_reply = true;
+        }
+        replies_[i].clear();
+      }
+      if (!any_reply) {
+        // Drain the (empty) outgoing buffers so the next round's inbox
+        // does not replay this wave's messages.
+        mailbox_->flip_round();
+        return;
+      }
+    }
+    SNAP_REQUIRE_MSG(false, "mix-phase replies did not quiesce within "
+                                << kMaxWaves << " waves");
+  }
+
+  FabricConfig config_;
+  common::ThreadPool pool_;
+  std::optional<net::CostTracker> cost_;
+  std::optional<net::RoundMailbox<Payload>> mailbox_;
+  std::vector<std::vector<Envelope<Payload>>> staged_;
+  std::vector<std::vector<Envelope<Payload>>> replies_;
+};
+
+}  // namespace snap::runtime

@@ -1,10 +1,10 @@
-#include "experiments/timing.hpp"
+#include "runtime/timing.hpp"
 
 #include <algorithm>
 
 #include "common/check.hpp"
 
-namespace snap::experiments {
+namespace snap::runtime {
 
 double TimingModel::round_duration(
     double gradient_flops_value, std::uint64_t max_node_inbound_bytes,
@@ -41,4 +41,4 @@ double gradient_flops(std::size_t param_count, std::size_t samples) {
          static_cast<double>(samples);
 }
 
-}  // namespace snap::experiments
+}  // namespace snap::runtime

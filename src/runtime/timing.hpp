@@ -1,0 +1,55 @@
+// Wall-clock round timing — quantifies the paper's §I incast argument.
+//
+// The synchronous-round simulation abstracts time away; this model puts
+// it back. A round's duration is the slowest node's
+//     compute time + transfer time,
+// where transfer time is bottlenecked by the busiest NIC: every byte a
+// node receives (or sends) must cross its own access link, so a
+// parameter server receiving (N−1) dense gradients serializes them —
+// the incast — while SNAP's peers each receive only degree-many frames.
+//
+//     round_duration = compute_flops / compute_rate
+//                    + max(max_node_inbound, max_node_outbound) / nic_bw
+//                    + propagation_delay
+//
+// This is a deliberate closed-form model (store-and-forward with one
+// bottleneck link per node), not a packet simulator: it is exact for
+// the synchronous exchange pattern both SNAP and the PS scheme use, and
+// it composes directly with the byte counts the trainers already
+// record. SyncFabric uses it to stamp `IterationStats::sim_seconds`;
+// the event-driven AsyncFabric simulates time natively instead.
+#pragma once
+
+#include <cstdint>
+
+#include "core/training.hpp"
+
+namespace snap::runtime {
+
+struct TimingModel {
+  /// Access-link (NIC) bandwidth in bytes/second. Paper testbed: 1 Gbps.
+  double nic_bandwidth_bytes_per_s = 1e9 / 8.0;
+  /// One-way propagation + protocol overhead per round, seconds.
+  double propagation_s = 1e-3;
+  /// Node compute throughput in FLOP/s for gradient evaluation.
+  double compute_flops_per_s = 5e9;
+
+  /// Duration of one synchronous round (seconds).
+  double round_duration(double gradient_flops,
+                        std::uint64_t max_node_inbound_bytes,
+                        std::uint64_t max_node_outbound_bytes) const;
+
+  /// Total wall-clock time of a recorded run: Σ rounds until
+  /// `converged_after` (or the full run when it never converged).
+  /// `gradient_flops` is the per-node cost of one local gradient.
+  double total_duration(const core::TrainResult& result,
+                        double gradient_flops) const;
+};
+
+/// Rough FLOP count of one full-batch gradient for a model with
+/// `param_count` parameters over `samples` local samples (forward +
+/// backward ≈ 4 FLOPs per parameter-sample pair for the dense models in
+/// this library).
+double gradient_flops(std::size_t param_count, std::size_t samples);
+
+}  // namespace snap::runtime

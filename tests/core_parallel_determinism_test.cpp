@@ -77,6 +77,8 @@ TEST(ParallelDeterminismTest, SnapTrainerIsThreadCountInvariant) {
   const auto g = topology::make_random_connected(n, 3.0, topo_rng);
   const linalg::Matrix w = consensus::max_degree_weights(g);
   const data::Dataset test(4, 2);
+  const QuadraticModel model(4);  // must outlive train() — the trainer
+                                  // keeps a pointer, not a copy
 
   auto run = [&](std::size_t threads) {
     SnapTrainerConfig cfg;
@@ -86,8 +88,7 @@ TEST(ParallelDeterminismTest, SnapTrainerIsThreadCountInvariant) {
     cfg.convergence.loss_tolerance = 0.0;
     cfg.link_failure_probability = 0.1;
     cfg.threads = threads;
-    SnapTrainer trainer(g, w, QuadraticModel(4),
-                        random_point_shards(n, 4, 22), cfg);
+    SnapTrainer trainer(g, w, model, random_point_shards(n, 4, 22), cfg);
     return trainer.train(test);
   };
 

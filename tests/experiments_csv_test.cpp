@@ -40,6 +40,7 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   s1.bytes = 100;
   s1.cost = 200;
   s1.consensus_residual = 0.25;
+  s1.sim_seconds = 0.125;
   core::IterationStats s2;
   s2.train_loss = 0.75;
   result.iterations = {s1, s2};
@@ -48,10 +49,11 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   write_train_result_csv(os, result);
   const std::string out = os.str();
   EXPECT_NE(out.find("iteration,train_loss,test_accuracy,evaluated,bytes,"
-                     "cost,consensus_residual\n"),
+                     "cost,consensus_residual,sim_seconds\n"),
             std::string::npos);
-  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25\n"), std::string::npos);
-  EXPECT_NE(out.find("2,0.75,0,0,0,0,0\n"), std::string::npos);
+  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25,0.125\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0\n"), std::string::npos);
 }
 
 TEST(TrainResultCsvTest, EmptyResultWritesHeaderOnly) {

@@ -150,7 +150,7 @@ TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
 
   std::ostringstream os;
   experiments::write_train_result_csv(os, result);
-  // Header + one line per iteration, all with 7 fields.
+  // Header + one line per iteration, all with 8 fields.
   const std::string csv = os.str();
   std::size_t lines = 0;
   std::size_t field_commas = 0;
@@ -159,7 +159,7 @@ TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
     if (c == ',') ++field_commas;
   }
   EXPECT_EQ(lines, result.iterations.size() + 1);
-  EXPECT_EQ(field_commas, lines * 6);
+  EXPECT_EQ(field_commas, lines * 7);
 }
 
 TEST(IntegrationTest, SnapTrainerIsOneShot) {

@@ -118,6 +118,78 @@ TEST(EventQueueTest, RunUntilRejectsPastDeadlines) {
   EXPECT_THROW(queue.run_until(1.0), common::ContractViolation);
 }
 
+TEST(EventQueueTest, FiringActionMayCancelALaterEvent) {
+  // Reentrancy: cancelling from inside an action must take effect even
+  // though the target is already sitting in the heap (lazy
+  // cancellation drops it from the live set, so pop skips it).
+  EventQueue queue;
+  bool cancelled_fired = false;
+  bool survivor_fired = false;
+  const auto victim =
+      queue.schedule_at(2.0, [&] { cancelled_fired = true; });
+  queue.schedule_at(3.0, [&] { survivor_fired = true; });
+  queue.schedule_at(1.0, [&] {
+    EXPECT_TRUE(queue.cancel(victim));
+    EXPECT_FALSE(queue.cancel(victim));  // second cancel is a no-op
+  });
+  queue.run_all();
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, RunUntilFiresDeadlineEventScheduledWhileFiring) {
+  // An action firing inside run_until(5.0) schedules a new event at
+  // exactly 5.0: the deadline is inclusive, so it fires in the same
+  // call — even when the scheduling action itself fires at 5.0.
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule_at(1.0, [&] {
+    fired.push_back(1);
+    queue.schedule_at(5.0, [&] {
+      fired.push_back(2);
+      queue.schedule_at(5.0, [&] { fired.push_back(3); });  // at deadline
+      queue.schedule_in(0.5, [&] { fired.push_back(4); });  // past it
+    });
+  });
+  queue.run_until(5.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_EQ(queue.pending(), 1u);  // the 5.5 event waits
+  queue.run_until(6.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilAdvancesToDeadlineWhenQueueDrainsEarly) {
+  // The clock covers the whole window: even when the last event fires
+  // well before the deadline (or no event is pending at all), now()
+  // ends at exactly the deadline — the idle tail still elapses.
+  EventQueue queue;
+  queue.schedule_at(1.0, [] {});
+  queue.run_until(4.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+  queue.run_until(9.0);  // empty queue: pure clock advance
+  EXPECT_DOUBLE_EQ(queue.now(), 9.0);
+  EXPECT_THROW(queue.schedule_at(8.0, [] {}),
+               common::ContractViolation);  // 8.0 is now in the past
+}
+
+TEST(EventQueueTest, RunAllMaxEventsBoundaryIsExact) {
+  // A cascade of exactly max_events events completes; one more throws.
+  const auto cascade = [](std::size_t length, std::size_t max_events) {
+    EventQueue queue;
+    std::size_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < length) queue.schedule_in(1.0, chain);
+    };
+    queue.schedule_at(0.0, chain);
+    queue.run_all(max_events);
+    return count;
+  };
+  EXPECT_EQ(cascade(100, 100), 100u);
+  EXPECT_THROW(cascade(101, 100), common::ContractViolation);
+}
+
 TEST(EventQueueTest, TimerSimulationIsDeterministic) {
   // A miniature §IV-D scenario: three nodes with different compute
   // times share a 1.0-second exchange timer; the trace must be exactly

@@ -1,0 +1,75 @@
+#include "net/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace snap::net {
+namespace {
+
+TEST(RoundMailboxTest, MessagesAppearOnlyAfterFlip) {
+  RoundMailbox<int> mailbox(3);
+  mailbox.post(0, 1, 7);
+  EXPECT_TRUE(mailbox.inbox(1).empty());  // still in the send phase
+  mailbox.flip_round();
+  ASSERT_EQ(mailbox.inbox(1).size(), 1u);
+  EXPECT_EQ(mailbox.inbox(1)[0].from, 0u);
+  EXPECT_EQ(mailbox.inbox(1)[0].payload, 7);
+}
+
+TEST(RoundMailboxTest, PostAfterFlipBelongsToTheNextRound) {
+  // The shared-clock contract: a frame posted after the flip is a
+  // round-r+1 frame. It must not contaminate the round-r inbox, and the
+  // next flip must deliver it (and only it).
+  RoundMailbox<std::string> mailbox(2);
+  mailbox.post(0, 1, "round-1");
+  mailbox.flip_round();
+  mailbox.post(0, 1, "round-2");  // posted while round 1 is being read
+  ASSERT_EQ(mailbox.inbox(1).size(), 1u);
+  EXPECT_EQ(mailbox.inbox(1)[0].payload, "round-1");
+  mailbox.flip_round();
+  ASSERT_EQ(mailbox.inbox(1).size(), 1u);
+  EXPECT_EQ(mailbox.inbox(1)[0].payload, "round-2");
+  mailbox.flip_round();  // nothing posted: round 3 is empty
+  EXPECT_TRUE(mailbox.inbox(1).empty());
+}
+
+TEST(RoundMailboxTest, InboxPreservesPostOrder) {
+  RoundMailbox<int> mailbox(4);
+  mailbox.post(2, 0, 20);
+  mailbox.post(1, 0, 10);
+  mailbox.post(2, 0, 21);  // same sender again: in-order per sender
+  mailbox.post(3, 0, 30);
+  mailbox.flip_round();
+  const auto& inbox = mailbox.inbox(0);
+  ASSERT_EQ(inbox.size(), 4u);
+  EXPECT_EQ(inbox[0].payload, 20);
+  EXPECT_EQ(inbox[1].payload, 10);
+  EXPECT_EQ(inbox[2].payload, 21);
+  EXPECT_EQ(inbox[3].payload, 30);
+}
+
+TEST(RoundMailboxTest, SelfSendIsAContractViolation) {
+  RoundMailbox<int> mailbox(3);
+  EXPECT_THROW(mailbox.post(1, 1, 5), common::ContractViolation);
+  // The violation must not corrupt the mailbox: valid traffic still
+  // flows afterwards.
+  mailbox.post(1, 2, 6);
+  mailbox.flip_round();
+  EXPECT_TRUE(mailbox.inbox(1).empty());
+  ASSERT_EQ(mailbox.inbox(2).size(), 1u);
+  EXPECT_EQ(mailbox.inbox(2)[0].payload, 6);
+}
+
+TEST(RoundMailboxTest, RejectsOutOfRangeNodes) {
+  RoundMailbox<int> mailbox(2);
+  EXPECT_THROW(mailbox.post(0, 2, 1), common::ContractViolation);
+  EXPECT_THROW(mailbox.post(2, 0, 1), common::ContractViolation);
+  EXPECT_THROW((void)mailbox.inbox(2), common::ContractViolation);
+}
+
+}  // namespace
+}  // namespace snap::net
