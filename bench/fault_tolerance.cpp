@@ -1,0 +1,148 @@
+// Fault-tolerance extension bench — Fig. 9 beyond link loss.
+//
+// The paper's Fig. 9 sweeps memoryless link failures. This bench
+// extends the axis to the fault processes edge deployments actually
+// see (FaultInjector): random node churn (crash/restart chains),
+// bursty Gilbert–Elliott link outages, and the self-healing weight
+// re-projection that keeps EXTRA's recursion anchored to the surviving
+// topology. Reported per crash rate: final aggregate loss,
+// hop-weighted communication cost, simulated wall-clock, and the
+// fault counters the fabrics stamp per round — on both the shared-clock
+// and the event-driven fabric, which replay the identical fault
+// schedule by construction.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+
+namespace {
+
+using namespace snap;
+
+experiments::ScenarioConfig churn_config(runtime::FabricKind fabric,
+                                         double crash_rate) {
+  auto cfg = bench::sim_config(30, 3.0);
+  cfg.convergence.max_iterations = 300;
+  cfg.fabric = fabric;
+  cfg.faults.crash_probability = crash_rate;
+  cfg.faults.restart_probability = 0.05;
+  cfg.faults.churn_confirm_rounds = 2;
+  return cfg;
+}
+
+struct FaultTotals {
+  std::uint64_t dropped = 0;
+  std::uint64_t node_rounds_down = 0;
+};
+
+FaultTotals totals_of(const core::TrainResult& result) {
+  FaultTotals t;
+  for (const auto& it : result.iterations) {
+    t.dropped += it.frames_dropped;
+    t.node_rounds_down += it.nodes_down;
+  }
+  return t;
+}
+
+void sweep_crash_rate(runtime::FabricKind fabric, const char* title) {
+  experiments::print_banner(std::cout, title);
+  experiments::Table table({"crash rate", "final loss", "hop cost",
+                            "sim seconds", "node-rounds down",
+                            "frames dropped"});
+  for (const double crash : {0.0, 0.002, 0.005, 0.01}) {
+    const experiments::Scenario scenario(churn_config(fabric, crash));
+    const auto result = scenario.run(experiments::Scheme::kSnap);
+    const FaultTotals t = totals_of(result);
+    table.add_row({common::format_percent(crash, 1),
+                   common::format_double(result.final_train_loss, 5),
+                   common::format_bytes(double(result.total_cost)),
+                   common::format_double(result.total_sim_seconds, 3),
+                   std::to_string(t.node_rounds_down),
+                   std::to_string(t.dropped)});
+  }
+  table.print(std::cout);
+}
+
+void bursty_links() {
+  experiments::print_banner(
+      std::cout,
+      "Bursty link outages — same stationary down-rate, clustered vs "
+      "memoryless (enter 0.02; memoryless exit 0.98, bursty exit 0.25)");
+  experiments::Table table(
+      {"outage model", "final loss", "frames dropped", "sim seconds"});
+  for (const bool bursty : {false, true}) {
+    auto cfg = bench::sim_config(30, 3.0);
+    cfg.convergence.max_iterations = 300;
+    cfg.faults.link_enter_burst = 0.02;
+    cfg.faults.link_exit_burst = bursty ? 0.25 : 0.98;
+    const experiments::Scenario scenario(cfg);
+    const auto result = scenario.run(experiments::Scheme::kSnap);
+    table.add_row({bursty ? "bursty (GE)" : "memoryless",
+                   common::format_double(result.final_train_loss, 5),
+                   std::to_string(totals_of(result).dropped),
+                   common::format_double(result.total_sim_seconds, 3)});
+  }
+  table.print(std::cout);
+}
+
+// Run under the paper's literal stale-values straggler reading: there a
+// dead neighbor's frozen view keeps feeding the recursion with nonzero
+// weight, so the healing (which zeroes that weight and restarts) is
+// load-bearing. kReweight already folds absent neighbors away per
+// round, which masks the contrast.
+void reprojection_ablation() {
+  experiments::print_banner(
+      std::cout,
+      "Self-healing ablation — permanent crash of one node at round 30, "
+      "with and without weight re-projection on confirmed churn "
+      "(stale-values straggler policy)");
+  experiments::Table table({"re-projection", "final loss", "converged"});
+  for (const bool heal : {true, false}) {
+    auto cfg = bench::sim_config(30, 3.0);
+    cfg.convergence.max_iterations = 300;
+    cfg.faults.scheduled_crashes.push_back({/*node=*/7, /*crash_round=*/30,
+                                            /*restart_round=*/0});
+    cfg.faults.churn_confirm_rounds = 2;
+    cfg.reproject_on_churn = heal;
+    const experiments::Scenario scenario(cfg);
+    const auto result = scenario.run_snap_variant(
+        core::FilterMode::kApe, true, 0.0, cfg.convergence,
+        core::StragglerPolicy::kStaleValues);
+    table.add_row({heal ? "on (Metropolis)" : "off",
+                   common::format_double(result.final_train_loss, 5),
+                   result.converged ? "yes" : "no"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace snap;
+  const auto cfg = bench::sim_config(30, 3.0);
+  bench::print_run_header("fault tolerance (node churn + bursty links)",
+                          cfg);
+
+  sweep_crash_rate(runtime::FabricKind::kSync,
+                   "Node churn sweep — shared-clock fabric (crash rate "
+                   "per node per round; restart rate 5%)");
+  sweep_crash_rate(runtime::FabricKind::kAsync,
+                   "Node churn sweep — event-driven fabric (identical "
+                   "fault schedule, time-based crash confirmation)");
+  bursty_links();
+  reprojection_ablation();
+
+  std::cout << "\nShape expectations: moderate churn costs accuracy "
+               "roughly in proportion to node-rounds lost; bursty "
+               "outages hurt more than memoryless ones at the same "
+               "stationary rate (consecutive missed rounds compound "
+               "through EXTRA's accumulator); and without re-projection "
+               "a permanent crash leaves the recursion anchored to a "
+               "frozen neighbor, visibly degrading the final loss.\n";
+  return 0;
+}

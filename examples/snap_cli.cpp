@@ -6,6 +6,7 @@
 //   snap_cli --scheme=terngrad --nodes=40 --alpha=0.2 --csv=run.csv
 //   snap_cli --workload=mnist --nodes=3 --complete --iterations=40
 //   snap_cli --help
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -40,6 +41,18 @@ options (defaults in brackets):
   --alpha=A           step size [0.3]
   --iterations=K      iteration cap [400]
   --failure=P         per-round link failure probability [0]
+  --crash-rate=P      per-round probability an alive node crashes [0]
+  --restart-rate=P    per-round probability a crashed node restarts [0]
+  --link-burst=E[:X]  bursty (Gilbert-Elliott) link outages: links go
+                      down with prob E per round and recover with prob
+                      X (default 0.5; X = 1-E reproduces --failure) [off]
+  --corrupt=P         per-frame corruption probability (corrupted frames
+                      are charged, fail decode, and are retried) [0]
+  --recovery-timeout=S  async silence window before a neighbor is
+                      suspected crashed (0 = auto from timing) [0]
+  --no-reproject      disable the self-healing weight re-projection on
+                      confirmed churn (ablation; EXTRA then anchors to
+                      dead nodes' frozen parameters)
   --seed=S            experiment seed [2020]
   --fabric=NAME       sync (shared-clock rounds) | async (event-driven
                       runtime; frames arrive when they arrive) [sync]
@@ -114,7 +127,9 @@ int main(int argc, char** argv) {
         "scheme", "workload", "nodes", "degree", "complete", "train",
         "test", "alpha", "iterations", "failure", "seed", "csv",
         "topology", "save-model", "help", "fabric", "compute", "hetero",
-        "jitter", "latency", "bandwidth", "max-staleness", "free-run"};
+        "jitter", "latency", "bandwidth", "max-staleness", "free-run",
+        "crash-rate", "restart-rate", "link-burst", "corrupt",
+        "recovery-timeout", "no-reproject"};
     if (!known.contains(key)) {
       std::cerr << "unknown option --" << key << " (try --help)\n";
       return 2;
@@ -141,6 +156,20 @@ int main(int argc, char** argv) {
   cfg.convergence.loss_tolerance = 1e-3;
   cfg.convergence.consensus_tolerance = 1e-2;
   cfg.link_failure_probability = std::stod(get("failure", "0"));
+  cfg.faults.crash_probability = std::stod(get("crash-rate", "0"));
+  cfg.faults.restart_probability = std::stod(get("restart-rate", "0"));
+  if (args.contains("link-burst")) {
+    const std::string burst = get("link-burst", "0");
+    const auto colon = burst.find(':');
+    cfg.faults.link_enter_burst =
+        std::stod(burst.substr(0, colon));
+    cfg.faults.link_exit_burst =
+        colon == std::string::npos ? 0.5 : std::stod(burst.substr(colon + 1));
+  }
+  cfg.faults.frame_corruption_probability = std::stod(get("corrupt", "0"));
+  cfg.fault_recovery.suspect_after_s =
+      std::stod(get("recovery-timeout", "0"));
+  cfg.reproject_on_churn = !args.contains("no-reproject");
   cfg.seed = std::stoull(get("seed", "2020"));
   if (args.contains("topology")) {
     std::string error;
@@ -205,6 +234,19 @@ int main(int argc, char** argv) {
   table.add_row(
       {"simulated time",
        common::format_double(result.total_sim_seconds, 3) + " s"});
+  if (cfg.faults.any() || cfg.link_failure_probability > 0.0) {
+    std::uint64_t dropped = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t retried = 0;
+    for (const auto& it : result.iterations) {
+      dropped += it.frames_dropped;
+      corrupted += it.frames_corrupted;
+      retried += it.frames_retried;
+    }
+    table.add_row({"frames dropped", std::to_string(dropped)});
+    table.add_row({"frames corrupted", std::to_string(corrupted)});
+    table.add_row({"frames retried", std::to_string(retried)});
+  }
   table.print(std::cout);
 
   if (args.contains("save-model")) {

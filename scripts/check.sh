@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Repo-wide check: the tier-1 build + full ctest suite, then ASan and
-# TSan builds of the runtime/net surface (event queue, mailbox, fabric,
-# thread pool) so the sanitizer wiring is exercised routinely, not just
-# when someone remembers.
+# Repo-wide check: the tier-1 build + full ctest suite, then ASan, TSan,
+# and UBSan builds of the runtime/net surface (event queue, mailbox,
+# fabric, thread pool, fault injector, wire-decoder fuzz) so the
+# sanitizer wiring is exercised routinely, not just when someone
+# remembers.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer builds (tier-1 only)
@@ -30,16 +31,19 @@ SAN_TESTS=(
   runtime_fabric_test
   common_thread_pool_test
   core_parallel_determinism_test
+  net_fault_injector_test
+  net_frame_fuzz_test
 )
 
-for san in address thread; do
+for san in address thread undefined; do
   dir="build-${san/address/asan}"
   dir="${dir/thread/tsan}"
+  dir="${dir/undefined/ubsan}"
   echo "==> ${san} sanitizer: configure + build + run (${dir}/)"
   cmake -B "$dir" -S . -DSNAP_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j "$JOBS" --target "${SAN_TESTS[@]}"
   for t in "${SAN_TESTS[@]}"; do
-    "./$dir/tests/$t" --gtest_brief=1
+    UBSAN_OPTIONS=print_stacktrace=1 "./$dir/tests/$t" --gtest_brief=1
   done
 done
 

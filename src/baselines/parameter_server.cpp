@@ -43,6 +43,18 @@ core::TrainResult train_parameter_server(
   const auto ps = static_cast<topology::NodeId>(
       rng.fork("ps-select").uniform_u64(n));
 
+  // Fault schedule. The PS node has no failover (the point of the
+  // baseline), so scheduled crashes may not target it.
+  std::optional<net::FaultInjector> injector;
+  if (config.faults.any()) {
+    for (const auto& event : config.faults.scheduled_crashes) {
+      SNAP_REQUIRE_MSG(event.node != ps,
+                       "scheduled crash targets the parameter server (node "
+                           << ps << "): the PS scheme has no failover");
+    }
+    injector.emplace(graph, config.faults, rng.fork("faults"));
+  }
+
   common::Rng init_rng = rng.fork("init");
   common::Rng batch_rng = rng.fork("batches");
   linalg::Vector server_params = model.initial_params(init_rng);
@@ -69,6 +81,8 @@ core::TrainResult train_parameter_server(
   fabric_config.timing = config.timing;
   fabric_config.round_compute_flops =
       runtime::gradient_flops(p, round_samples);
+  fabric_config.faults = injector ? &*injector : nullptr;
+  fabric_config.recovery = config.recovery;
   using Payload = linalg::Vector;
   auto fabric = runtime::make_fabric<Payload>(config.fabric, fabric_config,
                                               config.async);
@@ -81,28 +95,35 @@ core::TrainResult train_parameter_server(
   std::vector<linalg::Vector> worker_params(n, server_params);
   std::vector<std::optional<linalg::Vector>> pending(n);
   std::vector<std::size_t> pushes_received(n, 0);
+  // Confirmed-crashed workers (on_churn): the server stops waiting on
+  // them and averages over whoever actually contributed.
+  std::vector<bool> worker_down(n, false);
   std::size_t steps = 0;  // server gradient steps applied
 
   // Folds the gradients in worker order (bitwise-stable), steps the
   // server, and pushes the new parameters. Fires from whichever event
   // completes the round's gradient set: the last upload's mix, or —
   // async, when the PS node itself is the last to finish computing —
-  // its own collect.
+  // its own collect. Fault runs wait only on workers believed alive; a
+  // straggling gradient that still made it in contributes anyway.
   const auto maybe_aggregate =
       [&](runtime::MessageSink<Payload>* sink,
           std::vector<runtime::Envelope<Payload>>* out) {
-        if (std::any_of(pending.begin(), pending.end(),
-                        [](const std::optional<linalg::Vector>& g) {
-                          return !g.has_value();
-                        })) {
-          return;
+        if (worker_down[ps]) return;  // a dead server steps nothing
+        for (std::size_t worker = 0; worker < n; ++worker) {
+          if (worker_down[worker]) continue;
+          if (!pending[worker].has_value()) return;
         }
         linalg::Vector mean_gradient(p);
+        std::size_t contributors = 0;
         for (std::size_t worker = 0; worker < n; ++worker) {
+          if (!pending[worker].has_value()) continue;
           mean_gradient += *pending[worker];
           pending[worker].reset();
+          ++contributors;
         }
-        mean_gradient *= 1.0 / static_cast<double>(n);
+        if (contributors == 0) return;
+        mean_gradient *= 1.0 / static_cast<double>(contributors);
         server_params.axpy(-config.alpha, mean_gradient);
         ++steps;
         worker_params[ps] = server_params;
@@ -194,12 +215,35 @@ core::TrainResult train_parameter_server(
     return eval;
   };
 
+  // Membership reactions: a confirmed crash frees the aggregation wait
+  // (and may complete the in-flight round on the spot); a confirmed
+  // restart rejoins the worker and re-pushes it the current model so it
+  // does not grind on the parameters it died with.
+  if (injector) {
+    hooks.on_churn = [&](std::size_t,
+                         std::span<const topology::NodeId> crashed,
+                         std::span<const topology::NodeId> restarted,
+                         runtime::MessageSink<Payload>& sink) {
+      for (const auto c : crashed) {
+        worker_down[c] = true;
+        pending[c].reset();
+      }
+      for (const auto r : restarted) {
+        worker_down[r] = false;
+        if (r != ps) sink.send(ps, r, server_params, dense_bytes);
+      }
+      if (!crashed.empty()) maybe_aggregate(&sink, nullptr);
+    };
+  }
+
   // Async gates: the PS round is a barrier by construction. A worker
   // may start round r only once it holds the round r−1 push; the
   // server once it has applied step r−1; round r is measurable once
-  // step r exists.
+  // step r exists. Under faults a push can be lost, so the worker gate
+  // falls back to global progress — computing on the last-received
+  // model beats parking forever behind a dropped frame.
   hooks.ready = [&](topology::NodeId node, std::size_t round) {
-    if (node == ps) return steps >= round - 1;
+    if (node == ps || injector) return steps >= round - 1;
     return pushes_received[node] >= round - 1;
   };
   hooks.eval_ready = [&](std::size_t round) { return steps >= round; };

@@ -55,6 +55,19 @@ struct ParameterServerConfig {
   /// gradient average all run serially in worker order — only the pure
   /// gradient/loss computations fan out.
   std::size_t threads = 1;
+  /// Generalized fault process (net::FaultPlan; default fault-free).
+  /// Worker churn degrades gracefully: the server aggregates whatever
+  /// the surviving workers upload and re-pushes the model to restarted
+  /// workers. A crash of the PS node itself is *not* a supported
+  /// scenario — the scheme has no failover, which is precisely the
+  /// single-point-of-failure contrast with SNAP's decentralized
+  /// recovery — so scheduled crashes may not target the (seed-chosen)
+  /// server node, and a random crash landing on it simply stalls the
+  /// run until restart (or ends it early if the node never returns).
+  net::FaultPlan faults;
+  /// Recovery semantics when faults are active (async suspicion window,
+  /// bounded retransmission).
+  runtime::FaultRecoveryConfig recovery;
   /// Execution engine (see SnapTrainerConfig::fabric). Under kAsync the
   /// PS round stays barrier-synchronized by construction — workers wait
   /// for the parameter push — so heterogeneity shows up purely as

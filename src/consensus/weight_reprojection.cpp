@@ -1,0 +1,87 @@
+#include "consensus/weight_reprojection.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace snap::consensus {
+
+namespace {
+
+/// Metropolis–Hastings weights on the alive-induced subgraph, embedded
+/// into the full n×n index space with identity rows for dead nodes.
+linalg::Matrix metropolis_on_survivors(const topology::Graph& graph,
+                                       const std::vector<bool>& alive) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::size_t> alive_degree(n, 0);
+  for (const auto& [u, v] : graph.edges()) {
+    if (alive[u] && alive[v]) {
+      ++alive_degree[u];
+      ++alive_degree[v];
+    }
+  }
+  linalg::Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) {
+      w(i, i) = 1.0;
+      continue;
+    }
+    double off_diagonal = 0.0;
+    for (const topology::NodeId j : graph.neighbors(i)) {
+      if (!alive[j]) continue;
+      const double weight =
+          1.0 / (1.0 + static_cast<double>(
+                           std::max(alive_degree[i], alive_degree[j])));
+      w(i, j) = weight;
+      off_diagonal += weight;
+    }
+    w(i, i) = 1.0 - off_diagonal;
+  }
+  return w;
+}
+
+}  // namespace
+
+linalg::Matrix reproject_weight_matrix(const topology::Graph& graph,
+                                       const std::vector<bool>& alive,
+                                       ReprojectionMethod method,
+                                       const WeightOptimizerConfig& optimizer) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE_MSG(alive.size() == n, "alive mask must have one flag per node");
+  const std::size_t alive_count =
+      static_cast<std::size_t>(std::count(alive.begin(), alive.end(), true));
+  SNAP_REQUIRE_MSG(alive_count >= 1, "cannot re-project with no survivors");
+
+  if (method == ReprojectionMethod::kOptimize && alive_count >= 2) {
+    // Build the compact survivor subgraph, optimize there, embed back.
+    std::vector<std::size_t> compact(n, 0);
+    std::vector<topology::NodeId> expand;
+    expand.reserve(alive_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alive[i]) {
+        compact[i] = expand.size();
+        expand.push_back(i);
+      }
+    }
+    topology::Graph survivors(alive_count);
+    for (const auto& [u, v] : graph.edges()) {
+      if (alive[u] && alive[v]) survivors.add_edge(compact[u], compact[v]);
+    }
+    const WeightSelection selection =
+        select_weight_matrix(survivors, optimizer);
+    linalg::Matrix w = linalg::Matrix::identity(n);
+    for (std::size_t a = 0; a < alive_count; ++a) {
+      w(expand[a], expand[a]) = selection.w(a, a);
+      for (std::size_t b = 0; b < alive_count; ++b) {
+        if (a == b) continue;
+        w(expand[a], expand[b]) = selection.w(a, b);
+      }
+    }
+    return w;
+  }
+
+  return metropolis_on_survivors(graph, alive);
+}
+
+}  // namespace snap::consensus

@@ -1,0 +1,48 @@
+// Weight-matrix re-projection under churn.
+//
+// EXTRA's convergence needs a symmetric doubly-stochastic W supported on
+// the topology — and when a node is confirmed crashed, the *effective*
+// topology is the alive-induced subgraph. Keeping the old W would make
+// every surviving neighbor of the dead node anchor part of its average
+// to a frozen iterate forever; re-projecting W onto the surviving
+// sparsity pattern and restarting the recursion from the current
+// iterates lets SNAP degrade to the reduced topology instead of
+// diverging ("the convergence and optimality of iteration (6) has
+// nothing to do with the initial parameter values", §IV-C).
+//
+// Dead nodes keep an identity row/column, so the full n×n matrix stays
+// symmetric doubly stochastic and feasible for the original graph while
+// the alive block mixes only over surviving links.
+#pragma once
+
+#include <vector>
+
+#include "consensus/weight_optimizer.hpp"
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+
+/// How the surviving block is re-weighted.
+enum class ReprojectionMethod {
+  /// Metropolis–Hastings weights over surviving links:
+  ///   w_ij = 1 / (1 + max{deg'(i), deg'(j)}),  deg' = alive degree.
+  /// Symmetric, doubly stochastic, O(|E|) — the cheap in-run fallback.
+  kMetropolis,
+  /// Re-run the §IV-B weight optimizer on the surviving subgraph
+  /// (select_weight_matrix). Better spectral gap, much more compute;
+  /// falls back to Metropolis when fewer than two nodes survive.
+  kOptimize,
+};
+
+/// Re-projects a mixing matrix onto the alive-induced subgraph of
+/// `graph`. `alive` has one flag per node; dead rows/columns become
+/// identity. The result is symmetric, doubly stochastic, and supported
+/// on the surviving edges — feasible for `graph` by construction
+/// (is_feasible_weight_matrix holds). Requires at least one alive node.
+linalg::Matrix reproject_weight_matrix(
+    const topology::Graph& graph, const std::vector<bool>& alive,
+    ReprojectionMethod method = ReprojectionMethod::kMetropolis,
+    const WeightOptimizerConfig& optimizer = {});
+
+}  // namespace snap::consensus

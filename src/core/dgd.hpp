@@ -21,6 +21,10 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
+namespace snap::net {
+class FaultInjector;
+}  // namespace snap::net
+
 namespace snap::runtime {
 template <typename Payload>
 class SyncFabric;
@@ -44,6 +48,15 @@ class DgdIteration {
   DgdIteration(DgdIteration&&) noexcept;
   DgdIteration& operator=(DgdIteration&&) noexcept;
 
+  /// Attaches a fault schedule (borrowed; must outlive this object and
+  /// have been built over a graph with node_count() nodes). Rounds with
+  /// faults keep the effective mixing matrix stochastic: a missing
+  /// delivery's weight folds into the receiver's own iterate, and a
+  /// crashed node carries its parameters frozen through the round.
+  /// Pass nullptr to detach. DGD is sync-only, so there is no recovery
+  /// timing to configure.
+  void set_fault_injector(net::FaultInjector* faults);
+
   /// Advances one DGD iteration.
   void step();
 
@@ -59,6 +72,8 @@ class DgdIteration {
   linalg::Matrix w_;
   double alpha_;
   GradientFn gradient_;
+  std::size_t threads_;
+  net::FaultInjector* faults_ = nullptr;
   std::vector<linalg::Vector> current_;
   std::vector<linalg::Vector> next_;       // mix-phase staging
   std::vector<linalg::Vector> gradients_;  // local-update staging

@@ -19,6 +19,16 @@ SnapNode::SnapNode(topology::NodeId id, const ml::Model& model,
       w_row_(std::move(weights_row)),
       straggler_policy_(straggler_policy) {
   std::sort(neighbors_.begin(), neighbors_.end());
+  validate_weight_row();
+}
+
+void SnapNode::set_weight_row(
+    std::unordered_map<topology::NodeId, double> weights_row) {
+  w_row_ = std::move(weights_row);
+  validate_weight_row();
+}
+
+void SnapNode::validate_weight_row() {
   double row_sum = 0.0;
   for (const auto j : neighbors_) {
     SNAP_REQUIRE_MSG(w_row_.contains(j),

@@ -70,6 +70,14 @@ class SnapNode {
   /// so initial views are exact without a broadcast round.
   void set_initial(const linalg::Vector& x0);
 
+  /// Replaces this node's mixing-matrix row mid-run (weight re-projection
+  /// on confirmed churn). The row must still cover {self} ∪ neighbors and
+  /// sum to 1 — a re-projected matrix zeroes dead neighbors' weights
+  /// rather than removing the entries. Views, iterate history, and
+  /// advertised values are untouched; pair with restart() so the next
+  /// update is a fresh first EXTRA step under the new W.
+  void set_weight_row(std::unordered_map<topology::NodeId, double> weights_row);
+
   /// Advances the local iterate one EXTRA step (eq. (8)) using the
   /// current neighbor views. `alpha` is the step size.
   void compute_update(double alpha);
@@ -131,6 +139,8 @@ class SnapNode {
   const linalg::Vector& view_of(topology::NodeId j) const;
 
  private:
+  void validate_weight_row();
+
   topology::NodeId id_;
   const ml::Model* model_;
   data::Dataset shard_;

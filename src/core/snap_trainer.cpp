@@ -11,45 +11,72 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "consensus/weight_matrix.hpp"
+#include "consensus/weight_reprojection.hpp"
 #include "net/cost_model.hpp"
+#include "net/fault_injector.hpp"
 #include "net/frame.hpp"
-#include "net/link_failure.hpp"
 #include "runtime/make_fabric.hpp"
 
 namespace snap::core {
 
 namespace {
 
+// Reported aggregates fold only *alive* nodes — a crashed node's frozen
+// iterate would drag the mean toward wherever it died. An all-dead mask
+// degenerates to all nodes so the last report stays finite. Fault-free
+// (mask all-true) every fold is bitwise the pre-fault original.
+bool all_dead(const std::vector<bool>& alive) {
+  return std::none_of(alive.begin(), alive.end(), [](bool a) { return a; });
+}
+
 // Parallelized over the parameter dimension: each entry's sum still
 // folds node contributions in node order, so the result is bitwise
 // identical to the serial mean for any thread count.
 linalg::Vector mean_of(const std::vector<SnapNode>& nodes,
+                       const std::vector<bool>& alive,
                        common::ThreadPool& pool) {
+  const bool use_all = all_dead(alive);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    count += (use_all || alive[i]) ? 1 : 0;
+  }
   const std::size_t dim = nodes.front().params().size();
-  const double inverse_count = 1.0 / static_cast<double>(nodes.size());
+  const double inverse_count = 1.0 / static_cast<double>(count);
   linalg::Vector mean(dim);
   pool.parallel_for(0, dim, [&](std::size_t d) {
     double acc = 0.0;
-    for (const auto& node : nodes) acc += node.params()[d];
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!use_all && !alive[i]) continue;
+      acc += nodes[i].params()[d];
+    }
     mean[d] = acc * inverse_count;
   });
   return mean;
 }
 
 double residual_of(const std::vector<SnapNode>& nodes,
-                   const linalg::Vector& mean, common::ThreadPool& pool) {
+                   const std::vector<bool>& alive, const linalg::Vector& mean,
+                   common::ThreadPool& pool) {
+  const bool use_all = all_dead(alive);
   return common::ordered_parallel_max(pool, nodes.size(), [&](std::size_t i) {
+    if (!use_all && !alive[i]) return 0.0;
     return linalg::max_abs_diff(nodes[i].params(), mean);
   });
 }
 
 double mean_local_loss(const std::vector<SnapNode>& nodes,
+                       const std::vector<bool>& alive,
                        const linalg::Vector& at, common::ThreadPool& pool) {
+  const bool use_all = all_dead(alive);
+  std::size_t count = 0;
   const double total =
       common::ordered_parallel_sum(pool, nodes.size(), [&](std::size_t i) {
-        return nodes[i].local_loss(at);
+        return (use_all || alive[i]) ? nodes[i].local_loss(at) : 0.0;
       });
-  return total / static_cast<double>(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    count += (use_all || alive[i]) ? 1 : 0;
+  }
+  return total / static_cast<double>(count);
 }
 
 }  // namespace
@@ -110,8 +137,24 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   // model's working scale rather than the near-zero initialization.
   std::vector<std::optional<ApeController>> ape(n);
 
-  net::LinkFailureModel failures(*graph_, config_.link_failure_probability,
-                                 rng.fork("links"));
+  // Fault schedule. The legacy Fig. 9 straggler knob folds into the
+  // general plan as a memoryless link chain — same fork, same draw
+  // stream — so existing seeds reproduce their LinkFailureModel
+  // schedules bit for bit.
+  net::FaultPlan plan = config_.faults;
+  if (config_.link_failure_probability > 0.0 &&
+      plan.link_enter_burst == 0.0) {
+    const net::FaultPlan legacy =
+        net::FaultPlan::memoryless_links(config_.link_failure_probability);
+    plan.link_enter_burst = legacy.link_enter_burst;
+    plan.link_exit_burst = legacy.link_exit_burst;
+  }
+  std::optional<net::FaultInjector> injector;
+  if (plan.any()) injector.emplace(*graph_, plan, rng.fork("links"));
+
+  // Membership as the scheme currently believes it: flipped only by
+  // *confirmed* churn deltas (on_churn below), never by transient blips.
+  std::vector<bool> alive(n, true);
 
   const auto total_params =
       static_cast<std::uint32_t>(model_->param_count());
@@ -154,6 +197,8 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   fabric_config.timing = config_.timing;
   fabric_config.round_compute_flops =
       runtime::gradient_flops(model_->param_count(), max_shard);
+  fabric_config.faults = injector ? &*injector : nullptr;
+  fabric_config.recovery = config_.recovery;
   auto fabric = runtime::make_fabric<std::vector<net::ParamUpdate>>(
       config_.fabric, fabric_config, config_.async);
 
@@ -163,7 +208,14 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   runtime::RoundHooks<Payload> hooks;
   hooks.node_count = n;
 
-  hooks.begin_round = [&](std::size_t) { failures.advance_round(); };
+  // The fabric materializes the fault schedule (ensure_round) before any
+  // phase runs; the trainer only tracks the shared-clock round so sync
+  // collect queries link state at the round the fabric posts against (a
+  // node that slept through crashes has a lagging local counter). Async
+  // has no shared clock — there each node's own round is the sender
+  // round the fabric checks.
+  std::size_t global_round = 0;
+  hooks.begin_round = [&](std::size_t round) { global_round = round; };
 
   // 1. Local EXTRA update from the current views, then rotate the view
   // double-buffer so frames arriving for this round land "fresh". Each
@@ -175,7 +227,13 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     if (paced && rounds[i] > 0) {
       for (const auto j : nodes[i].neighbors()) {
         auto& queued = pending[i][j];
-        SNAP_ASSERT(!queued.empty());  // the ready gate guarantees this
+        if (queued.empty()) {
+          // Only fault runs pass the gate frameless: the neighbor is
+          // dead or suspected, and kReweight folds its weight into self
+          // inside compute_update. Fault-free pacing guarantees one.
+          SNAP_ASSERT(injector.has_value());
+          continue;
+        }
         nodes[i].apply_update(j, queued.front());
         queued.pop_front();
       }
@@ -218,7 +276,11 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       for (const net::ParamUpdate& u : outgoing.updates) {
         queued[u.index] = u.value;
       }
-      if (failures.is_down(i, j)) continue;
+      // link_down covers both the burst chain and crashed endpoints, so
+      // the backlog keeps accumulating while a neighbor is dead and the
+      // first frame after its restart repairs the whole view.
+      const std::size_t link_round = async_mode ? rounds[i] : global_round;
+      if (injector && injector->link_down(link_round, i, j)) continue;
       // A live link always carries a frame — an empty one is the
       // heartbeat that lets the receiver distinguish "nothing above
       // threshold" from "link down" (kReweight needs to know).
@@ -248,18 +310,47 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   // the others and can arm the restart off the shared clock.
   const auto maybe_restart = [&] {
     if (config_.filter != FilterMode::kApe || restarted) return;
-    const bool all_inactive =
-        std::all_of(ape.begin(), ape.end(),
-                    [](const std::optional<ApeController>& c) {
-                      return c.has_value() && !c->active();
-                    });
-    if (all_inactive) {
-      for (auto& node : nodes) node.restart();
-      restarted = true;
+    for (topology::NodeId i = 0; i < n; ++i) {
+      // A crashed node's controller can never decay; only the current
+      // membership has to agree. Fault-free this is the original
+      // all-nodes check.
+      if (injector && !alive[i]) continue;
+      if (!ape[i].has_value() || ape[i]->active()) return;
     }
+    for (auto& node : nodes) node.restart();
+    restarted = true;
   };
   // Sync: between send and delivery, exactly the pre-refactor instant.
   hooks.after_send = maybe_restart;
+
+  // Self-healing on confirmed churn. §IV-C gives the license: EXTRA's
+  // fixed point "has nothing to do with the initial parameter values",
+  // so after a membership change the survivors re-project W onto the
+  // surviving topology (dead rows/columns become identity, their mass
+  // redistributed) and restart the recursion from wherever they are —
+  // current iterates become the new x⁰. Without this the recursion
+  // keeps anchoring to the dead node's frozen parameters and the
+  // persistent-view-skew divergence returns.
+  if (injector) {
+    hooks.on_churn = [&](std::size_t,
+                         std::span<const topology::NodeId> crashed,
+                         std::span<const topology::NodeId> restarted_nodes,
+                         runtime::MessageSink<Payload>&) {
+      for (const auto c : crashed) alive[c] = false;
+      for (const auto r : restarted_nodes) alive[r] = true;
+      if (!config_.reproject_on_churn) return;
+      w_ = consensus::reproject_weight_matrix(*graph_, alive,
+                                              config_.churn_reprojection);
+      for (topology::NodeId i = 0; i < n; ++i) {
+        if (!alive[i]) continue;
+        std::unordered_map<topology::NodeId, double> row;
+        row.emplace(i, w_(i, i));
+        for (const auto j : graph_->neighbors(i)) row.emplace(j, w_(i, j));
+        nodes[i].set_weight_row(std::move(row));
+        nodes[i].restart();
+      }
+    };
+  }
 
   // 3. Delivery: each receiver folds arrived frames into its own views.
   // Paced async only queues them here — consumption is round-aligned in
@@ -280,10 +371,10 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   // 4. Bookkeeping: the mean model's aggregate objective, consensus
   // residual, and (gated) test accuracy.
   hooks.evaluate = [&](std::size_t, bool measure_accuracy) {
-    const linalg::Vector mean = mean_of(nodes, fabric->pool());
+    const linalg::Vector mean = mean_of(nodes, alive, fabric->pool());
     runtime::RoundEval eval;
-    eval.consensus_residual = residual_of(nodes, mean, fabric->pool());
-    eval.train_loss = mean_local_loss(nodes, mean, fabric->pool());
+    eval.consensus_residual = residual_of(nodes, alive, mean, fabric->pool());
+    eval.train_loss = mean_local_loss(nodes, alive, mean, fabric->pool());
     if (measure_accuracy) {
       eval.test_accuracy = model_->accuracy(mean, test);
       eval.evaluated = true;
@@ -303,6 +394,14 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       const auto& neighbors = nodes[i].neighbors();
       return std::all_of(neighbors.begin(), neighbors.end(),
                          [&](topology::NodeId j) {
+                           // Never park behind a dead or silent peer —
+                           // that is exactly the forever-stall the
+                           // recovery layer exists to break. kReweight
+                           // absorbs the missing frame.
+                           if (injector &&
+                               (!alive[j] || fabric->suspected(i, j))) {
+                             return true;
+                           }
                            const auto it = pending[i].find(j);
                            return it != pending[i].end() &&
                                   !it->second.empty();
@@ -322,9 +421,10 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
 
   TrainResult result = fabric->run(hooks);
 
-  const linalg::Vector mean = mean_of(nodes, fabric->pool());
+  const linalg::Vector mean = mean_of(nodes, alive, fabric->pool());
   result.final_params = mean;
-  result.final_train_loss = mean_local_loss(nodes, mean, fabric->pool());
+  result.final_train_loss =
+      mean_local_loss(nodes, alive, mean, fabric->pool());
   result.final_test_accuracy = model_->accuracy(mean, test);
   return result;
 }

@@ -15,12 +15,14 @@
 #include <functional>
 #include <vector>
 
+#include "consensus/weight_reprojection.hpp"
 #include "core/ape.hpp"
 #include "core/snap_node.hpp"
 #include "core/training.hpp"
 #include "data/dataset.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/model.hpp"
+#include "net/fault_injector.hpp"
 #include "runtime/fabric.hpp"
 #include "topology/graph.hpp"
 
@@ -40,8 +42,27 @@ struct SnapTrainerConfig {
   ConvergenceCriteria convergence;
   EvalConfig eval;
   /// Per-round probability that a link drops both directions' frames
-  /// (straggler injection, Fig. 9). 0 disables.
+  /// (straggler injection, Fig. 9). 0 disables. Folded into `faults` as
+  /// a memoryless link plan — the realized schedule is bitwise the one
+  /// the old LinkFailureModel produced for the same seed.
   double link_failure_probability = 0.0;
+  /// Generalized fault process: bursty link outages, scheduled/random
+  /// node crash-restart, frame corruption (net::FaultPlan). Default is
+  /// fault-free. A crash freezes the node (pause-resume semantics: its
+  /// state survives, in-flight frames don't).
+  net::FaultPlan faults;
+  /// Recovery semantics when faults are active: async suspicion window
+  /// and bounded retransmission.
+  runtime::FaultRecoveryConfig recovery;
+  /// Self-healing on confirmed churn: re-project W onto the surviving
+  /// topology (weight_reprojection) and restart the EXTRA recursion from
+  /// the current iterates. Disable only for ablations — without it the
+  /// recursion anchors to the dead node's frozen parameters and the
+  /// known divergence mode from persistent view skew returns.
+  bool reproject_on_churn = true;
+  /// How the surviving weight block is rebuilt on churn.
+  consensus::ReprojectionMethod churn_reprojection =
+      consensus::ReprojectionMethod::kMetropolis;
   /// How nodes treat neighbors whose round update never arrived.
   StragglerPolicy straggler_policy = StragglerPolicy::kReweight;
   /// Seeds model initialization and failure sampling.

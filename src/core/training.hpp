@@ -37,6 +37,15 @@ struct IterationStats {
   /// under synchronous execution.
   double mean_frame_staleness = 0.0;
   std::uint64_t max_frame_staleness = 0;
+  /// Fault-injection telemetry (all 0 without a FaultInjector):
+  /// burst-down links and crashed nodes during this iteration window,
+  /// and frames the fabric dropped (down link/node, retries exhausted),
+  /// corrupted in flight, or retransmitted (async bounded retry).
+  std::uint64_t links_down = 0;
+  std::uint64_t nodes_down = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_retried = 0;
 };
 
 /// Uniform result of a training run.

@@ -30,7 +30,9 @@ void write_train_result_csv(std::ostream& os,
                             const core::TrainResult& result) {
   write_csv_row(os, {"iteration", "train_loss", "test_accuracy",
                      "evaluated", "bytes", "cost", "consensus_residual",
-                     "sim_seconds"});
+                     "sim_seconds", "links_down", "nodes_down",
+                     "frames_dropped", "frames_corrupted",
+                     "frames_retried"});
   for (std::size_t k = 0; k < result.iterations.size(); ++k) {
     const auto& stat = result.iterations[k];
     std::ostringstream loss;
@@ -44,7 +46,12 @@ void write_train_result_csv(std::ostream& os,
     write_csv_row(os, {std::to_string(k + 1), loss.str(), acc.str(),
                        stat.evaluated ? "1" : "0",
                        std::to_string(stat.bytes),
-                       std::to_string(stat.cost), res.str(), sim.str()});
+                       std::to_string(stat.cost), res.str(), sim.str(),
+                       std::to_string(stat.links_down),
+                       std::to_string(stat.nodes_down),
+                       std::to_string(stat.frames_dropped),
+                       std::to_string(stat.frames_corrupted),
+                       std::to_string(stat.frames_retried)});
   }
 }
 

@@ -166,6 +166,8 @@ core::TrainResult Scenario::run(
       c.convergence = criteria;
       c.seed = cfg.seed;
       c.threads = cfg.threads;
+      c.faults = cfg.faults;
+      c.recovery = cfg.fault_recovery;
       c.fabric = cfg.fabric;
       c.async = cfg.async_timing;
       c.timing = cfg.timing;
@@ -179,6 +181,8 @@ core::TrainResult Scenario::run(
       c.convergence = criteria;
       c.seed = cfg.seed;
       c.threads = cfg.threads;
+      c.faults = cfg.faults;
+      c.recovery = cfg.fault_recovery;
       c.fabric = cfg.fabric;
       c.async = cfg.async_timing;
       c.timing = cfg.timing;
@@ -222,6 +226,9 @@ core::TrainResult Scenario::run_snap_variant(
   c.ape_warmup_iterations = cfg.ape_warmup_iterations;
   c.convergence = criteria;
   c.link_failure_probability = link_failure_probability;
+  c.faults = cfg.faults;
+  c.recovery = cfg.fault_recovery;
+  c.reproject_on_churn = cfg.reproject_on_churn;
   c.seed = cfg.seed;
   c.threads = cfg.threads;
   c.fabric = cfg.fabric;

@@ -77,6 +77,17 @@ struct ScenarioConfig {
   /// SnapTrainerConfig::ape_warmup_iterations).
   std::size_t ape_warmup_iterations = 5;
   double link_failure_probability = 0.0;
+  /// Generalized fault process threaded into every scheme that takes
+  /// one (SNAP family and the PS baselines): bursty link outages,
+  /// scheduled/random node churn, frame corruption. Default fault-free;
+  /// `link_failure_probability` above stays the legacy memoryless knob.
+  net::FaultPlan faults;
+  /// Recovery semantics when faults are active (async suspicion window,
+  /// bounded retransmission).
+  runtime::FaultRecoveryConfig fault_recovery;
+  /// SNAP self-healing on confirmed churn (see
+  /// SnapTrainerConfig::reproject_on_churn).
+  bool reproject_on_churn = true;
   consensus::WeightOptimizerConfig weight_optimizer;
   /// Threads for the per-node phases of every scheme's round (0 = one
   /// per hardware thread). Results are bitwise identical for every

@@ -1,0 +1,220 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snap::net {
+
+namespace {
+
+double clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::memoryless_links(double failure_probability) {
+  FaultPlan plan;
+  plan.link_enter_burst = clamp01(failure_probability);
+  plan.link_exit_burst = 1.0 - plan.link_enter_burst;
+  return plan;
+}
+
+bool FaultPlan::any() const noexcept {
+  return link_enter_burst > 0.0 || has_node_faults() ||
+         frame_corruption_probability > 0.0;
+}
+
+bool FaultPlan::has_node_faults() const noexcept {
+  return crash_probability > 0.0 || !scheduled_crashes.empty();
+}
+
+FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
+                             common::Rng rng)
+    : graph_(&graph),
+      plan_(std::move(plan)),
+      link_rng_(rng),
+      node_rng_(rng.fork("fault-nodes")) {
+  plan_.link_enter_burst = clamp01(plan_.link_enter_burst);
+  plan_.link_exit_burst = clamp01(plan_.link_exit_burst);
+  plan_.crash_probability = clamp01(plan_.crash_probability);
+  plan_.restart_probability = clamp01(plan_.restart_probability);
+  plan_.frame_corruption_probability =
+      clamp01(plan_.frame_corruption_probability);
+  const std::size_t n = graph_->node_count();
+  for (const NodeCrashEvent& event : plan_.scheduled_crashes) {
+    SNAP_REQUIRE_MSG(event.node < n,
+                     "scheduled crash for unknown node " << event.node);
+    SNAP_REQUIRE_MSG(event.crash_round >= 1,
+                     "crash_round is 1-based; got " << event.crash_round);
+    SNAP_REQUIRE_MSG(
+        event.restart_round == 0 || event.restart_round > event.crash_round,
+        "restart_round must follow crash_round");
+  }
+  common::Rng corrupt = rng.fork("fault-corrupt");
+  corrupt_seed_ = (corrupt.uniform_u64(1ULL << 32) << 32) |
+                  corrupt.uniform_u64(1ULL << 32);
+
+  link_chain_down_.assign(graph_->edge_count(), false);
+  random_node_down_.assign(n, false);
+  down_streak_.assign(n, 0);
+  confirmed_.assign(n, false);
+
+  // Mirror LinkFailureModel's constructor, which burns one draw batch
+  // before the first round: legacy memoryless schedules stay bitwise
+  // identical. (For the bursty chain this is one pre-roll transition
+  // from the all-up state — harmless.)
+  const auto& edges = graph_->edges();
+  const bool iid =
+      plan_.link_enter_burst + plan_.link_exit_burst == 1.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (iid || !link_chain_down_[e]) {
+      link_chain_down_[e] = link_rng_.bernoulli(plan_.link_enter_burst);
+    } else {
+      link_chain_down_[e] = !link_rng_.bernoulli(plan_.link_exit_burst);
+    }
+  }
+}
+
+std::uint64_t FaultInjector::key(topology::NodeId u,
+                                 topology::NodeId v) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+void FaultInjector::ensure_round(std::size_t round) {
+  while (rounds_.size() < round) materialize_next();
+}
+
+void FaultInjector::materialize_next() {
+  const std::size_t round = rounds_.size() + 1;
+  const std::size_t n = graph_->node_count();
+  RoundState state;
+  state.node_down.assign(n, false);
+  state.confirmed.assign(n, false);
+
+  // Advance the per-link chain: one uniform draw per edge, consumed in
+  // edges() order. The iid special case (exit == 1 − enter) takes the
+  // exact LinkFailureModel path so legacy seeds replay unchanged.
+  const auto& edges = graph_->edges();
+  const bool iid =
+      plan_.link_enter_burst + plan_.link_exit_burst == 1.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (iid || !link_chain_down_[e]) {
+      link_chain_down_[e] = link_rng_.bernoulli(plan_.link_enter_burst);
+    } else {
+      link_chain_down_[e] = !link_rng_.bernoulli(plan_.link_exit_burst);
+    }
+    if (link_chain_down_[e]) {
+      state.burst_down.insert(key(edges[e].first, edges[e].second));
+    }
+  }
+
+  if (plan_.has_node_faults()) {
+    // Random churn chain, drawn per node in id order.
+    if (plan_.crash_probability > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!random_node_down_[i]) {
+          random_node_down_[i] = node_rng_.bernoulli(plan_.crash_probability);
+        } else {
+          random_node_down_[i] =
+              !node_rng_.bernoulli(plan_.restart_probability);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      bool down = random_node_down_[i];
+      for (const NodeCrashEvent& event : plan_.scheduled_crashes) {
+        if (event.node == i && round >= event.crash_round &&
+            (event.restart_round == 0 || round < event.restart_round)) {
+          down = true;
+        }
+      }
+      state.node_down[i] = down;
+      if (down) {
+        ++state.down_nodes;
+        ++down_streak_[i];
+        if (!confirmed_[i] &&
+            down_streak_[i] > plan_.churn_confirm_rounds) {
+          confirmed_[i] = true;
+          state.delta.crashed.push_back(i);
+        }
+      } else {
+        down_streak_[i] = 0;
+        if (confirmed_[i]) {
+          confirmed_[i] = false;
+          state.delta.restarted.push_back(i);
+        }
+      }
+      state.confirmed[i] = confirmed_[i];
+    }
+  }
+
+  rounds_.push_back(std::move(state));
+}
+
+const FaultInjector::RoundState& FaultInjector::state(
+    std::size_t round) const {
+  SNAP_REQUIRE_MSG(round >= 1 && round <= rounds_.size(),
+                   "round " << round << " not materialized (have "
+                            << rounds_.size() << ")");
+  return rounds_[round - 1];
+}
+
+bool FaultInjector::link_down(std::size_t round, topology::NodeId u,
+                              topology::NodeId v) const {
+  return node_down(round, u) || node_down(round, v) ||
+         link_burst_down(round, u, v);
+}
+
+bool FaultInjector::link_burst_down(std::size_t round, topology::NodeId u,
+                                    topology::NodeId v) const {
+  return state(round).burst_down.contains(key(u, v));
+}
+
+bool FaultInjector::node_down(std::size_t round, topology::NodeId i) const {
+  const RoundState& s = state(round);
+  return i < s.node_down.size() && s.node_down[i];
+}
+
+bool FaultInjector::confirmed_down(std::size_t round,
+                                   topology::NodeId i) const {
+  const RoundState& s = state(round);
+  return i < s.confirmed.size() && s.confirmed[i];
+}
+
+const ChurnDelta& FaultInjector::churn_delta(std::size_t round) const {
+  return state(round).delta;
+}
+
+bool FaultInjector::frame_corrupted(std::size_t round, topology::NodeId from,
+                                    topology::NodeId to,
+                                    std::size_t attempt) const {
+  const double p = plan_.frame_corruption_probability;
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::uint64_t x = corrupt_seed_;
+  x = mix64(x ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(round)));
+  x = mix64(x ^ ((static_cast<std::uint64_t>(from) << 32) |
+                 static_cast<std::uint64_t>(to)));
+  x = mix64(x ^ (static_cast<std::uint64_t>(attempt) +
+                 0x632BE59BD9B4E019ULL));
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < p;
+}
+
+std::size_t FaultInjector::down_link_count(std::size_t round) const {
+  return state(round).burst_down.size();
+}
+
+std::size_t FaultInjector::down_node_count(std::size_t round) const {
+  return state(round).down_nodes;
+}
+
+}  // namespace snap::net

@@ -1,0 +1,167 @@
+// Deterministic fault processes for the round fabrics.
+//
+// LinkFailureModel (paper §IV-D, Fig. 9) models stragglers as a
+// memoryless per-round Bernoulli coin over links. FaultInjector
+// generalizes that single coin into a seeded fault *plan*:
+//
+//   - bursty link outages: a per-link Gilbert–Elliott two-state chain
+//     (up → down with `link_enter_burst`, down → up with
+//     `link_exit_burst`), so outages cluster the way congestion does.
+//     Setting exit = 1 − enter degenerates to the paper's iid draw —
+//     bit for bit, including the stream consumption, so legacy
+//     `link_failure_probability` runs reproduce their old schedules.
+//   - node churn: scheduled crash/restart windows plus a random
+//     crash/restart chain per node, with a confirmation window that
+//     separates a blip from a crash the system should react to.
+//   - frame corruption: a stateless per-(round, link, attempt) hash
+//     draw, so retransmissions re-roll and query order never matters.
+//
+// The schedule for round r is a pure function of (plan, seed, graph):
+// both fabrics replay the identical fault timeline regardless of event
+// interleaving. Rounds are materialized in order by ensure_round()
+// (serial, from the fabric's round preamble); every query is a const
+// lookup against a materialized round and safe to call from parallel
+// phases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::net {
+
+/// One scheduled crash window: the node is down for rounds
+/// [crash_round, restart_round). restart_round == 0 means it never
+/// returns. Rounds are 1-based, matching the fabric's round counter.
+struct NodeCrashEvent {
+  topology::NodeId node = 0;
+  std::size_t crash_round = 0;
+  std::size_t restart_round = 0;
+};
+
+/// A seeded description of every fault process in a run. Default is
+/// fault-free.
+struct FaultPlan {
+  /// Gilbert–Elliott link chain: P(up → down) per round.
+  double link_enter_burst = 0.0;
+  /// P(down → up) per round. With exit == 1 − enter the chain is the
+  /// paper's memoryless draw; smaller exits make outages bursty.
+  double link_exit_burst = 1.0;
+  /// Per-round probability an alive node crashes (random churn).
+  double crash_probability = 0.0;
+  /// Per-round probability a randomly-crashed node restarts. 0 = never.
+  double restart_probability = 0.0;
+  /// Deterministic crash windows, applied on top of the random chain.
+  std::vector<NodeCrashEvent> scheduled_crashes;
+  /// Per-frame probability a transmitted frame is corrupted in flight.
+  double frame_corruption_probability = 0.0;
+  /// Consecutive down rounds before a node counts as *confirmed*
+  /// crashed beyond the first (0 = confirm on the first down round).
+  /// Shorter outages never surface as churn.
+  std::size_t churn_confirm_rounds = 1;
+
+  /// The paper's Fig. 9 straggler model: iid per-round link failures
+  /// with probability p, bitwise-identical to LinkFailureModel.
+  static FaultPlan memoryless_links(double failure_probability);
+
+  /// True when any fault process is active.
+  bool any() const noexcept;
+  /// True when nodes can go down (scheduled or random).
+  bool has_node_faults() const noexcept;
+};
+
+/// Confirmed membership changes surfaced at one round.
+struct ChurnDelta {
+  std::vector<topology::NodeId> crashed;
+  std::vector<topology::NodeId> restarted;
+  bool empty() const noexcept { return crashed.empty() && restarted.empty(); }
+};
+
+class FaultInjector {
+ public:
+  /// Probabilities are clamped to [0, 1]; scheduled windows are
+  /// validated against the graph. The rng seeds every stream; pass a
+  /// fork of the run's root so schedules are reproducible from the
+  /// printed seed.
+  FaultInjector(const topology::Graph& graph, FaultPlan plan,
+                common::Rng rng);
+
+  /// Materializes fault state for rounds 1..round (in order, exactly
+  /// once each). Serial: call from the round preamble, never from a
+  /// parallel phase. All queries below require the round to have been
+  /// materialized.
+  void ensure_round(std::size_t round);
+
+  std::size_t materialized_rounds() const noexcept {
+    return rounds_.size();
+  }
+
+  /// True when the *link* {u, v} cannot carry frames in `round`: the
+  /// burst chain holds it down, or either endpoint is crashed. The
+  /// burst chain only exists for graph edges — for non-adjacent pairs
+  /// (abstract mixing flows, multi-hop PS routes) only endpoint crashes
+  /// apply.
+  bool link_down(std::size_t round, topology::NodeId u,
+                 topology::NodeId v) const;
+
+  /// The burst chain alone (no endpoint-crash contribution);
+  /// non-adjacent pairs are always false, matching LinkFailureModel.
+  bool link_burst_down(std::size_t round, topology::NodeId u,
+                       topology::NodeId v) const;
+
+  /// True when node i is down (scheduled or random) in `round`.
+  bool node_down(std::size_t round, topology::NodeId i) const;
+
+  /// True when node i's crash has passed the confirmation window and
+  /// has not yet been followed by a restart.
+  bool confirmed_down(std::size_t round, topology::NodeId i) const;
+
+  /// Membership changes confirmed exactly at `round`.
+  const ChurnDelta& churn_delta(std::size_t round) const;
+
+  /// Stateless corruption draw for one transmission attempt. Each
+  /// retransmission (`attempt` + 1) re-rolls independently.
+  bool frame_corrupted(std::size_t round, topology::NodeId from,
+                       topology::NodeId to, std::size_t attempt) const;
+
+  /// Burst-down links in `round` (endpoint crashes not counted).
+  std::size_t down_link_count(std::size_t round) const;
+  /// Crashed nodes in `round`.
+  std::size_t down_node_count(std::size_t round) const;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct RoundState {
+    std::unordered_set<std::uint64_t> burst_down;
+    std::vector<bool> node_down;
+    std::vector<bool> confirmed;
+    ChurnDelta delta;
+    std::size_t down_nodes = 0;
+  };
+
+  static std::uint64_t key(topology::NodeId u, topology::NodeId v) noexcept;
+
+  const RoundState& state(std::size_t round) const;
+  void materialize_next();
+
+  const topology::Graph* graph_;
+  FaultPlan plan_;
+  common::Rng link_rng_;
+  common::Rng node_rng_;
+  std::uint64_t corrupt_seed_ = 0;
+
+  // Rolling chain state, advanced one round at a time.
+  std::vector<bool> link_chain_down_;    // by edges() index
+  std::vector<bool> random_node_down_;   // random-churn component
+  std::vector<std::size_t> down_streak_;
+  std::vector<bool> confirmed_;
+
+  std::vector<RoundState> rounds_;  // rounds_[r - 1] is round r
+};
+
+}  // namespace snap::net

@@ -40,6 +40,24 @@
 // concept — runs from end_round at the eval barrier, so under skew a
 // fast node restarts a round or two into its future. Both collapse to
 // the sync semantics when compute times are homogeneous.
+//
+// Fault layer (FabricConfig::faults): the injector's schedule is
+// round-indexed, so both fabrics replay the same fault timeline. A
+// node whose next round is down goes *dormant* — it stops computing,
+// drops out of the eval barrier, and is skipped by the SSP gate; it
+// wakes (fast-forwarded to the frontier) when its schedule says up.
+// Crash *confirmation* is time-based, matching a real failure
+// detector: when a dormant node has been silent for the recovery
+// config's suspect window, on_churn fires; the restart side fires when
+// it wakes. suspected() additionally flags any neighbor silent past
+// the window, which is what lets round-aligned pacing move on instead
+// of parking forever. Frames lost to a down link — and frames
+// corrupted in flight, which are charged but never delivered — are
+// retransmitted with bounded exponential backoff. A low-frequency
+// probe timer keeps the event queue alive while nodes are parked or
+// dormant (sim time must advance for time-based gates to open) and
+// gives up after a long no-progress streak so a fully-crashed system
+// terminates.
 #pragma once
 
 #include <algorithm>
@@ -102,16 +120,36 @@ class AsyncFabric final : public RoundFabric<Payload> {
     out_busy_.assign(n, 0.0);
     in_busy_.assign(n, 0.0);
     edge_staleness_.assign(n, {});
+    dormant_.assign(n, false);
+    dormant_round_.assign(n, 0);
+    confirmed_down_.assign(n, false);
+    last_heard_.assign(n, {});
     jitter_.clear();
     jitter_.reserve(n);
     common::Rng root(timing_.seed);
     for (std::size_t i = 0; i < n; ++i) {
       jitter_.push_back(root.fork(0x4A177E5ULL + i));
     }
+    frames_dropped_ = 0;
+    frames_corrupted_ = 0;
+    frames_retried_ = 0;
+    progress_marker_ = 0;
+    idle_probes_ = 0;
+    probe_scheduled_ = false;
+    double slowest_compute = timing_.compute_s;
+    for (const double c : timing_.node_compute_s) {
+      slowest_compute = std::max(slowest_compute, c);
+    }
+    suspect_window_ =
+        config_.recovery.suspect_after_s > 0.0
+            ? config_.recovery.suspect_after_s
+            : 25.0 * (slowest_compute * (1.0 + timing_.compute_jitter) +
+                      timing_.link_latency_s);
 
-    // Every node starts computing round 1 at t = 0.
+    // Every node starts computing round 1 at t = 0 — unless its round 1
+    // is already scheduled down, in which case it starts dormant.
     for (topology::NodeId i = 0; i < n; ++i) {
-      schedule_compute(i, 1);
+      advance(i);
     }
     while (!stopping_ && queue_.run_next()) {
     }
@@ -139,6 +177,23 @@ class AsyncFabric final : public RoundFabric<Payload> {
     const auto& row = edge_staleness_[to];
     const auto it = row.find(from);
     return it == row.end() ? 0 : it->second;
+  }
+
+  /// A neighbor is suspected when its crash is confirmed, or when the
+  /// observer has not heard a frame from it for the suspect window —
+  /// the failure-detector view a real node would have.
+  bool suspected(topology::NodeId observer,
+                 topology::NodeId neighbor) const override {
+    if (config_.faults == nullptr) return false;
+    if (neighbor < confirmed_down_.size() && confirmed_down_[neighbor]) {
+      return true;
+    }
+    double heard = 0.0;
+    if (observer < last_heard_.size()) {
+      const auto it = last_heard_[observer].find(neighbor);
+      if (it != last_heard_[observer].end()) heard = it->second;
+    }
+    return queue_.now() - heard > suspect_window_;
   }
 
  private:
@@ -198,8 +253,10 @@ class AsyncFabric final : public RoundFabric<Payload> {
     if (hooks_->ready && !hooks_->ready(node, round)) return false;
     if (timing_.max_staleness_rounds > 0 && config_.graph != nullptr) {
       // SSP gate: don't start a round that would leave a neighbor more
-      // than max_staleness_rounds behind.
+      // than max_staleness_rounds behind. Dormant (crashed) neighbors
+      // are exempt — waiting on a dead node would park forever.
       for (const topology::NodeId j : config_.graph->neighbors(node)) {
+        if (dormant_[j] || confirmed_down_[j]) continue;
         if (completed_[j] + timing_.max_staleness_rounds + 1 < round) {
           return false;
         }
@@ -209,6 +266,7 @@ class AsyncFabric final : public RoundFabric<Payload> {
   }
 
   void schedule_compute(topology::NodeId node, std::size_t round) {
+    ++progress_marker_;
     queue_.schedule_in(compute_seconds(node), [this, node, round] {
       on_compute_done(node, round);
     });
@@ -234,10 +292,24 @@ class AsyncFabric final : public RoundFabric<Payload> {
   /// effect the paper's §I argues about — here it emerges from the
   /// event timeline instead of a closed form.
   void send_envelope(topology::NodeId from, Envelope<Payload> envelope,
-                     std::size_t sender_round) {
+                     std::size_t sender_round, std::size_t attempt = 0) {
     const topology::NodeId to = envelope.to;
     SNAP_REQUIRE(to < completed_.size());
     SNAP_REQUIRE_MSG(to != from, "node " << from << " messaging itself");
+    bool corrupted = false;
+    if (config_.faults != nullptr) {
+      const std::size_t fault_round = std::max<std::size_t>(sender_round, 1);
+      config_.faults->ensure_round(fault_round);
+      if (config_.faults->link_down(fault_round, from, to)) {
+        // Lost before the wire (carrier down / endpoint dead): nothing
+        // is charged; retry with backoff against the link's later state.
+        maybe_retry(from, std::move(envelope), sender_round, attempt);
+        return;
+      }
+      corrupted = envelope.wire_bytes > 0 &&
+                  config_.faults->frame_corrupted(fault_round, from, to,
+                                                  attempt);
+    }
     double arrival = queue_.now();
     if (envelope.wire_bytes > 0) {
       if (cost_) cost_->record_flow(from, to, envelope.wire_bytes);
@@ -264,6 +336,20 @@ class AsyncFabric final : public RoundFabric<Payload> {
       arrival = in_start + bytes / bw_in;
       in_busy_[to] = arrival;
     }
+    if (corrupted) {
+      // The frame crossed the wire (charged, NIC time consumed) but
+      // fails decode at the receiver; the sender retransmits after a
+      // backoff, re-rolling the corruption draw per attempt.
+      ++frames_corrupted_;
+      auto resend = std::make_shared<Envelope<Payload>>(std::move(envelope));
+      queue_.schedule_at(arrival, [this, from, resend, sender_round,
+                                   attempt] {
+        maybe_retry(from, std::move(*resend), sender_round, attempt);
+        check_eval();
+        unpark();
+      });
+      return;
+    }
     // EventQueue actions must be copyable; the payload rides a
     // shared_ptr so move-only payloads work too.
     auto payload = std::make_shared<Payload>(std::move(envelope.payload));
@@ -272,8 +358,33 @@ class AsyncFabric final : public RoundFabric<Payload> {
     });
   }
 
+  /// Bounded retransmission with exponential backoff. The retry re-rolls
+  /// link state against the sender's round at retransmission time, so a
+  /// recovered link carries the frame and a persistent outage (or a
+  /// dead endpoint) exhausts the budget and drops it.
+  void maybe_retry(topology::NodeId from, Envelope<Payload> envelope,
+                   std::size_t sender_round, std::size_t attempt) {
+    if (config_.faults == nullptr ||
+        attempt >= config_.recovery.max_retries) {
+      ++frames_dropped_;
+      return;
+    }
+    ++frames_retried_;
+    const double backoff = config_.recovery.retry_backoff_s *
+                           static_cast<double>(std::size_t{1} << attempt);
+    auto resend = std::make_shared<Envelope<Payload>>(std::move(envelope));
+    queue_.schedule_in(std::max(backoff, 1e-9),
+                       [this, from, resend, sender_round, attempt] {
+                         const std::size_t r =
+                             std::max(sender_round, completed_[from]);
+                         send_envelope(from, std::move(*resend), r,
+                                       attempt + 1);
+                       });
+  }
+
   void on_delivery(topology::NodeId from, topology::NodeId to,
                    std::size_t sender_round, Payload payload) {
+    last_heard_[to][from] = queue_.now();
     const std::size_t staleness = completed_[to] > sender_round
                                       ? completed_[to] - sender_round
                                       : 0;
@@ -292,33 +403,139 @@ class AsyncFabric final : public RoundFabric<Payload> {
     unpark();
   }
 
-  /// Starts `node`'s next round, or parks it until a gate opens.
+  /// Starts `node`'s next round, parks it until a gate opens, or sends
+  /// it dormant when the fault schedule holds it down.
   void advance(topology::NodeId node) {
     if (stopping_) return;
     const std::size_t next = completed_[node] + 1;
     if (next > config_.convergence.max_iterations) return;
+    if (config_.faults != nullptr) {
+      config_.faults->ensure_round(next);
+      if (config_.faults->node_down(next, node)) {
+        make_dormant(node, next);
+        return;
+      }
+    }
     if (node_ready(node, next)) {
       schedule_compute(node, next);
     } else {
       parked_[node] = true;
+      ensure_probe();
     }
   }
 
   /// Re-checks every parked node after any event — gates only open on
   /// events, so this keeps the simulation live without busy-waiting.
+  /// With faults attached it also wakes dormant nodes whose schedule
+  /// has turned up again.
   void unpark() {
     if (stopping_) return;
+    try_wake_dormant();
     for (topology::NodeId i = 0; i < parked_.size(); ++i) {
       if (!parked_[i]) continue;
       const std::size_t next = completed_[i] + 1;
-      if (next > config_.convergence.max_iterations ||
-          node_ready(i, next)) {
+      if (next > config_.convergence.max_iterations) {
         parked_[i] = false;
-        if (next <= config_.convergence.max_iterations) {
-          schedule_compute(i, next);
+        continue;
+      }
+      if (config_.faults != nullptr) {
+        config_.faults->ensure_round(next);
+        if (config_.faults->node_down(next, i)) {
+          parked_[i] = false;
+          make_dormant(i, next);
+          continue;
         }
       }
+      if (node_ready(i, next)) {
+        parked_[i] = false;
+        schedule_compute(i, next);
+      }
     }
+  }
+
+  /// The node's next round is down: it stops computing and leaves the
+  /// eval barrier. If it is still down when the silence window elapses,
+  /// the crash is confirmed to the scheme.
+  void make_dormant(topology::NodeId node, std::size_t round) {
+    dormant_[node] = true;
+    dormant_round_[node] = round;
+    queue_.schedule_in(suspect_window_,
+                       [this, node] { confirm_crash(node); });
+    ensure_probe();
+  }
+
+  void confirm_crash(topology::NodeId node) {
+    if (stopping_ || !dormant_[node] || confirmed_down_[node]) return;
+    confirmed_down_[node] = true;
+    ++progress_marker_;
+    if (hooks_->on_churn) {
+      WireSink sink(this);
+      const topology::NodeId crashed[1] = {node};
+      hooks_->on_churn(std::max<std::size_t>(begun_, 1),
+                       std::span<const topology::NodeId>(crashed, 1),
+                       std::span<const topology::NodeId>(), sink);
+    }
+    check_eval();
+    unpark();
+  }
+
+  /// Wakes dormant nodes whose fault schedule says up at the round they
+  /// would resume (their own stalled round, or the global frontier —
+  /// a restarted node fast-forwards instead of replaying its outage).
+  void try_wake_dormant() {
+    if (config_.faults == nullptr || stopping_) return;
+    const std::size_t max_iter = config_.convergence.max_iterations;
+    for (topology::NodeId i = 0; i < dormant_.size(); ++i) {
+      if (!dormant_[i]) continue;
+      std::size_t resume = std::max(begun_, dormant_round_[i]);
+      resume = std::min(std::max<std::size_t>(resume, 1), max_iter);
+      config_.faults->ensure_round(resume);
+      if (config_.faults->node_down(resume, i)) continue;
+      dormant_[i] = false;
+      completed_[i] = std::max(completed_[i], resume - 1);
+      ++progress_marker_;
+      if (confirmed_down_[i]) {
+        confirmed_down_[i] = false;
+        if (hooks_->on_churn) {
+          WireSink sink(this);
+          const topology::NodeId restarted[1] = {i};
+          hooks_->on_churn(resume, std::span<const topology::NodeId>(),
+                           std::span<const topology::NodeId>(restarted, 1),
+                           sink);
+        }
+      }
+      advance(i);
+    }
+  }
+
+  /// Keeps the queue alive while nodes are parked or dormant: time-based
+  /// gates (suspicion, wakes) only open when sim time advances. Gives up
+  /// after a long streak of probes with no progress, so a fully-crashed
+  /// system drains and run() returns.
+  void ensure_probe() {
+    if (config_.faults == nullptr || probe_scheduled_ || stopping_) return;
+    bool pending = false;
+    for (std::size_t i = 0; i < dormant_.size() && !pending; ++i) {
+      pending = dormant_[i] || parked_[i];
+    }
+    if (!pending) return;
+    probe_scheduled_ = true;
+    queue_.schedule_in(std::max(suspect_window_ / 8.0, 1e-6), [this] {
+      probe_scheduled_ = false;
+      on_probe();
+    });
+  }
+
+  void on_probe() {
+    if (stopping_) return;
+    const std::uint64_t before = progress_marker_;
+    unpark();
+    if (progress_marker_ != before) {
+      idle_probes_ = 0;
+    } else if (++idle_probes_ > kMaxIdleProbes) {
+      return;
+    }
+    ensure_probe();
   }
 
   /// Round k is measured once every node has completed it (and the
@@ -328,9 +545,18 @@ class AsyncFabric final : public RoundFabric<Payload> {
     while (!stopping_) {
       const std::size_t k = evaluated_rounds_ + 1;
       if (k > config_.convergence.max_iterations) break;
-      const std::size_t slowest =
-          *std::min_element(completed_.begin(), completed_.end());
-      if (slowest < k) break;
+      // The barrier spans the *alive* nodes; a dormant (crashed) node
+      // must not hold measurement hostage. All-dormant systems simply
+      // stop measuring.
+      std::size_t slowest = 0;
+      bool any_alive = false;
+      for (std::size_t i = 0; i < completed_.size(); ++i) {
+        if (dormant_[i]) continue;
+        slowest = any_alive ? std::min(slowest, completed_[i])
+                            : completed_[i];
+        any_alive = true;
+      }
+      if (!any_alive || slowest < k) break;
       if (hooks_->eval_ready && !hooks_->eval_ready(k)) break;
       evaluated_rounds_ = k;
 
@@ -364,6 +590,16 @@ class AsyncFabric final : public RoundFabric<Payload> {
       staleness_sum_ = 0.0;
       staleness_count_ = 0;
       staleness_max_ = 0;
+      if (config_.faults != nullptr) {
+        stats.links_down = config_.faults->down_link_count(k);
+        stats.nodes_down = config_.faults->down_node_count(k);
+        stats.frames_dropped = frames_dropped_;
+        stats.frames_corrupted = frames_corrupted_;
+        stats.frames_retried = frames_retried_;
+        frames_dropped_ = 0;
+        frames_corrupted_ = 0;
+        frames_retried_ = 0;
+      }
       result_.iterations.push_back(stats);
 
       detector_->observe(eval.train_loss, eval.consensus_residual,
@@ -386,8 +622,23 @@ class AsyncFabric final : public RoundFabric<Payload> {
   std::optional<core::ConvergenceDetector> detector_;
   core::TrainResult result_;
 
+  static constexpr std::size_t kMaxIdleProbes = 256;
+
   std::vector<std::size_t> completed_;  // rounds finished per node
   std::vector<bool> parked_;
+  std::vector<bool> dormant_;           // crashed per the fault schedule
+  std::vector<std::size_t> dormant_round_;  // the round that stalled
+  std::vector<bool> confirmed_down_;    // crash surfaced via on_churn
+  // last_heard_[to][from]: when `to` last received a frame from `from`
+  // (the silence clock behind suspected()).
+  std::vector<std::unordered_map<topology::NodeId, double>> last_heard_;
+  double suspect_window_ = 0.0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_retried_ = 0;
+  std::uint64_t progress_marker_ = 0;
+  std::size_t idle_probes_ = 0;
+  bool probe_scheduled_ = false;
   std::vector<double> out_busy_;  // sender-NIC busy-until, per node
   std::vector<double> in_busy_;   // receiver-NIC busy-until, per node
   std::vector<common::Rng> jitter_;

@@ -35,6 +35,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/training.hpp"
+#include "net/fault_injector.hpp"
 #include "net/mailbox.hpp"
 #include "runtime/timing.hpp"
 #include "topology/graph.hpp"
@@ -143,6 +144,25 @@ struct RoundHooks {
   /// Defaults to "every node finished its local round". The parameter
   /// server additionally waits for the server step.
   std::function<bool(std::size_t round)> eval_ready;
+
+  /// Fault-layer callback: membership changes the injector *confirmed*
+  /// (a crash that outlived the confirmation window, or the restart
+  /// that ended one). Serial. SyncFabric fires it at the top of the
+  /// round with the whole round's delta; AsyncFabric fires per node
+  /// when the silence window elapses / the node wakes. The sink lets
+  /// schemes react on the wire immediately (the parameter server
+  /// re-aggregates without the dead worker's gradient).
+  std::function<void(std::size_t round,
+                     std::span<const topology::NodeId> crashed,
+                     std::span<const topology::NodeId> restarted,
+                     MessageSink<Payload>& sink)>
+      on_churn;
+
+  /// Fault-layer callback: invoked serially in place of a down node's
+  /// local_update/collect each round it is held down (sync fabric
+  /// only; async nodes simply go dormant). DGD uses it to keep its
+  /// double-buffer coherent for skipped nodes.
+  std::function<void(topology::NodeId node)> node_skipped;
 };
 
 /// Which execution engine runs the rounds.
@@ -199,6 +219,21 @@ struct AsyncTimingConfig {
 std::vector<double> linear_compute_spread(std::size_t n, double base_s,
                                           double spread);
 
+/// Recovery semantics for runs with a FaultInjector attached.
+struct FaultRecoveryConfig {
+  /// Async: silence window (seconds) after which a neighbor that has
+  /// not delivered a frame is *suspected* (RoundFabric::suspected) and
+  /// a dormant node's crash is confirmed to the scheme (on_churn).
+  /// 0 = derive from the timing model (a generous multiple of the
+  /// slowest per-round compute + latency).
+  double suspect_after_s = 0.0;
+  /// Async: backoff before the first retransmission of a frame lost to
+  /// a down link or corruption; doubles per attempt.
+  double retry_backoff_s = 0.02;
+  /// Async: bounded retransmissions per frame. 0 disables retry.
+  std::size_t max_retries = 2;
+};
+
 /// Everything a fabric needs besides the algorithm itself.
 struct FabricConfig {
   /// Thread-pool width for the parallel phases (0 = hardware threads).
@@ -212,6 +247,15 @@ struct FabricConfig {
   TimingModel timing;
   /// Per-node per-round compute cost fed to `timing` (FLOPs).
   double round_compute_flops = 0.0;
+  /// Optional fault process. Borrowed, not owned — must outlive the
+  /// fabric. The fabric materializes rounds (ensure_round) serially and
+  /// applies the schedule: down nodes skip their phases (sync) or go
+  /// dormant (async), frames on down links / to down nodes are
+  /// dropped, corrupted frames are charged but not delivered, and
+  /// confirmed churn is surfaced through RoundHooks::on_churn.
+  net::FaultInjector* faults = nullptr;
+  /// Recovery knobs used when `faults` is set.
+  FaultRecoveryConfig recovery;
 };
 
 /// Executes RoundHooks until convergence (or max_iterations). The
@@ -229,6 +273,17 @@ class RoundFabric {
 
   /// The pool the parallel phases (and callers' own folds) run on.
   virtual common::ThreadPool& pool() noexcept = 0;
+
+  /// Fault-layer failure detector: does `observer` currently suspect
+  /// `neighbor` of being down? Schemes use it to stop waiting on a
+  /// silent peer (SNAP's paced ready gate). Sync fabrics answer from
+  /// the injector's confirmed state; the async fabric also counts a
+  /// neighbor silent past the configured window. Always false without
+  /// a FaultInjector.
+  virtual bool suspected(topology::NodeId /*observer*/,
+                         topology::NodeId /*neighbor*/) const {
+    return false;
+  }
 };
 
 }  // namespace snap::runtime

@@ -47,6 +47,14 @@ class SyncFabric final : public RoundFabric<Payload> {
 
   common::ThreadPool& pool() noexcept override { return pool_; }
 
+  /// Under the shared clock there is no silence ambiguity: a neighbor
+  /// is suspected exactly when the injector has confirmed its crash.
+  bool suspected(topology::NodeId /*observer*/,
+                 topology::NodeId neighbor) const override {
+    return config_.faults != nullptr && current_round_ > 0 &&
+           config_.faults->confirmed_down(current_round_, neighbor);
+  }
+
   /// Executes exactly one synchronous round — message exchange
   /// included, evaluation/stats excluded. `round` is 1-based. This is
   /// the step-driven entry point (DgdIteration::step); run() composes
@@ -55,34 +63,68 @@ class SyncFabric final : public RoundFabric<Payload> {
     const std::size_t n = hooks.node_count;
     SNAP_REQUIRE(n > 0);
     ensure_capacity(n);
+    current_round_ = round;
+    round_frames_dropped_ = 0;
+    round_frames_corrupted_ = 0;
+
+    // Materialize this round's fault schedule and surface confirmed
+    // churn before any phase runs, so the scheme reacts (re-projected
+    // weights, membership masks) with the same view on every fabric.
+    if (config_.faults != nullptr) {
+      config_.faults->ensure_round(round);
+      const net::ChurnDelta& delta = config_.faults->churn_delta(round);
+      if (hooks.on_churn && !delta.empty()) {
+        StagingSink sink(&replies_);
+        hooks.on_churn(round, delta.crashed, delta.restarted, sink);
+        // Churn-time sends ride the round's first delivery wave.
+        for (topology::NodeId i = 0; i < n; ++i) {
+          for (auto& envelope : replies_[i]) post(i, std::move(envelope), round);
+          replies_[i].clear();
+        }
+      }
+    }
+    const auto down = [&](topology::NodeId i) {
+      return config_.faults != nullptr && config_.faults->node_down(round, i);
+    };
 
     if (hooks.begin_round) hooks.begin_round(round);
 
     if (hooks.local_update) {
-      run_per_node(n, hooks.parallel_local_update, hooks.local_update);
+      run_per_node(n, hooks.parallel_local_update, [&](topology::NodeId i) {
+        if (!down(i)) hooks.local_update(i);
+      });
+    }
+    if (config_.faults != nullptr && hooks.node_skipped) {
+      for (topology::NodeId i = 0; i < n; ++i) {
+        if (down(i)) hooks.node_skipped(i);
+      }
     }
 
     // Filter/encode fans out into per-node staging slots ...
     if (hooks.collect) {
       if (hooks.parallel_collect) {
         pool_.parallel_for(0, n, [&](std::size_t i) {
-          staged_[i] = hooks.collect(i);
+          staged_[i] = down(i) ? std::vector<Envelope<Payload>>{}
+                               : hooks.collect(i);
         });
       } else {
-        for (std::size_t i = 0; i < n; ++i) staged_[i] = hooks.collect(i);
+        for (std::size_t i = 0; i < n; ++i) {
+          staged_[i] = down(i) ? std::vector<Envelope<Payload>>{}
+                               : hooks.collect(i);
+        }
       }
     }
     // ... and the posts + byte accounting replay serially in node order.
     for (topology::NodeId i = 0; i < n; ++i) {
       for (auto& envelope : staged_[i]) {
-        post(i, std::move(envelope));
+        post(i, std::move(envelope), round);
       }
       staged_[i].clear();
     }
 
     if (hooks.after_send) hooks.after_send();
 
-    deliver_waves(hooks, n);
+    deliver_waves(hooks, n, round);
   }
 
   core::TrainResult run(RoundHooks<Payload>& hooks) override {
@@ -123,6 +165,12 @@ class SyncFabric final : public RoundFabric<Payload> {
           config_.round_compute_flops, stats.max_node_inbound_bytes,
           stats.max_node_outbound_bytes);
       stats.sim_seconds = sim_seconds;
+      if (config_.faults != nullptr) {
+        stats.links_down = config_.faults->down_link_count(round);
+        stats.nodes_down = config_.faults->down_node_count(round);
+        stats.frames_dropped = round_frames_dropped_;
+        stats.frames_corrupted = round_frames_corrupted_;
+      }
       result.iterations.push_back(stats);
 
       detector.observe(eval.train_loss, eval.consensus_residual,
@@ -178,7 +226,23 @@ class SyncFabric final : public RoundFabric<Payload> {
   /// Charges and posts one envelope. wire_bytes == 0 marks a co-located
   /// hand-off: nothing crosses the network and nothing is charged (the
   /// mailbox still carries it so the receiver's mix phase is uniform).
-  void post(topology::NodeId from, Envelope<Payload> envelope) {
+  /// With a FaultInjector: frames on a down link (or touching a down
+  /// node) are lost before the wire; corrupted frames cross the wire —
+  /// and are charged — but fail decode and are never delivered.
+  void post(topology::NodeId from, Envelope<Payload> envelope,
+            std::size_t round) {
+    if (net::FaultInjector* faults = config_.faults) {
+      if (faults->link_down(round, from, envelope.to)) {
+        ++round_frames_dropped_;
+        return;
+      }
+      if (envelope.wire_bytes > 0 &&
+          faults->frame_corrupted(round, from, envelope.to, 0)) {
+        if (cost_) cost_->record_flow(from, envelope.to, envelope.wire_bytes);
+        ++round_frames_corrupted_;
+        return;
+      }
+    }
     if (cost_ && envelope.wire_bytes > 0) {
       cost_->record_flow(from, envelope.to, envelope.wire_bytes);
     }
@@ -188,7 +252,8 @@ class SyncFabric final : public RoundFabric<Payload> {
   /// Flips the mailbox and runs mix waves until no node replies. Wave 1
   /// is the round's main exchange; the parameter server's push-back
   /// lands in wave 2. Bounded to catch hooks that ping-pong forever.
-  void deliver_waves(RoundHooks<Payload>& hooks, std::size_t n) {
+  void deliver_waves(RoundHooks<Payload>& hooks, std::size_t n,
+                     std::size_t round) {
     if (!hooks.mix) return;
     constexpr std::size_t kMaxWaves = 8;
     StagingSink sink(&replies_);
@@ -197,13 +262,16 @@ class SyncFabric final : public RoundFabric<Payload> {
       // Receivers touch only their own state (and their own reply
       // slot), so the wave fans out; replies replay serially below.
       run_per_node(n, hooks.parallel_mix, [&](topology::NodeId i) {
+        if (config_.faults != nullptr && config_.faults->node_down(round, i)) {
+          return;  // a down node processes nothing this round
+        }
         const auto& inbox = mailbox_->inbox(i);
         hooks.mix(i, std::span<const Delivery<Payload>>(inbox), sink);
       });
       bool any_reply = false;
       for (topology::NodeId i = 0; i < n; ++i) {
         for (auto& envelope : replies_[i]) {
-          post(i, std::move(envelope));
+          post(i, std::move(envelope), round);
           any_reply = true;
         }
         replies_[i].clear();
@@ -225,6 +293,9 @@ class SyncFabric final : public RoundFabric<Payload> {
   std::optional<net::RoundMailbox<Payload>> mailbox_;
   std::vector<std::vector<Envelope<Payload>>> staged_;
   std::vector<std::vector<Envelope<Payload>>> replies_;
+  std::size_t current_round_ = 0;
+  std::uint64_t round_frames_dropped_ = 0;
+  std::uint64_t round_frames_corrupted_ = 0;
 };
 
 }  // namespace snap::runtime

@@ -1,0 +1,121 @@
+// Weight-matrix re-projection under churn: the healed matrix must be
+// symmetric, doubly stochastic, supported on the surviving links, and
+// identity on dead nodes — feasible for the original graph with the
+// alive block mixing only over survivors.
+#include "consensus/weight_reprojection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "topology/generators.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+namespace {
+
+void expect_reprojection_invariants(const linalg::Matrix& w,
+                                    const topology::Graph& g,
+                                    const std::vector<bool>& alive) {
+  const std::size_t n = g.node_count();
+  ASSERT_EQ(w.rows(), n);
+  ASSERT_EQ(w.cols(), n);
+  EXPECT_TRUE(is_feasible_weight_matrix(w, g));
+  for (topology::NodeId i = 0; i < n; ++i) {
+    for (topology::NodeId j = 0; j < n; ++j) {
+      if (!alive[i] || !alive[j]) {
+        // Dead rows/columns are identity: no weight flows to or from a
+        // crashed node.
+        EXPECT_DOUBLE_EQ(w(i, j), i == j ? 1.0 : 0.0)
+            << "dead entry (" << i << "," << j << ")";
+      } else if (i != j && !g.has_edge(i, j)) {
+        EXPECT_DOUBLE_EQ(w(i, j), 0.0)
+            << "off-support entry (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(WeightReprojectionTest, MetropolisHealsRingAfterOneCrash) {
+  const auto g = topology::make_ring(8);
+  std::vector<bool> alive(8, true);
+  alive[3] = false;
+  const auto w =
+      reproject_weight_matrix(g, alive, ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+  // Node 3's ring neighbors lose that link: their weight must flow
+  // between each other's remaining links and self only.
+  EXPECT_GT(w(2, 1), 0.0);
+  EXPECT_GT(w(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(w(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(w(4, 3), 0.0);
+}
+
+TEST(WeightReprojectionTest, MetropolisHandlesMultipleCrashes) {
+  common::Rng rng(11);
+  const auto g = topology::make_random_connected(12, 4.0, rng);
+  std::vector<bool> alive(12, true);
+  alive[0] = false;
+  alive[5] = false;
+  alive[9] = false;
+  const auto w =
+      reproject_weight_matrix(g, alive, ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+}
+
+TEST(WeightReprojectionTest, AllAliveKeepsFullSupport) {
+  const auto g = topology::make_ring(6);
+  const std::vector<bool> alive(6, true);
+  const auto w =
+      reproject_weight_matrix(g, alive, ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_GT(w(u, v), 0.0) << "live link {" << u << "," << v
+                            << "} lost its weight";
+  }
+}
+
+TEST(WeightReprojectionTest, IsolatedSurvivorGetsIdentityRow) {
+  // Crashing both ring neighbors of node 0 isolates it in the surviving
+  // subgraph: its row degenerates to self-weight 1.
+  const auto g = topology::make_ring(6);
+  std::vector<bool> alive(6, true);
+  alive[1] = false;
+  alive[5] = false;
+  const auto w =
+      reproject_weight_matrix(g, alive, ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+  EXPECT_DOUBLE_EQ(w(0, 0), 1.0);
+  // The surviving path 2–3–4 still mixes.
+  EXPECT_GT(w(2, 3), 0.0);
+  EXPECT_GT(w(3, 4), 0.0);
+}
+
+TEST(WeightReprojectionTest, OptimizerMethodStaysFeasible) {
+  common::Rng rng(3);
+  const auto g = topology::make_random_connected(10, 3.0, rng);
+  std::vector<bool> alive(10, true);
+  alive[2] = false;
+  alive[7] = false;
+  WeightOptimizerConfig cfg;
+  cfg.max_iterations = 40;
+  const auto w = reproject_weight_matrix(
+      g, alive, ReprojectionMethod::kOptimize, cfg);
+  expect_reprojection_invariants(w, g, alive);
+}
+
+TEST(WeightReprojectionTest, RequiresAtLeastOneSurvivor) {
+  const auto g = topology::make_ring(4);
+  const std::vector<bool> alive(4, false);
+  EXPECT_THROW(
+      (void)reproject_weight_matrix(g, alive,
+                                    ReprojectionMethod::kMetropolis),
+      common::ContractViolation);
+}
+
+}  // namespace
+}  // namespace snap::consensus

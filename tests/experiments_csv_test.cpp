@@ -41,6 +41,11 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   s1.cost = 200;
   s1.consensus_residual = 0.25;
   s1.sim_seconds = 0.125;
+  s1.links_down = 3;
+  s1.nodes_down = 1;
+  s1.frames_dropped = 7;
+  s1.frames_corrupted = 2;
+  s1.frames_retried = 4;
   core::IterationStats s2;
   s2.train_loss = 0.75;
   result.iterations = {s1, s2};
@@ -49,11 +54,13 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   write_train_result_csv(os, result);
   const std::string out = os.str();
   EXPECT_NE(out.find("iteration,train_loss,test_accuracy,evaluated,bytes,"
-                     "cost,consensus_residual,sim_seconds\n"),
+                     "cost,consensus_residual,sim_seconds,links_down,"
+                     "nodes_down,frames_dropped,frames_corrupted,"
+                     "frames_retried\n"),
             std::string::npos);
-  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25,0.125\n"),
+  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25,0.125,3,1,7,2,4\n"),
             std::string::npos);
-  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0\n"), std::string::npos);
+  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0,0,0,0,0,0\n"), std::string::npos);
 }
 
 TEST(TrainResultCsvTest, EmptyResultWritesHeaderOnly) {

@@ -150,7 +150,8 @@ TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
 
   std::ostringstream os;
   experiments::write_train_result_csv(os, result);
-  // Header + one line per iteration, all with 8 fields.
+  // Header + one line per iteration, all with 13 fields (8 training
+  // columns + the 5 per-round fault counters).
   const std::string csv = os.str();
   std::size_t lines = 0;
   std::size_t field_commas = 0;
@@ -159,7 +160,7 @@ TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
     if (c == ',') ++field_commas;
   }
   EXPECT_EQ(lines, result.iterations.size() + 1);
-  EXPECT_EQ(field_commas, lines * 7);
+  EXPECT_EQ(field_commas, lines * 12);
 }
 
 TEST(IntegrationTest, SnapTrainerIsOneShot) {

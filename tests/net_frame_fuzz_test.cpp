@@ -86,5 +86,47 @@ TEST_P(FrameFuzzTest, TruncationsOfValidFramesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest, ::testing::Range(0, 6));
 
+TEST(FrameFuzzDeterministicTest, SubHeaderPrefixesAlwaysReject) {
+  // Any prefix shorter than the fixed header cannot name a format or a
+  // parameter count — the decoder must reject it outright. (A full
+  // header with an empty payload is a valid empty frame, so the bound
+  // is strict.)
+  common::Rng rng(12345);
+  std::vector<ParamUpdate> updates{{0, rng.normal()}, {3, rng.normal()}};
+  const auto bytes = encode_update_frame(8, updates);
+  ASSERT_GT(bytes.size(), kFrameHeaderBytes);
+  for (std::size_t keep = 0; keep < kFrameHeaderBytes; ++keep) {
+    EXPECT_FALSE(
+        decode_update_frame(std::span<const std::byte>(bytes.data(), keep))
+            .has_value())
+        << "prefix length " << keep;
+  }
+  EXPECT_TRUE(decode_update_frame(bytes).has_value());
+}
+
+TEST(FrameFuzzDeterministicTest, EverySingleBitFlipIsRejectedOrValid) {
+  // Exhaustive single-bit corruption of one valid frame: every flip
+  // must decode to nullopt or to a structurally valid frame — never
+  // crash, never produce out-of-range or unsorted indices.
+  common::Rng rng(777);
+  const std::uint32_t total = 40;
+  const auto chosen = rng.sample_without_replacement(total, 13);
+  std::vector<std::size_t> sorted(chosen.begin(), chosen.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<ParamUpdate> updates;
+  for (const auto idx : sorted) {
+    updates.push_back({static_cast<std::uint32_t>(idx), rng.normal()});
+  }
+  const auto original = encode_update_frame(total, updates);
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      auto bytes = original;
+      bytes[pos] ^= static_cast<std::byte>(1u << bit);
+      const auto decoded = decode_update_frame(bytes);
+      if (decoded.has_value()) expect_valid(*decoded);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace snap::net
