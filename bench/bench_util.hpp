@@ -1,14 +1,152 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
 
 namespace snap::bench {
+
+/// One JSON scalar, pre-serialized on construction. Numbers keep full
+/// round-trip precision; non-finite doubles become null (JSON has no
+/// NaN/Inf); strings are escaped.
+class JsonValue {
+ public:
+  JsonValue(double value) {  // NOLINT(google-explicit-constructor)
+    if (!std::isfinite(value)) {
+      text_ = "null";
+      return;
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    text_ = os.str();
+  }
+  JsonValue(std::uint64_t value)  // NOLINT(google-explicit-constructor)
+      : text_(std::to_string(value)) {}
+  JsonValue(int value)  // NOLINT(google-explicit-constructor)
+      : text_(std::to_string(value)) {}
+  JsonValue(bool value)  // NOLINT(google-explicit-constructor)
+      : text_(value ? "true" : "false") {}
+  JsonValue(const char* value)  // NOLINT(google-explicit-constructor)
+      : text_(escaped(value)) {}
+  JsonValue(const std::string& value)  // NOLINT(google-explicit-constructor)
+      : text_(escaped(value)) {}
+
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  static std::string escaped(const std::string& raw) {
+    std::string out = "\"";
+    for (const char c : raw) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::string text_;
+};
+
+/// Machine-readable results sink for the benches: one flat JSON document
+/// of scalar metadata plus named sections, each an array of flat row
+/// objects. Sections and fields keep insertion order, so diffs between
+/// runs stay line-stable. No external JSON dependency.
+class JsonDoc {
+ public:
+  using Fields = std::vector<std::pair<std::string, JsonValue>>;
+
+  void add_meta(const std::string& key, JsonValue value) {
+    meta_.emplace_back(key, std::move(value));
+  }
+
+  /// Appends one row to `section` (created on first use).
+  void add_row(const std::string& section, Fields fields) {
+    for (auto& [name, rows] : sections_) {
+      if (name == section) {
+        rows.push_back(std::move(fields));
+        return;
+      }
+    }
+    sections_.push_back({section, {std::move(fields)}});
+  }
+
+  std::string dump() const {
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    for (const auto& [key, value] : meta_) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "  " << JsonValue(key).text() << ": " << value.text();
+    }
+    for (const auto& [name, rows] : sections_) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "  " << JsonValue(name).text() << ": [\n";
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << "    {";
+        for (std::size_t f = 0; f < rows[r].size(); ++f) {
+          if (f > 0) os << ", ";
+          os << JsonValue(rows[r][f].first).text() << ": "
+             << rows[r][f].second.text();
+        }
+        os << (r + 1 < rows.size() ? "},\n" : "}\n");
+      }
+      os << "  ]";
+    }
+    os << "\n}\n";
+    return os.str();
+  }
+
+  /// Writes the document to `path`; a failure warns on stderr instead of
+  /// aborting the bench (the human-readable tables already printed).
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return false;
+    }
+    out << dump();
+    std::cout << "\nmachine-readable results: " << path << "\n";
+    return true;
+  }
+
+ private:
+  Fields meta_;
+  std::vector<std::pair<std::string, std::vector<Fields>>> sections_;
+};
 
 /// Reads an environment scale factor (SNAP_BENCH_SCALE). 1.0 = the
 /// default workload sizes documented in EXPERIMENTS.md; smaller values

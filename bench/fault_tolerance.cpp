@@ -49,7 +49,8 @@ FaultTotals totals_of(const core::TrainResult& result) {
   return t;
 }
 
-void sweep_crash_rate(runtime::FabricKind fabric, const char* title) {
+void sweep_crash_rate(runtime::FabricKind fabric, const char* title,
+                      bench::JsonDoc& json) {
   experiments::print_banner(std::cout, title);
   experiments::Table table({"crash rate", "final loss", "hop cost",
                             "sim seconds", "node-rounds down",
@@ -64,11 +65,21 @@ void sweep_crash_rate(runtime::FabricKind fabric, const char* title) {
                    common::format_double(result.total_sim_seconds, 3),
                    std::to_string(t.node_rounds_down),
                    std::to_string(t.dropped)});
+    json.add_row("crash_sweep",
+                 {{"fabric", fabric == runtime::FabricKind::kSync
+                                 ? "sync"
+                                 : "async"},
+                  {"crash_rate", crash},
+                  {"final_loss", result.final_train_loss},
+                  {"hop_cost", std::uint64_t{result.total_cost}},
+                  {"sim_seconds", result.total_sim_seconds},
+                  {"node_rounds_down", t.node_rounds_down},
+                  {"frames_dropped", t.dropped}});
   }
   table.print(std::cout);
 }
 
-void bursty_links() {
+void bursty_links(bench::JsonDoc& json) {
   experiments::print_banner(
       std::cout,
       "Bursty link outages — same stationary down-rate, clustered vs "
@@ -82,10 +93,16 @@ void bursty_links() {
     cfg.faults.link_exit_burst = bursty ? 0.25 : 0.98;
     const experiments::Scenario scenario(cfg);
     const auto result = scenario.run(experiments::Scheme::kSnap);
+    const FaultTotals t = totals_of(result);
     table.add_row({bursty ? "bursty (GE)" : "memoryless",
                    common::format_double(result.final_train_loss, 5),
-                   std::to_string(totals_of(result).dropped),
+                   std::to_string(t.dropped),
                    common::format_double(result.total_sim_seconds, 3)});
+    json.add_row("bursty_links",
+                 {{"model", bursty ? "bursty" : "memoryless"},
+                  {"final_loss", result.final_train_loss},
+                  {"frames_dropped", t.dropped},
+                  {"sim_seconds", result.total_sim_seconds}});
   }
   table.print(std::cout);
 }
@@ -95,7 +112,7 @@ void bursty_links() {
 // weight, so the healing (which zeroes that weight and restarts) is
 // load-bearing. kReweight already folds absent neighbors away per
 // round, which masks the contrast.
-void reprojection_ablation() {
+void reprojection_ablation(bench::JsonDoc& json) {
   experiments::print_banner(
       std::cout,
       "Self-healing ablation — permanent crash of one node at round 30, "
@@ -116,6 +133,10 @@ void reprojection_ablation() {
     table.add_row({heal ? "on (Metropolis)" : "off",
                    common::format_double(result.final_train_loss, 5),
                    result.converged ? "yes" : "no"});
+    json.add_row("reprojection_ablation",
+                 {{"healing", heal},
+                  {"final_loss", result.final_train_loss},
+                  {"converged", result.converged}});
   }
   table.print(std::cout);
 }
@@ -127,15 +148,21 @@ int main() {
   const auto cfg = bench::sim_config(30, 3.0);
   bench::print_run_header("fault tolerance (node churn + bursty links)",
                           cfg);
+  bench::JsonDoc json;
+  json.add_meta("bench", "fault_tolerance");
+  json.add_meta("seed", std::uint64_t{cfg.seed});
+  json.add_meta("bench_scale", bench::bench_scale());
 
   sweep_crash_rate(runtime::FabricKind::kSync,
                    "Node churn sweep — shared-clock fabric (crash rate "
-                   "per node per round; restart rate 5%)");
+                   "per node per round; restart rate 5%)",
+                   json);
   sweep_crash_rate(runtime::FabricKind::kAsync,
                    "Node churn sweep — event-driven fabric (identical "
-                   "fault schedule, time-based crash confirmation)");
-  bursty_links();
-  reprojection_ablation();
+                   "fault schedule, time-based crash confirmation)",
+                   json);
+  bursty_links(json);
+  reprojection_ablation(json);
 
   std::cout << "\nShape expectations: moderate churn costs accuracy "
                "roughly in proportion to node-rounds lost; bursty "
@@ -144,5 +171,6 @@ int main() {
                "through EXTRA's accumulator); and without re-projection "
                "a permanent crash leaves the recursion anchored to a "
                "frozen neighbor, visibly degrading the final loss.\n";
+  json.write_file("BENCH_fault_tolerance.json");
   return 0;
 }

@@ -53,6 +53,17 @@ options (defaults in brackets):
   --no-reproject      disable the self-healing weight re-projection on
                       confirmed churn (ablation; EXTRA then anchors to
                       dead nodes' frozen parameters)
+  --joiners=N         elastic membership: N latent nodes that start
+                      outside the run and join mid-run [0]
+  --join-rate=P       per-round probability an absent latent node
+                      joins [0.02 when --joiners is set, else 0]
+  --join-degree=K     attachment edges a first-time joiner adds toward
+                      alive members [2]
+  --leave-rate=P      per-round probability an alive member leaves
+                      gracefully [0]
+  --rejoin-rate=P     per-round probability a departed node rejoins [0]
+  --warm-start=B      on|off: joiners warm-start from a neighbor's
+                      STATE_SYNC model handoff (off = cold x0) [on]
   --seed=S            experiment seed [2020]
   --fabric=NAME       sync (shared-clock rounds) | async (event-driven
                       runtime; frames arrive when they arrive) [sync]
@@ -129,7 +140,8 @@ int main(int argc, char** argv) {
         "topology", "save-model", "help", "fabric", "compute", "hetero",
         "jitter", "latency", "bandwidth", "max-staleness", "free-run",
         "crash-rate", "restart-rate", "link-burst", "corrupt",
-        "recovery-timeout", "no-reproject"};
+        "recovery-timeout", "no-reproject", "joiners", "join-rate",
+        "join-degree", "leave-rate", "rejoin-rate", "warm-start"};
     if (!known.contains(key)) {
       std::cerr << "unknown option --" << key << " (try --help)\n";
       return 2;
@@ -170,6 +182,18 @@ int main(int argc, char** argv) {
   cfg.fault_recovery.suspect_after_s =
       std::stod(get("recovery-timeout", "0"));
   cfg.reproject_on_churn = !args.contains("no-reproject");
+  cfg.latent_joiners = std::stoul(get("joiners", "0"));
+  cfg.faults.join_probability =
+      std::stod(get("join-rate", cfg.latent_joiners > 0 ? "0.02" : "0"));
+  cfg.faults.join_degree = std::stoul(get("join-degree", "2"));
+  cfg.faults.leave_probability = std::stod(get("leave-rate", "0"));
+  cfg.faults.rejoin_probability = std::stod(get("rejoin-rate", "0"));
+  const std::string warm = get("warm-start", "on");
+  if (warm != "on" && warm != "off") {
+    std::cerr << "--warm-start takes on or off (try --help)\n";
+    return 2;
+  }
+  cfg.warm_start_joins = warm == "on";
   cfg.seed = std::stoull(get("seed", "2020"));
   if (args.contains("topology")) {
     std::string error;
@@ -196,8 +220,10 @@ int main(int argc, char** argv) {
   const double hetero = std::stod(get("hetero", "0"));
   cfg.async_timing.compute_s = base_compute;
   if (hetero > 0.0) {
-    cfg.async_timing.node_compute_s =
-        runtime::linear_compute_spread(cfg.nodes, base_compute, hetero);
+    // Latent joiners occupy node slots from round 1, so the per-node
+    // timing vector must cover them too.
+    cfg.async_timing.node_compute_s = runtime::linear_compute_spread(
+        cfg.nodes + cfg.latent_joiners, base_compute, hetero);
   }
   cfg.async_timing.compute_jitter = std::stod(get("jitter", "0"));
   cfg.async_timing.link_latency_s = std::stod(get("latency", "0.001"));
@@ -234,18 +260,33 @@ int main(int argc, char** argv) {
   table.add_row(
       {"simulated time",
        common::format_double(result.total_sim_seconds, 3) + " s"});
-  if (cfg.faults.any() || cfg.link_failure_probability > 0.0) {
+  if (cfg.faults.any() || cfg.latent_joiners > 0 ||
+      cfg.link_failure_probability > 0.0) {
     std::uint64_t dropped = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t retried = 0;
+    std::uint64_t joined = 0;
+    std::uint64_t sync_bytes = 0;
     for (const auto& it : result.iterations) {
       dropped += it.frames_dropped;
       corrupted += it.frames_corrupted;
       retried += it.frames_retried;
+      joined += it.nodes_joined;
+      sync_bytes += it.state_sync_bytes;
     }
     table.add_row({"frames dropped", std::to_string(dropped)});
     table.add_row({"frames corrupted", std::to_string(corrupted)});
     table.add_row({"frames retried", std::to_string(retried)});
+    if (cfg.latent_joiners > 0 || cfg.faults.has_membership()) {
+      table.add_row({"nodes joined", std::to_string(joined)});
+      table.add_row({"state-sync bytes",
+                     common::format_bytes(double(sync_bytes))});
+      table.add_row({"final membership",
+                     std::to_string(result.iterations.empty()
+                                        ? 0
+                                        : result.iterations.back()
+                                              .alive_nodes)});
+    }
   }
   table.print(std::cout);
 

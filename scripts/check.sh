@@ -1,18 +1,41 @@
 #!/usr/bin/env bash
 # Repo-wide check: the tier-1 build + full ctest suite, then ASan, TSan,
 # and UBSan builds of the runtime/net surface (event queue, mailbox,
-# fabric, thread pool, fault injector, wire-decoder fuzz) so the
-# sanitizer wiring is exercised routinely, not just when someone
+# fabric, thread pool, fault injector, wire-decoder fuzz, membership)
+# so the sanitizer wiring is exercised routinely, not just when someone
 # remembers.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer builds (tier-1 only)
+# Usage: scripts/check.sh [--fast | --san <address|thread|undefined>]
+#   --fast       skip the sanitizer builds (tier-1 only)
+#   --san NAME   run exactly one sanitizer leg (tier-1 first) — the shape
+#                CI uses to parallelize legs across jobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+ONLY_SAN=""
+case "${1:-}" in
+  --fast)
+    FAST=1
+    ;;
+  --san)
+    ONLY_SAN="${2:-}"
+    case "$ONLY_SAN" in
+      address|thread|undefined) ;;
+      *)
+        echo "error: --san needs one of: address thread undefined" >&2
+        exit 2
+        ;;
+    esac
+    ;;
+  "")
+    ;;
+  *)
+    echo "error: unknown option '$1' (see usage in header)" >&2
+    exit 2
+    ;;
+esac
 
 echo "==> tier-1: configure + build + ctest (build/)"
 cmake -B build -S . >/dev/null
@@ -33,9 +56,13 @@ SAN_TESTS=(
   core_parallel_determinism_test
   net_fault_injector_test
   net_frame_fuzz_test
+  membership_test
 )
 
-for san in address thread undefined; do
+SANITIZERS=(address thread undefined)
+[[ -n "$ONLY_SAN" ]] && SANITIZERS=("$ONLY_SAN")
+
+for san in "${SANITIZERS[@]}"; do
   dir="build-${san/address/asan}"
   dir="${dir/thread/tsan}"
   dir="${dir/undefined/ubsan}"

@@ -40,19 +40,38 @@ core::TrainResult train_parameter_server(
 
   common::Rng rng(config.seed);
   // Random PS selection, least-hop routing (paper §V "Comparisons").
-  const auto ps = static_cast<topology::NodeId>(
+  auto ps = static_cast<topology::NodeId>(
       rng.fork("ps-select").uniform_u64(n));
 
   // Fault schedule. The PS node has no failover (the point of the
-  // baseline), so scheduled crashes may not target it.
+  // baseline), so scheduled crashes and graceful leaves may not target
+  // it, and it must be a member from round 1.
   std::optional<net::FaultInjector> injector;
   if (config.faults.any()) {
+    injector.emplace(graph, config.faults, rng.fork("faults"));
+    if (config.faults.has_membership()) {
+      // Remap the draw forward (wrapping) to the first initial member.
+      // Membership-free plans take the draw verbatim, so legacy seeds
+      // keep their server.
+      for (topology::NodeId probe = 0; probe < n; ++probe) {
+        const auto candidate =
+            static_cast<topology::NodeId>((ps + probe) % n);
+        if (injector->initial_member(candidate)) {
+          ps = candidate;
+          break;
+        }
+      }
+    }
     for (const auto& event : config.faults.scheduled_crashes) {
       SNAP_REQUIRE_MSG(event.node != ps,
                        "scheduled crash targets the parameter server (node "
                            << ps << "): the PS scheme has no failover");
     }
-    injector.emplace(graph, config.faults, rng.fork("faults"));
+    for (const auto& event : config.faults.scheduled_leaves) {
+      SNAP_REQUIRE_MSG(event.node != ps,
+                       "scheduled leave targets the parameter server (node "
+                           << ps << "): the PS scheme has no failover");
+    }
   }
 
   common::Rng init_rng = rng.fork("init");
@@ -95,9 +114,15 @@ core::TrainResult train_parameter_server(
   std::vector<linalg::Vector> worker_params(n, server_params);
   std::vector<std::optional<linalg::Vector>> pending(n);
   std::vector<std::size_t> pushes_received(n, 0);
-  // Confirmed-crashed workers (on_churn): the server stops waiting on
-  // them and averages over whoever actually contributed.
+  // Workers the server is not waiting on: confirmed-crashed (on_churn),
+  // departed, or latent elastic-membership joiners that have not joined
+  // yet. The aggregation averages over whoever actually contributed.
   std::vector<bool> worker_down(n, false);
+  if (injector) {
+    for (std::size_t worker = 0; worker < n; ++worker) {
+      worker_down[worker] = !injector->initial_member(worker);
+    }
+  }
   std::size_t steps = 0;  // server gradient steps applied
 
   // Folds the gradients in worker order (bitwise-stable), steps the
@@ -215,24 +240,38 @@ core::TrainResult train_parameter_server(
     return eval;
   };
 
-  // Membership reactions: a confirmed crash frees the aggregation wait
-  // (and may complete the in-flight round on the spot); a confirmed
-  // restart rejoins the worker and re-pushes it the current model so it
-  // does not grind on the parameters it died with.
+  // Membership reactions: a confirmed crash or a graceful leave frees
+  // the aggregation wait (and may complete the in-flight round on the
+  // spot); a confirmed restart rejoins the worker and re-pushes it the
+  // current model so it does not grind on the parameters it died with.
+  // A join is the PS scheme's natural warm start — the server pushes
+  // the current global model, flagged STATE_SYNC so the handoff bytes
+  // are tallied like SNAP's.
   if (injector) {
-    hooks.on_churn = [&](std::size_t,
-                         std::span<const topology::NodeId> crashed,
-                         std::span<const topology::NodeId> restarted,
+    hooks.on_churn = [&](std::size_t, const net::ChurnDelta& delta,
                          runtime::MessageSink<Payload>& sink) {
-      for (const auto c : crashed) {
+      for (const auto c : delta.crashed) {
         worker_down[c] = true;
         pending[c].reset();
       }
-      for (const auto r : restarted) {
+      for (const auto l : delta.left) {
+        worker_down[l] = true;
+        pending[l].reset();
+      }
+      for (const auto r : delta.restarted) {
         worker_down[r] = false;
         if (r != ps) sink.send(ps, r, server_params, dense_bytes);
       }
-      if (!crashed.empty()) maybe_aggregate(&sink, nullptr);
+      for (const auto j : delta.joined) {
+        worker_down[j] = false;
+        if (j != ps) {
+          sink.send(ps, j, server_params, dense_bytes,
+                    /*state_sync=*/true);
+        }
+      }
+      if (!delta.crashed.empty() || !delta.left.empty()) {
+        maybe_aggregate(&sink, nullptr);
+      }
     };
   }
 

@@ -62,6 +62,22 @@ void DgdIteration::set_fault_injector(net::FaultInjector* faults) {
       dgd_fabric_config(threads_, faults_));
 }
 
+void DgdIteration::set_weight_matrix(linalg::Matrix w) {
+  SNAP_REQUIRE_MSG(w.rows() == current_.size(),
+                   "membership epochs must not change the node count");
+  SNAP_REQUIRE_MSG(w.is_symmetric(1e-9), "W must be symmetric");
+  SNAP_REQUIRE_MSG(linalg::is_doubly_stochastic(w, 1e-8),
+                   "W must be doubly stochastic");
+  w_ = std::move(w);
+}
+
+void DgdIteration::set_params(std::size_t node, linalg::Vector x) {
+  SNAP_REQUIRE(node < current_.size());
+  SNAP_REQUIRE_MSG(x.size() == current_.front().size(),
+                   "parameter dimension mismatch");
+  current_[node] = std::move(x);
+}
+
 void DgdIteration::step() {
   const std::size_t n = current_.size();
   const std::size_t dim = current_.front().size();

@@ -57,6 +57,18 @@ class DgdIteration {
   /// timing to configure.
   void set_fault_injector(net::FaultInjector* faults);
 
+  /// Replaces the mixing matrix mid-run — the caller-driven membership
+  /// epoch (elastic membership grows/shrinks W by re-projection; DGD has
+  /// no recursion state to restart, so swapping W is the whole story).
+  /// Same feasibility contract as the constructor; the node count must
+  /// not change (absent nodes carry identity rows).
+  void set_weight_matrix(linalg::Matrix w);
+
+  /// Overwrites one node's iterate — the warm-start half of a membership
+  /// epoch (a joiner adopts a live neighbor's parameters before its
+  /// first mixed round).
+  void set_params(std::size_t node, linalg::Vector x);
+
   /// Advances one DGD iteration.
   void step();
 

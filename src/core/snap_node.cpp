@@ -28,6 +28,36 @@ void SnapNode::set_weight_row(
   validate_weight_row();
 }
 
+void SnapNode::set_topology(
+    std::vector<topology::NodeId> neighbors,
+    std::unordered_map<topology::NodeId, double> weights_row) {
+  neighbors_ = std::move(neighbors);
+  std::sort(neighbors_.begin(), neighbors_.end());
+  w_row_ = std::move(weights_row);
+  validate_weight_row();
+  if (x_current_.empty()) return;  // before set_initial: nothing to prime
+  for (const auto j : neighbors_) {
+    if (view_current_.contains(j)) continue;
+    // A new neighbor: no frame has ever arrived, so the view is a
+    // placeholder (own iterate) and stale — kReweight folds its weight
+    // until the neighbor's first real frame lands.
+    view_current_.emplace(j, x_current_);
+    view_previous_.emplace(j, x_current_);
+    fresh_.emplace(j, false);
+    fresh_previous_.emplace(j, false);
+  }
+}
+
+void SnapNode::adopt_params(const linalg::Vector& x) {
+  SNAP_REQUIRE_MSG(!x_current_.empty(), "set_initial not called");
+  SNAP_REQUIRE_MSG(x.size() == x_current_.size(),
+                   "state sync dimension mismatch");
+  x_current_ = x;
+  x_previous_ = x;
+  grad_previous_ = linalg::Vector();
+  iteration_ = 0;
+}
+
 void SnapNode::validate_weight_row() {
   double row_sum = 0.0;
   for (const auto j : neighbors_) {

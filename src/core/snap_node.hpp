@@ -78,6 +78,24 @@ class SnapNode {
   /// update is a fresh first EXTRA step under the new W.
   void set_weight_row(std::unordered_map<topology::NodeId, double> weights_row);
 
+  /// Replaces the neighbor set *and* the mixing row together — the
+  /// membership-epoch form of set_weight_row, used when a join attaches
+  /// new edges. Existing neighbor views (and their freshness) survive;
+  /// a brand-new neighbor's view is primed to this node's own iterate
+  /// and marked stale, so under kReweight it contributes nothing until
+  /// its first real frame lands. Pair with restart().
+  void set_topology(std::vector<topology::NodeId> neighbors,
+                    std::unordered_map<topology::NodeId, double> weights_row);
+
+  /// Warm start from a neighbor's STATE_SYNC handoff: installs `x` as
+  /// both the current and previous iterate and restarts the EXTRA
+  /// recursion from it (§IV-C licenses restarting from arbitrary
+  /// iterates). The advertised baseline is deliberately left at its old
+  /// values: the adopted parameters differ from it nearly everywhere,
+  /// so the next collect_updates re-advertises (almost) the full
+  /// vector and corrects every neighbor's view of this node.
+  void adopt_params(const linalg::Vector& x);
+
   /// Advances the local iterate one EXTRA step (eq. (8)) using the
   /// current neighbor views. `alpha` is the step size.
   void compute_update(double alpha);

@@ -21,6 +21,15 @@ namespace snap::core {
 
 namespace {
 
+// What SNAP puts on the wire. A regular frame is a (possibly filtered)
+// batch of parameter updates; a STATE_SYNC frame is a full-model
+// warm-start handoff to a joiner, flagged in-band so the receiver
+// adopts it immediately instead of queueing it as a round frame.
+struct SnapWire {
+  std::vector<net::ParamUpdate> updates;
+  bool state_sync = false;
+};
+
 // Reported aggregates fold only *alive* nodes — a crashed node's frozen
 // iterate would drag the mean toward wherever it died. An all-dead mask
 // degenerates to all nodes so the last report stays finite. Fault-free
@@ -153,8 +162,15 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   if (plan.any()) injector.emplace(*graph_, plan, rng.fork("links"));
 
   // Membership as the scheme currently believes it: flipped only by
-  // *confirmed* churn deltas (on_churn below), never by transient blips.
+  // *confirmed* churn deltas (on_churn below), never by transient
+  // blips. Latent elastic-membership joiners start outside the
+  // membership and flip in when their join is announced.
   std::vector<bool> alive(n, true);
+  if (injector) {
+    for (topology::NodeId i = 0; i < n; ++i) {
+      alive[i] = injector->initial_member(i);
+    }
+  }
 
   const auto total_params =
       static_cast<std::uint32_t>(model_->param_count());
@@ -189,6 +205,8 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       topology::NodeId, std::deque<std::vector<net::ParamUpdate>>>>
       pending(paced ? n : 0);
 
+  using Payload = SnapWire;
+
   runtime::FabricConfig fabric_config;
   fabric_config.threads = config_.threads;
   fabric_config.graph = graph_;
@@ -199,12 +217,12 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       runtime::gradient_flops(model_->param_count(), max_shard);
   fabric_config.faults = injector ? &*injector : nullptr;
   fabric_config.recovery = config_.recovery;
-  auto fabric = runtime::make_fabric<std::vector<net::ParamUpdate>>(
-      config_.fabric, fabric_config, config_.async);
+  auto fabric =
+      runtime::make_fabric<Payload>(config_.fabric, fabric_config,
+                                    config_.async);
 
   // The whole algorithm as phase hooks; the fabric owns the clock, the
   // transport, the accounting, and the convergence detector.
-  using Payload = std::vector<net::ParamUpdate>;
   runtime::RoundHooks<Payload> hooks;
   hooks.node_count = n;
 
@@ -292,7 +310,7 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       queued.clear();
       const std::size_t wire_bytes =
           net::encoded_frame_bytes(total_params, frame.size());
-      envelopes.push_back({j, std::move(frame), wire_bytes});
+      envelopes.push_back({j, SnapWire{std::move(frame)}, wire_bytes});
     }
     return envelopes;
   };
@@ -325,28 +343,83 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
 
   // Self-healing on confirmed churn. §IV-C gives the license: EXTRA's
   // fixed point "has nothing to do with the initial parameter values",
-  // so after a membership change the survivors re-project W onto the
-  // surviving topology (dead rows/columns become identity, their mass
+  // so after a membership change the members re-project W onto the
+  // current topology (absent rows/columns become identity, their mass
   // redistributed) and restart the recursion from wherever they are —
   // current iterates become the new x⁰. Without this the recursion
-  // keeps anchoring to the dead node's frozen parameters and the
+  // keeps anchoring to an absent node's frozen parameters and the
   // persistent-view-skew divergence returns.
+  //
+  // A join is the growth direction of the same epoch: the injector has
+  // already attached the joiner to k live neighbors, so here the
+  // members (a) prime both directions of every new link with a
+  // full-vector frame — the first frame on a fresh link carries the
+  // complete model, not a delta against a baseline the peer never saw —
+  // (b) optionally donate a STATE_SYNC warm start from one live
+  // neighbor, and (c) fold the joiner into the re-projected W.
   if (injector) {
-    hooks.on_churn = [&](std::size_t,
-                         std::span<const topology::NodeId> crashed,
-                         std::span<const topology::NodeId> restarted_nodes,
-                         runtime::MessageSink<Payload>&) {
-      for (const auto c : crashed) alive[c] = false;
-      for (const auto r : restarted_nodes) alive[r] = true;
+    hooks.on_churn = [&](std::size_t, const net::ChurnDelta& delta,
+                         runtime::MessageSink<Payload>& sink) {
+      for (const auto c : delta.crashed) alive[c] = false;
+      for (const auto l : delta.left) alive[l] = false;
+      for (const auto r : delta.restarted) alive[r] = true;
+      for (const auto j : delta.joined) alive[j] = true;
+      // Ablation: without re-projection there is no healing at all —
+      // joiners stay outside the mixing matrix (identity row) and run
+      // cold on whatever links they have.
       if (!config_.reproject_on_churn) return;
-      w_ = consensus::reproject_weight_matrix(*graph_, alive,
+      const topology::Graph& g = injector->current_graph();
+      for (const auto j : delta.joined) {
+        // Warm start: one live neighbor donates its full model as part
+        // of the coordinated join handshake. The adoption must land at
+        // this epoch boundary — before the collective restart below —
+        // because a teleport *after* neighbors restart enters their
+        // EXTRA memory term as a phantom displacement that never
+        // cancels (the loss then drifts for the rest of the run). One
+        // donor suffices: §IV-C makes any single live iterate a valid
+        // restart point. The STATE_SYNC frame sent here is the
+        // handshake's charged wire image.
+        if (config_.warm_start_joins) {
+          for (const auto h : g.neighbors(j)) {
+            if (!alive[h]) continue;
+            const linalg::Vector& xh = nodes[h].params();
+            nodes[j].adopt_params(xh);
+            std::vector<net::ParamUpdate> dense;
+            dense.reserve(total_params);
+            for (std::uint32_t p = 0; p < total_params; ++p) {
+              dense.push_back({p, xh[p]});
+            }
+            sink.send(h, j, SnapWire{std::move(dense), true},
+                      net::state_sync_frame_bytes(total_params),
+                      /*state_sync=*/true);
+            break;
+          }
+        }
+        // Prime both directions of every new link with the post-
+        // adoption iterates, so every neighbor's view of the joiner
+        // matches what the joiner actually restarts from.
+        const linalg::Vector& xj = nodes[j].params();
+        for (const auto h : g.neighbors(j)) {
+          if (!alive[h]) continue;
+          auto& to_h = backlog[j][h];
+          auto& to_j = backlog[h][j];
+          const linalg::Vector& xh = nodes[h].params();
+          for (std::uint32_t p = 0; p < total_params; ++p) {
+            to_h[p] = xj[p];
+            to_j[p] = xh[p];
+          }
+        }
+      }
+      w_ = consensus::reproject_weight_matrix(g, alive,
                                               config_.churn_reprojection);
       for (topology::NodeId i = 0; i < n; ++i) {
         if (!alive[i]) continue;
         std::unordered_map<topology::NodeId, double> row;
         row.emplace(i, w_(i, i));
-        for (const auto j : graph_->neighbors(i)) row.emplace(j, w_(i, j));
-        nodes[i].set_weight_row(std::move(row));
+        for (const auto j : g.neighbors(i)) row.emplace(j, w_(i, j));
+        std::vector<topology::NodeId> neighbors(g.neighbors(i).begin(),
+                                                g.neighbors(i).end());
+        nodes[i].set_topology(std::move(neighbors), std::move(row));
         nodes[i].restart();
       }
     };
@@ -360,10 +433,20 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
                   std::span<const runtime::Delivery<Payload>> deliveries,
                   runtime::MessageSink<Payload>&) {
     for (const auto& message : deliveries) {
+      if (message.payload.state_sync) {
+        // STATE_SYNC handoff: already adopted at the epoch boundary as
+        // part of the coordinated join handshake (on_churn above) — a
+        // handoff is not a round frame, so it never enters the paced
+        // queues, and re-applying it here (possibly rounds later on the
+        // async fabric) would teleport the joiner backwards through its
+        // own recursion. The frame's purpose on this path is its wire
+        // cost, which the fabric has already charged.
+        continue;
+      }
       if (paced) {
-        pending[i][message.from].push_back(message.payload);
+        pending[i][message.from].push_back(message.payload.updates);
       } else {
-        nodes[i].apply_update(message.from, message.payload);
+        nodes[i].apply_update(message.from, message.payload.updates);
       }
     }
   };

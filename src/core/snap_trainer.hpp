@@ -63,6 +63,13 @@ struct SnapTrainerConfig {
   /// How the surviving weight block is rebuilt on churn.
   consensus::ReprojectionMethod churn_reprojection =
       consensus::ReprojectionMethod::kMetropolis;
+  /// Warm-start joiners: when a node joins (or rejoins), one live
+  /// neighbor donates its current model over a STATE_SYNC frame
+  /// (bytes charged, tallied in IterationStats::state_sync_bytes) and
+  /// the joiner restarts EXTRA from the donated iterate (§IV-C allows
+  /// arbitrary restart points). Disable to make joiners start cold
+  /// from x⁰ — the ablation in bench/elastic_membership.
+  bool warm_start_joins = true;
   /// How nodes treat neighbors whose round update never arrived.
   StragglerPolicy straggler_policy = StragglerPolicy::kReweight;
   /// Seeds model initialization and failure sampling.

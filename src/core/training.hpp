@@ -46,6 +46,13 @@ struct IterationStats {
   std::uint64_t frames_dropped = 0;
   std::uint64_t frames_corrupted = 0;
   std::uint64_t frames_retried = 0;
+  /// Elastic-membership telemetry: members up this iteration (equals
+  /// the node count without a FaultInjector), nodes whose join was
+  /// announced this iteration, and bytes spent on STATE_SYNC warm-start
+  /// handoffs (also included in `bytes`/`cost`).
+  std::uint64_t alive_nodes = 0;
+  std::uint64_t nodes_joined = 0;
+  std::uint64_t state_sync_bytes = 0;
 };
 
 /// Uniform result of a training run.

@@ -32,7 +32,8 @@ void write_train_result_csv(std::ostream& os,
                      "evaluated", "bytes", "cost", "consensus_residual",
                      "sim_seconds", "links_down", "nodes_down",
                      "frames_dropped", "frames_corrupted",
-                     "frames_retried"});
+                     "frames_retried", "alive_nodes", "nodes_joined",
+                     "state_sync_bytes"});
   for (std::size_t k = 0; k < result.iterations.size(); ++k) {
     const auto& stat = result.iterations[k];
     std::ostringstream loss;
@@ -51,7 +52,10 @@ void write_train_result_csv(std::ostream& os,
                        std::to_string(stat.nodes_down),
                        std::to_string(stat.frames_dropped),
                        std::to_string(stat.frames_corrupted),
-                       std::to_string(stat.frames_retried)});
+                       std::to_string(stat.frames_retried),
+                       std::to_string(stat.alive_nodes),
+                       std::to_string(stat.nodes_joined),
+                       std::to_string(stat.state_sync_bytes)});
   }
 }
 

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "consensus/weight_matrix.hpp"
+#include "consensus/weight_reprojection.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic_credit.hpp"
 #include "data/synthetic_mnist.hpp"
@@ -84,6 +85,22 @@ Scenario::Scenario(const ScenarioConfig& config)
         config.nodes, config.average_degree, topo_rng);
   }
 
+  // Elastic membership: latent joiners ride at the end of the id space
+  // as isolated extra nodes — they hold shards and graph slots from
+  // round 1 but stay outside the membership (and the connected base
+  // topology) until their join attaches them.
+  if (config.latent_joiners > 0) {
+    const std::size_t base = impl_->graph.node_count();
+    topology::Graph grown(base + config.latent_joiners);
+    for (const auto& [u, v] : impl_->graph.edges()) grown.add_edge(u, v);
+    impl_->graph = std::move(grown);
+    impl_->config.nodes = impl_->graph.node_count();
+    for (std::size_t k = 0; k < config.latent_joiners; ++k) {
+      impl_->config.faults.latent_nodes.push_back(
+          static_cast<topology::NodeId>(base + k));
+    }
+  }
+
   // Workload: dataset + model.
   common::Rng data_rng = root.fork("data");
   if (config.workload == Workload::kCreditSvm) {
@@ -126,10 +143,28 @@ Scenario::Scenario(const ScenarioConfig& config)
         impl_->pooled_train, impl_->graph.node_count(), part_rng);
   }
 
-  // Mixing matrices.
-  impl_->w_baseline = consensus::max_degree_weights(impl_->graph);
-  impl_->w_optimized =
-      consensus::select_weight_matrix(impl_->graph, config.weight_optimizer);
+  // Mixing matrices. When the run grows (latent joiners / scheduled
+  // joins) the graph is disconnected at round 1, so both candidates are
+  // built by re-projection onto the initial member set: identity rows
+  // for the absent slots, Metropolis or the §IV-B optimizer on the
+  // connected base.
+  const net::FaultPlan& plan = impl_->config.faults;
+  if (!plan.latent_nodes.empty() || !plan.scheduled_joins.empty()) {
+    std::vector<bool> initial(impl_->graph.node_count(), true);
+    for (const auto i : plan.latent_nodes) initial[i] = false;
+    for (const auto& event : plan.scheduled_joins) {
+      initial[event.node] = false;
+    }
+    impl_->w_baseline = consensus::reproject_weight_matrix(
+        impl_->graph, initial, consensus::ReprojectionMethod::kMetropolis);
+    impl_->w_optimized.w = consensus::reproject_weight_matrix(
+        impl_->graph, initial, consensus::ReprojectionMethod::kOptimize,
+        config.weight_optimizer);
+  } else {
+    impl_->w_baseline = consensus::max_degree_weights(impl_->graph);
+    impl_->w_optimized = consensus::select_weight_matrix(
+        impl_->graph, config.weight_optimizer);
+  }
 }
 
 Scenario::~Scenario() = default;
@@ -229,6 +264,7 @@ core::TrainResult Scenario::run_snap_variant(
   c.faults = cfg.faults;
   c.recovery = cfg.fault_recovery;
   c.reproject_on_churn = cfg.reproject_on_churn;
+  c.warm_start_joins = cfg.warm_start_joins;
   c.seed = cfg.seed;
   c.threads = cfg.threads;
   c.fabric = cfg.fabric;

@@ -88,6 +88,17 @@ struct ScenarioConfig {
   /// SNAP self-healing on confirmed churn (see
   /// SnapTrainerConfig::reproject_on_churn).
   bool reproject_on_churn = true;
+  /// Elastic membership: latent joiners appended to the base topology as
+  /// isolated extra nodes. They hold data shards from round 1 but stay
+  /// outside the membership until a scheduled or random join attaches
+  /// them; their ids (base_nodes .. base_nodes + latent_joiners − 1) are
+  /// auto-filled into faults.latent_nodes. With joiners present the
+  /// initial mixing matrices are built by re-projection onto the initial
+  /// member set (identity rows for the latent slots).
+  std::size_t latent_joiners = 0;
+  /// Warm-start joiners over a STATE_SYNC handoff (see
+  /// SnapTrainerConfig::warm_start_joins). The cold ablation knob.
+  bool warm_start_joins = true;
   consensus::WeightOptimizerConfig weight_optimizer;
   /// Threads for the per-node phases of every scheme's round (0 = one
   /// per hardware thread). Results are bitwise identical for every

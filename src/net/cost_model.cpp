@@ -6,22 +6,36 @@
 
 namespace snap::net {
 
-HopMatrix::HopMatrix(const topology::Graph& graph) {
-  SNAP_REQUIRE_MSG(graph.is_connected(),
-                   "cost model requires a connected topology");
+HopMatrix::HopMatrix(const topology::Graph& graph)
+    : HopMatrix(graph, /*require_connected=*/true) {}
+
+HopMatrix::HopMatrix(const topology::Graph& graph, bool require_connected) {
+  if (require_connected) {
+    SNAP_REQUIRE_MSG(graph.is_connected(),
+                     "cost model requires a connected topology");
+  }
   const auto all = graph.all_pairs_hops();
   hops_.resize(all.size());
   for (std::size_t u = 0; u < all.size(); ++u) {
     hops_[u].resize(all.size());
     for (std::size_t v = 0; v < all.size(); ++v) {
-      hops_[u][v] = all[u][v].value();
+      hops_[u][v] = all[u][v].value_or(kUnreachable);
     }
   }
 }
 
 std::size_t HopMatrix::hops(topology::NodeId u, topology::NodeId v) const {
   SNAP_REQUIRE(u < hops_.size() && v < hops_.size());
+  SNAP_REQUIRE_MSG(hops_[u][v] != kUnreachable,
+                   "flow " << u << " -> " << v
+                           << " has no route in the current topology");
   return hops_[u][v];
+}
+
+void CostTracker::set_hop_matrix(HopMatrix hop_matrix) {
+  SNAP_REQUIRE_MSG(hop_matrix.node_count() >= hops_.node_count(),
+                   "routing table cannot shrink below the node set");
+  hops_ = std::move(hop_matrix);
 }
 
 void CostTracker::record_flow(topology::NodeId u, topology::NodeId v,

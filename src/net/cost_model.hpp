@@ -24,12 +24,23 @@ class HopMatrix {
   /// Requires a connected graph (every flow must be routable).
   explicit HopMatrix(const topology::Graph& graph);
 
+  /// With require_connected == false, tolerates disconnected graphs
+  /// (e.g. latent elastic-membership joiners that are isolated until
+  /// their join attaches them): unreachable pairs are stored as a
+  /// sentinel and hops() rejects querying them. Every *actual* flow
+  /// still demands a route.
+  HopMatrix(const topology::Graph& graph, bool require_connected);
+
   std::size_t node_count() const noexcept { return hops_.size(); }
 
-  /// Least-hop distance between u and v (0 when u == v).
+  /// Least-hop distance between u and v (0 when u == v). Checked
+  /// precondition: v must be reachable from u.
   std::size_t hops(topology::NodeId u, topology::NodeId v) const;
 
  private:
+  static constexpr std::size_t kUnreachable =
+      static_cast<std::size_t>(-1);
+
   std::vector<std::vector<std::size_t>> hops_;
 };
 
@@ -89,6 +100,11 @@ class CostTracker {
   }
 
   const HopMatrix& hop_matrix() const noexcept { return hops_; }
+
+  /// Replaces the routing table — used at membership epochs, when joins
+  /// grow the topology and new flows need routes. Accumulated totals
+  /// and series are untouched.
+  void set_hop_matrix(HopMatrix hop_matrix);
 
  private:
   HopMatrix hops_;

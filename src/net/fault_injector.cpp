@@ -28,26 +28,36 @@ FaultPlan FaultPlan::memoryless_links(double failure_probability) {
 
 bool FaultPlan::any() const noexcept {
   return link_enter_burst > 0.0 || has_node_faults() ||
-         frame_corruption_probability > 0.0;
+         frame_corruption_probability > 0.0 || has_membership();
 }
 
 bool FaultPlan::has_node_faults() const noexcept {
   return crash_probability > 0.0 || !scheduled_crashes.empty();
 }
 
+bool FaultPlan::has_membership() const noexcept {
+  return !latent_nodes.empty() || !scheduled_joins.empty() ||
+         !scheduled_leaves.empty() || leave_probability > 0.0;
+}
+
 FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
                              common::Rng rng)
-    : graph_(&graph),
-      plan_(std::move(plan)),
+    : plan_(std::move(plan)),
       link_rng_(rng),
-      node_rng_(rng.fork("fault-nodes")) {
+      node_rng_(rng.fork("fault-nodes")),
+      member_rng_(rng.fork("fault-members")),
+      dynamic_graph_(graph) {
   plan_.link_enter_burst = clamp01(plan_.link_enter_burst);
   plan_.link_exit_burst = clamp01(plan_.link_exit_burst);
   plan_.crash_probability = clamp01(plan_.crash_probability);
   plan_.restart_probability = clamp01(plan_.restart_probability);
   plan_.frame_corruption_probability =
       clamp01(plan_.frame_corruption_probability);
-  const std::size_t n = graph_->node_count();
+  plan_.join_probability = clamp01(plan_.join_probability);
+  plan_.leave_probability = clamp01(plan_.leave_probability);
+  plan_.rejoin_probability = clamp01(plan_.rejoin_probability);
+  plan_.join_degree = std::max<std::size_t>(plan_.join_degree, 1);
+  const std::size_t n = dynamic_graph_.node_count();
   for (const NodeCrashEvent& event : plan_.scheduled_crashes) {
     SNAP_REQUIRE_MSG(event.node < n,
                      "scheduled crash for unknown node " << event.node);
@@ -61,16 +71,50 @@ FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
   corrupt_seed_ = (corrupt.uniform_u64(1ULL << 32) << 32) |
                   corrupt.uniform_u64(1ULL << 32);
 
-  link_chain_down_.assign(graph_->edge_count(), false);
+  link_chain_down_.assign(dynamic_graph_.edge_count(), false);
   random_node_down_.assign(n, false);
   down_streak_.assign(n, 0);
   confirmed_.assign(n, false);
+
+  // Membership state: latent nodes (and scheduled-join targets) start
+  // absent; everyone else is an initial member.
+  member_.assign(n, true);
+  latent_pending_.assign(n, false);
+  departed_.assign(n, false);
+  for (const topology::NodeId node : plan_.latent_nodes) {
+    SNAP_REQUIRE_MSG(node < n, "latent node " << node << " out of range");
+    member_[node] = false;
+    latent_pending_[node] = true;
+  }
+  for (const NodeJoinEvent& event : plan_.scheduled_joins) {
+    SNAP_REQUIRE_MSG(event.node < n,
+                     "scheduled join for unknown node " << event.node);
+    SNAP_REQUIRE_MSG(event.join_round >= 1,
+                     "join_round is 1-based; got " << event.join_round);
+    member_[event.node] = false;
+    latent_pending_[event.node] = true;
+  }
+  for (const NodeLeaveEvent& event : plan_.scheduled_leaves) {
+    SNAP_REQUIRE_MSG(event.node < n,
+                     "scheduled leave for unknown node " << event.node);
+    SNAP_REQUIRE_MSG(member_[event.node],
+                     "scheduled leave for latent node " << event.node);
+    SNAP_REQUIRE_MSG(event.leave_round >= 1,
+                     "leave_round is 1-based; got " << event.leave_round);
+    SNAP_REQUIRE_MSG(
+        event.rejoin_round == 0 || event.rejoin_round > event.leave_round,
+        "rejoin_round must follow leave_round");
+  }
+  initial_member_ = member_;
+  SNAP_REQUIRE_MSG(
+      std::count(member_.begin(), member_.end(), true) >= 1,
+      "at least one node must be an initial member");
 
   // Mirror LinkFailureModel's constructor, which burns one draw batch
   // before the first round: legacy memoryless schedules stay bitwise
   // identical. (For the bursty chain this is one pre-roll transition
   // from the all-up state — harmless.)
-  const auto& edges = graph_->edges();
+  const auto& edges = dynamic_graph_.edges();
   const bool iid =
       plan_.link_enter_burst + plan_.link_exit_burst == 1.0;
   for (std::size_t e = 0; e < edges.size(); ++e) {
@@ -93,17 +137,132 @@ void FaultInjector::ensure_round(std::size_t round) {
   while (rounds_.size() < round) materialize_next();
 }
 
+bool FaultInjector::scheduled_down(topology::NodeId node,
+                                   std::size_t round) const {
+  for (const NodeCrashEvent& event : plan_.scheduled_crashes) {
+    if (event.node == node && round >= event.crash_round &&
+        (event.restart_round == 0 || round < event.restart_round)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::join_node(topology::NodeId node, ChurnDelta& delta) {
+  member_[node] = true;
+  latent_pending_[node] = false;
+  departed_[node] = false;
+  // A join supersedes any crash state accumulated while absent.
+  random_node_down_[node] = false;
+  down_streak_[node] = 0;
+  confirmed_[node] = false;
+  if (dynamic_graph_.degree(node) == 0) {
+    // First join of an isolated latent node: attach to join_degree
+    // alive members (falling back to crashed members if every member is
+    // down — those links stay dark until the endpoint recovers).
+    const std::size_t round = rounds_.size() + 1;
+    std::vector<topology::NodeId> candidates;
+    for (topology::NodeId c = 0; c < dynamic_graph_.node_count(); ++c) {
+      if (c != node && member_[c] && !random_node_down_[c] &&
+          !scheduled_down(c, round)) {
+        candidates.push_back(c);
+      }
+    }
+    if (candidates.empty()) {
+      for (topology::NodeId c = 0; c < dynamic_graph_.node_count(); ++c) {
+        if (c != node && member_[c]) candidates.push_back(c);
+      }
+    }
+    SNAP_REQUIRE_MSG(!candidates.empty(),
+                     "node " << node << " joined an empty membership");
+    const std::size_t k = std::min(plan_.join_degree, candidates.size());
+    for (const std::size_t idx :
+         member_rng_.sample_without_replacement(candidates.size(), k)) {
+      dynamic_graph_.add_edge(node, candidates[idx]);
+      link_chain_down_.push_back(false);  // new links start up
+    }
+  }
+  delta.joined.push_back(node);
+}
+
+void FaultInjector::leave_node(topology::NodeId node, ChurnDelta& delta) {
+  member_[node] = false;
+  departed_[node] = true;
+  // The announced leave supersedes crash suspicion: no restart delta
+  // will fire for this node, and its streak restarts on rejoin.
+  random_node_down_[node] = false;
+  down_streak_[node] = 0;
+  confirmed_[node] = false;
+  delta.left.push_back(node);
+}
+
+void FaultInjector::materialize_membership(std::size_t round,
+                                           ChurnDelta& delta) {
+  for (const NodeJoinEvent& event : plan_.scheduled_joins) {
+    if (event.join_round == round && !member_[event.node]) {
+      join_node(event.node, delta);
+    }
+  }
+  for (const NodeLeaveEvent& event : plan_.scheduled_leaves) {
+    if (event.leave_round == round && member_[event.node]) {
+      leave_node(event.node, delta);
+    }
+    if (event.rejoin_round == round && !member_[event.node]) {
+      join_node(event.node, delta);
+    }
+  }
+  // Random arrival/departure chains, at most one draw per node per
+  // round, consumed in id order so the stream is a pure function of the
+  // (deterministic) membership state.
+  const std::size_t n = dynamic_graph_.node_count();
+  const std::size_t members =
+      static_cast<std::size_t>(std::count(member_.begin(), member_.end(),
+                                          true));
+  std::size_t remaining = members;
+  for (topology::NodeId i = 0; i < n; ++i) {
+    if (!member_[i]) {
+      if (departed_[i]) {
+        if (plan_.rejoin_probability > 0.0 &&
+            member_rng_.bernoulli(plan_.rejoin_probability)) {
+          join_node(i, delta);
+          ++remaining;
+        }
+      } else if (latent_pending_[i]) {
+        if (plan_.join_probability > 0.0 &&
+            member_rng_.bernoulli(plan_.join_probability)) {
+          join_node(i, delta);
+          ++remaining;
+        }
+      }
+    } else if (plan_.leave_probability > 0.0 && !random_node_down_[i] &&
+               remaining > 2 &&
+               member_rng_.bernoulli(plan_.leave_probability)) {
+      // Random departures keep at least two members so the run can
+      // still mix; scheduled leaves are the caller's responsibility.
+      leave_node(i, delta);
+      --remaining;
+    }
+  }
+}
+
 void FaultInjector::materialize_next() {
   const std::size_t round = rounds_.size() + 1;
-  const std::size_t n = graph_->node_count();
+  const std::size_t n = dynamic_graph_.node_count();
   RoundState state;
   state.node_down.assign(n, false);
   state.confirmed.assign(n, false);
 
+  // Membership transitions first, so a joiner's attachment edges enter
+  // this round's link chain and its crash state is reset before the
+  // node-fault draws below. Legacy plans take zero membership draws.
+  if (plan_.has_membership()) {
+    materialize_membership(round, state.delta);
+  }
+
   // Advance the per-link chain: one uniform draw per edge, consumed in
   // edges() order. The iid special case (exit == 1 − enter) takes the
   // exact LinkFailureModel path so legacy seeds replay unchanged.
-  const auto& edges = graph_->edges();
+  const auto& edges = dynamic_graph_.edges();
   const bool iid =
       plan_.link_enter_burst + plan_.link_exit_burst == 1.0;
   for (std::size_t e = 0; e < edges.size(); ++e) {
@@ -117,8 +276,10 @@ void FaultInjector::materialize_next() {
     }
   }
 
-  if (plan_.has_node_faults()) {
-    // Random churn chain, drawn per node in id order.
+  if (plan_.has_node_faults() || plan_.has_membership()) {
+    // Random churn chain, drawn per node in id order. Non-members take
+    // draws too (the stream must not depend on the member set's
+    // history), but their crash state is ignored and reset on join.
     if (plan_.crash_probability > 0.0) {
       for (std::size_t i = 0; i < n; ++i) {
         if (!random_node_down_[i]) {
@@ -130,6 +291,13 @@ void FaultInjector::materialize_next() {
       }
     }
     for (std::size_t i = 0; i < n; ++i) {
+      if (!member_[i]) {
+        // Absent nodes are down but not *crashed*: no streak, no
+        // confirmation, not counted in down_nodes.
+        state.node_down[i] = true;
+        state.confirmed[i] = false;
+        continue;
+      }
       bool down = random_node_down_[i];
       for (const NodeCrashEvent& event : plan_.scheduled_crashes) {
         if (event.node == i && round >= event.crash_round &&
@@ -155,6 +323,13 @@ void FaultInjector::materialize_next() {
       }
       state.confirmed[i] = confirmed_[i];
     }
+  }
+
+  if (!state.delta.empty()) ++epoch_;
+  state.epoch = epoch_;
+  state.member = member_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (member_[i] && !state.node_down[i]) ++state.alive_members;
   }
 
   rounds_.push_back(std::move(state));
@@ -187,11 +362,29 @@ bool FaultInjector::node_down(std::size_t round, topology::NodeId i) const {
 bool FaultInjector::confirmed_down(std::size_t round,
                                    topology::NodeId i) const {
   const RoundState& s = state(round);
+  if (i < s.member.size() && !s.member[i]) return true;
   return i < s.confirmed.size() && s.confirmed[i];
 }
 
 const ChurnDelta& FaultInjector::churn_delta(std::size_t round) const {
   return state(round).delta;
+}
+
+bool FaultInjector::member(std::size_t round, topology::NodeId i) const {
+  const RoundState& s = state(round);
+  return i >= s.member.size() || s.member[i];
+}
+
+bool FaultInjector::initial_member(topology::NodeId i) const {
+  return i >= initial_member_.size() || initial_member_[i];
+}
+
+std::size_t FaultInjector::alive_member_count(std::size_t round) const {
+  return state(round).alive_members;
+}
+
+std::size_t FaultInjector::membership_epoch(std::size_t round) const {
+  return state(round).epoch;
 }
 
 bool FaultInjector::frame_corrupted(std::size_t round, topology::NodeId from,

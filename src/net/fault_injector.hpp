@@ -15,6 +15,12 @@
 //     separates a blip from a crash the system should react to.
 //   - frame corruption: a stateless per-(round, link, attempt) hash
 //     draw, so retransmissions re-roll and query order never matters.
+//   - elastic membership: latent nodes join mid-run (scheduled events
+//     plus a random arrival chain), members drain gracefully and may
+//     rejoin. A first-time joiner with no edges attaches to
+//     `join_degree` alive members, growing the injector's own dynamic
+//     copy of the graph; the membership stream is a separate rng fork,
+//     so legacy fault schedules replay bitwise.
 //
 // The schedule for round r is a pure function of (plan, seed, graph):
 // both fabrics replay the identical fault timeline regardless of event
@@ -43,6 +49,22 @@ struct NodeCrashEvent {
   std::size_t restart_round = 0;
 };
 
+/// One scheduled arrival: `node` (which must be latent, i.e. initially
+/// absent) becomes a member at the start of join_round (1-based).
+struct NodeJoinEvent {
+  topology::NodeId node = 0;
+  std::size_t join_round = 0;
+};
+
+/// One scheduled graceful departure: `node` leaves at leave_round and
+/// rejoins at rejoin_round (0 = never returns). Unlike a crash, a leave
+/// is announced — it is confirmed immediately, with no suspicion window.
+struct NodeLeaveEvent {
+  topology::NodeId node = 0;
+  std::size_t leave_round = 0;
+  std::size_t rejoin_round = 0;
+};
+
 /// A seeded description of every fault process in a run. Default is
 /// fault-free.
 struct FaultPlan {
@@ -64,6 +86,24 @@ struct FaultPlan {
   /// Shorter outages never surface as churn.
   std::size_t churn_confirm_rounds = 1;
 
+  // --- Elastic membership ------------------------------------------------
+  /// Nodes that start the run absent (not members). They hold shards and
+  /// graph slots but neither compute nor communicate until they join.
+  std::vector<topology::NodeId> latent_nodes;
+  /// Deterministic arrivals, applied on top of the random arrival chain.
+  std::vector<NodeJoinEvent> scheduled_joins;
+  /// Deterministic graceful leave/rejoin windows for initial members.
+  std::vector<NodeLeaveEvent> scheduled_leaves;
+  /// Per-round probability an absent latent node joins (random arrival).
+  double join_probability = 0.0;
+  /// Per-round probability an alive member gracefully leaves.
+  double leave_probability = 0.0;
+  /// Per-round probability a departed node rejoins. 0 = never.
+  double rejoin_probability = 0.0;
+  /// Attachment edges a first-time joiner adds toward alive members
+  /// (clamped to [1, alive member count]).
+  std::size_t join_degree = 2;
+
   /// The paper's Fig. 9 straggler model: iid per-round link failures
   /// with probability p, bitwise-identical to LinkFailureModel.
   static FaultPlan memoryless_links(double failure_probability);
@@ -72,13 +112,23 @@ struct FaultPlan {
   bool any() const noexcept;
   /// True when nodes can go down (scheduled or random).
   bool has_node_faults() const noexcept;
+  /// True when the member set can change mid-run (joins or leaves).
+  bool has_membership() const noexcept;
 };
 
-/// Confirmed membership changes surfaced at one round.
+/// Confirmed membership changes surfaced at one round. `crashed` and
+/// `restarted` are failure-detected transitions of members; `joined`
+/// (first joins and rejoins) and `left` (graceful departures) are
+/// coordinated membership transitions, announced the round they happen.
 struct ChurnDelta {
   std::vector<topology::NodeId> crashed;
   std::vector<topology::NodeId> restarted;
-  bool empty() const noexcept { return crashed.empty() && restarted.empty(); }
+  std::vector<topology::NodeId> joined;
+  std::vector<topology::NodeId> left;
+  bool empty() const noexcept {
+    return crashed.empty() && restarted.empty() && joined.empty() &&
+           left.empty();
+  }
 };
 
 class FaultInjector {
@@ -113,15 +163,38 @@ class FaultInjector {
   bool link_burst_down(std::size_t round, topology::NodeId u,
                        topology::NodeId v) const;
 
-  /// True when node i is down (scheduled or random) in `round`.
+  /// True when node i is down in `round`: crashed (scheduled or
+  /// random), or not a member (absent, departed, not yet joined).
   bool node_down(std::size_t round, topology::NodeId i) const;
 
-  /// True when node i's crash has passed the confirmation window and
-  /// has not yet been followed by a restart.
+  /// True when node i's absence is *known* in `round`: a crash past the
+  /// confirmation window, or non-membership (a leave is announced, not
+  /// suspected, so it is confirmed immediately).
   bool confirmed_down(std::size_t round, topology::NodeId i) const;
 
   /// Membership changes confirmed exactly at `round`.
   const ChurnDelta& churn_delta(std::size_t round) const;
+
+  /// True when node i is a member (joined and not departed) in `round`.
+  bool member(std::size_t round, topology::NodeId i) const;
+
+  /// True when node i is a member before round 1 (not latent).
+  bool initial_member(topology::NodeId i) const;
+
+  /// Members that are not crashed in `round`.
+  std::size_t alive_member_count(std::size_t round) const;
+
+  /// Monotone epoch counter: incremented every round whose delta is
+  /// non-empty. All consumers of one (plan, seed, graph) observe the
+  /// same epoch at the same round on both fabrics.
+  std::size_t membership_epoch(std::size_t round) const;
+
+  /// The dynamic topology: the input graph plus every attachment edge
+  /// grown by joins materialized so far. Stable between ensure_round
+  /// calls; safe to read from parallel query phases.
+  const topology::Graph& current_graph() const noexcept {
+    return dynamic_graph_;
+  }
 
   /// Stateless corruption draw for one transmission attempt. Each
   /// retransmission (`attempt` + 1) re-rolls independently.
@@ -140,26 +213,41 @@ class FaultInjector {
     std::unordered_set<std::uint64_t> burst_down;
     std::vector<bool> node_down;
     std::vector<bool> confirmed;
+    std::vector<bool> member;
     ChurnDelta delta;
     std::size_t down_nodes = 0;
+    std::size_t alive_members = 0;
+    std::size_t epoch = 0;
   };
 
   static std::uint64_t key(topology::NodeId u, topology::NodeId v) noexcept;
 
   const RoundState& state(std::size_t round) const;
   void materialize_next();
+  void materialize_membership(std::size_t round, ChurnDelta& delta);
+  void join_node(topology::NodeId node, ChurnDelta& delta);
+  void leave_node(topology::NodeId node, ChurnDelta& delta);
+  bool scheduled_down(topology::NodeId node, std::size_t round) const;
 
-  const topology::Graph* graph_;
   FaultPlan plan_;
   common::Rng link_rng_;
   common::Rng node_rng_;
+  common::Rng member_rng_;
   std::uint64_t corrupt_seed_ = 0;
+
+  /// The input graph plus attachment edges grown by joins.
+  topology::Graph dynamic_graph_;
 
   // Rolling chain state, advanced one round at a time.
   std::vector<bool> link_chain_down_;    // by edges() index
   std::vector<bool> random_node_down_;   // random-churn component
   std::vector<std::size_t> down_streak_;
   std::vector<bool> confirmed_;
+  std::vector<bool> member_;             // current membership
+  std::vector<bool> initial_member_;
+  std::vector<bool> latent_pending_;     // latent, never joined
+  std::vector<bool> departed_;           // left, eligible for rejoin
+  std::size_t epoch_ = 0;
 
   std::vector<RoundState> rounds_;  // rounds_[r - 1] is round r
 };

@@ -167,4 +167,66 @@ std::optional<UpdateFrame> decode_update_frame(
   return frame;
 }
 
+namespace {
+
+constexpr std::size_t kChecksumBytes = 8;
+
+/// FNV-1a over a byte span. Each step is injective in both arguments,
+/// so any single corrupted byte — a fortiori a single flipped bit —
+/// changes the digest.
+std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::size_t state_sync_frame_bytes(std::size_t total_params) {
+  return kFrameHeaderBytes + kChecksumBytes + kValueBytes * total_params;
+}
+
+std::vector<std::byte> encode_state_sync_frame(
+    std::span<const double> params) {
+  SNAP_REQUIRE_MSG(params.size() <= 0xFFFFFFFFULL,
+                   "state sync payload exceeds u32 parameter count");
+  common::ByteWriter payload(kValueBytes * params.size());
+  for (const double v : params) payload.write_f64(v);
+
+  common::ByteWriter writer(state_sync_frame_bytes(params.size()));
+  writer.write_u8(kStateSyncTag);
+  writer.write_u32(static_cast<std::uint32_t>(params.size()));
+  writer.write_u64(fnv1a(payload.bytes()));
+  writer.write_bytes(payload.bytes());
+  return writer.take();
+}
+
+std::optional<std::vector<double>> decode_state_sync_frame(
+    std::span<const std::byte> bytes) {
+  common::ByteReader reader(bytes);
+  const std::uint8_t tag = reader.read_u8();
+  const std::uint32_t total_params = reader.read_u32();
+  const std::uint64_t checksum = reader.read_u64();
+  if (!reader.ok() || tag != kStateSyncTag) return std::nullopt;
+  // Exact-size check before touching the payload: a corrupted
+  // total_params must neither truncate-read nor over-allocate.
+  const std::uint64_t expected =
+      kValueBytes * static_cast<std::uint64_t>(total_params);
+  if (reader.remaining() != expected) return std::nullopt;
+  if (fnv1a(bytes.subspan(kFrameHeaderBytes + kChecksumBytes)) != checksum) {
+    return std::nullopt;
+  }
+
+  std::vector<double> params;
+  params.reserve(total_params);
+  for (std::uint32_t i = 0; i < total_params; ++i) {
+    params.push_back(reader.read_f64());
+  }
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  return params;
+}
+
 }  // namespace snap::net

@@ -88,4 +88,35 @@ std::vector<std::byte> encode_update_frame(
 std::optional<UpdateFrame> decode_update_frame(
     std::span<const std::byte> bytes);
 
+// ---------------------------------------------------------------------------
+// STATE_SYNC frames: full-model handoff for elastic membership.
+//
+// When a node joins (or rejoins) mid-run it warm-starts by pulling the
+// complete parameter vector from a live neighbor. Unlike the delta
+// frames above, a handoff must be all-or-nothing: applying half a model
+// leaves the joiner in a state no training trajectory can reach. The
+// frame therefore carries a checksum over the payload — any corruption
+// (including a single flipped bit) fails decode and the transfer is
+// retried, never partially applied.
+//
+// Layout: [tag = 2 : u8][total_params : u32][checksum : u64][value : f64]*
+
+/// Wire tag identifying a STATE_SYNC frame. Disjoint from FrameFormat's
+/// tags 0/1, so decode_update_frame rejects handoff frames and vice
+/// versa.
+inline constexpr std::uint8_t kStateSyncTag = 2;
+
+/// Full on-wire size of a STATE_SYNC frame for `total_params` values:
+/// header + 8-byte checksum + dense f64 payload.
+std::size_t state_sync_frame_bytes(std::size_t total_params);
+
+/// Serializes a full parameter vector as a STATE_SYNC frame.
+std::vector<std::byte> encode_state_sync_frame(std::span<const double> params);
+
+/// Parses a STATE_SYNC frame. Returns nullopt on any malformed,
+/// truncated, or checksum-failing buffer — a corrupted handoff is
+/// rejected whole, never half-applied.
+std::optional<std::vector<double>> decode_state_sync_frame(
+    std::span<const std::byte> bytes);
+
 }  // namespace snap::net

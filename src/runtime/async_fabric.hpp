@@ -58,6 +58,13 @@
 // dormant (sim time must advance for time-based gates to open) and
 // gives up after a long no-progress streak so a fully-crashed system
 // terminates.
+//
+// Elastic membership rides the same schedule: an absent node (latent
+// joiner, graceful leaver) is dormant like a crashed one, but its
+// transitions are *coordinated* — joins and leaves are announced via
+// on_churn when their round begins (maybe_begin), with no suspicion
+// window and no restart delta on wake. Both fabrics therefore surface
+// the identical membership timeline at the identical rounds.
 #pragma once
 
 #include <algorithm>
@@ -90,7 +97,10 @@ class AsyncFabric final : public RoundFabric<Payload> {
     SNAP_REQUIRE(timing_.compute_jitter >= 0.0 &&
                  timing_.compute_jitter < 1.0);
     if (config_.graph != nullptr) {
-      cost_.emplace(net::HopMatrix(*config_.graph));
+      // Tolerant routing: latent membership joiners may be isolated
+      // until they join (see SyncFabric); joins refresh the table.
+      cost_.emplace(net::HopMatrix(*config_.graph,
+                                   /*require_connected=*/false));
     }
     for (const LinkOverride& link : timing_.link_overrides) {
       overrides_[link_key(link.u, link.v)] = link;
@@ -133,6 +143,7 @@ class AsyncFabric final : public RoundFabric<Payload> {
     frames_dropped_ = 0;
     frames_corrupted_ = 0;
     frames_retried_ = 0;
+    state_sync_bytes_ = 0;
     progress_marker_ = 0;
     idle_probes_ = 0;
     probe_scheduled_ = false;
@@ -201,9 +212,10 @@ class AsyncFabric final : public RoundFabric<Payload> {
    public:
     explicit WireSink(AsyncFabric* fabric) : fabric_(fabric) {}
     void send(topology::NodeId from, topology::NodeId to, Payload payload,
-              std::size_t wire_bytes) override {
+              std::size_t wire_bytes, bool state_sync) override {
       fabric_->send_envelope(
-          from, Envelope<Payload>{to, std::move(payload), wire_bytes},
+          from,
+          Envelope<Payload>{to, std::move(payload), wire_bytes, state_sync},
           fabric_->completed_[from]);
     }
 
@@ -241,21 +253,50 @@ class AsyncFabric final : public RoundFabric<Payload> {
 
   /// Calls the serial round preamble for every round up to `round`, in
   /// order, exactly once each — driven by the first node to finish that
-  /// round's compute.
+  /// round's compute. Coordinated membership transitions (joins and
+  /// graceful leaves) are announced here, at the round the injector
+  /// materialized them: unlike a crash they carry no detection
+  /// ambiguity, so both fabrics surface them at the identical round.
   void maybe_begin(std::size_t round) {
     while (begun_ < round) {
       ++begun_;
+      if (config_.faults != nullptr) {
+        config_.faults->ensure_round(begun_);
+        const net::ChurnDelta& d = config_.faults->churn_delta(begun_);
+        if (!d.joined.empty() || !d.left.empty()) {
+          if (cost_) {
+            // Joins may have grown the topology: refresh routes before
+            // any handoff frame is sent.
+            cost_->set_hop_matrix(
+                net::HopMatrix(config_.faults->current_graph(),
+                               /*require_connected=*/false));
+          }
+          if (hooks_->on_churn) {
+            net::ChurnDelta membership;
+            membership.joined = d.joined;
+            membership.left = d.left;
+            WireSink sink(this);
+            hooks_->on_churn(begun_, membership, sink);
+          }
+          ++progress_marker_;
+        }
+      }
       if (hooks_->begin_round) hooks_->begin_round(begun_);
     }
   }
 
   bool node_ready(topology::NodeId node, std::size_t round) const {
     if (hooks_->ready && !hooks_->ready(node, round)) return false;
-    if (timing_.max_staleness_rounds > 0 && config_.graph != nullptr) {
+    // Joins grow the topology mid-run, so the gate walks the
+    // injector's dynamic graph when faults are attached.
+    const topology::Graph* gate_graph =
+        config_.faults != nullptr ? &config_.faults->current_graph()
+                                  : config_.graph;
+    if (timing_.max_staleness_rounds > 0 && gate_graph != nullptr) {
       // SSP gate: don't start a round that would leave a neighbor more
       // than max_staleness_rounds behind. Dormant (crashed) neighbors
       // are exempt — waiting on a dead node would park forever.
-      for (const topology::NodeId j : config_.graph->neighbors(node)) {
+      for (const topology::NodeId j : gate_graph->neighbors(node)) {
         if (dormant_[j] || confirmed_down_[j]) continue;
         if (completed_[j] + timing_.max_staleness_rounds + 1 < round) {
           return false;
@@ -297,7 +338,12 @@ class AsyncFabric final : public RoundFabric<Payload> {
     SNAP_REQUIRE(to < completed_.size());
     SNAP_REQUIRE_MSG(to != from, "node " << from << " messaging itself");
     bool corrupted = false;
-    if (config_.faults != nullptr) {
+    if (config_.faults != nullptr && !envelope.state_sync) {
+      // STATE_SYNC handoffs are exempt: they ride the coordinated join
+      // handshake (the joiner is a member the instant the join is
+      // announced, but this round's link state was materialized before
+      // that), and the handshake is reliable — the frame always crosses
+      // the wire and is always charged.
       const std::size_t fault_round = std::max<std::size_t>(sender_round, 1);
       config_.faults->ensure_round(fault_round);
       if (config_.faults->link_down(fault_round, from, to)) {
@@ -313,6 +359,9 @@ class AsyncFabric final : public RoundFabric<Payload> {
     double arrival = queue_.now();
     if (envelope.wire_bytes > 0) {
       if (cost_) cost_->record_flow(from, to, envelope.wire_bytes);
+      // Handoff accounting follows the charge: every wire crossing
+      // (including a retransmission) costs its bytes.
+      if (envelope.state_sync) state_sync_bytes_ += envelope.wire_bytes;
       const std::size_t hops =
           cost_ ? cost_->hop_matrix().hops(from, to) : 1;
       double latency =
@@ -466,14 +515,20 @@ class AsyncFabric final : public RoundFabric<Payload> {
 
   void confirm_crash(topology::NodeId node) {
     if (stopping_ || !dormant_[node] || confirmed_down_[node]) return;
+    const std::size_t round = std::max<std::size_t>(begun_, 1);
+    if (config_.faults != nullptr) {
+      config_.faults->ensure_round(round);
+      // Non-members are announced (joined/left at maybe_begin), never
+      // suspected: absence is not a crash to confirm.
+      if (!config_.faults->member(round, node)) return;
+    }
     confirmed_down_[node] = true;
     ++progress_marker_;
     if (hooks_->on_churn) {
       WireSink sink(this);
-      const topology::NodeId crashed[1] = {node};
-      hooks_->on_churn(std::max<std::size_t>(begun_, 1),
-                       std::span<const topology::NodeId>(crashed, 1),
-                       std::span<const topology::NodeId>(), sink);
+      net::ChurnDelta delta;
+      delta.crashed.push_back(node);
+      hooks_->on_churn(round, delta, sink);
     }
     check_eval();
     unpark();
@@ -498,10 +553,9 @@ class AsyncFabric final : public RoundFabric<Payload> {
         confirmed_down_[i] = false;
         if (hooks_->on_churn) {
           WireSink sink(this);
-          const topology::NodeId restarted[1] = {i};
-          hooks_->on_churn(resume, std::span<const topology::NodeId>(),
-                           std::span<const topology::NodeId>(restarted, 1),
-                           sink);
+          net::ChurnDelta delta;
+          delta.restarted.push_back(i);
+          hooks_->on_churn(resume, delta, sink);
         }
       }
       advance(i);
@@ -596,9 +650,15 @@ class AsyncFabric final : public RoundFabric<Payload> {
         stats.frames_dropped = frames_dropped_;
         stats.frames_corrupted = frames_corrupted_;
         stats.frames_retried = frames_retried_;
+        stats.alive_nodes = config_.faults->alive_member_count(k);
+        stats.nodes_joined = config_.faults->churn_delta(k).joined.size();
+        stats.state_sync_bytes = state_sync_bytes_;
         frames_dropped_ = 0;
         frames_corrupted_ = 0;
         frames_retried_ = 0;
+        state_sync_bytes_ = 0;
+      } else {
+        stats.alive_nodes = completed_.size();
       }
       result_.iterations.push_back(stats);
 
@@ -636,6 +696,7 @@ class AsyncFabric final : public RoundFabric<Payload> {
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_retried_ = 0;
+  std::uint64_t state_sync_bytes_ = 0;
   std::uint64_t progress_marker_ = 0;
   std::size_t idle_probes_ = 0;
   bool probe_scheduled_ = false;

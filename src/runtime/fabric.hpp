@@ -51,6 +51,10 @@ struct Envelope {
   topology::NodeId to = 0;
   Payload payload{};
   std::size_t wire_bytes = 0;
+  /// Marks a full-model membership handoff (STATE_SYNC on the wire):
+  /// the bytes are charged like any frame, but tallied separately so
+  /// warm-start ablations can report the handoff overhead.
+  bool state_sync = false;
 };
 
 /// What a node receives: the fabric delivers the mailbox's own message
@@ -72,8 +76,10 @@ struct RoundEval {
 template <typename Payload>
 class MessageSink {
  public:
+  /// `state_sync` marks a membership handoff frame (see Envelope).
   virtual void send(topology::NodeId from, topology::NodeId to,
-                    Payload payload, std::size_t wire_bytes) = 0;
+                    Payload payload, std::size_t wire_bytes,
+                    bool state_sync = false) = 0;
 
  protected:
   ~MessageSink() = default;
@@ -146,15 +152,17 @@ struct RoundHooks {
   std::function<bool(std::size_t round)> eval_ready;
 
   /// Fault-layer callback: membership changes the injector *confirmed*
-  /// (a crash that outlived the confirmation window, or the restart
-  /// that ended one). Serial. SyncFabric fires it at the top of the
-  /// round with the whole round's delta; AsyncFabric fires per node
-  /// when the silence window elapses / the node wakes. The sink lets
-  /// schemes react on the wire immediately (the parameter server
-  /// re-aggregates without the dead worker's gradient).
-  std::function<void(std::size_t round,
-                     std::span<const topology::NodeId> crashed,
-                     std::span<const topology::NodeId> restarted,
+  /// — a crash that outlived the confirmation window, the restart that
+  /// ended one, or a coordinated join/graceful-leave. Serial. SyncFabric
+  /// fires it at the top of the round with the whole round's delta;
+  /// AsyncFabric fires failure-detected transitions (crashed/restarted)
+  /// per node when the silence window elapses / the node wakes, and
+  /// coordinated transitions (joined/left) when the round they were
+  /// announced at begins. The sink lets schemes react on the wire
+  /// immediately (the parameter server re-aggregates without the dead
+  /// worker's gradient; SNAP donates a STATE_SYNC warm start to a
+  /// joiner).
+  std::function<void(std::size_t round, const net::ChurnDelta& delta,
                      MessageSink<Payload>& sink)>
       on_churn;
 

@@ -41,7 +41,13 @@ class SyncFabric final : public RoundFabric<Payload> {
   explicit SyncFabric(const FabricConfig& config)
       : config_(config), pool_(config.threads) {
     if (config_.graph != nullptr) {
-      cost_.emplace(net::HopMatrix(*config_.graph));
+      // Tolerant routing: latent elastic-membership joiners are
+      // isolated until their join round, so the graph may be
+      // disconnected. Actual flows always have routes (frames touching
+      // a non-member are dropped before charging, and joins refresh
+      // the table below).
+      cost_.emplace(net::HopMatrix(*config_.graph,
+                                   /*require_connected=*/false));
     }
   }
 
@@ -66,6 +72,7 @@ class SyncFabric final : public RoundFabric<Payload> {
     current_round_ = round;
     round_frames_dropped_ = 0;
     round_frames_corrupted_ = 0;
+    round_state_sync_bytes_ = 0;
 
     // Materialize this round's fault schedule and surface confirmed
     // churn before any phase runs, so the scheme reacts (re-projected
@@ -73,9 +80,15 @@ class SyncFabric final : public RoundFabric<Payload> {
     if (config_.faults != nullptr) {
       config_.faults->ensure_round(round);
       const net::ChurnDelta& delta = config_.faults->churn_delta(round);
+      if (cost_ && (!delta.joined.empty() || !delta.left.empty())) {
+        // A membership epoch may have grown the topology: refresh the
+        // routing table before any handoff frame needs a route.
+        cost_->set_hop_matrix(net::HopMatrix(
+            config_.faults->current_graph(), /*require_connected=*/false));
+      }
       if (hooks.on_churn && !delta.empty()) {
         StagingSink sink(&replies_);
-        hooks.on_churn(round, delta.crashed, delta.restarted, sink);
+        hooks.on_churn(round, delta, sink);
         // Churn-time sends ride the round's first delivery wave.
         for (topology::NodeId i = 0; i < n; ++i) {
           for (auto& envelope : replies_[i]) post(i, std::move(envelope), round);
@@ -170,6 +183,12 @@ class SyncFabric final : public RoundFabric<Payload> {
         stats.nodes_down = config_.faults->down_node_count(round);
         stats.frames_dropped = round_frames_dropped_;
         stats.frames_corrupted = round_frames_corrupted_;
+        stats.alive_nodes = config_.faults->alive_member_count(round);
+        stats.nodes_joined =
+            config_.faults->churn_delta(round).joined.size();
+        stats.state_sync_bytes = round_state_sync_bytes_;
+      } else {
+        stats.alive_nodes = hooks.node_count;
       }
       result.iterations.push_back(stats);
 
@@ -196,10 +215,10 @@ class SyncFabric final : public RoundFabric<Payload> {
     explicit StagingSink(std::vector<std::vector<Envelope<Payload>>>* slots)
         : slots_(slots) {}
     void send(topology::NodeId from, topology::NodeId to, Payload payload,
-              std::size_t wire_bytes) override {
+              std::size_t wire_bytes, bool state_sync) override {
       SNAP_REQUIRE(from < slots_->size());
       (*slots_)[from].push_back(
-          Envelope<Payload>{to, std::move(payload), wire_bytes});
+          Envelope<Payload>{to, std::move(payload), wire_bytes, state_sync});
     }
 
    private:
@@ -231,7 +250,11 @@ class SyncFabric final : public RoundFabric<Payload> {
   /// and are charged — but fail decode and are never delivered.
   void post(topology::NodeId from, Envelope<Payload> envelope,
             std::size_t round) {
-    if (net::FaultInjector* faults = config_.faults) {
+    if (net::FaultInjector* faults = config_.faults;
+        faults != nullptr && !envelope.state_sync) {
+      // STATE_SYNC handoffs bypass the loss/corruption draws: they ride
+      // the reliable coordinated join handshake (and this round's link
+      // state was materialized before the join was announced).
       if (faults->link_down(round, from, envelope.to)) {
         ++round_frames_dropped_;
         return;
@@ -239,6 +262,7 @@ class SyncFabric final : public RoundFabric<Payload> {
       if (envelope.wire_bytes > 0 &&
           faults->frame_corrupted(round, from, envelope.to, 0)) {
         if (cost_) cost_->record_flow(from, envelope.to, envelope.wire_bytes);
+        if (envelope.state_sync) round_state_sync_bytes_ += envelope.wire_bytes;
         ++round_frames_corrupted_;
         return;
       }
@@ -246,6 +270,7 @@ class SyncFabric final : public RoundFabric<Payload> {
     if (cost_ && envelope.wire_bytes > 0) {
       cost_->record_flow(from, envelope.to, envelope.wire_bytes);
     }
+    if (envelope.state_sync) round_state_sync_bytes_ += envelope.wire_bytes;
     mailbox_->post(from, envelope.to, std::move(envelope.payload));
   }
 
@@ -296,6 +321,7 @@ class SyncFabric final : public RoundFabric<Payload> {
   std::size_t current_round_ = 0;
   std::uint64_t round_frames_dropped_ = 0;
   std::uint64_t round_frames_corrupted_ = 0;
+  std::uint64_t round_state_sync_bytes_ = 0;
 };
 
 }  // namespace snap::runtime

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.hpp"
@@ -106,6 +108,123 @@ TEST(WeightReprojectionTest, OptimizerMethodStaysFeasible) {
   const auto w = reproject_weight_matrix(
       g, alive, ReprojectionMethod::kOptimize, cfg);
   expect_reprojection_invariants(w, g, alive);
+}
+
+// --- Elastic membership: shrink → grow → shrink walks -----------------
+//
+// With joins in the fault model the alive mask both clears and sets
+// bits over a run. Every epoch's matrix must satisfy the same
+// invariants, and whenever the alive subgraph is connected its compact
+// block must keep a positive spectral gap (EXTRA restarted from the
+// current iterates still contracts).
+
+bool alive_subgraph_connected(const topology::Graph& g,
+                              const std::vector<bool>& alive) {
+  const std::size_t n = g.node_count();
+  topology::NodeId start = static_cast<topology::NodeId>(n);
+  std::size_t alive_count = 0;
+  for (topology::NodeId i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    if (start == n) start = i;
+    ++alive_count;
+  }
+  if (alive_count == 0) return false;
+  std::vector<bool> seen(n, false);
+  std::vector<topology::NodeId> stack{start};
+  seen[start] = true;
+  std::size_t reached = 0;
+  while (!stack.empty()) {
+    const auto u = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const auto v : g.neighbors(u)) {
+      if (alive[v] && !seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == alive_count;
+}
+
+/// Compact submatrix over the alive ids. For a reprojected W this is
+/// itself symmetric doubly stochastic (dead columns are zero in alive
+/// rows), so convergence_score applies directly.
+linalg::Matrix alive_block(const linalg::Matrix& w,
+                           const std::vector<bool>& alive) {
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i]) ids.push_back(i);
+  }
+  linalg::Matrix block(ids.size(), ids.size());
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    for (std::size_t c = 0; c < ids.size(); ++c) {
+      block(r, c) = w(ids[r], ids[c]);
+    }
+  }
+  return block;
+}
+
+TEST(WeightReprojectionTest, ShrinkGrowShrinkRoundTrip) {
+  // Explicit three-epoch walk: two leaves, then both rejoin, then a
+  // different pair leaves. The full-membership epoch in the middle must
+  // restore full link support — growth is not just "no new deaths".
+  common::Rng rng(17);
+  const auto g = topology::make_random_connected(10, 3.0, rng);
+  std::vector<bool> alive(10, true);
+
+  alive[1] = alive[6] = false;  // shrink
+  auto w = reproject_weight_matrix(g, alive,
+                                   ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+
+  alive[1] = alive[6] = true;  // grow back to full membership
+  w = reproject_weight_matrix(g, alive, ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_GT(w(u, v), 0.0)
+        << "link {" << u << "," << v << "} not restored after grow";
+  }
+
+  alive[0] = alive[9] = false;  // shrink again, different nodes
+  w = reproject_weight_matrix(g, alive, ReprojectionMethod::kMetropolis);
+  expect_reprojection_invariants(w, g, alive);
+}
+
+TEST(WeightReprojectionTest, ChurnWalkKeepsEveryEpochFeasible) {
+  // Randomized membership walk: toggle a few nodes per epoch (shrinks
+  // and grows interleaved, ≥ 2 survivors kept) and re-project with both
+  // methods after every epoch. Connected alive blocks must also keep a
+  // positive spectral gap.
+  WeightOptimizerConfig opt;
+  opt.max_iterations = 25;
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    common::Rng rng(1000 + trial);
+    common::Rng topo_rng = rng.fork("topology");
+    const std::size_t n = 12;
+    const auto g = topology::make_random_connected(n, 3.5, topo_rng);
+    std::vector<bool> alive(n, true);
+    for (int epoch = 0; epoch < 10; ++epoch) {
+      const auto flips = 1 + rng.uniform_u64(3);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const auto node =
+            static_cast<std::size_t>(rng.uniform_u64(n));
+        const auto alive_count = static_cast<std::size_t>(
+            std::count(alive.begin(), alive.end(), true));
+        if (alive[node] && alive_count <= 2) continue;
+        alive[node] = !alive[node];
+      }
+      for (const auto method : {ReprojectionMethod::kMetropolis,
+                                ReprojectionMethod::kOptimize}) {
+        const auto w = reproject_weight_matrix(g, alive, method, opt);
+        expect_reprojection_invariants(w, g, alive);
+        if (alive_subgraph_connected(g, alive)) {
+          EXPECT_GT(convergence_score(alive_block(w, alive)), 0.0)
+              << "trial " << trial << " epoch " << epoch;
+        }
+      }
+    }
+  }
 }
 
 TEST(WeightReprojectionTest, RequiresAtLeastOneSurvivor) {

@@ -46,6 +46,9 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   s1.frames_dropped = 7;
   s1.frames_corrupted = 2;
   s1.frames_retried = 4;
+  s1.alive_nodes = 9;
+  s1.nodes_joined = 1;
+  s1.state_sync_bytes = 1234;
   core::IterationStats s2;
   s2.train_loss = 0.75;
   result.iterations = {s1, s2};
@@ -56,11 +59,13 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   EXPECT_NE(out.find("iteration,train_loss,test_accuracy,evaluated,bytes,"
                      "cost,consensus_residual,sim_seconds,links_down,"
                      "nodes_down,frames_dropped,frames_corrupted,"
-                     "frames_retried\n"),
+                     "frames_retried,alive_nodes,nodes_joined,"
+                     "state_sync_bytes\n"),
             std::string::npos);
-  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25,0.125,3,1,7,2,4\n"),
+  EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25,0.125,3,1,7,2,4,9,1,1234\n"),
             std::string::npos);
-  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0,0,0,0,0,0\n"), std::string::npos);
+  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"),
+            std::string::npos);
 }
 
 TEST(TrainResultCsvTest, EmptyResultWritesHeaderOnly) {

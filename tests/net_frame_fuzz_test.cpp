@@ -128,5 +128,93 @@ TEST(FrameFuzzDeterministicTest, EverySingleBitFlipIsRejectedOrValid) {
   }
 }
 
+// --- STATE_SYNC handoff frames ---------------------------------------
+//
+// A corrupted membership handoff must be rejected whole — a joiner that
+// adopts a half-garbled model would poison its whole neighborhood via
+// the next round's frames. The checksum makes rejection *guaranteed*
+// for any single-bit flip (every FNV-1a step is injective), so unlike
+// the update-frame fuzzing above these tests assert nullopt, not just
+// "valid or rejected".
+
+TEST(StateSyncFrameTest, RoundTripsExactly) {
+  common::Rng rng(4242);
+  for (std::size_t total : {std::size_t{1}, std::size_t{25},
+                            std::size_t{301}}) {
+    std::vector<double> params(total);
+    for (auto& p : params) p = rng.normal();
+    const auto bytes = encode_state_sync_frame(params);
+    EXPECT_EQ(bytes.size(), state_sync_frame_bytes(total));
+    const auto decoded = decode_state_sync_frame(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->size(), total);
+    for (std::size_t i = 0; i < total; ++i) {
+      EXPECT_EQ((*decoded)[i], params[i]);  // bitwise round trip
+    }
+  }
+}
+
+TEST(StateSyncFrameTest, CrossDecoderRejection) {
+  // The two decoders must never accept each other's frames: an update
+  // frame fed to the state decoder (or vice versa) is a protocol error,
+  // caught by the tag byte.
+  common::Rng rng(99);
+  std::vector<double> params(8);
+  for (auto& p : params) p = rng.normal();
+  const auto state_bytes = encode_state_sync_frame(params);
+  EXPECT_FALSE(decode_update_frame(state_bytes).has_value());
+
+  std::vector<ParamUpdate> updates{{1, rng.normal()}, {5, rng.normal()}};
+  const auto update_bytes = encode_update_frame(8, updates);
+  EXPECT_FALSE(decode_state_sync_frame(update_bytes).has_value());
+}
+
+TEST(StateSyncFrameTest, AllTruncationsRejected) {
+  common::Rng rng(31337);
+  std::vector<double> params(17);
+  for (auto& p : params) p = rng.normal();
+  const auto bytes = encode_state_sync_frame(params);
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_FALSE(
+        decode_state_sync_frame(
+            std::span<const std::byte>(bytes.data(), keep))
+            .has_value())
+        << "prefix length " << keep;
+  }
+  EXPECT_TRUE(decode_state_sync_frame(bytes).has_value());
+}
+
+TEST(StateSyncFrameTest, EverySingleBitFlipIsRejected) {
+  // Exhaustive: header flips break tag/count/checksum fields, payload
+  // flips change the digest. No flip may survive — all-or-nothing is
+  // the handoff's contract.
+  common::Rng rng(2718);
+  std::vector<double> params(25);
+  for (auto& p : params) p = rng.normal();
+  const auto original = encode_state_sync_frame(params);
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      auto bytes = original;
+      bytes[pos] ^= static_cast<std::byte>(1u << bit);
+      EXPECT_FALSE(decode_state_sync_frame(bytes).has_value())
+          << "byte " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST(StateSyncFrameTest, RandomBytesNeverCrash) {
+  common::Rng rng(555);
+  for (int trial = 0; trial < 600; ++trial) {
+    const auto size = static_cast<std::size_t>(rng.uniform_u64(300));
+    std::vector<std::byte> bytes(size);
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>(rng.uniform_u64(256));
+    }
+    // Must never crash; acceptance requires a matching 64-bit checksum,
+    // which random bytes essentially cannot produce.
+    EXPECT_FALSE(decode_state_sync_frame(bytes).has_value());
+  }
+}
+
 }  // namespace
 }  // namespace snap::net
