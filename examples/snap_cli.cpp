@@ -66,7 +66,17 @@ options (defaults in brackets):
                       STATE_SYNC model handoff (off = cold x0) [on]
   --seed=S            experiment seed [2020]
   --fabric=NAME       sync (shared-clock rounds) | async (event-driven
-                      runtime; frames arrive when they arrive) [sync]
+                      runtime; frames arrive when they arrive) | gossip
+                      (shared clock, but each round only a sparse
+                      activated link subset exchanges) [sync]
+  --gossip-mode=NAME  matching (random maximal matching: at most one
+                      partner per node per round) | pushpull (every
+                      node picks --gossip-fanout neighbors) [matching]
+  --gossip-fanout=K   neighbors each node activates per round in
+                      pushpull mode [1]
+  --gossip-restart=R  synchronized EXTRA restart every R rounds under
+                      gossip (0 = never; stabilizes the recursion
+                      against round-varying activations) [16]
   --compute=S         per-round compute time in seconds (async) [0.001]
   --hetero=H          linear compute spread: the slowest node takes
                       (1+H)x the base compute time (async) [0]
@@ -141,7 +151,8 @@ int main(int argc, char** argv) {
         "jitter", "latency", "bandwidth", "max-staleness", "free-run",
         "crash-rate", "restart-rate", "link-burst", "corrupt",
         "recovery-timeout", "no-reproject", "joiners", "join-rate",
-        "join-degree", "leave-rate", "rejoin-rate", "warm-start"};
+        "join-degree", "leave-rate", "rejoin-rate", "warm-start",
+        "gossip-mode", "gossip-fanout", "gossip-restart"};
     if (!known.contains(key)) {
       std::cerr << "unknown option --" << key << " (try --help)\n";
       return 2;
@@ -212,10 +223,19 @@ int main(int argc, char** argv) {
 
   const auto fabric = runtime::parse_fabric_kind(get("fabric", "sync"));
   if (!fabric.has_value()) {
-    std::cerr << "unknown fabric (sync or async; try --help)\n";
+    std::cerr << "unknown fabric (sync, async, or gossip; try --help)\n";
     return 2;
   }
   cfg.fabric = *fabric;
+  const auto gossip_mode =
+      runtime::parse_gossip_mode(get("gossip-mode", "matching"));
+  if (!gossip_mode.has_value()) {
+    std::cerr << "unknown gossip mode (matching or pushpull; try --help)\n";
+    return 2;
+  }
+  cfg.gossip.mode = *gossip_mode;
+  cfg.gossip.fanout = std::stoul(get("gossip-fanout", "1"));
+  cfg.gossip.restart_every = std::stoul(get("gossip-restart", "16"));
   const double base_compute = std::stod(get("compute", "0.001"));
   const double hetero = std::stod(get("hetero", "0"));
   cfg.async_timing.compute_s = base_compute;
@@ -260,6 +280,13 @@ int main(int argc, char** argv) {
   table.add_row(
       {"simulated time",
        common::format_double(result.total_sim_seconds, 3) + " s"});
+  if (cfg.fabric == runtime::FabricKind::kGossip) {
+    std::uint64_t activated = 0;
+    for (const auto& it : result.iterations) activated += it.links_activated;
+    table.add_row({"gossip mode",
+                   std::string(runtime::gossip_mode_name(cfg.gossip.mode))});
+    table.add_row({"links activated", std::to_string(activated)});
+  }
   if (cfg.faults.any() || cfg.latent_joiners > 0 ||
       cfg.link_failure_probability > 0.0) {
     std::uint64_t dropped = 0;

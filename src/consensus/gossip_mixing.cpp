@@ -1,0 +1,43 @@
+#include "consensus/gossip_mixing.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace snap::consensus {
+
+linalg::Matrix activated_mixing_matrix(
+    std::size_t node_count,
+    std::span<const std::pair<topology::NodeId, topology::NodeId>> links,
+    const std::vector<bool>& alive) {
+  SNAP_REQUIRE(node_count > 0);
+  SNAP_REQUIRE_MSG(alive.empty() || alive.size() == node_count,
+                   "alive mask size must match the node count");
+  const auto is_alive = [&](topology::NodeId i) {
+    return alive.empty() || alive[i];
+  };
+
+  // Activated degree — only links with both endpoints alive count.
+  std::vector<std::size_t> degree(node_count, 0);
+  for (const auto& [u, v] : links) {
+    SNAP_REQUIRE(u < node_count && v < node_count && u != v);
+    if (!is_alive(u) || !is_alive(v)) continue;
+    ++degree[u];
+    ++degree[v];
+  }
+
+  linalg::Matrix w = linalg::Matrix::identity(node_count);
+  for (const auto& [u, v] : links) {
+    if (!is_alive(u) || !is_alive(v)) continue;
+    const double weight =
+        1.0 / (1.0 + static_cast<double>(std::max(degree[u], degree[v])));
+    w(u, v) += weight;
+    w(v, u) += weight;
+    w(u, u) -= weight;
+    w(v, v) -= weight;
+  }
+  return w;
+}
+
+}  // namespace snap::consensus

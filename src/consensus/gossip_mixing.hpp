@@ -1,0 +1,41 @@
+// Per-activation effective mixing matrices for the gossip fabric.
+//
+// Under randomized gossip only a sparse activated link subset A_t
+// exchanges at tick t, so the round's effective mixing matrix W_t must
+// be supported on A_t alone. We use Metropolis–Hastings weights on the
+// *activated* subgraph,
+//
+//   w_ij = 1 / (1 + max{deg_A(i), deg_A(j)})   for {i, j} ∈ A_t,
+//
+// with identity rows for every node untouched by A_t (or dead). Each
+// W_t is symmetric and doubly stochastic by the Metropolis argument, so
+// the time-varying EXTRA recursion keeps its consensus fixed points:
+// both W_t and W̃_t = (W_t + I)/2 are row-stochastic, hence every
+// accumulated (W_{t-1} − W̃_t) correction annihilates consensus
+// vectors, and a no-exchange tick (W_t = I) telescopes to a plain
+// gradient step. In matching mode deg_A ≤ 1 everywhere, so every
+// activated pair mixes with the classic 1/2–1/2 pairwise-gossip
+// weights.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+
+/// The effective mixing matrix for one activation set. `links` are
+/// undirected activated pairs (u < v, as produced by
+/// runtime::gossip_activated_links); `alive` masks nodes that may mix
+/// (empty = all alive) — links with a dead endpoint are skipped, and
+/// dead or non-activated nodes get identity rows. The result is
+/// symmetric and doubly stochastic for every input.
+linalg::Matrix activated_mixing_matrix(
+    std::size_t node_count,
+    std::span<const std::pair<topology::NodeId, topology::NodeId>> links,
+    const std::vector<bool>& alive = {});
+
+}  // namespace snap::consensus

@@ -130,16 +130,27 @@ void SnapNode::compute_update(double alpha) {
     x_previous_ = std::move(x_current_);
     x_current_ = std::move(next);
   } else {
-    // xᵏ⁺² = xᵏ⁺¹ + Σ_j w_ij x̂_jᵏ⁺¹ − Σ_j w̃_ij x̂_jᵏ
-    //        − α (∇f_i(xᵏ⁺¹) − ∇f_i(xᵏ)),  with w̃_ij = (w_ij+1{i=j})/2.
+    // xᵏ⁺² = xᵏ⁺¹ + Σ_j w_ij x̂_jᵏ⁺¹ − Σ_j w̃'_ij x̂_jᵏ
+    //        − α (∇f_i(xᵏ⁺¹) − ∇f_i(xᵏ)),  with w̃'_ij = (w'_ij+1{i=j})/2
+    // and w' the row used by the PREVIOUS compute_update. For a static W
+    // (every run but gossip) w' == w and this is the textbook recursion.
+    // Under per-round row swaps the distinction is what keeps the
+    // telescoped sum exact: the memory term must subtract the same
+    // (row, view) product the previous round added, else the
+    // ½(Wₜ − Wₜ₋₁)x̂ᵏ mismatch feeds a disagreement-proportional error
+    // through the accumulator every round and the recursion diverges.
     linalg::Vector grad_now = model_->gradient(x_current_, shard_);
     linalg::Vector next = x_current_;
     next.axpy(w_self_, x_current_);
-    next.axpy(-(w_self_ + 1.0) / 2.0, x_previous_);
+    next.axpy(-(w_self_prev_ + 1.0) / 2.0, x_previous_);
     for (const auto j : neighbors_) {
-      const double w = w_row_.at(j);
-      next.axpy(w, current_of(j));
-      next.axpy(-w / 2.0, previous_of(j));
+      next.axpy(w_row_.at(j), current_of(j));
+      const auto prev = w_row_prev_.find(j);
+      // A neighbor attached since the last update has no previous
+      // weight: it contributed nothing last round, so nothing is owed.
+      if (prev != w_row_prev_.end()) {
+        next.axpy(-prev->second / 2.0, previous_of(j));
+      }
     }
     next.axpy(-alpha, grad_now);
     next.axpy(alpha, grad_previous_);
@@ -147,6 +158,8 @@ void SnapNode::compute_update(double alpha) {
     x_previous_ = std::move(x_current_);
     x_current_ = std::move(next);
   }
+  w_row_prev_ = w_row_;
+  w_self_prev_ = w_self_;
   ++iteration_;
 }
 

@@ -165,6 +165,11 @@ class SnapNode {
   std::vector<topology::NodeId> neighbors_;
   std::unordered_map<topology::NodeId, double> w_row_;
   double w_self_ = 0.0;
+  /// The row the previous compute_update mixed with — the W̃ memory term
+  /// must pair with it, not with a row swapped in since (time-varying
+  /// gossip activations; identical to w_row_ under a static W).
+  std::unordered_map<topology::NodeId, double> w_row_prev_;
+  double w_self_prev_ = 0.0;
 
   linalg::Vector x_previous_;
   linalg::Vector x_current_;

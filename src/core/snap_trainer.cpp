@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "consensus/gossip_mixing.hpp"
 #include "consensus/weight_matrix.hpp"
 #include "consensus/weight_reprojection.hpp"
 #include "net/cost_model.hpp"
@@ -188,6 +189,7 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   std::vector<std::size_t> rounds(n, 0);
   bool restarted = false;
   const bool async_mode = config_.fabric == runtime::FabricKind::kAsync;
+  const bool gossip_mode = config_.fabric == runtime::FabricKind::kGossip;
   // Round-aligned async (the default): EXTRA's corrected recursion
   // telescopes only if node i's round-k update consumes each neighbor's
   // round-(k-1) frame exactly once — views that skip or double-consume
@@ -217,9 +219,11 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       runtime::gradient_flops(model_->param_count(), max_shard);
   fabric_config.faults = injector ? &*injector : nullptr;
   fabric_config.recovery = config_.recovery;
+  runtime::GossipConfig gossip_config = config_.gossip;
+  if (gossip_config.seed == 0) gossip_config.seed = config_.seed;
   auto fabric =
       runtime::make_fabric<Payload>(config_.fabric, fabric_config,
-                                    config_.async);
+                                    config_.async, gossip_config);
 
   // The whole algorithm as phase hooks; the fabric owns the clock, the
   // transport, the accounting, and the convergence detector.
@@ -234,6 +238,63 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   // round the fabric checks.
   std::size_t global_round = 0;
   hooks.begin_round = [&](std::size_t round) { global_round = round; };
+
+  // Gossip activation state. `link_active[i][j]` gates collect for the
+  // round being sent; `prev_links` is the previous round's activation —
+  // the links whose frames populated the views the *current* round's
+  // update mixes, hence the support of the effective rows applied in
+  // on_activation below.
+  std::vector<std::vector<bool>> link_active(
+      gossip_mode ? n : 0, std::vector<bool>(n, false));
+  std::vector<runtime::ActivatedLink> prev_links;
+
+  if (gossip_mode) {
+    // Fires serially in the round preamble, after confirmed churn has
+    // been surfaced (so `alive` and the node topologies are current)
+    // and before any phase runs.
+    hooks.on_activation = [&](std::size_t round,
+                              std::span<const runtime::ActivatedLink> links) {
+      // Periodic synchronized restart (GossipConfig::restart_every):
+      // round-varying activations excite the neutrally-stable modes of
+      // EXTRA's memory recursion — without this, the compounded error
+      // surfaces as a slow exponential after a few hundred ticks.
+      // Keyed on the round number alone, so every node (and every
+      // replay) restarts on the same tick.
+      if (config_.gossip.restart_every > 0 && round > 1 &&
+          (round - 1) % config_.gossip.restart_every == 0) {
+        for (topology::NodeId i = 0; i < n; ++i) {
+          if (injector && !alive[i]) continue;
+          nodes[i].restart();
+        }
+      }
+      // Rebuild every member's row on the PREVIOUS activation: frames
+      // sent over A_{t-1} are what this round's compute_update mixes.
+      // Round 1 (empty prev_links) runs identity rows — every view
+      // still equals the shared x⁰, so W·x̂ = x⁰ for any doubly
+      // stochastic W and the tick is bitwise a plain gradient step.
+      // The same row serves both recursion terms: W_t and W̃_t are
+      // row-stochastic, so the (W_t − W_{t-1})/2 mismatch on the
+      // memory term annihilates consensus vectors and the filtered
+      // EXTRA fixed points survive (see DESIGN.md, "Gossip fabric").
+      const linalg::Matrix w_eff =
+          consensus::activated_mixing_matrix(n, prev_links, alive);
+      for (topology::NodeId i = 0; i < n; ++i) {
+        if (injector && !alive[i]) continue;
+        std::unordered_map<topology::NodeId, double> row;
+        row.emplace(i, w_eff(i, i));
+        for (const auto j : nodes[i].neighbors()) row.emplace(j, w_eff(i, j));
+        nodes[i].set_weight_row(std::move(row));
+      }
+      for (auto& flags : link_active) {
+        std::fill(flags.begin(), flags.end(), false);
+      }
+      for (const auto& [u, v] : links) {
+        link_active[u][v] = true;
+        link_active[v][u] = true;
+      }
+      prev_links.assign(links.begin(), links.end());
+    };
+  }
 
   // 1. Local EXTRA update from the current views, then rotate the view
   // double-buffer so frames arriving for this round land "fresh". Each
@@ -294,6 +355,11 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       for (const net::ParamUpdate& u : outgoing.updates) {
         queued[u.index] = u.value;
       }
+      // A non-activated gossip link is a deliberately silent link: the
+      // backlog keeps accumulating (above) and the next activation's
+      // frame carries the merged catch-up — the same persistent-TCP
+      // semantics as a down link, with zero mixing weight meanwhile.
+      if (gossip_mode && !link_active[i][j]) continue;
       // link_down covers both the burst chain and crashed endpoints, so
       // the backlog keeps accumulating while a neighbor is dead and the
       // first frame after its restart repairs the whole view.

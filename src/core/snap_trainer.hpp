@@ -89,6 +89,13 @@ struct SnapTrainerConfig {
   runtime::FabricKind fabric = runtime::FabricKind::kSync;
   /// Heterogeneity model used when fabric == kAsync.
   runtime::AsyncTimingConfig async;
+  /// Activation scheduler used when fabric == kGossip: each round only
+  /// a sparse activated link subset (random matching or per-node
+  /// fan-out) exchanges frames, the node rows are rebuilt on the
+  /// activated subgraph (consensus::activated_mixing_matrix), and
+  /// non-activated links accumulate backlog exactly like down links.
+  /// gossip.seed == 0 derives the schedule from `seed`.
+  runtime::GossipConfig gossip;
   /// Async-only: let nodes free-run instead of pacing each round on a
   /// frame (or heartbeat) from every neighbor. EXTRA's corrected
   /// recursion assumes aligned view snapshots — under persistent skew

@@ -53,6 +53,9 @@ struct IterationStats {
   std::uint64_t alive_nodes = 0;
   std::uint64_t nodes_joined = 0;
   std::uint64_t state_sync_bytes = 0;
+  /// Gossip-fabric telemetry: links the activation scheduler selected
+  /// this iteration. 0 on the other fabrics (every link is eligible).
+  std::uint64_t links_activated = 0;
 };
 
 /// Uniform result of a training run.

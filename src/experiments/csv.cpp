@@ -33,7 +33,7 @@ void write_train_result_csv(std::ostream& os,
                      "sim_seconds", "links_down", "nodes_down",
                      "frames_dropped", "frames_corrupted",
                      "frames_retried", "alive_nodes", "nodes_joined",
-                     "state_sync_bytes"});
+                     "state_sync_bytes", "links_activated"});
   for (std::size_t k = 0; k < result.iterations.size(); ++k) {
     const auto& stat = result.iterations[k];
     std::ostringstream loss;
@@ -55,7 +55,8 @@ void write_train_result_csv(std::ostream& os,
                        std::to_string(stat.frames_retried),
                        std::to_string(stat.alive_nodes),
                        std::to_string(stat.nodes_joined),
-                       std::to_string(stat.state_sync_bytes)});
+                       std::to_string(stat.state_sync_bytes),
+                       std::to_string(stat.links_activated)});
   }
 }
 

@@ -270,6 +270,7 @@ core::TrainResult Scenario::run_snap_variant(
   c.fabric = cfg.fabric;
   c.async = cfg.async_timing;
   c.async_free_run = cfg.async_free_run;
+  c.gossip = cfg.gossip;
   c.timing = cfg.timing;
   const linalg::Matrix& w =
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;

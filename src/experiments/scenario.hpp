@@ -113,6 +113,10 @@ struct ScenarioConfig {
   /// Heterogeneity model (per-node compute, NIC bandwidth, link
   /// latency) used when fabric == kAsync.
   runtime::AsyncTimingConfig async_timing;
+  /// Activation scheduler (matching / push-pull, fan-out, seed) used by
+  /// the SNAP family when fabric == kGossip. The PS baselines ignore it
+  /// — a star topology degenerates to the sync exchange.
+  runtime::GossipConfig gossip;
   /// Async decentralized schemes: drop the neighborhood-local pacing
   /// gate and let every node free-run (staleness experiments; EXTRA
   /// diverges under persistent view skew, so default off).

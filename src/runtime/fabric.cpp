@@ -10,6 +10,8 @@ std::string_view fabric_name(FabricKind kind) noexcept {
       return "sync";
     case FabricKind::kAsync:
       return "async";
+    case FabricKind::kGossip:
+      return "gossip";
   }
   return "?";
 }
@@ -18,6 +20,7 @@ std::optional<FabricKind> parse_fabric_kind(
     std::string_view name) noexcept {
   if (name == "sync") return FabricKind::kSync;
   if (name == "async") return FabricKind::kAsync;
+  if (name == "gossip") return FabricKind::kGossip;
   return std::nullopt;
 }
 

@@ -37,6 +37,7 @@
 #include "core/training.hpp"
 #include "net/fault_injector.hpp"
 #include "net/mailbox.hpp"
+#include "runtime/gossip.hpp"
 #include "runtime/timing.hpp"
 #include "topology/graph.hpp"
 
@@ -171,18 +172,32 @@ struct RoundHooks {
   /// only; async nodes simply go dormant). DGD uses it to keep its
   /// double-buffer coherent for skipped nodes.
   std::function<void(topology::NodeId node)> node_skipped;
+
+  /// Gossip-layer callback: the links the scheduler activated for this
+  /// round (sorted, u < v, alive endpoints only). Fired serially in the
+  /// round preamble — after confirmed churn is surfaced, before
+  /// begin_round — by GossipFabric only. A scheme that participates in
+  /// gossip transmits only on these links and builds its per-activation
+  /// effective mixing from them; a scheme that leaves this unset is run
+  /// with full sync semantics (the degenerate path — DGD and the
+  /// parameter server ignore the activation schedule entirely).
+  std::function<void(std::size_t round,
+                     std::span<const ActivatedLink> links)>
+      on_activation;
 };
 
 /// Which execution engine runs the rounds.
 enum class FabricKind {
-  kSync,   ///< shared-clock rounds, bitwise-deterministic (default)
-  kAsync,  ///< event-driven, heterogeneous compute/links, staleness
+  kSync,    ///< shared-clock rounds, bitwise-deterministic (default)
+  kAsync,   ///< event-driven, heterogeneous compute/links, staleness
+  kGossip,  ///< shared clock, but only a sparse activated link subset
+            ///< exchanges each tick (randomized pairwise mixing)
 };
 
 std::string_view fabric_name(FabricKind kind) noexcept;
 
-/// Parses "sync" / "async" (CLI spelling). Empty optional on anything
-/// else.
+/// Parses "sync" / "async" / "gossip" (CLI spelling). Empty optional on
+/// anything else.
 std::optional<FabricKind> parse_fabric_kind(std::string_view name) noexcept;
 
 /// Per-link parameter override for the async fabric. Matches the

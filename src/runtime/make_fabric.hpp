@@ -1,12 +1,13 @@
-// Factory tying the fabric interface to its two implementations —
-// schemes pick an engine with a FabricKind knob and never name the
-// concrete types.
+// Factory tying the fabric interface to its implementations — schemes
+// pick an engine with a FabricKind knob and never name the concrete
+// types.
 #pragma once
 
 #include <memory>
 
 #include "runtime/async_fabric.hpp"
 #include "runtime/fabric.hpp"
+#include "runtime/gossip_fabric.hpp"
 #include "runtime/sync_fabric.hpp"
 
 namespace snap::runtime {
@@ -14,12 +15,14 @@ namespace snap::runtime {
 template <typename Payload>
 std::unique_ptr<RoundFabric<Payload>> make_fabric(
     FabricKind kind, const FabricConfig& config,
-    const AsyncTimingConfig& timing = {}) {
+    const AsyncTimingConfig& timing = {}, const GossipConfig& gossip = {}) {
   switch (kind) {
     case FabricKind::kSync:
       return std::make_unique<SyncFabric<Payload>>(config);
     case FabricKind::kAsync:
       return std::make_unique<AsyncFabric<Payload>>(config, timing);
+    case FabricKind::kGossip:
+      return std::make_unique<GossipFabric<Payload>>(config, gossip);
   }
   return nullptr;
 }

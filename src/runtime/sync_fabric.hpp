@@ -36,7 +36,7 @@
 namespace snap::runtime {
 
 template <typename Payload>
-class SyncFabric final : public RoundFabric<Payload> {
+class SyncFabric : public RoundFabric<Payload> {
  public:
   explicit SyncFabric(const FabricConfig& config)
       : config_(config), pool_(config.threads) {
@@ -73,6 +73,7 @@ class SyncFabric final : public RoundFabric<Payload> {
     round_frames_dropped_ = 0;
     round_frames_corrupted_ = 0;
     round_state_sync_bytes_ = 0;
+    round_links_activated_ = 0;
 
     // Materialize this round's fault schedule and surface confirmed
     // churn before any phase runs, so the scheme reacts (re-projected
@@ -99,6 +100,11 @@ class SyncFabric final : public RoundFabric<Payload> {
     const auto down = [&](topology::NodeId i) {
       return config_.faults != nullptr && config_.faults->node_down(round, i);
     };
+
+    // Subclass preamble (GossipFabric's activation draw) — after churn
+    // is surfaced so the schedule sees the post-epoch membership, before
+    // begin_round so the scheme reacts ahead of any phase.
+    prepare_round(round, hooks);
 
     if (hooks.begin_round) hooks.begin_round(round);
 
@@ -190,6 +196,7 @@ class SyncFabric final : public RoundFabric<Payload> {
       } else {
         stats.alive_nodes = hooks.node_count;
       }
+      stats.links_activated = round_links_activated_;
       result.iterations.push_back(stats);
 
       detector.observe(eval.train_loss, eval.consensus_residual,
@@ -207,6 +214,19 @@ class SyncFabric final : public RoundFabric<Payload> {
     result.total_sim_seconds = sim_seconds;
     return result;
   }
+
+ protected:
+  /// Round-preamble extension point for shared-clock subclasses.
+  /// GossipFabric draws the round's activation set here and reports its
+  /// size through `round_links_activated_` (stamped into
+  /// IterationStats::links_activated; 0 means "every link eligible" —
+  /// the plain sync semantics).
+  virtual void prepare_round(std::size_t /*round*/,
+                             RoundHooks<Payload>& /*hooks*/) {}
+
+  const FabricConfig& fabric_config() const noexcept { return config_; }
+
+  std::uint64_t round_links_activated_ = 0;
 
  private:
   // Staged replies from the mix phase, indexed by sender.

@@ -1,0 +1,104 @@
+// Seed-sweep convergence regression for the gossip fabric: at an equal
+// wire-byte budget, gossip SNAP must land within a fixed tolerance of
+// the sync fabric's final loss on a connected random graph. Each seed
+// draws its own topology and shards; a single lucky seed can't mask a
+// broken activation schedule, and a single unlucky one is visible as
+// exactly one failing assertion with its seed in the message.
+//
+// Method: run sync for a fixed iteration count and record its byte
+// total B and final loss. Run gossip (which moves far fewer bytes per
+// round — only the activated matching transmits) for longer, find the
+// first round where its cumulative bytes reach B, and compare the loss
+// at that round. Labeled slow: it is excluded from the sanitizer legs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "core/snap_trainer.hpp"
+#include "runtime/fabric.hpp"
+#include "support/quadratic_model.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::core {
+namespace {
+
+using snap::testing::QuadraticModel;
+using snap::testing::point_shard;
+
+constexpr std::size_t kNodes = 12;
+constexpr std::size_t kDim = 4;
+constexpr std::size_t kSeeds = 10;
+// Gossip at equal bytes may trail sync slightly (partial activations
+// mix slower per byte on small graphs); 10% of the sync loss is the
+// regression bar, far below the order-of-magnitude gap a scheduling or
+// EXTRA-memory bug produces.
+constexpr double kRelativeTolerance = 0.10;
+
+std::vector<data::Dataset> seeded_shards(std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<data::Dataset> shards;
+  shards.reserve(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    linalg::Vector c(kDim);
+    for (std::size_t d = 0; d < kDim; ++d) c[d] = rng.normal(0.0, 2.0);
+    shards.push_back(point_shard(c));
+  }
+  return shards;
+}
+
+TrainResult run(const topology::Graph& g, const linalg::Matrix& w,
+                const ml::Model& model, std::uint64_t seed,
+                runtime::FabricKind fabric, std::size_t iterations) {
+  SnapTrainerConfig cfg;
+  cfg.alpha = 0.2;
+  cfg.seed = seed;
+  cfg.convergence.max_iterations = iterations;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.fabric = fabric;
+  SnapTrainer trainer(g, w, model, seeded_shards(seed), cfg);
+  return trainer.train(data::Dataset(kDim, 2));
+}
+
+TEST(GossipConvergenceTest, MatchesSyncLossAtEqualByteBudget) {
+  const QuadraticModel model(kDim);
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    common::Rng topo_rng(seed * 1000 + 7);
+    const auto g = topology::make_random_connected(kNodes, 3.0, topo_rng);
+    const linalg::Matrix w = consensus::max_degree_weights(g);
+
+    const TrainResult sync =
+        run(g, w, model, seed, runtime::FabricKind::kSync, 120);
+    // Gossip needs more rounds to spend the same bytes: a matching
+    // activates roughly a quarter of this graph's edges per round, so
+    // 8× the sync horizon leaves comfortable headroom.
+    const TrainResult gossip =
+        run(g, w, model, seed, runtime::FabricKind::kGossip, 960);
+
+    const std::uint64_t budget = sync.total_bytes;
+    std::uint64_t spent = 0;
+    double loss_at_budget = 0.0;
+    bool reached = false;
+    for (const auto& it : gossip.iterations) {
+      spent += it.bytes;
+      if (spent >= budget) {
+        loss_at_budget = it.train_loss;
+        reached = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(reached)
+        << "seed " << seed << ": gossip spent only " << spent << " of "
+        << budget << " bytes in " << gossip.iterations.size() << " rounds";
+    EXPECT_LE(loss_at_budget,
+              sync.final_train_loss * (1.0 + kRelativeTolerance))
+        << "seed " << seed << ": gossip loss " << loss_at_budget
+        << " vs sync " << sync.final_train_loss << " at " << budget
+        << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace snap::core

@@ -1,0 +1,214 @@
+// GossipFabric determinism suite: the activation timeline and the full
+// training trajectory must replay bitwise for every `threads` value,
+// across reruns, and under an active FaultPlan with churn and joins —
+// the schedule is a pure function of (seed, graph, membership epoch),
+// never of event interleaving. Also pins the degenerate paths (schemes
+// without an on_activation hook run plain sync semantics) and the
+// wire-accounting contract (only activated links carry bytes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "baselines/parameter_server.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "core/snap_trainer.hpp"
+#include "experiments/scenario.hpp"
+#include "net/frame.hpp"
+#include "runtime/fabric.hpp"
+#include "support/quadratic_model.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::core {
+namespace {
+
+using snap::testing::QuadraticModel;
+using snap::testing::point_shard;
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bitwise comparison including the gossip/fault telemetry — a single
+/// diverging activation would desynchronize links_activated or bytes
+/// long before the losses drift.
+void expect_bitwise_equal(const TrainResult& a, const TrainResult& b) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.converged_after, b.converged_after);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_TRUE(same_bits(a.final_train_loss, b.final_train_loss));
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t d = 0; d < a.final_params.size(); ++d) {
+    EXPECT_TRUE(same_bits(a.final_params[d], b.final_params[d]))
+        << "param " << d;
+  }
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t k = 0; k < a.iterations.size(); ++k) {
+    const IterationStats& ia = a.iterations[k];
+    const IterationStats& ib = b.iterations[k];
+    EXPECT_TRUE(same_bits(ia.train_loss, ib.train_loss)) << "iter " << k;
+    EXPECT_TRUE(same_bits(ia.consensus_residual, ib.consensus_residual))
+        << "iter " << k;
+    EXPECT_EQ(ia.bytes, ib.bytes) << "iter " << k;
+    EXPECT_EQ(ia.links_activated, ib.links_activated) << "iter " << k;
+    EXPECT_EQ(ia.frames_dropped, ib.frames_dropped) << "iter " << k;
+    EXPECT_EQ(ia.alive_nodes, ib.alive_nodes) << "iter " << k;
+    EXPECT_EQ(ia.nodes_joined, ib.nodes_joined) << "iter " << k;
+    EXPECT_EQ(ia.state_sync_bytes, ib.state_sync_bytes) << "iter " << k;
+  }
+}
+
+std::vector<data::Dataset> random_point_shards(std::size_t nodes,
+                                               std::size_t dim,
+                                               std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<data::Dataset> shards;
+  shards.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    linalg::Vector c(dim);
+    for (std::size_t d = 0; d < dim; ++d) c[d] = rng.normal(0.0, 2.0);
+    shards.push_back(point_shard(c));
+  }
+  return shards;
+}
+
+TrainResult run_gossip(const topology::Graph& g, const linalg::Matrix& w,
+                       const ml::Model& model, std::size_t threads,
+                       runtime::GossipMode mode, std::size_t fanout,
+                       FilterMode filter = FilterMode::kApe) {
+  SnapTrainerConfig cfg;
+  cfg.alpha = 0.2;
+  cfg.filter = filter;
+  cfg.convergence.max_iterations = 40;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.threads = threads;
+  cfg.fabric = runtime::FabricKind::kGossip;
+  cfg.gossip.mode = mode;
+  cfg.gossip.fanout = fanout;
+  SnapTrainer trainer(g, w, model,
+                      random_point_shards(g.node_count(), 4, 22), cfg);
+  return trainer.train(data::Dataset(4, 2));
+}
+
+TEST(GossipFabricTest, ThreadCountAndRerunInvariantBothModes) {
+  const std::size_t n = 9;
+  common::Rng topo_rng(21);
+  const auto g = topology::make_random_connected(n, 3.0, topo_rng);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  const QuadraticModel model(4);
+
+  for (const auto& [mode, fanout] :
+       {std::pair{runtime::GossipMode::kMatching, std::size_t{1}},
+        std::pair{runtime::GossipMode::kPushPull, std::size_t{2}}}) {
+    const TrainResult serial = run_gossip(g, w, model, 1, mode, fanout);
+    // Every round must have drawn a non-empty activation (connected
+    // graph, everyone alive), and the schedule must be genuinely
+    // partial: some rounds leave links silent (a high-fanout push-pull
+    // round may occasionally touch every edge, but never all rounds).
+    bool any_partial = false;
+    for (const auto& it : serial.iterations) {
+      EXPECT_GT(it.links_activated, 0u);
+      EXPECT_LE(it.links_activated, g.edge_count());
+      any_partial |= it.links_activated < g.edge_count();
+    }
+    EXPECT_TRUE(any_partial);
+    expect_bitwise_equal(serial, run_gossip(g, w, model, 4, mode, fanout));
+    expect_bitwise_equal(serial, run_gossip(g, w, model, 0, mode, fanout));
+    // Rerun with the identical config: bitwise replay, same timeline.
+    expect_bitwise_equal(serial, run_gossip(g, w, model, 1, mode, fanout));
+  }
+}
+
+TEST(GossipFabricTest, OnlyActivatedLinksAreCharged) {
+  // SendAll filtering on a fault-free run makes the accounting exact:
+  // every parameter changes every round, backlogs collapse to full
+  // frames, so the bytes charged per round must equal
+  //   2 · links_activated · encoded_frame_bytes(dim, dim)
+  // — activated links carry one full frame per direction, everything
+  // else stays silent.
+  const std::size_t n = 8;
+  common::Rng topo_rng(31);
+  const auto g = topology::make_random_connected(n, 3.0, topo_rng);
+  const linalg::Matrix w = consensus::max_degree_weights(g);
+  const QuadraticModel model(4);
+  const TrainResult result =
+      run_gossip(g, w, model, 1, runtime::GossipMode::kMatching, 1,
+                 FilterMode::kSendAll);
+  const std::uint64_t per_frame = net::encoded_frame_bytes(4, 4);
+  for (std::size_t k = 0; k < result.iterations.size(); ++k) {
+    const auto& it = result.iterations[k];
+    EXPECT_EQ(it.bytes, 2 * it.links_activated * per_frame)
+        << "iter " << k + 1;
+  }
+}
+
+TEST(GossipFabricTest, ReplaysBitwiseUnderChurnAndJoins) {
+  // The MembershipTest elastic plan on the gossip fabric: two latent
+  // joiners, a graceful leave/rejoin, and a scheduled crash, replayed
+  // at three thread counts. The membership epoch folds into the
+  // activation hash, so the timeline must stay bitwise identical while
+  // actually churning.
+  auto run = [&](std::size_t threads) {
+    experiments::ScenarioConfig cfg;
+    cfg.nodes = 10;
+    cfg.average_degree = 3.0;
+    cfg.train_samples = 1'000;
+    cfg.test_samples = 300;
+    cfg.convergence.max_iterations = 120;
+    cfg.convergence.loss_tolerance = 0.0;
+    cfg.weight_optimizer.max_iterations = 40;
+    cfg.latent_joiners = 2;
+    cfg.faults.scheduled_joins.push_back({10, 30});
+    cfg.faults.scheduled_joins.push_back({11, 70});
+    cfg.faults.scheduled_leaves.push_back({3, 50, 100});
+    cfg.faults.scheduled_crashes.push_back({6, 40, 80});
+    cfg.fabric = runtime::FabricKind::kGossip;
+    cfg.threads = threads;
+    const experiments::Scenario scenario(cfg);
+    return scenario.run(experiments::Scheme::kSnap);
+  };
+  const TrainResult serial = run(1);
+  ASSERT_EQ(serial.iterations.size(), 120u);
+  EXPECT_TRUE(std::isfinite(serial.final_train_loss));
+  EXPECT_GT(serial.final_test_accuracy, 0.5);
+  // The run actually churned: joins happened and the activation count
+  // shifted with the epochs (joiner links enter the schedule).
+  std::uint64_t joined = 0;
+  for (const auto& it : serial.iterations) joined += it.nodes_joined;
+  EXPECT_EQ(joined, 3u);  // two first-time joins + one rejoin
+  EXPECT_GT(serial.iterations.back().alive_nodes, 10u);
+
+  expect_bitwise_equal(serial, run(4));
+  expect_bitwise_equal(serial, run(0));
+}
+
+TEST(GossipFabricTest, ParameterServerIgnoresActivation) {
+  // The PS never sets on_activation, so the gossip fabric must run it
+  // with plain sync semantics: bitwise-equal results and a zero
+  // links_activated series.
+  const std::size_t n = 6;
+  common::Rng topo_rng(17);
+  const auto g = topology::make_random_connected(n, 3.0, topo_rng);
+  const QuadraticModel model(3);
+  auto run = [&](runtime::FabricKind fabric) {
+    baselines::ParameterServerConfig cfg;
+    cfg.alpha = 0.2;
+    cfg.convergence.max_iterations = 25;
+    cfg.convergence.loss_tolerance = 0.0;
+    cfg.fabric = fabric;
+    return baselines::train_parameter_server(
+        g, model, random_point_shards(n, 3, 19), data::Dataset(3, 2), cfg);
+  };
+  const TrainResult sync = run(runtime::FabricKind::kSync);
+  const TrainResult gossip = run(runtime::FabricKind::kGossip);
+  expect_bitwise_equal(sync, gossip);
+  for (const auto& it : gossip.iterations) {
+    EXPECT_EQ(it.links_activated, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace snap::core

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "experiments/scenario.hpp"
 #include "net/frame.hpp"
 
 namespace snap::net {
@@ -102,6 +103,132 @@ TEST(FrameFuzzDeterministicTest, SubHeaderPrefixesAlwaysReject) {
         << "prefix length " << keep;
   }
   EXPECT_TRUE(decode_update_frame(bytes).has_value());
+}
+
+TEST(FrameFuzzDeterministicTest, SubHeaderTruncationsOfRandomFramesReject) {
+  // The single-frame prefix check above, swept over randomized frames:
+  // whatever the payload shape (dense, index-coded, empty, single
+  // update), no prefix that ends inside the 5-byte header may decode.
+  common::Rng rng(6060);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t total =
+        1 + static_cast<std::uint32_t>(rng.uniform_u64(64));
+    const auto sent = static_cast<std::size_t>(rng.uniform_u64(total + 1));
+    const auto chosen = rng.sample_without_replacement(total, sent);
+    std::vector<std::size_t> sorted(chosen.begin(), chosen.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<ParamUpdate> updates;
+    for (const auto idx : sorted) {
+      updates.push_back({static_cast<std::uint32_t>(idx), rng.normal()});
+    }
+    const auto bytes = encode_update_frame(total, updates);
+    for (std::size_t keep = 0; keep < kFrameHeaderBytes; ++keep) {
+      EXPECT_FALSE(
+          decode_update_frame(std::span<const std::byte>(bytes.data(), keep))
+              .has_value())
+          << "trial " << trial << " prefix length " << keep;
+    }
+    EXPECT_TRUE(decode_update_frame(bytes).has_value());
+  }
+}
+
+TEST(FrameStreamTest, CorruptedFrameRejectsAloneAndStreamResyncs) {
+  // A persistent connection carries several length-delimited frames
+  // back to back; one arrives garbled. Only that frame may be rejected:
+  // the reader advances by each frame's full encoded size — the same
+  // size the wire accounting charges, delivered or not — and every
+  // other frame must round-trip bitwise. A decoder that mis-framed on
+  // rejection would desynchronize and fail on the *next* frame here.
+  common::Rng rng(8080);
+  for (int trial = 0; trial < 50; ++trial) {
+    struct Original {
+      std::uint32_t total = 0;
+      std::vector<ParamUpdate> updates;
+      std::size_t offset = 0;
+      std::size_t size = 0;
+    };
+    const std::size_t frames = 3 + static_cast<std::size_t>(rng.uniform_u64(5));
+    std::vector<Original> originals;
+    std::vector<std::byte> stream;
+    for (std::size_t f = 0; f < frames; ++f) {
+      Original o;
+      o.total = 1 + static_cast<std::uint32_t>(rng.uniform_u64(48));
+      const auto sent =
+          static_cast<std::size_t>(rng.uniform_u64(o.total + 1));
+      const auto chosen = rng.sample_without_replacement(o.total, sent);
+      std::vector<std::size_t> sorted(chosen.begin(), chosen.end());
+      std::sort(sorted.begin(), sorted.end());
+      for (const auto idx : sorted) {
+        o.updates.push_back({static_cast<std::uint32_t>(idx), rng.normal()});
+      }
+      const auto bytes = encode_update_frame(o.total, o.updates);
+      // The stream reader (and the traffic accountant) rely on the
+      // encoded size being computable from the frame's shape alone.
+      ASSERT_EQ(bytes.size(),
+                encoded_frame_bytes(o.total, o.updates.size()));
+      o.offset = stream.size();
+      o.size = bytes.size();
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+      originals.push_back(std::move(o));
+    }
+    // Garble one frame's format tag — guaranteed rejection (unknown
+    // formats never decode), while the length framing stays intact.
+    const auto victim = static_cast<std::size_t>(rng.uniform_u64(frames));
+    stream[originals[victim].offset] = std::byte{0x7F};
+
+    std::size_t cursor = 0;
+    for (std::size_t f = 0; f < frames; ++f) {
+      const Original& o = originals[f];
+      ASSERT_EQ(cursor, o.offset);
+      const auto decoded = decode_update_frame(
+          std::span<const std::byte>(stream.data() + cursor, o.size));
+      if (f == victim) {
+        EXPECT_FALSE(decoded.has_value()) << "trial " << trial;
+      } else {
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial << " frame "
+                                         << f << " after corrupted frame";
+        EXPECT_EQ(decoded->total_params, o.total);
+        ASSERT_EQ(decoded->updates.size(), o.updates.size());
+        for (std::size_t u = 0; u < o.updates.size(); ++u) {
+          EXPECT_EQ(decoded->updates[u].index, o.updates[u].index);
+          EXPECT_EQ(decoded->updates[u].value, o.updates[u].value);
+        }
+      }
+      cursor += o.size;  // full encoded size, rejected or not
+    }
+    EXPECT_EQ(cursor, stream.size());
+  }
+}
+
+TEST(FrameAccountingTest, RejectedFramesChargeFullEncodedSize) {
+  // End-to-end accounting contract: a corrupted frame crosses the wire
+  // and is charged in full even though it fails decode and is never
+  // delivered. With corruption probability 1 every data frame is
+  // rejected, yet the per-round byte series must match the fault-free
+  // run bitwise (SNO sends every parameter every round, so sender-side
+  // traffic is independent of what the receivers managed to decode).
+  auto run = [](double corruption) {
+    experiments::ScenarioConfig cfg;
+    cfg.nodes = 6;
+    cfg.train_samples = 600;
+    cfg.test_samples = 200;
+    cfg.convergence.max_iterations = 10;
+    cfg.convergence.loss_tolerance = 0.0;
+    cfg.weight_optimizer.max_iterations = 30;
+    cfg.faults.frame_corruption_probability = corruption;
+    const experiments::Scenario scenario(cfg);
+    return scenario.run(experiments::Scheme::kSno);
+  };
+  const auto clean = run(0.0);
+  const auto corrupted = run(1.0);
+  ASSERT_EQ(clean.iterations.size(), corrupted.iterations.size());
+  EXPECT_EQ(clean.total_bytes, corrupted.total_bytes);
+  for (std::size_t k = 0; k < clean.iterations.size(); ++k) {
+    EXPECT_EQ(clean.iterations[k].bytes, corrupted.iterations[k].bytes)
+        << "iter " << k;
+    EXPECT_GT(corrupted.iterations[k].frames_corrupted, 0u) << "iter " << k;
+    EXPECT_EQ(clean.iterations[k].frames_corrupted, 0u) << "iter " << k;
+  }
 }
 
 TEST(FrameFuzzDeterministicTest, EverySingleBitFlipIsRejectedOrValid) {
