@@ -60,6 +60,8 @@ SAN_TESTS=(
   net_frame_fuzz_test
   membership_test
   gossip_fabric_test
+  linalg_lanczos_test
+  consensus_sparse_property_test
 )
 
 SANITIZERS=(address thread undefined)

@@ -1,0 +1,134 @@
+#include "consensus/mixing_spectrum.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/lanczos.hpp"
+
+namespace snap::consensus {
+
+namespace {
+
+linalg::MatVec dense_matvec(const linalg::Matrix& w) {
+  return [&w](std::span<const double> x, std::span<double> y) {
+    const std::size_t n = w.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = y[i];
+      const auto row = w.row(i);
+      for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+      y[i] = acc;
+    }
+  };
+}
+
+linalg::MatVec sparse_matvec(const SparseWeightMatrix& w) {
+  return [&w](std::span<const double> x, std::span<double> y) {
+    w.accumulate_matvec(x, y);
+  };
+}
+
+MixingExtremes from_lanczos(std::size_t n, const linalg::MatVec& apply) {
+  linalg::LanczosOptions options;
+  const linalg::DeflatedExtremes extremes =
+      linalg::lanczos_mixing_extremes(n, apply, options);
+  SNAP_REQUIRE_MSG(extremes.converged,
+                  "Lanczos did not converge in " << extremes.iterations
+                                                 << " iterations");
+  MixingExtremes out;
+  out.lambda_bar_max = extremes.lambda_bar_max;
+  out.lambda_min = extremes.lambda_min;
+  out.slem = std::max(std::abs(out.lambda_bar_max), std::abs(out.lambda_min));
+  return out;
+}
+
+}  // namespace
+
+MixingExtremes mixing_extremes(const linalg::Matrix& w) {
+  SNAP_REQUIRE(w.is_square() && w.rows() >= 1);
+  if (w.rows() <= kDenseSpectralCutoff) {
+    const linalg::SpectralSummary summary = linalg::spectral_summary(w);
+    return {summary.lambda_bar_max, summary.lambda_min, summary.slem};
+  }
+  return from_lanczos(w.rows(), dense_matvec(w));
+}
+
+MixingExtremes mixing_extremes(const SparseWeightMatrix& w) {
+  const std::size_t n = w.node_count();
+  SNAP_REQUIRE(n >= 1);
+  if (n <= kDenseSpectralCutoff) {
+    const linalg::SpectralSummary summary =
+        linalg::spectral_summary(w.to_dense());
+    return {summary.lambda_bar_max, summary.lambda_min, summary.slem};
+  }
+  return from_lanczos(n, sparse_matvec(w));
+}
+
+linalg::SpectralSummary spectral_summary(const SparseWeightMatrix& w) {
+  const MixingExtremes extremes = mixing_extremes(w);
+  linalg::SpectralSummary summary;
+  summary.lambda_max = 1.0;  // structural for a doubly-stochastic W
+  summary.lambda_min = extremes.lambda_min;
+  summary.lambda_bar_max = extremes.lambda_bar_max;
+  summary.lambda_bar_min = 0.0;  // interior — unavailable, see header
+  summary.slem = extremes.slem;
+  return summary;
+}
+
+MixingEigenpairs mixing_eigenpairs(const linalg::Matrix& w,
+                                   double cluster_tol) {
+  SNAP_REQUIRE(w.is_square() && w.rows() >= 2);
+  SNAP_REQUIRE(cluster_tol > 0.0);
+  const std::size_t n = w.rows();
+  MixingEigenpairs out;
+
+  if (n <= kDenseSpectralCutoff) {
+    // Dense oracle: identical decomposition, identical cluster scans,
+    // identical eigenvector columns to the historical full-spectrum
+    // objective — subgradient trajectories at small n are bitwise
+    // unchanged.
+    const linalg::EigenDecomposition eig = linalg::eigen_symmetric(w);
+    const double top = eig.values[n - 2];
+    std::size_t top_from = n - 2;
+    while (top_from > 0 && top - eig.values[top_from - 1] <= cluster_tol) {
+      --top_from;
+    }
+    std::size_t bottom_count = 1;
+    while (bottom_count < n &&
+           eig.values[bottom_count] - eig.values[0] <= cluster_tol) {
+      ++bottom_count;
+    }
+    const std::size_t top_count = n - 1 - top_from;
+    out.top_values.resize(top_count);
+    out.top_vectors = linalg::Matrix(n, top_count);
+    for (std::size_t c = 0; c < top_count; ++c) {
+      out.top_values[c] = eig.values[top_from + c];
+      for (std::size_t r = 0; r < n; ++r) {
+        out.top_vectors(r, c) = eig.vectors(r, top_from + c);
+      }
+    }
+    out.bottom_values.resize(bottom_count);
+    out.bottom_vectors = linalg::Matrix(n, bottom_count);
+    for (std::size_t c = 0; c < bottom_count; ++c) {
+      out.bottom_values[c] = eig.values[c];
+      for (std::size_t r = 0; r < n; ++r) {
+        out.bottom_vectors(r, c) = eig.vectors(r, c);
+      }
+    }
+    return out;
+  }
+
+  linalg::LanczosOptions options;
+  options.cluster_tol = cluster_tol;
+  const linalg::DeflatedExtremes extremes =
+      linalg::lanczos_mixing_extremes(n, dense_matvec(w), options);
+  SNAP_REQUIRE_MSG(extremes.converged,
+                  "Lanczos did not converge in " << extremes.iterations
+                                                 << " iterations");
+  out.top_values = extremes.top_values;
+  out.top_vectors = extremes.top_vectors;
+  out.bottom_values = extremes.bottom_values;
+  out.bottom_vectors = extremes.bottom_vectors;
+  return out;
+}
+
+}  // namespace snap::consensus

@@ -1,0 +1,69 @@
+// The λ̄_max / λ_min-only spectral queries the consensus layer actually
+// makes (paper §III-A, §IV-B).
+//
+// Nothing downstream ever needs a full spectrum: convergence_score
+// consumes λ̄_max and λ_min, the §IV-B subgradient needs the eigenvalue
+// clusters (with eigenvectors) at the two extremes, and SLEM is
+// max(|λ̄_max|, |λ_min|). This header is the single routing point:
+//
+//   n ≤ kDenseSpectralCutoff  — dense cyclic Jacobi, the small-n
+//       oracle. Bitwise-identical to the historical full-spectrum
+//       path, which is what keeps optimizer trajectories unchanged
+//       at small n.
+//   n > kDenseSpectralCutoff  — deflated Lanczos (linalg/lanczos),
+//       O(nnz·m) on sparse operators and O(n²·m) on dense ones,
+//       never the O(n³) Jacobi.
+#pragma once
+
+#include <cstddef>
+
+#include "consensus/sparse_weight_matrix.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snap::consensus {
+
+/// Above this node count the dense Jacobi oracle gives way to Lanczos.
+/// Jacobi at 160 rows is ~10 ms — cheap enough that everything the
+/// small-n property tests compare runs on the exact path.
+inline constexpr std::size_t kDenseSpectralCutoff = 160;
+
+/// The two spectral extremes of a feasible mixing matrix (λ_max = 1 is
+/// structural and not reported).
+struct MixingExtremes {
+  double lambda_bar_max = 0.0;  ///< largest eigenvalue below the trivial 1
+  double lambda_min = 0.0;      ///< smallest eigenvalue
+  double slem = 0.0;            ///< max(|λ̄_max|, |λ_min|)
+};
+
+/// Extremes of a dense symmetric doubly-stochastic matrix.
+MixingExtremes mixing_extremes(const linalg::Matrix& w);
+
+/// Extremes of a sparse mixing matrix. Requires a connected support for
+/// the Lanczos leg (see lanczos.hpp); below the cutoff the query runs
+/// on to_dense() and tolerates anything the Jacobi oracle does.
+MixingExtremes mixing_extremes(const SparseWeightMatrix& w);
+
+/// spectral_summary-compatible adapter for sparse matrices: λ_max is
+/// pinned at the structural 1 and λ̄_min — an *interior* eigenvalue no
+/// extreme-value iteration can see — is reported as 0 and must not be
+/// consumed (no production caller does; it exists for the dense
+/// summary's step-size diagnostics).
+linalg::SpectralSummary spectral_summary(const SparseWeightMatrix& w);
+
+/// The eigenvalue clusters at both spectral extremes, with unit
+/// eigenvectors — the §IV-B subgradient's working set. `cluster_tol`
+/// bounds how far from the extreme an eigenvalue may sit and still
+/// join its cluster (repeated extremes are the norm on symmetric
+/// topologies). Values ascend; vectors are column-aligned.
+struct MixingEigenpairs {
+  std::vector<double> top_values;     ///< cluster ending at λ̄_max
+  linalg::Matrix top_vectors;         ///< n × top_values.size()
+  std::vector<double> bottom_values;  ///< cluster starting at λ_min
+  linalg::Matrix bottom_vectors;      ///< n × bottom_values.size()
+};
+
+MixingEigenpairs mixing_eigenpairs(const linalg::Matrix& w,
+                                   double cluster_tol);
+
+}  // namespace snap::consensus

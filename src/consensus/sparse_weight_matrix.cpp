@@ -1,0 +1,271 @@
+#include "consensus/sparse_weight_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace snap::consensus {
+
+SparseWeightMatrix SparseWeightMatrix::pattern_of(
+    const topology::Graph& graph) {
+  const std::size_t n = graph.node_count();
+  SparseWeightMatrix w;
+  w.row_ptr_.resize(n + 1, 0);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    w.row_ptr_[i + 1] = w.row_ptr_[i] + graph.degree(i) + 1;
+  }
+  w.cols_.resize(w.row_ptr_[n]);
+  w.values_.assign(w.row_ptr_[n], 0.0);
+  w.diag_.resize(n);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    // Merge the diagonal into the sorted neighbor list.
+    std::size_t at = w.row_ptr_[i];
+    bool placed = false;
+    for (const topology::NodeId j : graph.neighbors(i)) {
+      if (!placed && i < j) {
+        w.diag_[i] = at;
+        w.cols_[at++] = i;
+        placed = true;
+      }
+      w.cols_[at++] = j;
+    }
+    if (!placed) {
+      w.diag_[i] = at;
+      w.cols_[at++] = i;
+    }
+    SNAP_ASSERT(at == w.row_ptr_[i + 1]);
+  }
+  return w;
+}
+
+SparseWeightMatrix SparseWeightMatrix::max_degree(
+    const topology::Graph& graph, double epsilon) {
+  SNAP_REQUIRE(epsilon > 0.0);
+  SparseWeightMatrix w = pattern_of(graph);
+  const std::size_t n = graph.node_count();
+  for (topology::NodeId i = 0; i < n; ++i) {
+    // Same arithmetic as the dense builder: per-edge weight from the
+    // max endpoint degree, diagonal = 1 − Σ over ascending neighbors
+    // (the dense row scan adds only +0.0 outside the support, which is
+    // exact on the positive partial sums).
+    double off = 0.0;
+    for (std::size_t k = w.row_ptr_[i]; k < w.row_ptr_[i + 1]; ++k) {
+      const topology::NodeId j = w.cols_[k];
+      if (j == i) continue;
+      const double denom =
+          static_cast<double>(std::max(graph.degree(i), graph.degree(j))) +
+          epsilon;
+      w.values_[k] = 1.0 / denom;
+      off += w.values_[k];
+    }
+    w.values_[w.diag_[i]] = 1.0 - off;
+  }
+  SNAP_ENSURE(w.is_doubly_stochastic(1e-9));
+  return w;
+}
+
+SparseWeightMatrix SparseWeightMatrix::metropolis_on_survivors(
+    const topology::Graph& graph, const std::vector<bool>& alive) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE_MSG(alive.empty() || alive.size() == n,
+                   "alive mask size must match the node count");
+  const auto is_alive = [&](topology::NodeId i) {
+    return alive.empty() || alive[i];
+  };
+
+  std::vector<std::size_t> alive_degree(n, 0);
+  for (const auto& [u, v] : graph.edges()) {
+    if (is_alive(u) && is_alive(v)) {
+      ++alive_degree[u];
+      ++alive_degree[v];
+    }
+  }
+
+  SparseWeightMatrix w = pattern_of(graph);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    if (!is_alive(i)) {
+      w.values_[w.diag_[i]] = 1.0;  // identity row, zero link weights
+      continue;
+    }
+    double off = 0.0;
+    for (std::size_t k = w.row_ptr_[i]; k < w.row_ptr_[i + 1]; ++k) {
+      const topology::NodeId j = w.cols_[k];
+      if (j == i || !is_alive(j)) continue;
+      const double weight =
+          1.0 / (1.0 + static_cast<double>(
+                           std::max(alive_degree[i], alive_degree[j])));
+      w.values_[k] = weight;
+      off += weight;
+    }
+    w.values_[w.diag_[i]] = 1.0 - off;
+  }
+  return w;
+}
+
+SparseWeightMatrix SparseWeightMatrix::activated_mixing(
+    const topology::Graph& graph,
+    std::span<const std::pair<topology::NodeId, topology::NodeId>> links,
+    const std::vector<bool>& alive) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE(n > 0);
+  SNAP_REQUIRE_MSG(alive.empty() || alive.size() == n,
+                   "alive mask size must match the node count");
+  const auto is_alive = [&](topology::NodeId i) {
+    return alive.empty() || alive[i];
+  };
+
+  // Activated degree — only links with both endpoints alive count.
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& [u, v] : links) {
+    SNAP_REQUIRE(u < n && v < n && u != v);
+    if (!is_alive(u) || !is_alive(v)) continue;
+    ++degree[u];
+    ++degree[v];
+  }
+
+  SparseWeightMatrix w = pattern_of(graph);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    w.values_[w.diag_[i]] = 1.0;
+  }
+  const auto slot = [&](topology::NodeId i, topology::NodeId j) {
+    const auto begin = w.cols_.begin() + static_cast<std::ptrdiff_t>(
+                                             w.row_ptr_[i]);
+    const auto end = w.cols_.begin() + static_cast<std::ptrdiff_t>(
+                                           w.row_ptr_[i + 1]);
+    const auto it = std::lower_bound(begin, end, j);
+    SNAP_REQUIRE_MSG(it != end && *it == j,
+                     "activated link (" << i << "," << j
+                                        << ") is not a graph edge");
+    return static_cast<std::size_t>(it - w.cols_.begin());
+  };
+  // Same per-link updates in the same order as the dense builder, so
+  // every diagonal accumulates its subtractions identically.
+  for (const auto& [u, v] : links) {
+    if (!is_alive(u) || !is_alive(v)) continue;
+    const double weight =
+        1.0 / (1.0 + static_cast<double>(std::max(degree[u], degree[v])));
+    w.values_[slot(u, v)] += weight;
+    w.values_[slot(v, u)] += weight;
+    w.values_[w.diag_[u]] -= weight;
+    w.values_[w.diag_[v]] -= weight;
+  }
+  return w;
+}
+
+SparseWeightMatrix SparseWeightMatrix::from_dense(
+    const linalg::Matrix& w, const topology::Graph& graph) {
+  SNAP_REQUIRE_MSG(w.rows() == graph.node_count() && w.is_square(),
+                   "dense matrix shape does not match the graph");
+  SparseWeightMatrix out = pattern_of(graph);
+  for (topology::NodeId i = 0; i < graph.node_count(); ++i) {
+    for (std::size_t k = out.row_ptr_[i]; k < out.row_ptr_[i + 1]; ++k) {
+      out.values_[k] = w(i, out.cols_[k]);
+    }
+  }
+  return out;
+}
+
+SparseWeightMatrix::RowView SparseWeightMatrix::row(
+    topology::NodeId i) const {
+  SNAP_REQUIRE(i < node_count());
+  const std::size_t from = row_ptr_[i];
+  const std::size_t count = row_ptr_[i + 1] - from;
+  return {{cols_.data() + from, count}, {values_.data() + from, count}};
+}
+
+double SparseWeightMatrix::diagonal(topology::NodeId i) const {
+  SNAP_REQUIRE(i < node_count());
+  return values_[diag_[i]];
+}
+
+double SparseWeightMatrix::entry(topology::NodeId i,
+                                 topology::NodeId j) const {
+  SNAP_REQUIRE(i < node_count() && j < node_count());
+  const auto begin =
+      cols_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto end =
+      cols_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+void SparseWeightMatrix::accumulate_matvec(std::span<const double> x,
+                                           std::span<double> y) const {
+  const std::size_t n = node_count();
+  SNAP_REQUIRE(x.size() == n && y.size() == n);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    double acc = y[i];
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      acc += values_[k] * x[cols_[k]];
+    }
+    y[i] = acc;
+  }
+}
+
+linalg::Matrix SparseWeightMatrix::to_dense() const {
+  const std::size_t n = node_count();
+  linalg::Matrix out(n, n);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      out(i, cols_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+bool SparseWeightMatrix::is_symmetric(double tol) const {
+  for (topology::NodeId i = 0; i < node_count(); ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const topology::NodeId j = cols_[k];
+      if (j <= i) continue;  // check each unordered pair once
+      if (std::abs(values_[k] - entry(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool SparseWeightMatrix::is_doubly_stochastic(double tol) const {
+  const std::size_t n = node_count();
+  std::vector<double> col_sum(n, 0.0);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const double value = values_[k];
+      if (value < -tol) return false;
+      row_sum += value;
+      col_sum[cols_[k]] += value;
+    }
+    if (std::abs(row_sum - 1.0) > tol) return false;
+  }
+  for (const double sum : col_sum) {
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+bool is_feasible_weight_matrix(const SparseWeightMatrix& w,
+                               const topology::Graph& graph, double tol) {
+  const std::size_t n = graph.node_count();
+  if (w.node_count() != n) return false;
+  if (!w.is_symmetric(tol)) return false;
+  if (!w.is_doubly_stochastic(tol)) return false;
+  // Support check: every stored column must be the diagonal or a graph
+  // neighbor. Builders guarantee this structurally; from_dense of an
+  // infeasible matrix cannot smuggle mass outside the pattern (it is
+  // dropped), so the stochasticity checks above catch it.
+  for (topology::NodeId i = 0; i < n; ++i) {
+    const auto row = w.row(i);
+    for (std::size_t k = 0; k < row.cols.size(); ++k) {
+      const topology::NodeId j = row.cols[k];
+      if (j == i) continue;
+      if (!graph.has_edge(i, j) && std::abs(row.values[k]) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace snap::consensus

@@ -1,0 +1,110 @@
+// Adjacency-sparse (CSR) mixing matrices.
+//
+// A feasible mixing matrix is supported on {self} ∪ neighbors, so at
+// edge scale it has O(|E|) nonzeros, not O(n²). SparseWeightMatrix
+// stores exactly that pattern in CSR form — row i holds the index-sorted
+// columns {i} ∪ B_i with their weights, *including structural zeros* on
+// non-activated links — so a SnapNode's weight row is one contiguous
+// span aligned with its sorted neighbor list, and every builder is
+// O(|V| + |E|).
+//
+// Builders mirror their dense counterparts operation-for-operation
+// (same weights, same accumulation order), so a trainer fed the sparse
+// matrix walks a bitwise-identical trajectory to one fed the dense
+// matrix it replaces. The dense Jacobi path remains the small-n oracle:
+// to_dense()/from_dense() convert losslessly over the support.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::consensus {
+
+class SparseWeightMatrix {
+ public:
+  SparseWeightMatrix() = default;
+
+  /// One row's nonzero pattern: index-sorted columns (always containing
+  /// the diagonal) and their aligned weights.
+  struct RowView {
+    std::span<const topology::NodeId> cols;
+    std::span<const double> values;
+  };
+
+  /// Max-degree weights, paper eq. (24) — the sparse twin of
+  /// max_degree_weights (same doubles, same order).
+  static SparseWeightMatrix max_degree(const topology::Graph& graph,
+                                       double epsilon = 0.01);
+
+  /// Metropolis–Hastings on the alive-induced subgraph, identity rows
+  /// for dead nodes — the sparse twin of the kMetropolis re-projection.
+  /// `alive` empty means all alive.
+  static SparseWeightMatrix metropolis_on_survivors(
+      const topology::Graph& graph, const std::vector<bool>& alive = {});
+
+  /// Per-activation effective mixing matrix for the gossip fabric: the
+  /// sparse twin of activated_mixing_matrix, with the pattern taken
+  /// from the *full* graph adjacency (non-activated links carry weight
+  /// 0), so each row stays aligned with the node's neighbor slots
+  /// across ticks.
+  static SparseWeightMatrix activated_mixing(
+      const topology::Graph& graph,
+      std::span<const std::pair<topology::NodeId, topology::NodeId>> links,
+      const std::vector<bool>& alive = {});
+
+  /// Restriction of a dense feasible matrix onto the graph's support.
+  /// Entries outside {self} ∪ neighbors are dropped — callers validate
+  /// feasibility (which bounds those entries by tol) beforehand.
+  static SparseWeightMatrix from_dense(const linalg::Matrix& w,
+                                       const topology::Graph& graph);
+
+  std::size_t node_count() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.size() - 1;
+  }
+  std::size_t nonzero_count() const noexcept { return values_.size(); }
+
+  RowView row(topology::NodeId i) const;
+
+  /// Weight at (i, i).
+  double diagonal(topology::NodeId i) const;
+
+  /// Weight at (i, j); 0 outside the stored pattern.
+  double entry(topology::NodeId i, topology::NodeId j) const;
+
+  /// y += W x over the stored pattern (y is NOT zeroed — callers that
+  /// want y = Wx pass a zeroed y). Row-major, ascending columns:
+  /// deterministic accumulation order.
+  void accumulate_matvec(std::span<const double> x,
+                         std::span<double> y) const;
+
+  linalg::Matrix to_dense() const;
+
+  /// |w_ij − w_ji| ≤ tol over the pattern (pattern itself is symmetric
+  /// for every builder).
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// Every row and column sums to 1 within tol. O(nnz).
+  bool is_doubly_stochastic(double tol = 1e-9) const;
+
+ private:
+  /// Pattern {i} ∪ neighbors(i) per row, zero values, diag_ filled.
+  static SparseWeightMatrix pattern_of(const topology::Graph& graph);
+
+  std::vector<std::size_t> row_ptr_;
+  std::vector<topology::NodeId> cols_;
+  std::vector<double> values_;
+  std::vector<std::size_t> diag_;  ///< index into values_ of (i, i)
+};
+
+/// Sparse twin of is_feasible_weight_matrix: right shape, symmetric,
+/// doubly stochastic, and supported on {self} ∪ neighbors. O(|E|).
+bool is_feasible_weight_matrix(const SparseWeightMatrix& w,
+                               const topology::Graph& graph,
+                               double tol = 1e-8);
+
+}  // namespace snap::consensus

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "consensus/mixing_spectrum.hpp"
 #include "linalg/eigen.hpp"
 
 namespace snap::consensus {
@@ -54,12 +55,23 @@ bool is_feasible_weight_matrix(const linalg::Matrix& w,
   return true;
 }
 
-double convergence_score(const linalg::Matrix& w) {
-  const auto spectrum = linalg::spectral_summary(w);
+namespace {
+
+double score_of(const MixingExtremes& spectrum) {
   const double gap = 1.0 - spectrum.lambda_bar_max;
   const double safety =
       std::min(1.0, (1.0 + spectrum.lambda_min) / 0.2);
   return gap * std::max(safety, 0.0);
+}
+
+}  // namespace
+
+double convergence_score(const linalg::Matrix& w) {
+  return score_of(mixing_extremes(w));
+}
+
+double convergence_score(const SparseWeightMatrix& w) {
+  return score_of(mixing_extremes(w));
 }
 
 }  // namespace snap::consensus

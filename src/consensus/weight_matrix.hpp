@@ -5,6 +5,7 @@
 // (paper §IV-A). W̃ = (W + I)/2 is the second matrix in recursion (6).
 #pragma once
 
+#include "consensus/sparse_weight_matrix.hpp"
 #include "linalg/matrix.hpp"
 #include "topology/graph.hpp"
 
@@ -41,6 +42,12 @@ bool is_feasible_weight_matrix(const linalg::Matrix& w,
 /// toward the periodic limit λ_min → −1, zero at exactly −1. The engine
 /// then "implement[s] the solution that can result in the larger
 /// convergence rate" (§IV-B).
+///
+/// Both overloads consume only λ̄_max and λ_min, routed through
+/// mixing_extremes: the dense Jacobi oracle up to
+/// kDenseSpectralCutoff (score values bitwise-unchanged at small n),
+/// deflated Lanczos above it — never a full spectrum.
 double convergence_score(const linalg::Matrix& w);
+double convergence_score(const SparseWeightMatrix& w);
 
 }  // namespace snap::consensus

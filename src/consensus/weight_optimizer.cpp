@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "consensus/mixing_spectrum.hpp"
 #include "consensus/weight_matrix.hpp"
-#include "linalg/eigen.hpp"
 
 namespace snap::consensus {
 
@@ -20,7 +20,10 @@ namespace {
 /// are the norm on symmetric topologies (rings, complete graphs) and a
 /// single-eigenvector subgradient oscillates between the copies, so the
 /// uuᵀ term is averaged over the eigenvalue *cluster* (all eigenvalues
-/// within kClusterTol of the extreme one).
+/// within kClusterTol of the extreme one). Cluster extraction lives in
+/// mixing_eigenpairs, which only ever decomposes the extremes — the
+/// dense Jacobi oracle below kDenseSpectralCutoff (trajectories
+/// bitwise-unchanged at small n), deflated Lanczos above it.
 struct ObjectivePoint {
   double value = 0.0;
   std::vector<double> subgradient;  // one entry per edge
@@ -28,16 +31,16 @@ struct ObjectivePoint {
 
 constexpr double kClusterTol = 1e-6;
 
-/// Cluster-averaged −(u_i − u_j)² over eigenvector columns
-/// [from, from+count) of `eig`, evaluated on every edge of `space`.
-std::vector<double> eigenvalue_subgradient(
-    const EdgeWeightSpace& space, const linalg::EigenDecomposition& eig,
-    std::size_t from, std::size_t count) {
+/// Cluster-averaged −(u_i − u_j)² over the eigenvector columns of
+/// `vectors`, evaluated on every edge of `space`.
+std::vector<double> eigenvalue_subgradient(const EdgeWeightSpace& space,
+                                           const linalg::Matrix& vectors) {
+  const std::size_t count = vectors.cols();
   std::vector<double> grad(space.edge_count(), 0.0);
   for (std::size_t e = 0; e < space.edge_count(); ++e) {
     const auto [i, j] = space.edge(e);
-    for (std::size_t c = from; c < from + count; ++c) {
-      const double diff = eig.vectors(i, c) - eig.vectors(j, c);
+    for (std::size_t c = 0; c < count; ++c) {
+      const double diff = vectors(i, c) - vectors(j, c);
       grad[e] -= diff * diff;
     }
     grad[e] /= static_cast<double>(count);
@@ -48,32 +51,22 @@ std::vector<double> eigenvalue_subgradient(
 /// Problem (23) as a minimization: the second-largest eigenvalue.
 /// λ_max(W) = 1 always holds on the feasible set, so minimizing
 /// λ_max + λ̄_max reduces to minimizing the second-largest eigenvalue.
-ObjectivePoint second_eigenvalue_objective(
-    const EdgeWeightSpace& space, const linalg::EigenDecomposition& eig) {
-  const std::size_t n = eig.values.size();
-  SNAP_REQUIRE(n >= 2);
+ObjectivePoint second_eigenvalue_objective(const EdgeWeightSpace& space,
+                                           const MixingEigenpairs& pairs) {
+  SNAP_REQUIRE(!pairs.top_values.empty());
   ObjectivePoint point;
-  point.value = eig.values[n - 2];
-  std::size_t from = n - 2;
-  while (from > 0 && point.value - eig.values[from - 1] <= kClusterTol) {
-    --from;
-  }
-  point.subgradient = eigenvalue_subgradient(space, eig, from, n - 1 - from);
+  point.value = pairs.top_values.back();
+  point.subgradient = eigenvalue_subgradient(space, pairs.top_vectors);
   return point;
 }
 
 /// Problem (22) as a minimization: −λ_min(W).
 ObjectivePoint neg_smallest_eigenvalue_objective(
-    const EdgeWeightSpace& space, const linalg::EigenDecomposition& eig) {
-  const std::size_t n = eig.values.size();
-  SNAP_REQUIRE(n >= 1);
-  std::size_t count = 1;
-  while (count < n && eig.values[count] - eig.values[0] <= kClusterTol) {
-    ++count;
-  }
+    const EdgeWeightSpace& space, const MixingEigenpairs& pairs) {
+  SNAP_REQUIRE(!pairs.bottom_values.empty());
   ObjectivePoint point;
-  point.value = -eig.values[0];
-  point.subgradient = eigenvalue_subgradient(space, eig, 0, count);
+  point.value = -pairs.bottom_values.front();
+  point.subgradient = eigenvalue_subgradient(space, pairs.bottom_vectors);
   for (double& g : point.subgradient) g = -g;  // chain rule for −λ_min
   return point;
 }
@@ -82,9 +75,10 @@ ObjectivePoint neg_smallest_eigenvalue_objective(
 /// second-largest eigenvalue *modulus* (SLEM). At a tie both pieces are
 /// active and their subgradients are averaged.
 ObjectivePoint slem_objective(const EdgeWeightSpace& space,
-                              const linalg::EigenDecomposition& eig) {
-  const ObjectivePoint top = second_eigenvalue_objective(space, eig);
-  const ObjectivePoint bottom = neg_smallest_eigenvalue_objective(space, eig);
+                              const MixingEigenpairs& pairs) {
+  const ObjectivePoint top = second_eigenvalue_objective(space, pairs);
+  const ObjectivePoint bottom =
+      neg_smallest_eigenvalue_objective(space, pairs);
   if (std::abs(top.value - bottom.value) <= kClusterTol) {
     ObjectivePoint point;
     point.value = std::max(top.value, bottom.value);
@@ -110,7 +104,8 @@ OptimizedWeights run_subgradient(const topology::Graph& graph,
       space.from_matrix(max_degree_weights(graph, config.init_epsilon));
 
   auto evaluate = [&](const std::vector<double>& w) {
-    return objective(space, linalg::eigen_symmetric(space.to_matrix(w)));
+    return objective(space,
+                     mixing_eigenpairs(space.to_matrix(w), kClusterTol));
   };
 
   ObjectivePoint current = evaluate(weights);

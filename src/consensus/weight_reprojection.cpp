@@ -84,4 +84,24 @@ linalg::Matrix reproject_weight_matrix(const topology::Graph& graph,
   return metropolis_on_survivors(graph, alive);
 }
 
+SparseWeightMatrix reproject_weight_matrix_sparse(
+    const topology::Graph& graph, const std::vector<bool>& alive,
+    ReprojectionMethod method, const WeightOptimizerConfig& optimizer) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE_MSG(alive.size() == n, "alive mask must have one flag per node");
+  const std::size_t alive_count =
+      static_cast<std::size_t>(std::count(alive.begin(), alive.end(), true));
+  SNAP_REQUIRE_MSG(alive_count >= 1, "cannot re-project with no survivors");
+
+  if (method == ReprojectionMethod::kOptimize && alive_count >= 2) {
+    // The optimizer works in dense edge-weight coordinates; reuse the
+    // dense embed-back and restrict onto the support. Same doubles as
+    // the dense path by construction.
+    return SparseWeightMatrix::from_dense(
+        reproject_weight_matrix(graph, alive, method, optimizer), graph);
+  }
+
+  return SparseWeightMatrix::metropolis_on_survivors(graph, alive);
+}
+
 }  // namespace snap::consensus

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "consensus/sparse_weight_matrix.hpp"
 #include "consensus/weight_optimizer.hpp"
 #include "linalg/matrix.hpp"
 #include "topology/graph.hpp"
@@ -41,6 +42,17 @@ enum class ReprojectionMethod {
 /// on the surviving edges — feasible for `graph` by construction
 /// (is_feasible_weight_matrix holds). Requires at least one alive node.
 linalg::Matrix reproject_weight_matrix(
+    const topology::Graph& graph, const std::vector<bool>& alive,
+    ReprojectionMethod method = ReprojectionMethod::kMetropolis,
+    const WeightOptimizerConfig& optimizer = {});
+
+/// Sparse re-projection — the in-run path the trainers take. The
+/// kMetropolis leg builds the surviving block directly in CSR form with
+/// the dense builder's arithmetic (same doubles, same order, O(|E|));
+/// the kOptimize leg runs the §IV-B optimizer on the compacted survivor
+/// subgraph — a dense solve, which is why churn-time optimization stays
+/// a small-n configuration — and restricts the winner onto the support.
+SparseWeightMatrix reproject_weight_matrix_sparse(
     const topology::Graph& graph, const std::vector<bool>& alive,
     ReprojectionMethod method = ReprojectionMethod::kMetropolis,
     const WeightOptimizerConfig& optimizer = {});

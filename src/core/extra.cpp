@@ -12,7 +12,6 @@ ExtraIteration::ExtraIteration(linalg::Matrix w,
                                std::vector<linalg::Vector> initial,
                                double alpha, GradientFn gradient)
     : w_(std::move(w)),
-      w_tilde_(consensus::w_tilde(w_)),
       alpha_(alpha),
       gradient_(std::move(gradient)),
       current_(std::move(initial)) {
@@ -44,6 +43,23 @@ std::vector<linalg::Vector> ExtraIteration::mix(
   return out;
 }
 
+std::vector<linalg::Vector> ExtraIteration::mix_tilde(
+    const std::vector<linalg::Vector>& x) const {
+  const std::size_t n = x.size();
+  const std::size_t dim = x.front().size();
+  std::vector<linalg::Vector> out(n, linalg::Vector(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // Entrywise (w_ij + δ_ij) · 0.5, the exact expression the stored
+      // W̃ was built from, so skips and sums are bitwise unchanged.
+      const double wt = (w_(i, j) + (i == j ? 1.0 : 0.0)) * 0.5;
+      if (wt == 0.0) continue;
+      out[i].axpy(wt, x[j]);
+    }
+  }
+  return out;
+}
+
 void ExtraIteration::step() {
   const std::size_t n = current_.size();
   if (iteration_ == 0) {
@@ -61,7 +77,7 @@ void ExtraIteration::step() {
   } else {
     // xᵏ⁺² = (W+I) xᵏ⁺¹ − W̃ xᵏ − α (∇f(xᵏ⁺¹) − ∇f(xᵏ)).
     std::vector<linalg::Vector> next = mix(w_, current_);
-    const std::vector<linalg::Vector> mixed_prev = mix(w_tilde_, previous_);
+    const std::vector<linalg::Vector> mixed_prev = mix_tilde(previous_);
     for (std::size_t i = 0; i < n; ++i) {
       next[i] += current_[i];      // the +I xᵏ⁺¹ term
       next[i] -= mixed_prev[i];

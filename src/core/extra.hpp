@@ -57,8 +57,13 @@ class ExtraIteration {
   std::vector<linalg::Vector> mix(const linalg::Matrix& m,
                                   const std::vector<linalg::Vector>& x) const;
 
+  /// (W̃ x)_i with W̃ = (W + I)/2 derived entrywise from w_ on the fly —
+  /// the same doubles ((w_ij + δ_ij)·0.5, zero entries skipped) the
+  /// materialized W̃ used to hold, without the second n×n matrix.
+  std::vector<linalg::Vector> mix_tilde(
+      const std::vector<linalg::Vector>& x) const;
+
   linalg::Matrix w_;
-  linalg::Matrix w_tilde_;
   double alpha_;
   GradientFn gradient_;
   std::vector<linalg::Vector> previous_;       // xᵏ

@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/check.hpp"
 
 namespace snap::core {
+
+namespace {
+
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+/// Splits a {self} ∪ neighbors weight map into the aligned-array form.
+std::vector<double> aligned_weights(
+    topology::NodeId self, const std::vector<topology::NodeId>& neighbors,
+    const std::unordered_map<topology::NodeId, double>& weights_row,
+    double& self_weight) {
+  std::vector<double> out;
+  out.reserve(neighbors.size());
+  for (const auto j : neighbors) {
+    const auto it = weights_row.find(j);
+    SNAP_REQUIRE_MSG(it != weights_row.end(),
+                     "missing weight for neighbor " << j);
+    out.push_back(it->second);
+  }
+  const auto self_it = weights_row.find(self);
+  SNAP_REQUIRE_MSG(self_it != weights_row.end(), "missing self weight");
+  self_weight = self_it->second;
+  return out;
+}
+
+}  // namespace
 
 SnapNode::SnapNode(topology::NodeId id, const ml::Model& model,
                    data::Dataset shard,
@@ -16,35 +43,135 @@ SnapNode::SnapNode(topology::NodeId id, const ml::Model& model,
       model_(&model),
       shard_(std::move(shard)),
       neighbors_(std::move(neighbors)),
-      w_row_(std::move(weights_row)),
       straggler_policy_(straggler_policy) {
   std::sort(neighbors_.begin(), neighbors_.end());
+  w_neighbors_ = aligned_weights(id_, neighbors_, weights_row, w_self_);
+  validate_weight_row();
+}
+
+SnapNode::SnapNode(topology::NodeId id, const ml::Model& model,
+                   data::Dataset shard,
+                   std::vector<topology::NodeId> neighbors,
+                   std::vector<double> neighbor_weights, double self_weight,
+                   StragglerPolicy straggler_policy)
+    : id_(id),
+      model_(&model),
+      shard_(std::move(shard)),
+      neighbors_(std::move(neighbors)),
+      w_neighbors_(std::move(neighbor_weights)),
+      w_self_(self_weight),
+      straggler_policy_(straggler_policy) {
+  SNAP_REQUIRE_MSG(
+      std::is_sorted(neighbors_.begin(), neighbors_.end()),
+      "aligned constructor requires an index-sorted neighbor list");
+  SNAP_REQUIRE(w_neighbors_.size() == neighbors_.size());
   validate_weight_row();
 }
 
 void SnapNode::set_weight_row(
     std::unordered_map<topology::NodeId, double> weights_row) {
-  w_row_ = std::move(weights_row);
+  w_neighbors_ = aligned_weights(id_, neighbors_, weights_row, w_self_);
   validate_weight_row();
+  w_row_dirty_ = true;
+}
+
+void SnapNode::set_weight_row(std::vector<double> neighbor_weights,
+                              double self_weight) {
+  SNAP_REQUIRE(neighbor_weights.size() == neighbors_.size());
+  w_neighbors_ = std::move(neighbor_weights);
+  w_self_ = self_weight;
+  validate_weight_row();
+  w_row_dirty_ = true;
 }
 
 void SnapNode::set_topology(
     std::vector<topology::NodeId> neighbors,
     std::unordered_map<topology::NodeId, double> weights_row) {
+  std::sort(neighbors.begin(), neighbors.end());
+  double self_weight = 0.0;
+  std::vector<double> weights =
+      aligned_weights(id_, neighbors, weights_row, self_weight);
+  set_topology(std::move(neighbors), std::move(weights), self_weight);
+}
+
+void SnapNode::set_topology(std::vector<topology::NodeId> neighbors,
+                            std::vector<double> neighbor_weights,
+                            double self_weight) {
+  SNAP_REQUIRE_MSG(std::is_sorted(neighbors.begin(), neighbors.end()),
+                   "aligned set_topology requires a sorted neighbor list");
+  SNAP_REQUIRE(neighbor_weights.size() == neighbors.size());
+  std::vector<topology::NodeId> old_neighbors = std::move(neighbors_);
   neighbors_ = std::move(neighbors);
-  std::sort(neighbors_.begin(), neighbors_.end());
-  w_row_ = std::move(weights_row);
+  w_neighbors_ = std::move(neighbor_weights);
+  w_self_ = self_weight;
   validate_weight_row();
-  if (x_current_.empty()) return;  // before set_initial: nothing to prime
-  for (const auto j : neighbors_) {
-    if (view_current_.contains(j)) continue;
-    // A new neighbor: no frame has ever arrived, so the view is a
+  w_row_dirty_ = true;
+  if (dim_ == 0) return;  // before set_initial: nothing to prime
+  if (old_neighbors != neighbors_) reindex_views(old_neighbors);
+}
+
+void SnapNode::reindex_views(
+    const std::vector<topology::NodeId>& old_neighbors) {
+  const std::vector<double> old_current = std::move(view_current_slab_);
+  const std::vector<double> old_previous = std::move(view_previous_slab_);
+  const std::vector<std::uint8_t> old_fresh = std::move(fresh_);
+  const std::vector<std::uint8_t> old_fresh_previous =
+      std::move(fresh_previous_);
+
+  const std::size_t deg = neighbors_.size();
+  view_current_slab_.assign(deg * dim_, 0.0);
+  view_previous_slab_.assign(deg * dim_, 0.0);
+  fresh_.assign(deg, 0);
+  fresh_previous_.assign(deg, 0);
+
+  for (std::size_t s = 0; s < deg; ++s) {
+    const topology::NodeId j = neighbors_[s];
+    const auto old_it =
+        std::lower_bound(old_neighbors.begin(), old_neighbors.end(), j);
+    if (old_it != old_neighbors.end() && *old_it == j) {
+      const std::size_t os =
+          static_cast<std::size_t>(old_it - old_neighbors.begin());
+      std::copy_n(old_current.data() + os * dim_, dim_,
+                  view_current_slab_.data() + s * dim_);
+      std::copy_n(old_previous.data() + os * dim_, dim_,
+                  view_previous_slab_.data() + s * dim_);
+      fresh_[s] = old_fresh[os];
+      fresh_previous_[s] = old_fresh_previous[os];
+      continue;
+    }
+    if (const auto parked = parked_views_.find(j);
+        parked != parked_views_.end()) {
+      // Re-attach: resume the view exactly where the detach left off.
+      std::copy_n(parked->second.current.data(), dim_,
+                  view_current_slab_.data() + s * dim_);
+      std::copy_n(parked->second.previous.data(), dim_,
+                  view_previous_slab_.data() + s * dim_);
+      fresh_[s] = parked->second.fresh ? 1 : 0;
+      fresh_previous_[s] = parked->second.fresh_previous ? 1 : 0;
+      parked_views_.erase(parked);
+      continue;
+    }
+    // A brand-new neighbor: no frame has ever arrived, so the view is a
     // placeholder (own iterate) and stale — kReweight folds its weight
     // until the neighbor's first real frame lands.
-    view_current_.emplace(j, x_current_);
-    view_previous_.emplace(j, x_current_);
-    fresh_.emplace(j, false);
-    fresh_previous_.emplace(j, false);
+    std::copy_n(x_current_.data(), dim_, view_current_slab_.data() + s * dim_);
+    std::copy_n(x_current_.data(), dim_,
+                view_previous_slab_.data() + s * dim_);
+  }
+
+  // Park detached neighbors' views for a possible re-attach.
+  for (std::size_t os = 0; os < old_neighbors.size(); ++os) {
+    const topology::NodeId j = old_neighbors[os];
+    const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), j);
+    if (it != neighbors_.end() && *it == j) continue;
+    ParkedView parked;
+    parked.current.assign(old_current.data() + os * dim_,
+                          old_current.data() + (os + 1) * dim_);
+    parked.previous.assign(old_previous.data() + os * dim_,
+                           old_previous.data() + (os + 1) * dim_);
+    parked.fresh = old_fresh[os] != 0;
+    parked.fresh_previous = old_fresh_previous[os] != 0;
+    parked_views_.insert_or_assign(j, std::move(parked));
   }
 }
 
@@ -58,18 +185,18 @@ void SnapNode::adopt_params(const linalg::Vector& x) {
   iteration_ = 0;
 }
 
-void SnapNode::validate_weight_row() {
+void SnapNode::validate_weight_row() const {
   double row_sum = 0.0;
-  for (const auto j : neighbors_) {
-    SNAP_REQUIRE_MSG(w_row_.contains(j),
-                     "missing weight for neighbor " << j);
-    row_sum += w_row_.at(j);
-  }
-  SNAP_REQUIRE_MSG(w_row_.contains(id_), "missing self weight");
-  w_self_ = w_row_.at(id_);
+  for (const double w : w_neighbors_) row_sum += w;
   SNAP_REQUIRE_MSG(std::abs(row_sum + w_self_ - 1.0) < 1e-6,
                    "weight row of node " << id_ << " sums to "
                                          << row_sum + w_self_);
+}
+
+std::size_t SnapNode::slot_of(topology::NodeId j) const noexcept {
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), j);
+  if (it == neighbors_.end() || *it != j) return kNoSlot;
+  return static_cast<std::size_t>(it - neighbors_.begin());
 }
 
 void SnapNode::set_initial(const linalg::Vector& x0) {
@@ -78,16 +205,17 @@ void SnapNode::set_initial(const linalg::Vector& x0) {
   x_previous_ = x0;
   advertised_ = x0;
   grad_previous_ = linalg::Vector();
-  view_current_.clear();
-  view_previous_.clear();
-  fresh_.clear();
-  fresh_previous_.clear();
-  for (const auto j : neighbors_) {
-    view_current_.emplace(j, x0);
-    view_previous_.emplace(j, x0);
-    fresh_.emplace(j, true);  // identical x⁰ everywhere: views are exact
-    fresh_previous_.emplace(j, true);
+  dim_ = x0.size();
+  const std::size_t deg = neighbors_.size();
+  view_current_slab_.resize(deg * dim_);
+  view_previous_slab_.resize(deg * dim_);
+  for (std::size_t s = 0; s < deg; ++s) {
+    std::copy_n(x0.data(), dim_, view_current_slab_.data() + s * dim_);
+    std::copy_n(x0.data(), dim_, view_previous_slab_.data() + s * dim_);
   }
+  fresh_.assign(deg, 1);  // identical x⁰ everywhere: views are exact
+  fresh_previous_.assign(deg, 1);
+  parked_views_.clear();
   iteration_ = 0;
   mean_abs_initial_ = x0.empty() ? 0.0 : x0.norm1() / double(x0.size());
 }
@@ -95,6 +223,7 @@ void SnapNode::set_initial(const linalg::Vector& x0) {
 void SnapNode::compute_update(double alpha) {
   SNAP_REQUIRE_MSG(!x_current_.empty(), "set_initial not called");
   const std::size_t dim = x_current_.size();
+  const std::size_t deg = neighbors_.size();
 
   // kReweight: an absent neighbor's weight folds into the node's own
   // value, so the round's effective mixing matrix remains stochastic.
@@ -104,18 +233,18 @@ void SnapNode::compute_update(double alpha) {
   // term keeps the perturbation one-round transient (anchoring the W̃
   // term to a 2-stale view feeds a slow exponential divergence through
   // EXTRA's accumulator).
-  const auto current_of = [&](topology::NodeId j) -> const linalg::Vector& {
-    if (straggler_policy_ == StragglerPolicy::kReweight && !fresh_.at(j)) {
-      return x_current_;
+  const auto current_of = [&](std::size_t s) -> std::span<const double> {
+    if (straggler_policy_ == StragglerPolicy::kReweight && !fresh_[s]) {
+      return x_current_.span();
     }
-    return view_current_.at(j);
+    return view_current(s);
   };
-  const auto previous_of = [&](topology::NodeId j) -> const linalg::Vector& {
+  const auto previous_of = [&](std::size_t s) -> std::span<const double> {
     if (straggler_policy_ == StragglerPolicy::kReweight &&
-        !fresh_previous_.at(j)) {
-      return x_previous_;
+        !fresh_previous_[s]) {
+      return x_previous_.span();
     }
-    return view_previous_.at(j);
+    return view_previous(s);
   };
 
   if (iteration_ == 0) {
@@ -123,8 +252,8 @@ void SnapNode::compute_update(double alpha) {
     grad_previous_ = model_->gradient(x_current_, shard_);
     linalg::Vector next(dim);
     next.axpy(w_self_, x_current_);
-    for (const auto j : neighbors_) {
-      next.axpy(w_row_.at(j), current_of(j));
+    for (std::size_t s = 0; s < deg; ++s) {
+      next.axpy(w_neighbors_[s], current_of(s));
     }
     next.axpy(-alpha, grad_previous_);
     x_previous_ = std::move(x_current_);
@@ -143,13 +272,18 @@ void SnapNode::compute_update(double alpha) {
     linalg::Vector next = x_current_;
     next.axpy(w_self_, x_current_);
     next.axpy(-(w_self_prev_ + 1.0) / 2.0, x_previous_);
-    for (const auto j : neighbors_) {
-      next.axpy(w_row_.at(j), current_of(j));
-      const auto prev = w_row_prev_.find(j);
+    // Both neighbor lists are sorted, so the previous round's weight for
+    // each current neighbor comes from a single merge walk.
+    std::size_t p = 0;
+    const std::size_t deg_prev = neighbors_prev_.size();
+    for (std::size_t s = 0; s < deg; ++s) {
+      const topology::NodeId j = neighbors_[s];
+      next.axpy(w_neighbors_[s], current_of(s));
+      while (p < deg_prev && neighbors_prev_[p] < j) ++p;
       // A neighbor attached since the last update has no previous
       // weight: it contributed nothing last round, so nothing is owed.
-      if (prev != w_row_prev_.end()) {
-        next.axpy(-prev->second / 2.0, previous_of(j));
+      if (p < deg_prev && neighbors_prev_[p] == j) {
+        next.axpy(-w_neighbors_prev_[p] / 2.0, previous_of(s));
       }
     }
     next.axpy(-alpha, grad_now);
@@ -158,8 +292,14 @@ void SnapNode::compute_update(double alpha) {
     x_previous_ = std::move(x_current_);
     x_current_ = std::move(next);
   }
-  w_row_prev_ = w_row_;
-  w_self_prev_ = w_self_;
+  if (w_row_dirty_) {
+    // Capture the row the W̃ memory term must pair with next round.
+    // Skipped on static-row rounds: the previous capture still matches.
+    neighbors_prev_ = neighbors_;
+    w_neighbors_prev_ = w_neighbors_;
+    w_self_prev_ = w_self_;
+    w_row_dirty_ = false;
+  }
   ++iteration_;
 }
 
@@ -195,36 +335,49 @@ SnapNode::Outgoing SnapNode::collect_updates(FilterMode mode,
 }
 
 void SnapNode::advance_views() {
-  for (const auto j : neighbors_) {
-    view_previous_.at(j) = view_current_.at(j);
-    fresh_previous_.at(j) = fresh_.at(j);
-    fresh_.at(j) = false;
-  }
+  view_previous_slab_ = view_current_slab_;
+  fresh_previous_ = fresh_;
+  std::fill(fresh_.begin(), fresh_.end(), std::uint8_t{0});
 }
 
 void SnapNode::apply_update(topology::NodeId from,
                             std::span<const net::ParamUpdate> updates) {
-  auto it = view_current_.find(from);
-  SNAP_REQUIRE_MSG(it != view_current_.end(),
-                   "update from non-neighbor " << from);
-  linalg::Vector& view = it->second;
+  const std::size_t s = slot_of(from);
+  if (s == kNoSlot) {
+    // In-flight frame from a detached former neighbor: fold it into the
+    // parked view so a re-attach sees it, exactly as the live view would.
+    const auto parked = parked_views_.find(from);
+    SNAP_REQUIRE_MSG(parked != parked_views_.end(),
+                     "update from non-neighbor " << from);
+    for (const net::ParamUpdate& u : updates) {
+      SNAP_REQUIRE(u.index < parked->second.current.size());
+      parked->second.current[u.index] = u.value;
+    }
+    parked->second.fresh = true;
+    return;
+  }
+  const std::span<double> view = view_current(s);
   for (const net::ParamUpdate& u : updates) {
     SNAP_REQUIRE(u.index < view.size());
     view[u.index] = u.value;
   }
-  fresh_.at(from) = true;
+  fresh_[s] = 1;
 }
 
 bool SnapNode::is_fresh(topology::NodeId j) const {
-  const auto it = fresh_.find(j);
-  SNAP_REQUIRE_MSG(it != fresh_.end(), "no neighbor " << j);
-  return it->second;
+  const std::size_t s = slot_of(j);
+  if (s != kNoSlot) return fresh_[s] != 0;
+  const auto parked = parked_views_.find(j);
+  SNAP_REQUIRE_MSG(parked != parked_views_.end(), "no neighbor " << j);
+  return parked->second.fresh;
 }
 
-const linalg::Vector& SnapNode::view_of(topology::NodeId j) const {
-  const auto it = view_current_.find(j);
-  SNAP_REQUIRE_MSG(it != view_current_.end(), "no view of node " << j);
-  return it->second;
+std::span<const double> SnapNode::view_of(topology::NodeId j) const {
+  const std::size_t s = slot_of(j);
+  if (s != kNoSlot) return view_current(s);
+  const auto parked = parked_views_.find(j);
+  SNAP_REQUIRE_MSG(parked != parked_views_.end(), "no view of node " << j);
+  return {parked->second.current.data(), parked->second.current.size()};
 }
 
 }  // namespace snap::core

@@ -15,9 +15,17 @@
 // at most the current threshold regardless of how many iterations it
 // has been withheld — a slightly stronger guarantee than per-iteration
 // deltas, with identical traffic behaviour (see DESIGN.md).
+//
+// Storage is structure-of-arrays: the mixing row lives in an aligned
+// weight array over the index-sorted neighbor list (one CSR row view),
+// and neighbor views/freshness live in contiguous per-slot slabs —
+// compute_update walks flat arrays instead of chasing hash buckets, so
+// ThreadPool sweeps over nodes stay cache-friendly at 10⁴–10⁵ nodes.
+// The map-based constructors remain as convenience adapters.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +73,15 @@ class SnapNode {
            std::unordered_map<topology::NodeId, double> weights_row,
            StragglerPolicy straggler_policy = StragglerPolicy::kReweight);
 
+  /// Aligned fast path: `neighbor_weights[s]` is the weight of
+  /// `neighbors[s]`, which must already be index-sorted (a CSR row view
+  /// with the diagonal split out). Avoids building a map per node when
+  /// the caller already holds the sparse row.
+  SnapNode(topology::NodeId id, const ml::Model& model,
+           data::Dataset shard, std::vector<topology::NodeId> neighbors,
+           std::vector<double> neighbor_weights, double self_weight,
+           StragglerPolicy straggler_policy = StragglerPolicy::kReweight);
+
   /// Installs x⁰ and primes views/advertised values. All nodes must be
   /// seeded with the same x⁰ (they are in SNAP: a shared initial model),
   /// so initial views are exact without a broadcast round.
@@ -78,14 +95,26 @@ class SnapNode {
   /// update is a fresh first EXTRA step under the new W.
   void set_weight_row(std::unordered_map<topology::NodeId, double> weights_row);
 
+  /// Aligned form: `neighbor_weights[s]` pairs with the s-th entry of
+  /// the current (sorted) neighbor list.
+  void set_weight_row(std::vector<double> neighbor_weights,
+                      double self_weight);
+
   /// Replaces the neighbor set *and* the mixing row together — the
   /// membership-epoch form of set_weight_row, used when a join attaches
-  /// new edges. Existing neighbor views (and their freshness) survive;
-  /// a brand-new neighbor's view is primed to this node's own iterate
-  /// and marked stale, so under kReweight it contributes nothing until
-  /// its first real frame lands. Pair with restart().
+  /// new edges. Existing neighbor views (and their freshness) survive —
+  /// including across a detach/re-attach cycle; a brand-new neighbor's
+  /// view is primed to this node's own iterate and marked stale, so
+  /// under kReweight it contributes nothing until its first real frame
+  /// lands. Pair with restart().
   void set_topology(std::vector<topology::NodeId> neighbors,
                     std::unordered_map<topology::NodeId, double> weights_row);
+
+  /// Aligned form of set_topology: `neighbors` must be sorted and
+  /// `neighbor_weights` aligned with it.
+  void set_topology(std::vector<topology::NodeId> neighbors,
+                    std::vector<double> neighbor_weights,
+                    double self_weight);
 
   /// Warm start from a neighbor's STATE_SYNC handoff: installs `x` as
   /// both the current and previous iterate and restarts the EXTRA
@@ -130,7 +159,8 @@ class SnapNode {
   /// Applies a received frame from neighbor `from` onto the current view
   /// and marks that neighbor fresh for the next update. An empty frame
   /// is a heartbeat: no values change, but the neighbor counts as heard
-  /// from.
+  /// from. A frame from a *detached* former neighbor (in flight when an
+  /// epoch changed) updates the parked view it would reattach with.
   void apply_update(topology::NodeId from,
                     std::span<const net::ParamUpdate> updates);
 
@@ -154,32 +184,68 @@ class SnapNode {
   double mean_abs_initial() const noexcept { return mean_abs_initial_; }
 
   /// The view this node currently holds of neighbor `j` (for tests).
-  const linalg::Vector& view_of(topology::NodeId j) const;
+  std::span<const double> view_of(topology::NodeId j) const;
 
  private:
-  void validate_weight_row();
+  /// A detached neighbor's view state, parked across membership epochs
+  /// so a re-attach resumes exactly where the detach left off.
+  struct ParkedView {
+    std::vector<double> current;
+    std::vector<double> previous;
+    bool fresh = false;
+    bool fresh_previous = false;
+  };
+
+  void validate_weight_row() const;
+  /// Slot of neighbor j in the sorted neighbor list, or npos.
+  std::size_t slot_of(topology::NodeId j) const noexcept;
+  /// Rebuilds the view slabs for a changed neighbor list, carrying
+  /// surviving views over, restoring parked ones, priming new ones.
+  void reindex_views(const std::vector<topology::NodeId>& old_neighbors);
+
+  std::span<const double> view_current(std::size_t slot) const noexcept {
+    return {view_current_slab_.data() + slot * dim_, dim_};
+  }
+  std::span<double> view_current(std::size_t slot) noexcept {
+    return {view_current_slab_.data() + slot * dim_, dim_};
+  }
+  std::span<const double> view_previous(std::size_t slot) const noexcept {
+    return {view_previous_slab_.data() + slot * dim_, dim_};
+  }
 
   topology::NodeId id_;
   const ml::Model* model_;
   data::Dataset shard_;
+  /// Index-sorted neighbor ids; w_neighbors_[s] is the mixing weight of
+  /// neighbors_[s] (a CSR row with the diagonal held in w_self_).
   std::vector<topology::NodeId> neighbors_;
-  std::unordered_map<topology::NodeId, double> w_row_;
+  std::vector<double> w_neighbors_;
   double w_self_ = 0.0;
   /// The row the previous compute_update mixed with — the W̃ memory term
   /// must pair with it, not with a row swapped in since (time-varying
-  /// gossip activations; identical to w_row_ under a static W).
-  std::unordered_map<topology::NodeId, double> w_row_prev_;
+  /// gossip activations; identical to the current row under a static W).
+  /// Only re-captured when the row actually changed (see w_row_dirty_).
+  std::vector<topology::NodeId> neighbors_prev_;
+  std::vector<double> w_neighbors_prev_;
   double w_self_prev_ = 0.0;
+  /// True when the mixing row (or neighbor set) changed since the last
+  /// compute_update — lets the per-round prev-row capture degenerate to
+  /// a flag clear on the (overwhelmingly common) static-row rounds.
+  bool w_row_dirty_ = true;
 
   linalg::Vector x_previous_;
   linalg::Vector x_current_;
   linalg::Vector grad_previous_;
   linalg::Vector advertised_;
   StragglerPolicy straggler_policy_;
-  std::unordered_map<topology::NodeId, linalg::Vector> view_current_;
-  std::unordered_map<topology::NodeId, linalg::Vector> view_previous_;
-  std::unordered_map<topology::NodeId, bool> fresh_;
-  std::unordered_map<topology::NodeId, bool> fresh_previous_;
+  /// Neighbor views as slot-major contiguous slabs of dim_ doubles.
+  std::size_t dim_ = 0;
+  std::vector<double> view_current_slab_;
+  std::vector<double> view_previous_slab_;
+  std::vector<std::uint8_t> fresh_;
+  std::vector<std::uint8_t> fresh_previous_;
+  /// Views of detached former neighbors, keyed for re-attach.
+  std::unordered_map<topology::NodeId, ParkedView> parked_views_;
   std::size_t iteration_ = 0;
   double mean_abs_initial_ = 0.0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -10,7 +11,6 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "consensus/gossip_mixing.hpp"
 #include "consensus/weight_matrix.hpp"
 #include "consensus/weight_reprojection.hpp"
 #include "net/cost_model.hpp"
@@ -89,10 +89,65 @@ double mean_local_loss(const std::vector<SnapNode>& nodes,
   return total / static_cast<double>(count);
 }
 
+/// Splits CSR row i into the aligned (neighbors, weights, self) triple
+/// the SnapNode fast path consumes. CSR columns are index-sorted, so
+/// the neighbor list comes out sorted for free.
+struct AlignedRow {
+  std::vector<topology::NodeId> neighbors;
+  std::vector<double> weights;
+  double self = 0.0;
+};
+
+AlignedRow split_row(const consensus::SparseWeightMatrix& w,
+                     topology::NodeId i) {
+  const auto row = w.row(i);
+  AlignedRow out;
+  out.neighbors.reserve(row.cols.size() - 1);
+  out.weights.reserve(row.cols.size() - 1);
+  for (std::size_t k = 0; k < row.cols.size(); ++k) {
+    if (row.cols[k] == i) {
+      out.self = row.values[k];
+    } else {
+      out.neighbors.push_back(row.cols[k]);
+      out.weights.push_back(row.values[k]);
+    }
+  }
+  return out;
+}
+
+/// Slot of j in a sorted neighbor list, or npos when absent.
+std::size_t slot_in(const std::vector<topology::NodeId>& neighbors,
+                    topology::NodeId j) {
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), j);
+  if (it == neighbors.end() || *it != j) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return static_cast<std::size_t>(it - neighbors.begin());
+}
+
 }  // namespace
 
 SnapTrainer::SnapTrainer(const topology::Graph& graph,
                          const linalg::Matrix& w, const ml::Model& model,
+                         std::vector<data::Dataset> shards,
+                         SnapTrainerConfig config)
+    : graph_(&graph),
+      model_(&model),
+      shards_(std::move(shards)),
+      config_(config) {
+  SNAP_REQUIRE(config_.alpha > 0.0);
+  SNAP_REQUIRE_MSG(shards_.size() == graph.node_count(),
+                   "one shard per node required");
+  SNAP_REQUIRE_MSG(consensus::is_feasible_weight_matrix(w, graph, 1e-6),
+                   "W is not feasible for this topology");
+  // Feasibility bounds off-support entries by tol, so the restriction
+  // onto the graph pattern carries the same weights the dense run used.
+  w_ = consensus::SparseWeightMatrix::from_dense(w, graph);
+}
+
+SnapTrainer::SnapTrainer(const topology::Graph& graph,
+                         const consensus::SparseWeightMatrix& w,
+                         const ml::Model& model,
                          std::vector<data::Dataset> shards,
                          SnapTrainerConfig config)
     : graph_(&graph),
@@ -122,18 +177,15 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     max_shard = std::max(max_shard, shard.size());
   }
 
-  // Build nodes with their weight rows.
+  // Build nodes with their weight rows — each row is one CSR row view
+  // split around the diagonal, already index-sorted and aligned.
   std::vector<SnapNode> nodes;
   nodes.reserve(n);
   for (topology::NodeId i = 0; i < n; ++i) {
-    std::unordered_map<topology::NodeId, double> row;
-    row.emplace(i, w_(i, i));
-    for (const auto j : graph_->neighbors(i)) {
-      row.emplace(j, w_(i, j));
-    }
+    AlignedRow row = split_row(w_, i);
     nodes.emplace_back(i, *model_, std::move(shards_[i]),
-                       graph_->neighbors(i), std::move(row),
-                       config_.straggler_policy);
+                       std::move(row.neighbors), std::move(row.weights),
+                       row.self, config_.straggler_policy);
   }
 
   // Shared initial model (every edge server starts from the same copy of
@@ -239,14 +291,19 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   std::size_t global_round = 0;
   hooks.begin_round = [&](std::size_t round) { global_round = round; };
 
-  // Gossip activation state. `link_active[i][j]` gates collect for the
-  // round being sent; `prev_links` is the previous round's activation —
-  // the links whose frames populated the views the *current* round's
-  // update mixes, hence the support of the effective rows applied in
-  // on_activation below.
-  std::vector<std::vector<bool>> link_active(
-      gossip_mode ? n : 0, std::vector<bool>(n, false));
+  // Gossip activation state. `link_active[i][s]` (s = the neighbor's
+  // slot in node i's sorted neighbor list — O(deg) per node, not O(n))
+  // gates collect for the round being sent; `prev_links` is the
+  // previous round's activation — the links whose frames populated the
+  // views the *current* round's update mixes, hence the support of the
+  // effective rows applied in on_activation below.
+  std::vector<std::vector<std::uint8_t>> link_active(gossip_mode ? n : 0);
   std::vector<runtime::ActivatedLink> prev_links;
+  // Scratch for the per-tick effective rows (activated degree, aligned
+  // neighbor weights, diagonal), reused across rounds.
+  std::vector<std::size_t> activated_degree(gossip_mode ? n : 0, 0);
+  std::vector<std::vector<double>> row_scratch(gossip_mode ? n : 0);
+  std::vector<double> self_scratch(gossip_mode ? n : 0, 0.0);
 
   if (gossip_mode) {
     // Fires serially in the round preamble, after confirmed churn has
@@ -276,21 +333,58 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       // row-stochastic, so the (W_t − W_{t-1})/2 mismatch on the
       // memory term annihilates consensus vectors and the filtered
       // EXTRA fixed points survive (see DESIGN.md, "Gossip fabric").
-      const linalg::Matrix w_eff =
-          consensus::activated_mixing_matrix(n, prev_links, alive);
-      for (topology::NodeId i = 0; i < n; ++i) {
-        if (injector && !alive[i]) continue;
-        std::unordered_map<topology::NodeId, double> row;
-        row.emplace(i, w_eff(i, i));
-        for (const auto j : nodes[i].neighbors()) row.emplace(j, w_eff(i, j));
-        nodes[i].set_weight_row(std::move(row));
+      //
+      // The rows are accumulated directly into per-node aligned slots —
+      // the same weights in the same per-entry order as the dense
+      // activated_mixing_matrix (degree pass, identity diagonal, then
+      // one symmetric update per link in activation order), without the
+      // O(n²) intermediate.
+      const auto is_member = [&](topology::NodeId i) {
+        return !injector || alive[i];
+      };
+      std::fill(activated_degree.begin(), activated_degree.end(), 0);
+      for (const auto& [u, v] : prev_links) {
+        if (!is_member(u) || !is_member(v)) continue;
+        ++activated_degree[u];
+        ++activated_degree[v];
       }
-      for (auto& flags : link_active) {
-        std::fill(flags.begin(), flags.end(), false);
+      for (topology::NodeId i = 0; i < n; ++i) {
+        if (!is_member(i)) continue;
+        row_scratch[i].assign(nodes[i].neighbors().size(), 0.0);
+        self_scratch[i] = 1.0;
+      }
+      for (const auto& [u, v] : prev_links) {
+        if (!is_member(u) || !is_member(v)) continue;
+        const double weight =
+            1.0 / (1.0 + static_cast<double>(std::max(activated_degree[u],
+                                                      activated_degree[v])));
+        const std::size_t su = slot_in(nodes[u].neighbors(), v);
+        const std::size_t sv = slot_in(nodes[v].neighbors(), u);
+        SNAP_REQUIRE_MSG(su != std::numeric_limits<std::size_t>::max() &&
+                             sv != std::numeric_limits<std::size_t>::max(),
+                         "activated link (" << u << "," << v
+                                            << ") is not a topology edge");
+        row_scratch[u][su] += weight;
+        row_scratch[v][sv] += weight;
+        self_scratch[u] -= weight;
+        self_scratch[v] -= weight;
+      }
+      for (topology::NodeId i = 0; i < n; ++i) {
+        if (!is_member(i)) continue;
+        nodes[i].set_weight_row(row_scratch[i], self_scratch[i]);
+      }
+      for (topology::NodeId i = 0; i < n; ++i) {
+        link_active[i].assign(nodes[i].neighbors().size(), 0);
       }
       for (const auto& [u, v] : links) {
-        link_active[u][v] = true;
-        link_active[v][u] = true;
+        const std::size_t su = slot_in(nodes[u].neighbors(), v);
+        const std::size_t sv = slot_in(nodes[v].neighbors(), u);
+        if (su != std::numeric_limits<std::size_t>::max()) {
+          link_active[u][su] = 1;
+        }
+        if (sv != std::numeric_limits<std::size_t>::max()) {
+          link_active[v][sv] = 1;
+        }
       }
       prev_links.assign(links.begin(), links.end());
     };
@@ -350,7 +444,9 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       ape[i]->record_iteration(outgoing.max_withheld);
     }
     std::vector<runtime::Envelope<Payload>> envelopes;
-    for (const auto j : nodes[i].neighbors()) {
+    const auto& my_neighbors = nodes[i].neighbors();
+    for (std::size_t s = 0; s < my_neighbors.size(); ++s) {
+      const topology::NodeId j = my_neighbors[s];
       auto& queued = backlog[i][j];
       for (const net::ParamUpdate& u : outgoing.updates) {
         queued[u.index] = u.value;
@@ -359,7 +455,7 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       // backlog keeps accumulating (above) and the next activation's
       // frame carries the merged catch-up — the same persistent-TCP
       // semantics as a down link, with zero mixing weight meanwhile.
-      if (gossip_mode && !link_active[i][j]) continue;
+      if (gossip_mode && !link_active[i][s]) continue;
       // link_down covers both the burst chain and crashed endpoints, so
       // the backlog keeps accumulating while a neighbor is dead and the
       // first frame after its restart repairs the whole view.
@@ -476,16 +572,13 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
           }
         }
       }
-      w_ = consensus::reproject_weight_matrix(g, alive,
-                                              config_.churn_reprojection);
+      w_ = consensus::reproject_weight_matrix_sparse(
+          g, alive, config_.churn_reprojection);
       for (topology::NodeId i = 0; i < n; ++i) {
         if (!alive[i]) continue;
-        std::unordered_map<topology::NodeId, double> row;
-        row.emplace(i, w_(i, i));
-        for (const auto j : g.neighbors(i)) row.emplace(j, w_(i, j));
-        std::vector<topology::NodeId> neighbors(g.neighbors(i).begin(),
-                                                g.neighbors(i).end());
-        nodes[i].set_topology(std::move(neighbors), std::move(row));
+        AlignedRow row = split_row(w_, i);
+        nodes[i].set_topology(std::move(row.neighbors),
+                              std::move(row.weights), row.self);
         nodes[i].restart();
       }
     };

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "consensus/sparse_weight_matrix.hpp"
 #include "consensus/weight_reprojection.hpp"
 #include "core/ape.hpp"
 #include "core/snap_node.hpp"
@@ -121,12 +122,23 @@ class SnapTrainer {
   /// (consensus::is_feasible_weight_matrix). One shard per node.
   /// `graph` and `model` are borrowed, not copied — they must outlive
   /// train(); the deleted overload rejects model temporaries, which an
-  /// ASan run caught a test passing.
+  /// ASan run caught a test passing. The dense matrix is converted to
+  /// the CSR form internally (bitwise the same weights), so this
+  /// overload is for small-n callers and oracle tests; at edge scale
+  /// pass a SparseWeightMatrix and skip the O(n²) intermediate.
   SnapTrainer(const topology::Graph& graph, const linalg::Matrix& w,
               const ml::Model& model, std::vector<data::Dataset> shards,
               SnapTrainerConfig config);
+  /// Sparse-native form: `w` is validated with the O(|E|) sparse
+  /// feasibility check; no dense matrix is ever materialized.
+  SnapTrainer(const topology::Graph& graph,
+              const consensus::SparseWeightMatrix& w, const ml::Model& model,
+              std::vector<data::Dataset> shards, SnapTrainerConfig config);
   SnapTrainer(const topology::Graph&, const linalg::Matrix&, ml::Model&&,
               std::vector<data::Dataset>, SnapTrainerConfig) = delete;
+  SnapTrainer(const topology::Graph&, const consensus::SparseWeightMatrix&,
+              ml::Model&&, std::vector<data::Dataset>,
+              SnapTrainerConfig) = delete;
 
   /// Runs until convergence or config.convergence.max_iterations.
   /// `test` is used for accuracy reporting (may be empty — accuracy 1.0).
@@ -142,7 +154,7 @@ class SnapTrainer {
 
  private:
   const topology::Graph* graph_;
-  linalg::Matrix w_;
+  consensus::SparseWeightMatrix w_;
   const ml::Model* model_;
   std::vector<data::Dataset> shards_;
   SnapTrainerConfig config_;

@@ -1,0 +1,78 @@
+// Matrix-free Lanczos iteration for symmetric mixing matrices, with
+// deflation of the all-ones eigenvector.
+//
+// The consensus layer only ever queries the spectral *extremes* of a
+// mixing matrix W: λ̄_max (the second-largest eigenvalue — W is doubly
+// stochastic, so λ_max = 1 with eigenvector 1), λ_min, and the SLEM
+// max(|λ̄_max|, |λ_min|). A full Jacobi decomposition is O(n³) per
+// query; Lanczos on the orthogonal complement of the ones vector gets
+// the same extremes in O(nnz · m) with a Krylov dimension m that is
+// tens, not thousands. Deflating 1 turns the awkward "second largest"
+// query into a plain extreme-eigenvalue query, which is exactly what
+// Lanczos converges to first.
+//
+// The iteration keeps the full Krylov basis and reorthogonalizes every
+// residual against it (and against 1), trading memory for the loss of
+// orthogonality that plain Lanczos suffers once a Ritz pair converges.
+// With m capped at LanczosOptions::max_dim the cost is O(n·m²) — still
+// linear in n. When the deflated space is exhausted (β breakdown, always
+// the case for n − 1 ≤ max_dim) the computed extremes are exact to
+// machine precision, which is what lets small-n property tests pit this
+// path against the dense Jacobi oracle at 1e-9.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace snap::linalg {
+
+/// y = A x for a symmetric operator A. `y` is pre-zeroed by the caller.
+using MatVec =
+    std::function<void(std::span<const double> x, std::span<double> y)>;
+
+struct LanczosOptions {
+  /// Krylov dimension cap (clamped to n − 1, the deflated dimension).
+  std::size_t max_dim = 120;
+  /// Ritz residual tolerance |β_m · y_last| for the two extreme pairs.
+  /// Mixing matrices have ‖A‖ ≈ 1, so this is effectively absolute.
+  double tol = 1e-11;
+  /// When > 0, also report the eigenvalue *clusters* at both extremes
+  /// (every Ritz value within cluster_tol of the extreme) with their
+  /// Ritz vectors — the weight optimizer's subgradients average over
+  /// degenerate clusters.
+  double cluster_tol = 0.0;
+};
+
+/// Extremes of a symmetric doubly-stochastic operator restricted to the
+/// orthogonal complement of the all-ones vector.
+struct DeflatedExtremes {
+  double lambda_bar_max = 0.0;  ///< largest eigenvalue on 1⊥
+  double lambda_min = 0.0;      ///< smallest eigenvalue on 1⊥
+  /// True when both extreme Ritz pairs met `tol` (or the deflated
+  /// space was exhausted, in which case the values are exact).
+  bool converged = false;
+  std::size_t iterations = 0;  ///< Krylov dimension actually built
+  /// Extreme clusters (only when cluster_tol > 0): eigenvalues
+  /// ascending, one unit Ritz vector per column.
+  std::vector<double> top_values;
+  std::vector<double> bottom_values;
+  Matrix top_vectors;
+  Matrix bottom_vectors;
+};
+
+/// Runs deflated Lanczos on an n×n symmetric operator given only its
+/// matvec. Preconditions: n ≥ 2 and A1 = 1 (symmetric doubly
+/// stochastic) — the deflation assumes 1 spans the eigenspace of
+/// λ_max = 1, which holds exactly when the support graph is connected.
+/// On a *disconnected* support the consensus eigenspace is
+/// multidimensional, so λ̄_max comes out ≈ 1 instead of the dense
+/// oracle's "largest eigenvalue below 1 − tol"; callers that tolerate
+/// disconnected graphs must handle that themselves.
+DeflatedExtremes lanczos_mixing_extremes(std::size_t n, const MatVec& apply,
+                                         const LanczosOptions& options = {});
+
+}  // namespace snap::linalg

@@ -51,6 +51,13 @@ void Vector::axpy(double alpha, const Vector& other) {
   }
 }
 
+void Vector::axpy(double alpha, std::span<const double> other) {
+  SNAP_REQUIRE(other.size() == size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += alpha * other[i];
+  }
+}
+
 double Vector::norm2() const noexcept {
   double acc = 0.0;
   for (const double v : values_) acc += v * v;

@@ -69,6 +69,11 @@ class Vector {
   /// this += alpha * other (fused multiply-add over components).
   void axpy(double alpha, const Vector& other);
 
+  /// this += alpha * other for a raw span (same loop, same rounding —
+  /// lets callers mix from contiguous slabs without materializing a
+  /// Vector per row).
+  void axpy(double alpha, std::span<const double> other);
+
   /// Euclidean norm.
   double norm2() const noexcept;
   /// Sum of absolute values.

@@ -9,27 +9,48 @@ namespace snap::net {
 HopMatrix::HopMatrix(const topology::Graph& graph)
     : HopMatrix(graph, /*require_connected=*/true) {}
 
-HopMatrix::HopMatrix(const topology::Graph& graph, bool require_connected) {
+HopMatrix::HopMatrix(const topology::Graph& graph, bool require_connected)
+    : graph_(graph), rows_(graph.node_count()) {
   if (require_connected) {
-    SNAP_REQUIRE_MSG(graph.is_connected(),
+    SNAP_REQUIRE_MSG(graph_.is_connected(),
                      "cost model requires a connected topology");
-  }
-  const auto all = graph.all_pairs_hops();
-  hops_.resize(all.size());
-  for (std::size_t u = 0; u < all.size(); ++u) {
-    hops_[u].resize(all.size());
-    for (std::size_t v = 0; v < all.size(); ++v) {
-      hops_[u][v] = all[u][v].value_or(kUnreachable);
-    }
   }
 }
 
+const std::vector<std::size_t>& HopMatrix::row_from(
+    topology::NodeId source) const {
+  std::vector<std::size_t>& row = rows_[source];
+  if (row.empty()) {
+    const auto distances = graph_.hops_from(source);
+    row.resize(distances.size());
+    for (std::size_t v = 0; v < distances.size(); ++v) {
+      row[v] = distances[v].value_or(kUnreachable);
+    }
+  }
+  return row;
+}
+
 std::size_t HopMatrix::hops(topology::NodeId u, topology::NodeId v) const {
-  SNAP_REQUIRE(u < hops_.size() && v < hops_.size());
-  SNAP_REQUIRE_MSG(hops_[u][v] != kUnreachable,
+  const std::size_t n = graph_.node_count();
+  SNAP_REQUIRE(u < n && v < n);
+  std::size_t h = kUnreachable;
+  if (u == v) {
+    h = 0;
+  } else if (!rows_[u].empty()) {
+    h = rows_[u][v];
+  } else if (!rows_[v].empty()) {
+    h = rows_[v][u];  // BFS distances are symmetric on an undirected graph
+  } else if (graph_.has_edge(u, v)) {
+    h = 1;  // peer exchange — the common flow — never triggers a BFS
+  } else {
+    // Cache receiver-side: parameter-server incast aims every flow at
+    // the same hub, so one BFS serves the whole fan-in.
+    h = row_from(v)[u];
+  }
+  SNAP_REQUIRE_MSG(h != kUnreachable,
                    "flow " << u << " -> " << v
                            << " has no route in the current topology");
-  return hops_[u][v];
+  return h;
 }
 
 void CostTracker::set_hop_matrix(HopMatrix hop_matrix) {

@@ -18,7 +18,19 @@
 
 namespace snap::net {
 
-/// Precomputed all-pairs hop counts over a connected topology.
+/// Hop counts over a topology, resolved lazily per query.
+///
+/// The eager all-pairs table this class used to precompute is O(n²)
+/// memory and O(n·(n+|E|)) time — the single worst scaling term in the
+/// whole pipeline at 10⁴⁺ nodes, for a quantity most runs barely
+/// query: peer exchanges are 1 hop by construction (answered from the
+/// adjacency), and parameter-server flows all touch the same hub (one
+/// cached BFS). So hops() answers trivial pairs inline and BFS-fills
+/// one source row at a time, caching it for reuse. The graph is held
+/// by value — callers routinely construct trackers from temporaries.
+///
+/// Not thread-safe: the row cache mutates under const hops(). All
+/// charging paths call it from the fabric's serial accounting section.
 class HopMatrix {
  public:
   /// Requires a connected graph (every flow must be routable).
@@ -26,12 +38,12 @@ class HopMatrix {
 
   /// With require_connected == false, tolerates disconnected graphs
   /// (e.g. latent elastic-membership joiners that are isolated until
-  /// their join attaches them): unreachable pairs are stored as a
-  /// sentinel and hops() rejects querying them. Every *actual* flow
-  /// still demands a route.
+  /// their join attaches them): unreachable pairs keep a sentinel in
+  /// the lazy rows and hops() rejects querying them. Every *actual*
+  /// flow still demands a route.
   HopMatrix(const topology::Graph& graph, bool require_connected);
 
-  std::size_t node_count() const noexcept { return hops_.size(); }
+  std::size_t node_count() const noexcept { return graph_.node_count(); }
 
   /// Least-hop distance between u and v (0 when u == v). Checked
   /// precondition: v must be reachable from u.
@@ -41,7 +53,12 @@ class HopMatrix {
   static constexpr std::size_t kUnreachable =
       static_cast<std::size_t>(-1);
 
-  std::vector<std::vector<std::size_t>> hops_;
+  /// BFS distances from `source`, computed on first use and cached.
+  const std::vector<std::size_t>& row_from(topology::NodeId source) const;
+
+  topology::Graph graph_;
+  /// Per-source distance rows; an empty row means "not yet computed".
+  mutable std::vector<std::vector<std::size_t>> rows_;
 };
 
 /// Accumulates the bytes and hop-weighted cost of every recorded flow.

@@ -1,0 +1,143 @@
+// Deflated Lanczos vs the dense Jacobi oracle.
+//
+// The sparse spectral path answers the only questions the library ever
+// asks of a mixing matrix — λ̄_max (second-largest), λ_min, SLEM —
+// without a full eigendecomposition. These tests pin it to the dense
+// oracle on every canonical topology and a seed sweep of random
+// connected graphs: both extremes within 1e-9, deterministic across
+// calls, and consistent through the consensus::mixing_extremes switch
+// on both sides of the dense cutoff.
+#include "linalg/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/mixing_spectrum.hpp"
+#include "consensus/sparse_weight_matrix.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "linalg/eigen.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::linalg {
+namespace {
+
+MatVec dense_apply(const Matrix& w) {
+  return [&w](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      double acc = y[i];
+      for (std::size_t j = 0; j < w.cols(); ++j) acc += w(i, j) * x[j];
+      y[i] = acc;
+    }
+  };
+}
+
+void expect_matches_dense(const Matrix& w, double tol = 1e-9) {
+  const SpectralSummary dense = spectral_summary(w);
+  const DeflatedExtremes sparse =
+      lanczos_mixing_extremes(w.rows(), dense_apply(w));
+  ASSERT_TRUE(sparse.converged) << "n=" << w.rows();
+  EXPECT_NEAR(sparse.lambda_bar_max, dense.lambda_bar_max, tol)
+      << "n=" << w.rows();
+  EXPECT_NEAR(sparse.lambda_min, dense.lambda_min, tol) << "n=" << w.rows();
+}
+
+TEST(LanczosTest, MatchesDenseJacobiOnCanonicalTopologies) {
+  const std::vector<topology::Graph> graphs = {
+      topology::make_ring(32),    topology::make_star(24),
+      topology::make_line(17),    topology::make_grid(6, 6),
+      topology::make_complete(12)};
+  for (const auto& graph : graphs) {
+    expect_matches_dense(consensus::max_degree_weights(graph));
+  }
+}
+
+TEST(LanczosTest, MatchesDenseJacobiOnRandomConnectedGraphs) {
+  for (const std::size_t n : {2, 3, 5, 8, 13, 21, 34, 55, 64}) {
+    for (const std::uint64_t seed : {1, 2, 3}) {
+      common::Rng rng(seed);
+      const topology::Graph graph =
+          topology::make_random_connected(n, 3.0, rng);
+      const auto sparse = consensus::SparseWeightMatrix::max_degree(graph);
+      const SpectralSummary dense = spectral_summary(sparse.to_dense());
+      const DeflatedExtremes extremes = lanczos_mixing_extremes(
+          n, [&sparse](std::span<const double> x, std::span<double> y) {
+            sparse.accumulate_matvec(x, y);
+          });
+      ASSERT_TRUE(extremes.converged) << "n=" << n << " seed=" << seed;
+      EXPECT_NEAR(extremes.lambda_bar_max, dense.lambda_bar_max, 1e-9)
+          << "n=" << n << " seed=" << seed;
+      EXPECT_NEAR(extremes.lambda_min, dense.lambda_min, 1e-9)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(LanczosTest, DeterministicAcrossCalls) {
+  common::Rng rng(5);
+  const topology::Graph graph = topology::make_random_connected(48, 4.0, rng);
+  const auto sparse = consensus::SparseWeightMatrix::max_degree(graph);
+  const auto apply = [&sparse](std::span<const double> x,
+                               std::span<double> y) {
+    sparse.accumulate_matvec(x, y);
+  };
+  const DeflatedExtremes a = lanczos_mixing_extremes(48, apply);
+  const DeflatedExtremes b = lanczos_mixing_extremes(48, apply);
+  EXPECT_EQ(std::memcmp(&a.lambda_bar_max, &b.lambda_bar_max,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.lambda_min, &b.lambda_min, sizeof(double)), 0);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(LanczosTest, ClusterExtractionBracketsExtremes) {
+  // A star's max-degree matrix has a large degenerate eigenvalue
+  // cluster (the leaves are exchangeable) — the cluster report must
+  // contain the extreme itself and stay within cluster_tol of it.
+  const topology::Graph graph = topology::make_star(20);
+  const auto sparse = consensus::SparseWeightMatrix::max_degree(graph);
+  LanczosOptions options;
+  options.cluster_tol = 1e-6;
+  const DeflatedExtremes extremes = lanczos_mixing_extremes(
+      20,
+      [&sparse](std::span<const double> x, std::span<double> y) {
+        sparse.accumulate_matvec(x, y);
+      },
+      options);
+  ASSERT_TRUE(extremes.converged);
+  ASSERT_FALSE(extremes.top_values.empty());
+  ASSERT_FALSE(extremes.bottom_values.empty());
+  EXPECT_NEAR(extremes.top_values.back(), extremes.lambda_bar_max, 1e-12);
+  EXPECT_NEAR(extremes.bottom_values.front(), extremes.lambda_min, 1e-12);
+  for (const double v : extremes.top_values) {
+    EXPECT_LE(extremes.lambda_bar_max - v, options.cluster_tol + 1e-9);
+  }
+  for (const double v : extremes.bottom_values) {
+    EXPECT_LE(v - extremes.lambda_min, options.cluster_tol + 1e-9);
+  }
+}
+
+TEST(LanczosTest, MixingExtremesAgreesAcrossDenseCutoff) {
+  // Above kDenseSpectralCutoff the production mixing_extremes switch
+  // takes the Lanczos leg; it must agree with the dense oracle run on
+  // the same operator.
+  common::Rng rng(11);
+  const std::size_t n = consensus::kDenseSpectralCutoff + 40;
+  const topology::Graph graph = topology::make_random_connected(n, 4.0, rng);
+  const auto sparse = consensus::SparseWeightMatrix::max_degree(graph);
+  const consensus::MixingExtremes extremes =
+      consensus::mixing_extremes(sparse);
+  const SpectralSummary dense = spectral_summary(sparse.to_dense());
+  EXPECT_NEAR(extremes.lambda_bar_max, dense.lambda_bar_max, 1e-9);
+  EXPECT_NEAR(extremes.lambda_min, dense.lambda_min, 1e-9);
+  EXPECT_NEAR(extremes.slem, dense.slem, 1e-9);
+  // And the derived score the planner consumes.
+  EXPECT_NEAR(consensus::convergence_score(sparse),
+              consensus::convergence_score(sparse.to_dense()), 1e-9);
+}
+
+}  // namespace
+}  // namespace snap::linalg
