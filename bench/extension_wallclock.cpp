@@ -7,7 +7,7 @@
 // peers each receive only degree-many (filtered) frames. The evaluation
 // section never quantifies this; here we do, by replaying the recorded
 // per-node byte maxima through a closed-form NIC/compute timing model
-// (experiments/timing.hpp; paper-testbed 1 Gbps links).
+// (runtime/timing.hpp; paper-testbed 1 Gbps links).
 #include <iostream>
 #include <vector>
 
@@ -15,7 +15,7 @@
 #include "common/strings.hpp"
 #include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
-#include "experiments/timing.hpp"
+#include "runtime/timing.hpp"
 
 int main() {
   using namespace snap;
@@ -24,7 +24,7 @@ int main() {
   std::cout << "SNAP reproduction bench: Extension — wall-clock time and "
                "incast\nseed=2020 bench_scale=" << bench::bench_scale()
             << "\n";
-  experiments::TimingModel timing;  // 1 Gbps NICs, 1 ms RTT, 5 GFLOP/s
+  runtime::TimingModel timing;  // 1 Gbps NICs, 1 ms RTT, 5 GFLOP/s
 
   experiments::print_banner(
       std::cout,
@@ -46,7 +46,7 @@ int main() {
     cfg.convergence.max_iterations = 40;
     cfg.seed = 2020;
     const experiments::Scenario scenario(cfg);
-    const double flops = experiments::gradient_flops(
+    const double flops = runtime::gradient_flops(
         scenario.model().param_count(),
         scenario.train_size() / scenario.graph().node_count());
 

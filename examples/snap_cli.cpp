@@ -6,19 +6,27 @@
 //   snap_cli --scheme=terngrad --nodes=40 --alpha=0.2 --csv=run.csv
 //   snap_cli --workload=mnist --nodes=3 --complete --iterations=40
 //   snap_cli --help
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/strings.hpp"
 #include "experiments/csv.hpp"
 #include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
 #include "ml/checkpoint.hpp"
+#include "net/transport.hpp"
 #include "runtime/fabric.hpp"
 #include "topology/io.hpp"
 
@@ -90,11 +98,27 @@ options (defaults in brackets):
   --free-run          async decentralized schemes: drop the
                       neighborhood pacing gate and let nodes free-run
                       (EXTRA can diverge under persistent view skew)
+  --transport=NAME    sim (in-process deterministic oracle) | uds
+                      (multi-process over Unix-domain sockets) | tcp
+                      (multi-process over TCP loopback) [sim]
+                      Socket transports require a SNAP-family scheme
+                      and a sync or gossip fabric; the learning
+                      trajectory is bitwise identical to sim for the
+                      same seed.
+  --shards=K          shard processes for a socket transport: the node
+                      set splits into K contiguous blocks, one process
+                      each, and snap_cli forks the other K-1 [1]
+  --rendezvous=DIR    directory for the shard rendezvous artifacts
+                      (sockets/ports, per-shard logs and wire stats)
+                      [a fresh /tmp directory, removed on exit]
   --csv=FILE          write the per-iteration series as CSV
   --topology=FILE     load the peer topology from an edge-list file
                       (see topology/io.hpp for the format)
   --save-model=FILE   write the trained parameters as a checkpoint
   --help              this text
+
+internal (set by the launcher, not by hand):
+  --shard-worker=I    run as shard I of a socket-transport run
 )";
 }
 
@@ -152,7 +176,8 @@ int main(int argc, char** argv) {
         "crash-rate", "restart-rate", "link-burst", "corrupt",
         "recovery-timeout", "no-reproject", "joiners", "join-rate",
         "join-degree", "leave-rate", "rejoin-rate", "warm-start",
-        "gossip-mode", "gossip-fanout", "gossip-restart"};
+        "gossip-mode", "gossip-fanout", "gossip-restart", "transport",
+        "shards", "shard-worker", "rendezvous"};
     if (!known.contains(key)) {
       std::cerr << "unknown option --" << key << " (try --help)\n";
       return 2;
@@ -254,6 +279,93 @@ int main(int argc, char** argv) {
   cfg.async_free_run = args.contains("free-run");
   cfg.async_timing.seed = cfg.seed;
 
+  const auto transport_kind =
+      net::parse_transport_kind(get("transport", "sim"));
+  if (!transport_kind.has_value()) {
+    std::cerr << "unknown transport (sim, uds, or tcp; try --help)\n";
+    return 2;
+  }
+  cfg.transport.kind = *transport_kind;
+  cfg.transport.shards = std::stoul(get("shards", "1"));
+  const bool worker = args.contains("shard-worker");
+  cfg.transport.shard_id = worker ? std::stoul(get("shard-worker", "0")) : 0;
+  cfg.transport.rendezvous_dir = get("rendezvous", "");
+  const bool socket_run = cfg.transport.kind != net::TransportKind::kSim;
+  if (!socket_run && (cfg.transport.shards > 1 || worker)) {
+    std::cerr << "--shards/--shard-worker require --transport=uds or tcp\n";
+    return 2;
+  }
+  if (socket_run) {
+    if (*scheme != experiments::Scheme::kSnap &&
+        *scheme != experiments::Scheme::kSnap0 &&
+        *scheme != experiments::Scheme::kSno) {
+      std::cerr << "socket transports support only the SNAP-family "
+                   "schemes (snap, snap0, sno)\n";
+      return 2;
+    }
+    if (cfg.fabric == runtime::FabricKind::kAsync) {
+      std::cerr << "socket transports require --fabric=sync or gossip\n";
+      return 2;
+    }
+    if (cfg.transport.shards == 0 ||
+        cfg.transport.shards > cfg.nodes + cfg.latent_joiners) {
+      std::cerr << "--shards must be between 1 and the node count\n";
+      return 2;
+    }
+    if (worker && cfg.transport.rendezvous_dir.empty()) {
+      std::cerr << "--shard-worker requires --rendezvous\n";
+      return 2;
+    }
+  }
+
+  // Launcher: shard 0 runs in this process; the other shards are forked
+  // copies of this binary in --shard-worker mode, with their output
+  // captured as shard-<i>.log next to the rendezvous artifacts.
+  bool created_rendezvous = false;
+  std::vector<pid_t> shard_children;
+  if (socket_run && !worker && cfg.transport.shards > 1) {
+    if (cfg.transport.rendezvous_dir.empty()) {
+      std::string tmpl = "/tmp/snap-rdv-XXXXXX";
+      if (::mkdtemp(tmpl.data()) == nullptr) {
+        std::cerr << "cannot create a rendezvous directory under /tmp\n";
+        return 1;
+      }
+      cfg.transport.rendezvous_dir = tmpl;
+      created_rendezvous = true;
+    }
+    for (std::size_t s = 1; s < cfg.transport.shards; ++s) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        std::cerr << "fork failed for shard " << s << "\n";
+        return 1;
+      }
+      if (pid == 0) {
+        const std::string log = cfg.transport.rendezvous_dir + "/shard-" +
+                                std::to_string(s) + ".log";
+        const int fd =
+            ::open(log.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (fd >= 0) {
+          ::dup2(fd, 1);
+          ::dup2(fd, 2);
+          ::close(fd);
+        }
+        std::vector<std::string> child_args(argv, argv + argc);
+        child_args.push_back("--shard-worker=" + std::to_string(s));
+        if (!args.contains("rendezvous")) {
+          child_args.push_back("--rendezvous=" +
+                               cfg.transport.rendezvous_dir);
+        }
+        std::vector<char*> child_argv;
+        child_argv.reserve(child_args.size() + 1);
+        for (std::string& a : child_args) child_argv.push_back(a.data());
+        child_argv.push_back(nullptr);
+        ::execv("/proc/self/exe", child_argv.data());
+        _exit(127);  // exec failed; never run the parent's cleanup paths
+      }
+      shard_children.push_back(pid);
+    }
+  }
+
   std::cout << "building scenario: "
             << (cfg.workload == experiments::Workload::kMnistMlp
                     ? "mnist-mlp"
@@ -280,6 +392,35 @@ int main(int argc, char** argv) {
   table.add_row(
       {"simulated time",
        common::format_double(result.total_sim_seconds, 3) + " s"});
+  if (socket_run) {
+    table.add_row({"transport",
+                   std::string(net::transport_name(cfg.transport.kind))});
+    table.add_row({"shards", std::to_string(cfg.transport.shards)});
+    // The trainer's SocketHub published this shard's wire counters as
+    // shard-<id>.stats: real bytes on the wire next to the charged
+    // frame bytes (the per-frame parity the oracle contract promises).
+    std::ifstream stats(cfg.transport.rendezvous_dir + "/shard-" +
+                        std::to_string(cfg.transport.shard_id) + ".stats");
+    for (std::string line; std::getline(stats, line);) {
+      const auto eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = line.substr(0, eq);
+      const std::string value = line.substr(eq + 1);
+      if (key == "frames_sent") {
+        table.add_row({"wire frames sent", value});
+      } else if (key == "payload_bytes_sent") {
+        table.add_row({"wire frame bytes", value});
+      } else if (key == "charged_bytes_sent") {
+        table.add_row({"charged frame bytes", value});
+      } else if (key == "mismatched_frames") {
+        table.add_row({"byte-parity mismatches", value});
+      } else if (key == "os_bytes_sent") {
+        table.add_row({"os bytes sent", value});
+      } else if (key == "os_bytes_received") {
+        table.add_row({"os bytes received", value});
+      }
+    }
+  }
   if (cfg.fabric == runtime::FabricKind::kGossip) {
     std::uint64_t activated = 0;
     for (const auto& it : result.iterations) activated += it.links_activated;
@@ -317,7 +458,9 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  if (args.contains("save-model")) {
+  // Artifacts are shard 0's job: worker shards compute the identical
+  // replica but must not race the launcher for the output files.
+  if (!worker && args.contains("save-model")) {
     const std::string path = get("save-model", "");
     const ml::Checkpoint checkpoint{scenario.model().name(),
                                     result.final_params};
@@ -328,7 +471,7 @@ int main(int argc, char** argv) {
     std::cout << "model checkpoint written to " << path << "\n";
   }
 
-  if (args.contains("csv")) {
+  if (!worker && args.contains("csv")) {
     const std::string path = get("csv", "");
     std::ofstream file(path);
     if (!file) {
@@ -337,6 +480,33 @@ int main(int argc, char** argv) {
     }
     experiments::write_train_result_csv(file, result);
     std::cout << "per-iteration series written to " << path << "\n";
+  }
+
+  // Reap the worker shards; a failed shard leaves the rendezvous
+  // artifacts (logs, stats) in place for inspection.
+  bool shards_ok = true;
+  for (const pid_t pid : shard_children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::cerr << "shard process " << pid << " failed (see shard logs in "
+                << cfg.transport.rendezvous_dir << ")\n";
+      shards_ok = false;
+    }
+  }
+  if (!shards_ok) return 1;
+  if (!shard_children.empty()) {
+    // Graceful exit: every shard unlinked its socket/port file on
+    // close; sweep the remaining per-shard logs and stats, and the
+    // directory itself when this run created it.
+    std::error_code ec;
+    namespace fs = std::filesystem;
+    for (const auto& entry :
+         fs::directory_iterator(cfg.transport.rendezvous_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("shard-", 0) == 0) fs::remove(entry.path(), ec);
+    }
+    if (created_rendezvous) fs::remove(cfg.transport.rendezvous_dir, ec);
   }
   return 0;
 }

@@ -42,6 +42,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "==> transport smoke: two-process UDS loopback vs sim oracle"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SMOKE_ARGS=(--nodes=8 --seed=7 --iterations=12 --train=400 --test=100)
+build/examples/snap_cli "${SMOKE_ARGS[@]}" \
+  --csv="$SMOKE_DIR/sim.csv" >/dev/null
+build/examples/snap_cli "${SMOKE_ARGS[@]}" --transport=uds --shards=2 \
+  --rendezvous="$SMOKE_DIR" --csv="$SMOKE_DIR/uds.csv" >/dev/null
+if ! cmp -s "$SMOKE_DIR/sim.csv" "$SMOKE_DIR/uds.csv"; then
+  echo "error: UDS 2-shard run diverged from the sim oracle" >&2
+  diff "$SMOKE_DIR/sim.csv" "$SMOKE_DIR/uds.csv" | head -20 >&2
+  exit 1
+fi
+echo "    sim and 2-shard UDS trajectories are bitwise identical"
+
 if [[ "$FAST" == 1 ]]; then
   echo "==> --fast: skipping sanitizer builds"
   exit 0
@@ -62,6 +77,8 @@ SAN_TESTS=(
   gossip_fabric_test
   linalg_lanczos_test
   consensus_sparse_property_test
+  net_reassembly_test
+  transport_parity_test
 )
 
 SANITIZERS=(address thread undefined)

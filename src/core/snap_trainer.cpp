@@ -5,8 +5,10 @@
 #include <deque>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -16,6 +18,7 @@
 #include "net/cost_model.hpp"
 #include "net/fault_injector.hpp"
 #include "net/frame.hpp"
+#include "net/socket_transport.hpp"
 #include "runtime/make_fabric.hpp"
 
 namespace snap::core {
@@ -273,9 +276,69 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   fabric_config.recovery = config_.recovery;
   runtime::GossipConfig gossip_config = config_.gossip;
   if (gossip_config.seed == 0) gossip_config.seed = config_.seed;
+
+  // Socket-backed runs move frames through the real SNAP wire encoding:
+  // regular frames via the two-format §IV-C codec, STATE_SYNC handoffs
+  // via the checksummed dense frame. encode() produces exactly the
+  // bytes the accounting charges (encoded_frame_bytes /
+  // state_sync_frame_bytes) — the per-frame parity the oracle test
+  // asserts against the hub's wire counters.
+  std::unique_ptr<net::Transport<Payload>> transport;
+  net::SocketTransport<Payload>* socket = nullptr;
+  if (config_.transport.kind != net::TransportKind::kSim) {
+    SNAP_REQUIRE_MSG(config_.fabric != runtime::FabricKind::kAsync,
+                     "socket transports require a sync or gossip fabric "
+                     "(async delivery is native to the event queue)");
+    net::TransportConfig transport_config = config_.transport;
+    // Rendezvous reconnects reuse the fault layer's backoff semantics:
+    // first retry after retry_backoff_s, doubling per attempt.
+    transport_config.retry_backoff_s = config_.recovery.retry_backoff_s;
+    net::WireCodec<Payload> codec;
+    codec.encode = [total_params](const Payload& wire) {
+      if (wire.state_sync) {
+        std::vector<double> values;
+        values.reserve(wire.updates.size());
+        for (const net::ParamUpdate& u : wire.updates) {
+          SNAP_REQUIRE(u.index == values.size());
+          values.push_back(u.value);
+        }
+        return net::encode_state_sync_frame(values);
+      }
+      return net::encode_update_frame(total_params, wire.updates);
+    };
+    codec.decode =
+        [total_params](
+            std::span<const std::byte> bytes) -> std::optional<Payload> {
+      if (bytes.empty()) return std::nullopt;
+      if (static_cast<std::uint8_t>(bytes.front()) == net::kStateSyncTag) {
+        std::optional<std::vector<double>> values =
+            net::decode_state_sync_frame(bytes);
+        if (!values.has_value()) return std::nullopt;
+        Payload wire;
+        wire.state_sync = true;
+        wire.updates.reserve(values->size());
+        for (std::size_t d = 0; d < values->size(); ++d) {
+          wire.updates.push_back(
+              {static_cast<std::uint32_t>(d), (*values)[d]});
+        }
+        return wire;
+      }
+      std::optional<net::UpdateFrame> frame = net::decode_update_frame(bytes);
+      if (!frame.has_value() || frame->total_params != total_params) {
+        return std::nullopt;
+      }
+      return Payload{std::move(frame->updates), false};
+    };
+    auto socket_transport = std::make_unique<net::SocketTransport<Payload>>(
+        n, transport_config, std::move(codec));
+    socket = socket_transport.get();
+    transport = std::move(socket_transport);
+  }
+
   auto fabric =
       runtime::make_fabric<Payload>(config_.fabric, fabric_config,
-                                    config_.async, gossip_config);
+                                    config_.async, gossip_config,
+                                    std::move(transport));
 
   // The whole algorithm as phase hooks; the fabric owns the clock, the
   // transport, the accounting, and the convergence detector.
@@ -662,6 +725,9 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   };
 
   TrainResult result = fabric->run(hooks);
+  // Publish the shard's wire counters (frames, OS bytes, per-frame
+  // charged-vs-encoded parity) before the artifacts are torn down.
+  if (socket != nullptr) socket->write_stats();
 
   const linalg::Vector mean = mean_of(nodes, alive, fabric->pool());
   result.final_params = mean;

@@ -24,6 +24,7 @@
 #include "linalg/matrix.hpp"
 #include "ml/model.hpp"
 #include "net/fault_injector.hpp"
+#include "net/transport.hpp"
 #include "runtime/fabric.hpp"
 #include "topology/graph.hpp"
 
@@ -109,6 +110,15 @@ struct SnapTrainerConfig {
   bool async_free_run = false;
   /// Closed-form round timing that stamps sim_seconds under kSync.
   runtime::TimingModel timing;
+  /// Delivery backend. kSim (default) runs in-process on the
+  /// deterministic RoundMailbox oracle; kUds/kTcp runs this process as
+  /// shard `transport.shard_id` of `transport.shards`, carrying
+  /// cross-shard frames over real sockets with the SNAP frame codec.
+  /// The learning trajectory is bitwise identical across backends for
+  /// the same seed (the oracle contract); only wall-clock timing and
+  /// OS-level byte counts differ. Socket backends require a sync or
+  /// gossip fabric.
+  net::TransportConfig transport;
 };
 
 /// Optional per-iteration observer: (iteration index starting at 1,

@@ -176,6 +176,15 @@ core::TrainResult Scenario::run(Scheme scheme) const {
 core::TrainResult Scenario::run(
     Scheme scheme, const core::ConvergenceCriteria& criteria) const {
   const ScenarioConfig& cfg = impl_->config;
+  // Only the SNAP family speaks the SnapWire codec; the reference and
+  // PS baselines have no socket payload codec, so a sharded run that
+  // reaches them is a misconfiguration worth failing loudly on.
+  if (cfg.transport.kind != net::TransportKind::kSim) {
+    SNAP_REQUIRE_MSG(scheme == Scheme::kSnap || scheme == Scheme::kSnap0 ||
+                         scheme == Scheme::kSno,
+                     "scheme " << scheme_name(scheme)
+                               << " supports only --transport=sim");
+  }
   switch (scheme) {
     case Scheme::kCentralized: {
       baselines::CentralizedConfig c;
@@ -272,6 +281,7 @@ core::TrainResult Scenario::run_snap_variant(
   c.async_free_run = cfg.async_free_run;
   c.gossip = cfg.gossip;
   c.timing = cfg.timing;
+  c.transport = cfg.transport;
   const linalg::Matrix& w =
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
   core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,

@@ -15,6 +15,7 @@
 
 #include "core/snap_trainer.hpp"
 #include "core/training.hpp"
+#include "net/transport.hpp"
 #include "consensus/weight_optimizer.hpp"
 #include "runtime/fabric.hpp"
 #include "data/dataset.hpp"
@@ -123,6 +124,12 @@ struct ScenarioConfig {
   bool async_free_run = false;
   /// Closed-form round timing that stamps sim_seconds under kSync.
   runtime::TimingModel timing;
+  /// Delivery backend for the SNAP family (see
+  /// SnapTrainerConfig::transport): kSim is the in-process oracle;
+  /// kUds/kTcp runs this process as one shard of a multi-process run.
+  /// The centralized reference and the PS baselines are sim-only —
+  /// running them under a socket transport is a contract violation.
+  net::TransportConfig transport;
 };
 
 class Scenario {

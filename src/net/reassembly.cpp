@@ -1,0 +1,63 @@
+#include "net/reassembly.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace snap::net {
+
+FrameReassembler::FrameReassembler(std::size_t max_record_bytes)
+    : max_record_bytes_(max_record_bytes) {
+  SNAP_REQUIRE(max_record_bytes_ > 0);
+}
+
+void FrameReassembler::feed(std::span<const std::byte> bytes) {
+  SNAP_REQUIRE_MSG(!poisoned_,
+                   "reassembler poisoned by an oversized length prefix");
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::byte>> FrameReassembler::next() {
+  SNAP_REQUIRE_MSG(!poisoned_,
+                   "reassembler poisoned by an oversized length prefix");
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < sizeof(std::uint32_t)) return std::nullopt;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, sizeof length);
+  if (length > max_record_bytes_) {
+    poisoned_ = true;
+    SNAP_REQUIRE_MSG(false, "record length " << length
+                                             << " exceeds the per-record cap "
+                                             << max_record_bytes_);
+  }
+  if (available < sizeof length + length) return std::nullopt;
+  const std::byte* start = buffer_.data() + consumed_ + sizeof length;
+  std::vector<std::byte> payload(start, start + length);
+  consumed_ += sizeof length + length;
+  compact();
+  return payload;
+}
+
+std::vector<std::byte> FrameReassembler::frame(
+    std::span<const std::byte> payload) {
+  SNAP_REQUIRE(payload.size() <= UINT32_MAX);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::byte> out;
+  out.reserve(sizeof length + payload.size());
+  const auto* p = reinterpret_cast<const std::byte*>(&length);
+  out.insert(out.end(), p, p + sizeof length);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameReassembler::compact() {
+  // Amortized O(1): shift the tail down only once the dead prefix
+  // dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+}  // namespace snap::net

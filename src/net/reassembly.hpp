@@ -1,0 +1,64 @@
+// Length-delimited stream framing with partial-read reassembly.
+//
+// A stream socket delivers bytes, not records: one read() may return
+// half a frame, three frames and a prefix of a fourth, or a single
+// byte. FrameReassembler turns that stream back into whole records.
+// Each record travels as
+//
+//   [payload length : u32 little-endian][payload bytes]
+//
+// and next() yields only complete payloads, in stream order — a record
+// is surfaced whole or not at all, never partially, which is what lets
+// the frame codecs' all-or-nothing decode contract (checksummed
+// STATE_SYNC included) survive arbitrary read fragmentation.
+//
+// A length prefix larger than the configured cap marks the stream as
+// poisoned (a garbage prefix would otherwise make the reassembler
+// buffer unboundedly); feed/next then throw. The cap is per record,
+// not per stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace snap::net {
+
+class FrameReassembler {
+ public:
+  /// Generous default: a STATE_SYNC frame for ~8M parameters.
+  static constexpr std::size_t kDefaultMaxRecordBytes = 64u << 20;
+
+  explicit FrameReassembler(
+      std::size_t max_record_bytes = kDefaultMaxRecordBytes);
+
+  /// Appends raw stream bytes (any split, including one byte at a
+  /// time). Throws common::ContractViolation if a length prefix exceeds
+  /// the record cap.
+  void feed(std::span<const std::byte> bytes);
+
+  /// The next complete record payload, or nullopt while the buffered
+  /// bytes end mid-record (or mid-prefix).
+  std::optional<std::vector<std::byte>> next();
+
+  /// Bytes buffered but not yet surfaced as records.
+  std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+  /// Encodes one record: length prefix + payload, ready for a stream
+  /// write. The inverse of what feed/next reassemble.
+  static std::vector<std::byte> frame(std::span<const std::byte> payload);
+
+ private:
+  void compact();
+
+  std::size_t max_record_bytes_;
+  std::vector<std::byte> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace snap::net

@@ -1,0 +1,605 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/binary_io.hpp"
+#include "net/reassembly.hpp"
+
+namespace snap::net {
+namespace {
+
+// Record types multiplexed over one stream. Every record body starts
+// with the type byte; the length prefix around the body comes from
+// FrameReassembler::frame.
+constexpr std::uint8_t kRecordHello = 1;
+constexpr std::uint8_t kRecordFrame = 2;
+constexpr std::uint8_t kRecordBarrier = 3;
+
+constexpr std::uint32_t kHelloMagic = 0x534E4150;  // "SNAP"
+constexpr std::uint32_t kProtocolVersion = 1;
+
+// type + flip + seq + from + to + state_sync + charged_bytes.
+constexpr std::size_t kFrameHeader = 1 + 8 + 8 + 4 + 4 + 1 + 8;
+
+// How long a blocked shard waits for peer bytes before declaring the
+// mesh dead (a peer crashed mid-run); generous next to any test budget.
+constexpr int kPollTimeoutMs = 60'000;
+
+std::vector<std::byte> encode_hello(std::size_t shard_id,
+                                    std::size_t shard_count,
+                                    std::size_t node_count) {
+  common::ByteWriter writer(1 + 4 * 4 + 8);
+  writer.write_u8(kRecordHello);
+  writer.write_u32(kHelloMagic);
+  writer.write_u32(kProtocolVersion);
+  writer.write_u32(static_cast<std::uint32_t>(shard_id));
+  writer.write_u32(static_cast<std::uint32_t>(shard_count));
+  writer.write_u64(node_count);
+  return writer.take();
+}
+
+std::vector<std::byte> encode_barrier(std::uint64_t flip) {
+  common::ByteWriter writer(1 + 8);
+  writer.write_u8(kRecordBarrier);
+  writer.write_u64(flip);
+  return writer.take();
+}
+
+void sleep_seconds(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_wire_record(const WireRecord& record) {
+  common::ByteWriter writer(kFrameHeader + record.payload.size());
+  writer.write_u8(kRecordFrame);
+  writer.write_u64(record.flip);
+  writer.write_u64(record.seq);
+  writer.write_u32(record.from);
+  writer.write_u32(record.to);
+  writer.write_u8(record.state_sync ? 1 : 0);
+  writer.write_u64(record.charged_bytes);
+  writer.write_bytes(record.payload);
+  return writer.take();
+}
+
+std::optional<WireRecord> decode_wire_record(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() < kFrameHeader) return std::nullopt;
+  common::ByteReader reader(bytes);
+  if (reader.read_u8() != kRecordFrame) return std::nullopt;
+  WireRecord record;
+  record.flip = reader.read_u64();
+  record.seq = reader.read_u64();
+  record.from = reader.read_u32();
+  record.to = reader.read_u32();
+  const std::uint8_t sync = reader.read_u8();
+  record.charged_bytes = reader.read_u64();
+  if (!reader.ok() || sync > 1) return std::nullopt;
+  record.state_sync = sync == 1;
+  const auto payload = bytes.subspan(kFrameHeader);
+  record.payload.assign(payload.begin(), payload.end());
+  return record;
+}
+
+struct SocketHub::Impl {
+  TransportConfig config;
+  std::size_t node_count = 0;
+  int listen_fd = -1;
+  /// fd per peer shard; -1 at our own index.
+  std::vector<int> peer_fds;
+  std::vector<FrameReassembler> reassemblers;
+  /// Frames received but not yet claimed by a finish_flip, keyed by flip.
+  std::map<std::uint64_t, std::vector<WireRecord>> pending_frames;
+  /// Which peer shards' barriers arrived, per flip.
+  std::map<std::uint64_t, std::set<std::size_t>> barriers_seen;
+  /// Peers that performed an orderly close. Legitimate once a peer has
+  /// sent its barrier for every flip we still need — flip counts are
+  /// identical across replicas, so a finished peer owes us nothing.
+  std::vector<bool> peer_eof;
+  SocketHubStats stats;
+  std::string socket_path;  ///< our shard-<id>.sock (UDS only)
+  std::string port_path;    ///< our shard-<id>.port (TCP only)
+  bool closed = false;
+
+  std::size_t peer_count() const noexcept {
+    return config.shards > 0 ? config.shards - 1 : 0;
+  }
+
+  std::string artifact(std::string_view stem) const {
+    std::ostringstream os;
+    os << config.rendezvous_dir << "/shard-" << config.shard_id << '.'
+       << stem;
+    return os.str();
+  }
+
+  std::string peer_artifact(std::size_t shard, std::string_view stem) const {
+    std::ostringstream os;
+    os << config.rendezvous_dir << "/shard-" << shard << '.' << stem;
+    return os.str();
+  }
+
+  void send_all(std::size_t peer_shard, std::span<const std::byte> bytes) {
+    const int fd = peer_fds[peer_shard];
+    SNAP_REQUIRE_MSG(fd >= 0, "no link to peer shard " << peer_shard);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        SNAP_REQUIRE_MSG(false, "send to peer shard "
+                                    << peer_shard << " failed: "
+                                    << std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    stats.os_bytes_sent += bytes.size();
+  }
+
+  void send_record(std::size_t peer_shard, std::span<const std::byte> body) {
+    const std::vector<std::byte> framed = FrameReassembler::frame(body);
+    send_all(peer_shard, framed);
+  }
+
+  /// Blocking read of one length-delimited record from `peer_shard`
+  /// (rendezvous only; steady-state reads go through poll_once).
+  std::vector<std::byte> read_record(std::size_t peer_shard) {
+    const int fd = peer_fds[peer_shard];
+    SNAP_REQUIRE(fd >= 0);
+    auto& reassembler = reassemblers[peer_shard];
+    while (true) {
+      if (auto record = reassembler.next()) return std::move(*record);
+      std::byte chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      SNAP_REQUIRE_MSG(n > 0, "peer shard " << peer_shard
+                                            << " closed during handshake");
+      stats.os_bytes_received += static_cast<std::uint64_t>(n);
+      reassembler.feed({chunk, static_cast<std::size_t>(n)});
+    }
+  }
+
+  void validate_hello(std::span<const std::byte> body,
+                      std::size_t expect_shard) {
+    common::ByteReader reader(body);
+    const std::uint8_t type = reader.read_u8();
+    const std::uint32_t magic = reader.read_u32();
+    const std::uint32_t version = reader.read_u32();
+    const std::uint32_t shard = reader.read_u32();
+    const std::uint32_t shards = reader.read_u32();
+    const std::uint64_t nodes = reader.read_u64();
+    SNAP_REQUIRE_MSG(reader.ok() && type == kRecordHello &&
+                         magic == kHelloMagic,
+                     "malformed HELLO from peer shard " << expect_shard);
+    SNAP_REQUIRE_MSG(version == kProtocolVersion,
+                     "peer shard " << expect_shard << " speaks protocol v"
+                                   << version << ", expected v"
+                                   << kProtocolVersion);
+    SNAP_REQUIRE_MSG(shard == expect_shard,
+                     "expected HELLO from shard " << expect_shard
+                                                  << ", got shard " << shard);
+    SNAP_REQUIRE_MSG(shards == config.shards && nodes == node_count,
+                     "peer shard " << expect_shard
+                                   << " disagrees on run shape: "
+                                   << shards << " shards / " << nodes
+                                   << " nodes vs " << config.shards << " / "
+                                   << node_count);
+  }
+
+  // --- rendezvous ---------------------------------------------------
+
+  void bind_and_publish() {
+    if (config.kind == TransportKind::kUds) {
+      socket_path = artifact("sock");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      SNAP_REQUIRE_MSG(socket_path.size() < sizeof(addr.sun_path),
+                       "rendezvous path too long for a Unix socket: "
+                           << socket_path);
+      std::memcpy(addr.sun_path, socket_path.c_str(),
+                  socket_path.size() + 1);
+      ::unlink(socket_path.c_str());  // stale artifact from a dead run
+      listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      SNAP_REQUIRE_MSG(listen_fd >= 0,
+                       "socket(AF_UNIX): " << std::strerror(errno));
+      SNAP_REQUIRE_MSG(
+          ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof addr) == 0,
+          "bind(" << socket_path << "): " << std::strerror(errno));
+    } else {
+      listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      SNAP_REQUIRE_MSG(listen_fd >= 0,
+                       "socket(AF_INET): " << std::strerror(errno));
+      const int one = 1;
+      ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = 0;  // ephemeral; published via the port file
+      SNAP_REQUIRE_MSG(
+          ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof addr) == 0,
+          "bind(tcp loopback): " << std::strerror(errno));
+      socklen_t len = sizeof addr;
+      SNAP_REQUIRE(::getsockname(listen_fd,
+                                 reinterpret_cast<sockaddr*>(&addr),
+                                 &len) == 0);
+      port_path = artifact("port");
+      // Publish atomically: a peer must never read a half-written port.
+      const std::string tmp = port_path + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::trunc);
+        SNAP_REQUIRE_MSG(out.good(), "cannot write " << tmp);
+        out << ntohs(addr.sin_port) << '\n';
+      }
+      SNAP_REQUIRE(std::rename(tmp.c_str(), port_path.c_str()) == 0);
+    }
+    SNAP_REQUIRE_MSG(
+        ::listen(listen_fd, static_cast<int>(config.shards) + 1) == 0,
+        "listen: " << std::strerror(errno));
+  }
+
+  int try_connect(std::size_t peer_shard) {
+    if (config.kind == TransportKind::kUds) {
+      const std::string path = peer_artifact(peer_shard, "sock");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (path.size() >= sizeof(addr.sun_path)) {
+        SNAP_REQUIRE_MSG(false, "rendezvous path too long: " << path);
+      }
+      std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      SNAP_REQUIRE(fd >= 0);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0) {
+        return fd;
+      }
+      ::close(fd);
+      return -1;
+    }
+    // TCP: the peer's ephemeral port may not be published yet.
+    std::ifstream in(peer_artifact(peer_shard, "port"));
+    int port = 0;
+    if (!(in >> port) || port <= 0 || port > 65535) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    SNAP_REQUIRE(fd >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    ::close(fd);
+    return -1;
+  }
+
+  /// Dials `peer_shard` with the FaultRecoveryConfig-shaped schedule:
+  /// first retry after retry_backoff_s, doubling each attempt, at most
+  /// max_retries retries after the initial attempt.
+  void connect_with_backoff(std::size_t peer_shard) {
+    double backoff = config.retry_backoff_s;
+    for (std::size_t attempt = 0;; ++attempt) {
+      const int fd = try_connect(peer_shard);
+      if (fd >= 0) {
+        peer_fds[peer_shard] = fd;
+        send_record(peer_shard,
+                    encode_hello(config.shard_id, config.shards, node_count));
+        validate_hello(read_record(peer_shard), peer_shard);
+        // The handshake read may have pulled post-HELLO records (an
+        // eager peer's first frames/barrier) into the reassembler;
+        // surface them now — pump_once only drains after fresh bytes.
+        while (auto record = reassemblers[peer_shard].next()) {
+          dispatch_record(peer_shard, *record);
+        }
+        return;
+      }
+      SNAP_REQUIRE_MSG(attempt < config.max_retries,
+                       "shard " << config.shard_id
+                                << " could not reach peer shard "
+                                << peer_shard << " after "
+                                << config.max_retries << " retries");
+      ++stats.reconnects;
+      sleep_seconds(backoff);
+      backoff *= 2.0;
+    }
+  }
+
+  void accept_peers() {
+    std::size_t expected = 0;
+    for (std::size_t s = config.shard_id + 1; s < config.shards; ++s) {
+      ++expected;
+    }
+    for (std::size_t i = 0; i < expected; ++i) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+      SNAP_REQUIRE_MSG(ready > 0, "shard " << config.shard_id
+                                           << " timed out waiting for "
+                                           << (expected - i)
+                                           << " peer connection(s)");
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      SNAP_REQUIRE_MSG(fd >= 0, "accept: " << std::strerror(errno));
+      if (config.kind == TransportKind::kTcp) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      // The connector speaks first; its HELLO tells us who it is.
+      // Park the fd in a slot we can read from before we know the id.
+      accept_handshake(fd);
+    }
+  }
+
+  void accept_handshake(int fd) {
+    FrameReassembler reassembler;
+    std::vector<std::byte> body;
+    while (true) {
+      if (auto record = reassembler.next()) {
+        body = std::move(*record);
+        break;
+      }
+      std::byte chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      SNAP_REQUIRE_MSG(n > 0, "inbound peer closed during handshake");
+      stats.os_bytes_received += static_cast<std::uint64_t>(n);
+      reassembler.feed({chunk, static_cast<std::size_t>(n)});
+    }
+    common::ByteReader reader(body);
+    reader.read_u8();  // type, validated below
+    reader.read_u32();
+    reader.read_u32();
+    const std::uint32_t shard = reader.read_u32();
+    SNAP_REQUIRE_MSG(reader.ok() && shard < config.shards &&
+                         shard > config.shard_id,
+                     "inbound HELLO from unexpected shard id " << shard);
+    SNAP_REQUIRE_MSG(peer_fds[shard] < 0,
+                     "duplicate connection from shard " << shard);
+    peer_fds[shard] = fd;
+    // Leftover bytes read past the HELLO belong to the link's stream.
+    validate_hello(body, shard);
+    while (auto extra = reassembler.next()) {
+      dispatch_record(shard, *extra);
+    }
+    // Whatever partial bytes remain migrate to the per-peer reassembler.
+    // (FrameReassembler has no splice; rendezvous sends nothing after
+    // HELLO until our reply, so the stream is empty here by protocol.)
+    SNAP_REQUIRE(reassembler.buffered_bytes() == 0);
+    send_record(shard,
+                encode_hello(config.shard_id, config.shards, node_count));
+  }
+
+  // --- steady state -------------------------------------------------
+
+  void dispatch_record(std::size_t peer_shard,
+                       std::span<const std::byte> body) {
+    SNAP_REQUIRE_MSG(!body.empty(),
+                     "empty record from peer shard " << peer_shard);
+    const auto type = static_cast<std::uint8_t>(body[0]);
+    if (type == kRecordFrame) {
+      std::optional<WireRecord> record = decode_wire_record(body);
+      SNAP_REQUIRE_MSG(record.has_value(), "malformed frame record from "
+                                           "peer shard "
+                                               << peer_shard);
+      ++stats.frames_received;
+      pending_frames[record->flip].push_back(std::move(*record));
+      return;
+    }
+    if (type == kRecordBarrier) {
+      common::ByteReader reader(body);
+      reader.read_u8();
+      const std::uint64_t flip = reader.read_u64();
+      SNAP_REQUIRE(reader.ok());
+      const bool fresh = barriers_seen[flip].insert(peer_shard).second;
+      SNAP_REQUIRE_MSG(fresh, "duplicate barrier for flip "
+                                  << flip << " from peer shard "
+                                  << peer_shard);
+      return;
+    }
+    SNAP_REQUIRE_MSG(false, "unexpected record type "
+                                << static_cast<int>(type)
+                                << " from peer shard " << peer_shard);
+  }
+
+  /// Waits for readable peer bytes, reads them, surfaces records.
+  void pump_once() {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> owners;
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      if (peer_fds[s] >= 0) {
+        pfds.push_back({peer_fds[s], POLLIN, 0});
+        owners.push_back(s);
+      }
+    }
+    SNAP_REQUIRE_MSG(!pfds.empty(),
+                     "shard " << config.shard_id
+                              << " is waiting on peers but every link "
+                                 "is closed");
+    const int ready = ::poll(pfds.data(),
+                             static_cast<nfds_t>(pfds.size()),
+                             kPollTimeoutMs);
+    SNAP_REQUIRE_MSG(ready > 0, "shard " << config.shard_id
+                                         << " stalled waiting for peer "
+                                            "traffic (peer crashed?)");
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t shard = owners[i];
+      std::byte chunk[65536];
+      const ssize_t n = ::recv(peer_fds[shard], chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      SNAP_REQUIRE_MSG(n >= 0, "recv from peer shard "
+                                   << shard << " failed: "
+                                   << std::strerror(errno));
+      if (n == 0) {
+        // Orderly close. A peer that finished its last flip tears its
+        // hub down while slower shards still pump; its final barrier
+        // was queued ahead of the FIN, so if we still needed anything
+        // from it, finish_flip's missing-barrier check catches that.
+        ::close(peer_fds[shard]);
+        peer_fds[shard] = -1;
+        peer_eof[shard] = true;
+        SNAP_REQUIRE_MSG(reassemblers[shard].buffered_bytes() == 0,
+                         "peer shard " << shard
+                                       << " closed mid-record");
+        continue;
+      }
+      stats.os_bytes_received += static_cast<std::uint64_t>(n);
+      reassemblers[shard].feed({chunk, static_cast<std::size_t>(n)});
+      while (auto record = reassemblers[shard].next()) {
+        dispatch_record(shard, *record);
+      }
+    }
+  }
+};
+
+SocketHub::SocketHub(const TransportConfig& config, std::size_t node_count)
+    : impl_(std::make_unique<Impl>()) {
+  SNAP_REQUIRE(config.kind != TransportKind::kSim);
+  SNAP_REQUIRE(config.shards >= 1 && config.shard_id < config.shards);
+  SNAP_REQUIRE_MSG(config.shards == 1 || !config.rendezvous_dir.empty(),
+                   "multi-shard transport needs a rendezvous directory");
+  SNAP_REQUIRE_MSG(node_count >= config.shards,
+                   "more shards (" << config.shards << ") than nodes ("
+                                   << node_count << ")");
+  impl_->config = config;
+  impl_->node_count = node_count;
+  impl_->peer_fds.assign(config.shards, -1);
+  impl_->reassemblers.resize(config.shards);
+  impl_->peer_eof.assign(config.shards, false);
+  if (config.shards == 1) return;  // degenerate mesh: no peers
+  impl_->bind_and_publish();
+  // Dial lower-numbered shards (their listeners exist or will shortly);
+  // higher-numbered shards dial us.
+  for (std::size_t s = 0; s < config.shard_id; ++s) {
+    impl_->connect_with_backoff(s);
+  }
+  impl_->accept_peers();
+}
+
+SocketHub::~SocketHub() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() errors are best-effort here.
+  }
+}
+
+std::size_t SocketHub::shard_id() const noexcept {
+  return impl_->config.shard_id;
+}
+
+std::size_t SocketHub::shard_count() const noexcept {
+  return impl_->config.shards;
+}
+
+void SocketHub::send_frame(std::size_t peer_shard,
+                           const WireRecord& record) {
+  SNAP_REQUIRE(peer_shard < impl_->config.shards &&
+               peer_shard != impl_->config.shard_id);
+  impl_->send_record(peer_shard, encode_wire_record(record));
+  ++impl_->stats.frames_sent;
+}
+
+std::vector<WireRecord> SocketHub::finish_flip(std::uint64_t flip) {
+  ++impl_->stats.flips;
+  const std::size_t peers = impl_->peer_count();
+  const std::vector<std::byte> barrier = encode_barrier(flip);
+  for (std::size_t s = 0; s < impl_->config.shards; ++s) {
+    // A peer at EOF already completed this flip (flip schedules are
+    // identical across replicas), so it no longer needs our barrier.
+    if (s != impl_->config.shard_id && impl_->peer_fds[s] >= 0) {
+      impl_->send_record(s, barrier);
+    }
+  }
+  while (impl_->barriers_seen[flip].size() < peers) {
+    for (std::size_t s = 0; s < impl_->config.shards; ++s) {
+      if (s == impl_->config.shard_id || !impl_->peer_eof[s]) continue;
+      SNAP_REQUIRE_MSG(impl_->barriers_seen[flip].contains(s),
+                       "peer shard " << s << " closed before its flip "
+                                     << flip
+                                     << " barrier (replicas diverged or "
+                                        "the peer crashed)");
+    }
+    impl_->pump_once();
+  }
+  impl_->barriers_seen.erase(flip);
+  std::vector<WireRecord> frames;
+  if (const auto it = impl_->pending_frames.find(flip);
+      it != impl_->pending_frames.end()) {
+    frames = std::move(it->second);
+    impl_->pending_frames.erase(it);
+  }
+  // A frame filed under an already-finished flip would have been
+  // consumed above; anything older still pending is a protocol bug.
+  if (!impl_->pending_frames.empty()) {
+    SNAP_REQUIRE_MSG(impl_->pending_frames.begin()->first > flip,
+                     "stale frames for flip "
+                         << impl_->pending_frames.begin()->first
+                         << " left behind at flip " << flip);
+  }
+  return frames;
+}
+
+SocketHubStats& SocketHub::stats() noexcept { return impl_->stats; }
+
+const SocketHubStats& SocketHub::stats() const noexcept {
+  return impl_->stats;
+}
+
+void SocketHub::write_stats() const {
+  if (impl_->config.rendezvous_dir.empty()) return;
+  std::ofstream out(impl_->artifact("stats"), std::ios::trunc);
+  if (!out.good()) return;  // stats are advisory; never fail the run
+  const SocketHubStats& s = impl_->stats;
+  out << "shard=" << impl_->config.shard_id << '\n'
+      << "shards=" << impl_->config.shards << '\n'
+      << "frames_sent=" << s.frames_sent << '\n'
+      << "frames_received=" << s.frames_received << '\n'
+      << "payload_bytes_sent=" << s.payload_bytes_sent << '\n'
+      << "charged_bytes_sent=" << s.charged_bytes_sent << '\n'
+      << "mismatched_frames=" << s.mismatched_frames << '\n'
+      << "os_bytes_sent=" << s.os_bytes_sent << '\n'
+      << "os_bytes_received=" << s.os_bytes_received << '\n'
+      << "reconnects=" << s.reconnects << '\n'
+      << "flips=" << s.flips << '\n';
+}
+
+void SocketHub::close() {
+  if (impl_->closed) return;
+  impl_->closed = true;
+  write_stats();
+  for (int& fd : impl_->peer_fds) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (!impl_->socket_path.empty()) ::unlink(impl_->socket_path.c_str());
+  if (!impl_->port_path.empty()) ::unlink(impl_->port_path.c_str());
+}
+
+}  // namespace snap::net

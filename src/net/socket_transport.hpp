@@ -1,0 +1,279 @@
+// Socket-backed transport: one OS process per shard of nodes.
+//
+// How K processes run one deterministic training run
+// --------------------------------------------------
+// Every shard process executes the *full* seeded replica — all n nodes'
+// phases, bit for bit the SimTransport trajectory — and the shards keep
+// each other honest through the wire: a frame whose sender the local
+// shard owns and whose receiver it does not is encoded with the
+// scheme's WireCodec and shipped to the receiver's owner over a real
+// socket; symmetrically, a frame *into* an owned node from a non-owned
+// sender is never taken from local memory — the locally computed copy
+// is dropped and the inbox entry is adopted from the bytes that crossed
+// the socket. Owned nodes therefore train on wire-decoded input for
+// every cross-shard edge: corrupt one byte in flight and the checksums/
+// structure checks reject the frame and the run aborts loudly, instead
+// of the replica silently papering over it.
+//
+// Ordering: the sim inbox order is global post order. Because every
+// replica executes the identical serial post sequence, a per-process
+// post counter (seq) is identical across shards; it rides the wire
+// header, dropped local copies remember the seq they expect, and the
+// flip merges local + wire messages back into ascending seq — the
+// bitwise sim order. A wire frame whose (seq, from, to) does not match
+// a dropped local copy means the replicas diverged: hard error.
+//
+// Rendezvous and barriers: shard k binds shard-<k>.sock (UDS) or an
+// ephemeral TCP port published as shard-<k>.port in the rendezvous
+// directory, connects to every lower-numbered shard with bounded
+// doubling backoff (FaultRecoveryConfig semantics), and validates a
+// HELLO (magic, protocol version, shard/node counts) per link. Each
+// flip_round sends the flip's frames plus a BARRIER record to every
+// peer, then reads — reassembling partial reads — until every peer's
+// barrier for that flip arrived. The per-round flip count is
+// deterministic, so barriers align across processes without a
+// coordinator.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/transport.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::net {
+
+/// One cross-shard frame as it travels inside a length-delimited
+/// record: routing header + codec payload.
+struct WireRecord {
+  std::uint64_t flip = 0;      ///< flip index the frame belongs to
+  std::uint64_t seq = 0;       ///< global post sequence (replica-aligned)
+  topology::NodeId from = 0;
+  topology::NodeId to = 0;
+  bool state_sync = false;
+  std::uint64_t charged_bytes = 0;  ///< wire_bytes the sender charged
+  std::vector<std::byte> payload;   ///< WireCodec output
+};
+
+/// Serializes a FRAME record body (no length prefix — the hub wraps it
+/// via FrameReassembler::frame). Exposed for the reassembly tests.
+std::vector<std::byte> encode_wire_record(const WireRecord& record);
+
+/// Parses a FRAME record body. nullopt on anything malformed.
+std::optional<WireRecord> decode_wire_record(
+    std::span<const std::byte> bytes);
+
+/// OS-level counters and per-frame byte parity for one shard process.
+struct SocketHubStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  /// Sum of codec payload bytes actually shipped (the frame image as it
+  /// exists on the wire, headers excluded).
+  std::uint64_t payload_bytes_sent = 0;
+  /// Sum of the wire_bytes the accounting charged for those frames.
+  std::uint64_t charged_bytes_sent = 0;
+  /// Frames whose codec image size differed from the charged size (the
+  /// oracle test requires 0: real bytes and charged encoded_frame_bytes
+  /// must agree per frame).
+  std::uint64_t mismatched_frames = 0;
+  /// Raw bytes handed to / taken from the OS, record framing included.
+  std::uint64_t os_bytes_sent = 0;
+  std::uint64_t os_bytes_received = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t flips = 0;
+};
+
+/// Byte-level peer mesh between shard processes (pimpl'd so this header
+/// stays free of OS socket headers).
+class SocketHub {
+ public:
+  /// Performs the whole rendezvous: bind + publish, connect to lower
+  /// shards with backoff, accept higher shards, HELLO-validate every
+  /// link. Throws common::ContractViolation on any protocol mismatch.
+  SocketHub(const TransportConfig& config, std::size_t node_count);
+  ~SocketHub();
+
+  SocketHub(const SocketHub&) = delete;
+  SocketHub& operator=(const SocketHub&) = delete;
+
+  std::size_t shard_id() const noexcept;
+  std::size_t shard_count() const noexcept;
+
+  /// Ships one frame record to `peer_shard`.
+  void send_frame(std::size_t peer_shard, const WireRecord& record);
+
+  /// Barrier for `flip`: sends BARRIER to every peer, reads until every
+  /// peer's barrier for `flip` arrived, and returns the frames received
+  /// for it (frames for later flips are buffered internally).
+  std::vector<WireRecord> finish_flip(std::uint64_t flip);
+
+  SocketHubStats& stats() noexcept;
+  const SocketHubStats& stats() const noexcept;
+
+  /// Writes shard-<id>.stats (key=value lines) into the rendezvous
+  /// directory — the artifact the parity test and the CLI report read.
+  void write_stats() const;
+
+  /// Graceful close: writes stats and unlinks this shard's rendezvous
+  /// artifacts (socket / port file). Idempotent; the destructor calls
+  /// it.
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The socket-backed Transport. See the file comment for the replica /
+/// adoption / ordering contract.
+template <typename Payload>
+class SocketTransport final : public Transport<Payload> {
+ public:
+  using Message = typename Transport<Payload>::Message;
+
+  SocketTransport(std::size_t node_count, const TransportConfig& config,
+                  WireCodec<Payload> codec)
+      : config_(config),
+        codec_(std::move(codec)),
+        node_count_(node_count),
+        hub_(config, node_count),
+        staged_(node_count),
+        inbox_(node_count) {
+    SNAP_REQUIRE(config_.kind != TransportKind::kSim);
+    SNAP_REQUIRE(config_.shards >= 1 && config_.shard_id < config_.shards);
+    SNAP_REQUIRE_MSG(codec_.encode != nullptr && codec_.decode != nullptr,
+                     "socket transport requires a wire codec");
+  }
+
+  TransportKind kind() const noexcept override { return config_.kind; }
+  std::size_t node_count() const noexcept override { return node_count_; }
+
+  bool owns(topology::NodeId node) const noexcept {
+    return shard_of_node(node, node_count_, config_.shards) ==
+           config_.shard_id;
+  }
+
+  void post(topology::NodeId from, topology::NodeId to, Payload payload,
+            std::size_t wire_bytes, bool state_sync) override {
+    this->charge(from, to, wire_bytes, state_sync);
+    const std::uint64_t seq = next_seq_++;
+    const bool from_owned = owns(from);
+    const bool to_owned = owns(to);
+    if (from_owned && !to_owned) {
+      // This shard is the frame's authoritative sender: put the real
+      // bytes on the wire toward the receiver's owner.
+      WireRecord record;
+      record.flip = flip_index_;
+      record.seq = seq;
+      record.from = from;
+      record.to = to;
+      record.state_sync = state_sync;
+      record.charged_bytes = wire_bytes;
+      record.payload = codec_.encode(payload);
+      if (wire_bytes > 0) {
+        hub_.stats().charged_bytes_sent += wire_bytes;
+        hub_.stats().payload_bytes_sent += record.payload.size();
+        if (record.payload.size() != wire_bytes) {
+          ++hub_.stats().mismatched_frames;
+        }
+      }
+      hub_.send_frame(shard_of_node(to, node_count_, config_.shards),
+                      record);
+    }
+    if (to_owned && !from_owned) {
+      // The authoritative copy is in flight from the sender's owner;
+      // drop the locally computed one and remember what must arrive.
+      expected_.emplace(seq, std::make_pair(from, to));
+      return;
+    }
+    staged_[to].push_back({seq, Message{from, std::move(payload)}});
+  }
+
+  void flip_round() override {
+    const std::vector<WireRecord> arrived = hub_.finish_flip(flip_index_);
+    for (const WireRecord& record : arrived) {
+      const auto it = expected_.find(record.seq);
+      SNAP_REQUIRE_MSG(
+          it != expected_.end() && it->second.first == record.from &&
+              it->second.second == record.to,
+          "shard " << config_.shard_id << " received wire frame seq "
+                   << record.seq << " (" << record.from << "->" << record.to
+                   << ") that matches no dropped local copy — shard "
+                      "replicas diverged");
+      expected_.erase(it);
+      std::optional<Payload> payload = codec_.decode(record.payload);
+      // Whole-frame adoption: a frame that fails decode (truncated,
+      // corrupted, checksum mismatch) aborts the run — it is never
+      // half-applied and never silently skipped.
+      SNAP_REQUIRE_MSG(payload.has_value(),
+                       "shard " << config_.shard_id
+                                << " failed to decode wire frame seq "
+                                << record.seq << " (" << record.payload.size()
+                                << " bytes) from node " << record.from);
+      SNAP_REQUIRE(record.to < node_count_ && owns(record.to));
+      staged_[record.to].push_back(
+          {record.seq, Message{record.from, std::move(*payload)}});
+    }
+    SNAP_REQUIRE_MSG(expected_.empty(),
+                     "shard " << config_.shard_id << " flip " << flip_index_
+                              << ": " << expected_.size()
+                              << " expected wire frame(s) never arrived");
+    for (topology::NodeId node = 0; node < node_count_; ++node) {
+      auto& slot = staged_[node];
+      // Restore global post order: local and wire entries merge by the
+      // replica-aligned sequence number (unique, so ties cannot occur).
+      std::sort(slot.begin(), slot.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      inbox_[node].clear();
+      inbox_[node].reserve(slot.size());
+      for (auto& [seq, message] : slot) {
+        inbox_[node].push_back(std::move(message));
+      }
+      slot.clear();
+    }
+    ++flip_index_;
+  }
+
+  const std::vector<Message>& inbox(
+      topology::NodeId node) const override {
+    SNAP_REQUIRE(node < node_count_);
+    return inbox_[node];
+  }
+
+  const SocketHubStats& wire_stats() const noexcept { return hub_.stats(); }
+
+  /// Writes shard-<id>.stats into the rendezvous dir (see SocketHub).
+  void write_stats() const { hub_.write_stats(); }
+
+ protected:
+  void enqueue(topology::NodeId /*from*/, topology::NodeId /*to*/,
+               Payload /*payload*/) override {
+    // post() is fully overridden; the base never routes through here.
+    SNAP_REQUIRE_MSG(false, "SocketTransport::enqueue is unreachable");
+  }
+
+ private:
+  TransportConfig config_;
+  WireCodec<Payload> codec_;
+  std::size_t node_count_ = 0;
+  SocketHub hub_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t flip_index_ = 0;
+  /// Per-destination staging: (seq, message), merged and sorted at flip.
+  std::vector<std::vector<std::pair<std::uint64_t, Message>>> staged_;
+  std::vector<std::vector<Message>> inbox_;
+  /// seq -> (from, to) of dropped local copies awaiting their wire twin.
+  std::map<std::uint64_t, std::pair<topology::NodeId, topology::NodeId>>
+      expected_;
+};
+
+}  // namespace snap::net

@@ -1,0 +1,209 @@
+// The transport seam: how frames move between nodes.
+//
+// Every round fabric used to write straight into a RoundMailbox — an
+// in-memory copy masquerading as a network. Transport<Payload> makes
+// that delivery path a pluggable backend with one contract:
+//
+//   post(from, to, payload, wire_bytes, state_sync)   [charge + queue]
+//   flip_round()                                      [delivery barrier]
+//   inbox(node)                                       [what arrived]
+//
+// Two backends implement it:
+//
+//   - SimTransport — the deterministic oracle. A RoundMailbox behind
+//     the seam, bitwise identical to the pre-seam fabrics: same inbox
+//     order (global post order), same byte accounting, same everything.
+//
+//   - SocketTransport (socket_transport.hpp) — one OS process per
+//     shard of nodes, frames crossing shard boundaries encoded with the
+//     scheme's WireCodec and carried over Unix-domain or TCP sockets
+//     with length-delimited framing and partial-read reassembly.
+//
+// The oracle contract that makes the socket backend safe: identical
+// seeds must produce bitwise-identical learning trajectories on both
+// backends — only wall-clock timing and OS-level byte counts differ.
+// tests/transport_parity_test.cpp enforces it.
+//
+// Wire-cost charging lives *behind* the seam (charge()): both backends
+// run the identical accounting code against the fabric's CostTracker,
+// so bytes/round and hop-weighted cost are computed identically whether
+// a frame crossed a socket or a memcpy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/mailbox.hpp"
+#include "topology/graph.hpp"
+
+namespace snap::net {
+
+/// Which delivery backend carries the frames.
+enum class TransportKind {
+  kSim,  ///< in-process RoundMailbox (the deterministic oracle; default)
+  kUds,  ///< multi-process, Unix-domain sockets
+  kTcp,  ///< multi-process, TCP loopback sockets
+};
+
+std::string_view transport_name(TransportKind kind) noexcept;
+
+/// Parses "sim" / "uds" / "tcp" (CLI spelling). Empty optional on
+/// anything else.
+std::optional<TransportKind> parse_transport_kind(
+    std::string_view name) noexcept;
+
+/// Everything the socket backend needs to find its peers. Unused when
+/// kind == kSim.
+struct TransportConfig {
+  TransportKind kind = TransportKind::kSim;
+  /// Total shard processes in the run (>= 1).
+  std::size_t shards = 1;
+  /// Which shard THIS process is (0-based).
+  std::size_t shard_id = 0;
+  /// Directory holding the rendezvous artifacts: shard-<k>.sock (UDS),
+  /// shard-<k>.port (TCP), shard-<k>.stats. Must exist before the
+  /// transport is constructed; short paths only for UDS (sun_path).
+  std::string rendezvous_dir;
+  /// Reconnect-with-backoff knobs, same semantics as the fault layer's
+  /// FaultRecoveryConfig: the first retry waits retry_backoff_s and
+  /// each further attempt doubles it, bounded by max_retries. The
+  /// defaults tolerate ~20 s of shard start-up skew at the rendezvous.
+  double retry_backoff_s = 0.02;
+  std::size_t max_retries = 10;
+};
+
+/// Contiguous-block shard ownership: shard k owns node ids
+/// [k·⌈n/K⌉, (k+1)·⌈n/K⌉) clipped to n, with the last shard absorbing
+/// the remainder. Contiguous blocks keep shard-ordered folds identical
+/// to node-ordered ones, which the parity contract leans on.
+std::size_t shard_of_node(topology::NodeId node, std::size_t node_count,
+                          std::size_t shards) noexcept;
+
+/// Byte-level codec the socket backend uses to move a typed payload
+/// across a process boundary. Must be lossless and deterministic:
+/// decode(encode(p)) reproduces p bit for bit (doubles included), and
+/// encode(p).size() must equal the wire_bytes charged for the frame —
+/// the per-frame parity the oracle test asserts. decode returns nullopt
+/// on any malformed buffer; the transport treats that as a hard error
+/// (a frame is adopted whole or not at all, never partially).
+template <typename Payload>
+struct WireCodec {
+  std::function<std::vector<std::byte>(const Payload&)> encode;
+  std::function<std::optional<Payload>(std::span<const std::byte>)> decode;
+};
+
+/// The seam the fabrics deliver through. Round-structured: frames
+/// posted since the last flip become readable at the next flip, per
+/// destination, in global post order (the determinism contract the
+/// pre-seam mailbox gave the fabrics).
+template <typename Payload>
+class Transport {
+ public:
+  using Message = typename RoundMailbox<Payload>::Message;
+
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const noexcept = 0;
+  virtual std::size_t node_count() const noexcept = 0;
+
+  /// Attaches the run's cost tracker (nullptr = no accounting). Borrowed,
+  /// not owned; must outlive the transport's last post.
+  void attach_cost(CostTracker* cost) noexcept { cost_ = cost; }
+
+  /// Charges and queues one frame for delivery at the next flip.
+  /// wire_bytes == 0 marks a free co-located hand-off (no charge).
+  virtual void post(topology::NodeId from, topology::NodeId to,
+                    Payload payload, std::size_t wire_bytes,
+                    bool state_sync) {
+    charge(from, to, wire_bytes, state_sync);
+    enqueue(from, to, std::move(payload));
+  }
+
+  /// Charges a frame that crossed the wire but is never delivered
+  /// (fault-injected corruption): identical accounting on every
+  /// backend, no delivery.
+  void charge(topology::NodeId from, topology::NodeId to,
+              std::size_t wire_bytes, bool state_sync) {
+    if (cost_ != nullptr && wire_bytes > 0) {
+      cost_->record_flow(from, to, wire_bytes);
+    }
+    if (state_sync) state_sync_bytes_ += wire_bytes;
+  }
+
+  /// Marks the start of round `round` (fabric clock). Resets the
+  /// per-round STATE_SYNC tally; backends may extend (the socket
+  /// backend stamps its wire headers with it).
+  virtual void begin_round(std::size_t round) {
+    round_ = round;
+    state_sync_bytes_ = 0;
+  }
+
+  /// Delivery barrier: everything posted becomes readable, the posting
+  /// buffers reset. Fabrics may flip several times per round (reply
+  /// waves); the flip count per round is deterministic, which is what
+  /// lets the socket backend align its barriers across processes.
+  virtual void flip_round() = 0;
+
+  /// Messages delivered to `node` by the last flip, in global post
+  /// order.
+  virtual const std::vector<Message>& inbox(
+      topology::NodeId node) const = 0;
+
+  /// STATE_SYNC bytes charged since begin_round (IterationStats).
+  std::uint64_t state_sync_bytes() const noexcept {
+    return state_sync_bytes_;
+  }
+
+  /// Current fabric round (1-based; 0 before the first begin_round).
+  std::size_t round() const noexcept { return round_; }
+
+ protected:
+  /// Queues one already-charged frame.
+  virtual void enqueue(topology::NodeId from, topology::NodeId to,
+                       Payload payload) = 0;
+
+ private:
+  CostTracker* cost_ = nullptr;
+  std::uint64_t state_sync_bytes_ = 0;
+  std::size_t round_ = 0;
+};
+
+/// The deterministic oracle: the pre-seam RoundMailbox, verbatim.
+template <typename Payload>
+class SimTransport final : public Transport<Payload> {
+ public:
+  using Message = typename Transport<Payload>::Message;
+
+  explicit SimTransport(std::size_t node_count) : mailbox_(node_count) {}
+
+  TransportKind kind() const noexcept override {
+    return TransportKind::kSim;
+  }
+  std::size_t node_count() const noexcept override {
+    return mailbox_.node_count();
+  }
+  void flip_round() override { mailbox_.flip_round(); }
+  const std::vector<Message>& inbox(
+      topology::NodeId node) const override {
+    return mailbox_.inbox(node);
+  }
+
+ protected:
+  void enqueue(topology::NodeId from, topology::NodeId to,
+               Payload payload) override {
+    mailbox_.post(from, to, std::move(payload));
+  }
+
+ private:
+  RoundMailbox<Payload> mailbox_;
+};
+
+}  // namespace snap::net

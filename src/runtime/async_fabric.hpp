@@ -82,6 +82,7 @@
 #include "core/training.hpp"
 #include "net/cost_model.hpp"
 #include "net/event_queue.hpp"
+#include "net/transport.hpp"
 #include "runtime/fabric.hpp"
 
 namespace snap::runtime {
@@ -89,8 +90,19 @@ namespace snap::runtime {
 template <typename Payload>
 class AsyncFabric final : public RoundFabric<Payload> {
  public:
-  AsyncFabric(const FabricConfig& config, const AsyncTimingConfig& timing)
+  /// Delivery here is native to the event queue — a frame's arrival
+  /// *time* is the model — so the round-structured Transport seam
+  /// cannot carry it. The parameter exists so make_fabric has one
+  /// signature across fabrics; only the sim kind (or none) is accepted,
+  /// and socket-backed runs must use the sync/gossip fabrics.
+  AsyncFabric(const FabricConfig& config, const AsyncTimingConfig& timing,
+              std::unique_ptr<net::Transport<Payload>> transport = nullptr)
       : config_(config), timing_(timing), pool_(config.threads) {
+    SNAP_REQUIRE_MSG(
+        transport == nullptr ||
+            transport->kind() == net::TransportKind::kSim,
+        "the async fabric delivers on the event queue; socket transports "
+        "are not supported (use --fabric=sync or --fabric=gossip)");
     SNAP_REQUIRE(timing_.compute_s > 0.0);
     SNAP_REQUIRE(timing_.nic_bandwidth_bytes_per_s > 0.0);
     SNAP_REQUIRE(timing_.link_latency_s >= 0.0);

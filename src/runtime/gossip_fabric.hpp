@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "runtime/gossip.hpp"
@@ -34,8 +36,10 @@ namespace snap::runtime {
 template <typename Payload>
 class GossipFabric final : public SyncFabric<Payload> {
  public:
-  GossipFabric(const FabricConfig& config, const GossipConfig& gossip)
-      : SyncFabric<Payload>(config), gossip_(gossip) {}
+  GossipFabric(const FabricConfig& config, const GossipConfig& gossip,
+               std::unique_ptr<net::Transport<Payload>> transport = nullptr)
+      : SyncFabric<Payload>(config, std::move(transport)),
+        gossip_(gossip) {}
 
   const GossipConfig& gossip_config() const noexcept { return gossip_; }
 

@@ -12,17 +12,25 @@
 
 namespace snap::runtime {
 
+/// `transport` is the delivery backend the fabric moves frames through
+/// (nullptr = the in-process SimTransport, the deterministic default).
+/// The fabric takes ownership. The async fabric accepts only nullptr or
+/// a sim transport — its delivery is native to the event queue.
 template <typename Payload>
 std::unique_ptr<RoundFabric<Payload>> make_fabric(
     FabricKind kind, const FabricConfig& config,
-    const AsyncTimingConfig& timing = {}, const GossipConfig& gossip = {}) {
+    const AsyncTimingConfig& timing = {}, const GossipConfig& gossip = {},
+    std::unique_ptr<net::Transport<Payload>> transport = nullptr) {
   switch (kind) {
     case FabricKind::kSync:
-      return std::make_unique<SyncFabric<Payload>>(config);
+      return std::make_unique<SyncFabric<Payload>>(config,
+                                                   std::move(transport));
     case FabricKind::kAsync:
-      return std::make_unique<AsyncFabric<Payload>>(config, timing);
+      return std::make_unique<AsyncFabric<Payload>>(config, timing,
+                                                    std::move(transport));
     case FabricKind::kGossip:
-      return std::make_unique<GossipFabric<Payload>>(config, gossip);
+      return std::make_unique<GossipFabric<Payload>>(config, gossip,
+                                                     std::move(transport));
   }
   return nullptr;
 }

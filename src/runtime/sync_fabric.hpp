@@ -6,22 +6,29 @@
 //
 //   - parallel phases (local_update, collect, mix) fan out on the pool
 //     and write only node-owned slots of preallocated buffers;
-//   - everything stateful — mailbox posts, CostTracker charges, the
+//   - everything stateful — transport posts, CostTracker charges, the
 //     convergence detector — replays serially in ascending node order
 //     from those buffers.
 //
 // Results are therefore bitwise identical for every `threads` value,
 // and bitwise identical to the pre-refactor per-scheme loops.
 //
-// Mix-phase replies (MessageSink) are delivered in follow-up mailbox
+// Frames move through the net::Transport seam: the in-process
+// SimTransport by default (the deterministic oracle), or an injected
+// SocketTransport that carries cross-shard frames over real sockets —
+// the fabric code is identical either way, which is what the oracle
+// parity contract rests on.
+//
+// Mix-phase replies (MessageSink) are delivered in follow-up delivery
 // waves within the same round: sends staged during wave w are posted
-// serially in sender order, the mailbox flips, and wave w+1 runs mix on
-// the nodes that received something — exactly how the parameter
+// serially in sender order, the transport flips, and wave w+1 runs mix
+// on the nodes that received something — exactly how the parameter
 // server's gradient-up/parameters-down round decomposes.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -30,7 +37,7 @@
 #include "common/thread_pool.hpp"
 #include "core/training.hpp"
 #include "net/cost_model.hpp"
-#include "net/mailbox.hpp"
+#include "net/transport.hpp"
 #include "runtime/fabric.hpp"
 
 namespace snap::runtime {
@@ -38,8 +45,15 @@ namespace snap::runtime {
 template <typename Payload>
 class SyncFabric : public RoundFabric<Payload> {
  public:
-  explicit SyncFabric(const FabricConfig& config)
-      : config_(config), pool_(config.threads) {
+  /// `transport` carries the frames (nullptr = build a SimTransport at
+  /// first use — the deterministic default). The fabric owns it and
+  /// attaches its CostTracker, so byte accounting runs behind the seam
+  /// identically on every backend.
+  explicit SyncFabric(const FabricConfig& config,
+                      std::unique_ptr<net::Transport<Payload>> transport =
+                          nullptr)
+      : config_(config), pool_(config.threads),
+        transport_(std::move(transport)) {
     if (config_.graph != nullptr) {
       // Tolerant routing: latent elastic-membership joiners are
       // isolated until their join round, so the graph may be
@@ -52,6 +66,10 @@ class SyncFabric : public RoundFabric<Payload> {
   }
 
   common::ThreadPool& pool() noexcept override { return pool_; }
+
+  /// The delivery backend (nullptr until the first round when the
+  /// default SimTransport is built lazily).
+  net::Transport<Payload>* transport() noexcept { return transport_.get(); }
 
   /// Under the shared clock there is no silence ambiguity: a neighbor
   /// is suspected exactly when the injector has confirmed its crash.
@@ -72,8 +90,11 @@ class SyncFabric : public RoundFabric<Payload> {
     current_round_ = round;
     round_frames_dropped_ = 0;
     round_frames_corrupted_ = 0;
-    round_state_sync_bytes_ = 0;
     round_links_activated_ = 0;
+    // Resets the transport's per-round tallies (STATE_SYNC bytes) and,
+    // on the socket backend, stamps the round onto the wire clock —
+    // before the churn hook, whose handoff frames belong to this round.
+    transport_->begin_round(round);
 
     // Materialize this round's fault schedule and surface confirmed
     // churn before any phase runs, so the scheme reacts (re-projected
@@ -192,7 +213,7 @@ class SyncFabric : public RoundFabric<Payload> {
         stats.alive_nodes = config_.faults->alive_member_count(round);
         stats.nodes_joined =
             config_.faults->churn_delta(round).joined.size();
-        stats.state_sync_bytes = round_state_sync_bytes_;
+        stats.state_sync_bytes = transport_->state_sync_bytes();
       } else {
         stats.alive_nodes = hooks.node_count;
       }
@@ -249,7 +270,14 @@ class SyncFabric : public RoundFabric<Payload> {
     if (staged_.size() != n) {
       staged_.assign(n, {});
       replies_.assign(n, {});
-      mailbox_.emplace(n);
+      if (transport_ == nullptr) {
+        transport_ = std::make_unique<net::SimTransport<Payload>>(n);
+      }
+      SNAP_REQUIRE_MSG(transport_->node_count() == n,
+                       "transport built for " << transport_->node_count()
+                                              << " nodes, hooks declare "
+                                              << n);
+      transport_->attach_cost(cost_ ? &*cost_ : nullptr);
     }
   }
 
@@ -262,12 +290,15 @@ class SyncFabric : public RoundFabric<Payload> {
     }
   }
 
-  /// Charges and posts one envelope. wire_bytes == 0 marks a co-located
-  /// hand-off: nothing crosses the network and nothing is charged (the
-  /// mailbox still carries it so the receiver's mix phase is uniform).
-  /// With a FaultInjector: frames on a down link (or touching a down
-  /// node) are lost before the wire; corrupted frames cross the wire —
-  /// and are charged — but fail decode and are never delivered.
+  /// Charges and posts one envelope through the transport seam.
+  /// wire_bytes == 0 marks a co-located hand-off: nothing crosses the
+  /// network and nothing is charged (the transport still carries it so
+  /// the receiver's mix phase is uniform). With a FaultInjector: frames
+  /// on a down link (or touching a down node) are lost before the wire;
+  /// corrupted frames cross the wire — and are charged — but fail
+  /// decode and are never delivered. The fault draws are seeded, so
+  /// every shard replica resolves them identically and corrupted frames
+  /// never need to travel.
   void post(topology::NodeId from, Envelope<Payload> envelope,
             std::size_t round) {
     if (net::FaultInjector* faults = config_.faults;
@@ -281,17 +312,14 @@ class SyncFabric : public RoundFabric<Payload> {
       }
       if (envelope.wire_bytes > 0 &&
           faults->frame_corrupted(round, from, envelope.to, 0)) {
-        if (cost_) cost_->record_flow(from, envelope.to, envelope.wire_bytes);
-        if (envelope.state_sync) round_state_sync_bytes_ += envelope.wire_bytes;
+        transport_->charge(from, envelope.to, envelope.wire_bytes,
+                           envelope.state_sync);
         ++round_frames_corrupted_;
         return;
       }
     }
-    if (cost_ && envelope.wire_bytes > 0) {
-      cost_->record_flow(from, envelope.to, envelope.wire_bytes);
-    }
-    if (envelope.state_sync) round_state_sync_bytes_ += envelope.wire_bytes;
-    mailbox_->post(from, envelope.to, std::move(envelope.payload));
+    transport_->post(from, envelope.to, std::move(envelope.payload),
+                     envelope.wire_bytes, envelope.state_sync);
   }
 
   /// Flips the mailbox and runs mix waves until no node replies. Wave 1
@@ -303,14 +331,14 @@ class SyncFabric : public RoundFabric<Payload> {
     constexpr std::size_t kMaxWaves = 8;
     StagingSink sink(&replies_);
     for (std::size_t wave = 0; wave < kMaxWaves; ++wave) {
-      mailbox_->flip_round();
+      transport_->flip_round();
       // Receivers touch only their own state (and their own reply
       // slot), so the wave fans out; replies replay serially below.
       run_per_node(n, hooks.parallel_mix, [&](topology::NodeId i) {
         if (config_.faults != nullptr && config_.faults->node_down(round, i)) {
           return;  // a down node processes nothing this round
         }
-        const auto& inbox = mailbox_->inbox(i);
+        const auto& inbox = transport_->inbox(i);
         hooks.mix(i, std::span<const Delivery<Payload>>(inbox), sink);
       });
       bool any_reply = false;
@@ -324,7 +352,7 @@ class SyncFabric : public RoundFabric<Payload> {
       if (!any_reply) {
         // Drain the (empty) outgoing buffers so the next round's inbox
         // does not replay this wave's messages.
-        mailbox_->flip_round();
+        transport_->flip_round();
         return;
       }
     }
@@ -335,13 +363,12 @@ class SyncFabric : public RoundFabric<Payload> {
   FabricConfig config_;
   common::ThreadPool pool_;
   std::optional<net::CostTracker> cost_;
-  std::optional<net::RoundMailbox<Payload>> mailbox_;
+  std::unique_ptr<net::Transport<Payload>> transport_;
   std::vector<std::vector<Envelope<Payload>>> staged_;
   std::vector<std::vector<Envelope<Payload>>> replies_;
   std::size_t current_round_ = 0;
   std::uint64_t round_frames_dropped_ = 0;
   std::uint64_t round_frames_corrupted_ = 0;
-  std::uint64_t round_state_sync_bytes_ = 0;
 };
 
 }  // namespace snap::runtime

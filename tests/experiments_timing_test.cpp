@@ -1,10 +1,10 @@
-#include "experiments/timing.hpp"
+#include "runtime/timing.hpp"
 
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
 
-namespace snap::experiments {
+namespace snap::runtime {
 namespace {
 
 TEST(TimingModelTest, RoundDurationComposition) {
@@ -77,4 +77,4 @@ TEST(GradientFlopsTest, ScalesWithParamsAndSamples) {
 }
 
 }  // namespace
-}  // namespace snap::experiments
+}  // namespace snap::runtime

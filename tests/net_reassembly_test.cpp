@@ -1,0 +1,206 @@
+// FrameReassembler: a stream socket delivers bytes, not records — the
+// reassembler must reproduce every record byte-exactly no matter how
+// the stream is split across reads, surface records whole or not at
+// all, and poison the stream on a garbage length prefix instead of
+// buffering unboundedly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "net/frame.hpp"
+#include "net/reassembly.hpp"
+#include "net/socket_transport.hpp"
+
+namespace snap::net {
+namespace {
+
+std::vector<std::byte> pattern_payload(std::size_t size,
+                                       std::uint8_t salt) {
+  std::vector<std::byte> payload(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<std::byte>((i * 131 + salt) & 0xFF);
+  }
+  return payload;
+}
+
+TEST(FrameReassemblerTest, RoundTripsSingleRecord) {
+  const auto payload = pattern_payload(37, 1);
+  FrameReassembler reassembler;
+  reassembler.feed(FrameReassembler::frame(payload));
+  const auto record = reassembler.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(*record, payload);
+  EXPECT_FALSE(reassembler.next().has_value());
+  EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+}
+
+TEST(FrameReassemblerTest, EmptyRecordIsLegal) {
+  FrameReassembler reassembler;
+  reassembler.feed(FrameReassembler::frame({}));
+  const auto record = reassembler.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->empty());
+}
+
+TEST(FrameReassemblerTest, OneByteAtATimeAcrossRecordBoundaries) {
+  // The adversarial split: every read() returns one byte, across three
+  // back-to-back records of different sizes (including zero).
+  const std::vector<std::vector<std::byte>> payloads = {
+      pattern_payload(5, 2), pattern_payload(0, 3), pattern_payload(64, 4)};
+  std::vector<std::byte> stream;
+  for (const auto& p : payloads) {
+    const auto framed = FrameReassembler::frame(p);
+    stream.insert(stream.end(), framed.begin(), framed.end());
+  }
+  FrameReassembler reassembler;
+  std::vector<std::vector<std::byte>> records;
+  for (const std::byte b : stream) {
+    reassembler.feed({&b, 1});
+    while (auto record = reassembler.next()) {
+      records.push_back(std::move(*record));
+    }
+  }
+  EXPECT_EQ(records, payloads);
+  EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+}
+
+TEST(FrameReassemblerTest, RandomSplitsReassembleByteExactly) {
+  common::Rng rng(2020);
+  for (int trial = 0; trial < 50; ++trial) {
+    // A batch of records with random sizes, concatenated, then fed in
+    // random-length chunks that ignore record boundaries entirely.
+    const std::size_t count = 1 + rng.uniform_u64(8);
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<std::byte> stream;
+    for (std::size_t i = 0; i < count; ++i) {
+      payloads.push_back(
+          pattern_payload(rng.uniform_u64(300),
+                          static_cast<std::uint8_t>(rng.uniform_u64(256))));
+      const auto framed = FrameReassembler::frame(payloads.back());
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+    FrameReassembler reassembler;
+    std::vector<std::vector<std::byte>> records;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          1 + rng.uniform_u64(stream.size() - offset);
+      reassembler.feed({stream.data() + offset, chunk});
+      offset += chunk;
+      while (auto record = reassembler.next()) {
+        records.push_back(std::move(*record));
+      }
+    }
+    EXPECT_EQ(records, payloads);
+    EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameReassemblerTest, PartialRecordStaysBuffered) {
+  const auto payload = pattern_payload(100, 9);
+  const auto framed = FrameReassembler::frame(payload);
+  FrameReassembler reassembler;
+  reassembler.feed({framed.data(), framed.size() - 1});
+  EXPECT_FALSE(reassembler.next().has_value());
+  EXPECT_EQ(reassembler.buffered_bytes(), framed.size() - 1);
+  reassembler.feed({framed.data() + framed.size() - 1, 1});
+  const auto record = reassembler.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(*record, payload);
+}
+
+TEST(FrameReassemblerTest, OversizedPrefixPoisonsTheStream) {
+  // A length prefix above the cap is unrecoverable garbage: the stream
+  // poisons instead of waiting for 4 GiB that will never arrive.
+  FrameReassembler reassembler(/*max_record_bytes=*/64);
+  const std::vector<std::byte> prefix = {
+      std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF}, std::byte{0x7F}};
+  reassembler.feed(prefix);  // bytes alone are fine; the parse poisons
+  EXPECT_THROW(reassembler.next(), common::ContractViolation);
+  // Once poisoned, the stream is dead for good.
+  EXPECT_THROW(reassembler.feed(prefix), common::ContractViolation);
+  EXPECT_THROW(reassembler.next(), common::ContractViolation);
+}
+
+TEST(FrameReassemblerTest, RecordAtExactlyTheCapIsAccepted) {
+  FrameReassembler reassembler(/*max_record_bytes=*/64);
+  const auto payload = pattern_payload(64, 5);
+  reassembler.feed(FrameReassembler::frame(payload));
+  const auto record = reassembler.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(*record, payload);
+}
+
+TEST(FrameReassemblerTest, ManySmallRecordsTriggerCompaction) {
+  // Push enough consumed bytes through one reassembler that the
+  // internal buffer compaction fires; records must stay byte-exact.
+  FrameReassembler reassembler;
+  for (int i = 0; i < 500; ++i) {
+    const auto payload =
+        pattern_payload(48, static_cast<std::uint8_t>(i & 0xFF));
+    reassembler.feed(FrameReassembler::frame(payload));
+    const auto record = reassembler.next();
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(*record, payload);
+  }
+  EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+}
+
+TEST(WireRecordTest, RoundTripsThroughEncodeDecode) {
+  WireRecord record;
+  record.flip = 41;
+  record.seq = 7777;
+  record.from = 3;
+  record.to = 12;
+  record.state_sync = true;
+  record.charged_bytes = 999;
+  record.payload = pattern_payload(23, 6);
+  const auto decoded = decode_wire_record(encode_wire_record(record));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flip, record.flip);
+  EXPECT_EQ(decoded->seq, record.seq);
+  EXPECT_EQ(decoded->from, record.from);
+  EXPECT_EQ(decoded->to, record.to);
+  EXPECT_EQ(decoded->state_sync, record.state_sync);
+  EXPECT_EQ(decoded->charged_bytes, record.charged_bytes);
+  EXPECT_EQ(decoded->payload, record.payload);
+}
+
+TEST(WireRecordTest, TruncatedOrMalformedRecordsAreRejected) {
+  WireRecord record;
+  record.payload = pattern_payload(8, 7);
+  auto bytes = encode_wire_record(record);
+  // Truncated below the fixed header.
+  EXPECT_FALSE(
+      decode_wire_record({bytes.data(), 10}).has_value());
+  // Wrong record-type byte.
+  auto wrong_type = bytes;
+  wrong_type[0] = std::byte{99};
+  EXPECT_FALSE(decode_wire_record(wrong_type).has_value());
+  // state_sync flag outside {0, 1}.
+  auto bad_flag = bytes;
+  bad_flag[1 + 8 + 8 + 4 + 4] = std::byte{2};
+  EXPECT_FALSE(decode_wire_record(bad_flag).has_value());
+}
+
+TEST(WireRecordTest, CorruptedStateSyncPayloadFailsWholeFrameDecode) {
+  // End-to-end over the reassembler: a STATE_SYNC frame whose payload
+  // was corrupted in flight reassembles fine (framing is intact) but
+  // the checksummed codec rejects the whole frame — no partial adopt.
+  std::vector<double> values = {1.0, -2.5, 3.25, 0.0, 7.75};
+  auto payload = encode_state_sync_frame(values);
+  FrameReassembler reassembler;
+  auto framed = FrameReassembler::frame(payload);
+  framed[framed.size() / 2] ^= std::byte{0x40};
+  reassembler.feed(framed);
+  const auto record = reassembler.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_FALSE(decode_state_sync_frame(*record).has_value());
+}
+
+}  // namespace
+}  // namespace snap::net
