@@ -7,18 +7,24 @@
 //   snap_cli --workload=mnist --nodes=3 --complete --iterations=40
 //   snap_cli --help
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.hpp"
@@ -111,6 +117,15 @@ options (defaults in brackets):
   --rendezvous=DIR    directory for the shard rendezvous artifacts
                       (sockets/ports, per-shard logs and wire stats)
                       [a fresh /tmp directory, removed on exit]
+  --checkpoint-every=N  socket transports: write a round-aligned run
+                      checkpoint (shard-<id>.ckpt in the rendezvous
+                      dir) every N rounds; a respawned shard resumes
+                      from it instead of replaying from round 0 [0]
+  --chaos-kill=RATE   chaos harness: the launcher SIGKILLs a random
+                      worker shard at RATE mean kills per second and
+                      respawns it with --resume; the learning
+                      trajectory stays bitwise identical to the
+                      fault-free run [0]
   --csv=FILE          write the per-iteration series as CSV
   --topology=FILE     load the peer topology from an edge-list file
                       (see topology/io.hpp for the format)
@@ -119,6 +134,11 @@ options (defaults in brackets):
 
 internal (set by the launcher, not by hand):
   --shard-worker=I    run as shard I of a socket-transport run
+  --resume            shard worker: reconnect to parked survivors and
+                      resume from the latest run checkpoint (if any)
+  --resume-incarnation=N  monotone respawn counter; survivors reject
+                      reconnect handshakes that do not supersede the
+                      last accepted incarnation
 )";
 }
 
@@ -177,7 +197,8 @@ int main(int argc, char** argv) {
         "recovery-timeout", "no-reproject", "joiners", "join-rate",
         "join-degree", "leave-rate", "rejoin-rate", "warm-start",
         "gossip-mode", "gossip-fanout", "gossip-restart", "transport",
-        "shards", "shard-worker", "rendezvous"};
+        "shards", "shard-worker", "rendezvous", "checkpoint-every",
+        "chaos-kill", "resume", "resume-incarnation"};
     if (!known.contains(key)) {
       std::cerr << "unknown option --" << key << " (try --help)\n";
       return 2;
@@ -290,6 +311,12 @@ int main(int argc, char** argv) {
   const bool worker = args.contains("shard-worker");
   cfg.transport.shard_id = worker ? std::stoul(get("shard-worker", "0")) : 0;
   cfg.transport.rendezvous_dir = get("rendezvous", "");
+  const bool resume = args.contains("resume");
+  cfg.transport.resume = resume;
+  cfg.transport.incarnation = std::stoull(get("resume-incarnation", "0"));
+  const std::size_t checkpoint_every =
+      std::stoul(get("checkpoint-every", "0"));
+  const double chaos_kill = std::stod(get("chaos-kill", "0"));
   const bool socket_run = cfg.transport.kind != net::TransportKind::kSim;
   if (!socket_run && (cfg.transport.shards > 1 || worker)) {
     std::cerr << "--shards/--shard-worker require --transport=uds or tcp\n";
@@ -317,13 +344,44 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (resume && !worker) {
+    std::cerr << "--resume is a shard-worker flag (the supervisor sets "
+                 "it on respawn)\n";
+    return 2;
+  }
+  if (checkpoint_every > 0 && !socket_run) {
+    std::cerr << "--checkpoint-every requires --transport=uds or tcp\n";
+    return 2;
+  }
+  // Workers inherit the launcher's argv; the flag only acts there.
+  if (chaos_kill > 0.0 && !worker &&
+      (!socket_run || cfg.transport.shards < 2)) {
+    std::cerr << "--chaos-kill requires a socket-transport launcher with "
+                 "at least 2 shards\n";
+    return 2;
+  }
 
   // Launcher: shard 0 runs in this process; the other shards are forked
   // copies of this binary in --shard-worker mode, with their output
-  // captured as shard-<i>.log next to the rendezvous artifacts.
+  // captured as shard-<i>.log next to the rendezvous artifacts. The
+  // launcher is also the supervisor: it waitpid-watches the workers and
+  // respawns any that die by signal with --resume and a superseding
+  // incarnation, so a SIGKILL-ed shard rejoins the parked survivors.
   bool created_rendezvous = false;
-  std::vector<pid_t> shard_children;
-  if (socket_run && !worker && cfg.transport.shards > 1) {
+  struct WorkerSlot {
+    std::size_t shard = 0;
+    pid_t pid = -1;
+    std::uint64_t incarnation = 0;
+    bool done = false;    ///< exited 0
+    bool failed = false;  ///< nonzero exit or respawn budget exhausted
+  };
+  std::mutex slots_mutex;
+  std::vector<WorkerSlot> slots;
+  std::thread supervisor_thread;
+  std::thread chaos_thread;
+  std::atomic<bool> chaos_stop{false};
+  const bool launcher = socket_run && !worker && cfg.transport.shards > 1;
+  if (launcher) {
     if (cfg.transport.rendezvous_dir.empty()) {
       std::string tmpl = "/tmp/snap-rdv-XXXXXX";
       if (::mkdtemp(tmpl.data()) == nullptr) {
@@ -332,37 +390,126 @@ int main(int argc, char** argv) {
       }
       cfg.transport.rendezvous_dir = tmpl;
       created_rendezvous = true;
+    } else {
+      // An explicit --rendezvous gets mkdir -p semantics: the callers
+      // (CI, scripts) should not have to pre-create scratch dirs.
+      std::error_code ec;
+      std::filesystem::create_directories(cfg.transport.rendezvous_dir, ec);
+      if (ec) {
+        std::cerr << "cannot create rendezvous directory "
+                  << cfg.transport.rendezvous_dir << ": " << ec.message()
+                  << "\n";
+        return 1;
+      }
     }
+  }
+  // The per-shard checkpoint path needs the final rendezvous dir.
+  if (checkpoint_every > 0) {
+    cfg.checkpoint.every = checkpoint_every;
+    cfg.checkpoint.path = cfg.transport.rendezvous_dir + "/shard-" +
+                          std::to_string(cfg.transport.shard_id) + ".ckpt";
+    cfg.checkpoint.resume = resume;
+  }
+  auto spawn_shard = [&](std::size_t s, std::uint64_t incarnation) -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;  // parent (or fork failure, pid < 0)
+    const std::string log = cfg.transport.rendezvous_dir + "/shard-" +
+                            std::to_string(s) + ".log";
+    const int fd = ::open(
+        log.c_str(),
+        O_CREAT | O_WRONLY | (incarnation == 0 ? O_TRUNC : O_APPEND), 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+    std::vector<std::string> child_args(argv, argv + argc);
+    child_args.push_back("--shard-worker=" + std::to_string(s));
+    if (!args.contains("rendezvous")) {
+      child_args.push_back("--rendezvous=" + cfg.transport.rendezvous_dir);
+    }
+    if (incarnation > 0) {
+      child_args.push_back("--resume");
+      child_args.push_back("--resume-incarnation=" +
+                           std::to_string(incarnation));
+    }
+    std::vector<char*> child_argv;
+    child_argv.reserve(child_args.size() + 1);
+    for (std::string& a : child_args) child_argv.push_back(a.data());
+    child_argv.push_back(nullptr);
+    ::execv("/proc/self/exe", child_argv.data());
+    _exit(127);  // exec failed; never run the parent's cleanup paths
+  };
+  if (launcher) {
     for (std::size_t s = 1; s < cfg.transport.shards; ++s) {
-      const pid_t pid = ::fork();
+      const pid_t pid = spawn_shard(s, 0);
       if (pid < 0) {
         std::cerr << "fork failed for shard " << s << "\n";
         return 1;
       }
-      if (pid == 0) {
-        const std::string log = cfg.transport.rendezvous_dir + "/shard-" +
-                                std::to_string(s) + ".log";
-        const int fd =
-            ::open(log.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-        if (fd >= 0) {
-          ::dup2(fd, 1);
-          ::dup2(fd, 2);
-          ::close(fd);
+      slots.push_back({s, pid, 0, false, false});
+    }
+    supervisor_thread = std::thread([&] {
+      // A worker that dies by signal (chaos SIGKILL, assertion abort)
+      // is respawned with the next incarnation. External SIGKILLs are
+      // the chaos harness doing its job, so their budget is generous;
+      // any other signal (SIGABRT from a failed contract, SIGSEGV) is
+      // likely deterministic and gets a tight budget so it cannot
+      // respawn forever. Nonzero exits (config errors) fail
+      // immediately, as before.
+      constexpr std::uint64_t kMaxChaosRespawns = 1000;
+      constexpr std::uint64_t kMaxCrashRespawns = 20;
+      while (true) {
+        bool all_settled = true;
+        {
+          const std::lock_guard<std::mutex> lock(slots_mutex);
+          for (WorkerSlot& slot : slots) {
+            if (slot.done || slot.failed) continue;
+            all_settled = false;
+            int status = 0;
+            const pid_t ret = ::waitpid(slot.pid, &status, WNOHANG);
+            if (ret != slot.pid) continue;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+              slot.done = true;
+            } else if (WIFSIGNALED(status) &&
+                       slot.incarnation < (WTERMSIG(status) == SIGKILL
+                                               ? kMaxChaosRespawns
+                                               : kMaxCrashRespawns)) {
+              ++slot.incarnation;
+              slot.pid = spawn_shard(slot.shard, slot.incarnation);
+              if (slot.pid < 0) slot.failed = true;
+            } else {
+              slot.failed = true;
+            }
+          }
         }
-        std::vector<std::string> child_args(argv, argv + argc);
-        child_args.push_back("--shard-worker=" + std::to_string(s));
-        if (!args.contains("rendezvous")) {
-          child_args.push_back("--rendezvous=" +
-                               cfg.transport.rendezvous_dir);
-        }
-        std::vector<char*> child_argv;
-        child_argv.reserve(child_args.size() + 1);
-        for (std::string& a : child_args) child_argv.push_back(a.data());
-        child_argv.push_back(nullptr);
-        ::execv("/proc/self/exe", child_argv.data());
-        _exit(127);  // exec failed; never run the parent's cleanup paths
+        if (all_settled) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
-      shard_children.push_back(pid);
+    });
+    if (chaos_kill > 0.0) {
+      chaos_thread = std::thread([&] {
+        // Poissonish kill schedule: each 5 ms tick SIGKILLs one
+        // random live worker with probability chaos_kill * 0.005,
+        // until the launcher's own replica finishes the run.
+        std::mt19937_64 rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+        std::uniform_real_distribution<double> unit(0.0, 1.0);
+        while (!chaos_stop.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          if (unit(rng) >= chaos_kill * 0.005) continue;
+          const std::lock_guard<std::mutex> lock(slots_mutex);
+          std::vector<pid_t> alive;
+          for (const WorkerSlot& slot : slots) {
+            if (!slot.done && !slot.failed && slot.pid > 0) {
+              alive.push_back(slot.pid);
+            }
+          }
+          if (alive.empty()) continue;
+          const std::size_t pick = std::uniform_int_distribution<
+              std::size_t>(0, alive.size() - 1)(rng);
+          ::kill(alive[pick], SIGKILL);
+        }
+      });
     }
   }
 
@@ -482,20 +629,30 @@ int main(int argc, char** argv) {
     std::cout << "per-iteration series written to " << path << "\n";
   }
 
-  // Reap the worker shards; a failed shard leaves the rendezvous
-  // artifacts (logs, stats) in place for inspection.
+  // Wind down the supervision tree: stop injecting chaos, let the
+  // supervisor reap (and, if needed, respawn) workers until every one
+  // settles. A failed shard leaves the rendezvous artifacts (logs,
+  // stats) in place for inspection.
+  chaos_stop.store(true);
+  if (chaos_thread.joinable()) chaos_thread.join();
+  if (supervisor_thread.joinable()) supervisor_thread.join();
   bool shards_ok = true;
-  for (const pid_t pid : shard_children) {
-    int status = 0;
-    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      std::cerr << "shard process " << pid << " failed (see shard logs in "
+  std::uint64_t respawns = 0;
+  for (const WorkerSlot& slot : slots) {
+    respawns += slot.incarnation;
+    if (!slot.done) {
+      std::cerr << "shard " << slot.shard
+                << " failed (see shard logs in "
                 << cfg.transport.rendezvous_dir << ")\n";
       shards_ok = false;
     }
   }
+  if (launcher && (chaos_kill > 0.0 || respawns > 0)) {
+    std::cout << "supervisor: " << respawns
+              << " worker respawn(s) injected/recovered\n";
+  }
   if (!shards_ok) return 1;
-  if (!shard_children.empty()) {
+  if (launcher) {
     // Graceful exit: every shard unlinked its socket/port file on
     // close; sweep the remaining per-shard logs and stats, and the
     // directory itself when this run created it.

@@ -55,6 +55,9 @@ void fuzz_one(const std::uint8_t* data, std::size_t size) {
   }
   (void)snap::net::decode_state_sync_frame(input);
   (void)snap::net::decode_wire_record(input);
+  (void)snap::net::decode_heartbeat_record(input);
+  (void)snap::net::decode_reconnect_record(input);
+  (void)snap::net::decode_reconnect_ack_record(input);
 
   // Stream reassembly: feed the input twice with a mid-buffer split so
   // partial-prefix and partial-record paths both run. Poisoning (an
@@ -142,6 +145,26 @@ void emit_corpus(const std::filesystem::path& dir) {
   record.payload.resize(16, std::byte{0x5A});
   emit(net::encode_wire_record(record));
   emit(FrameReassembler::frame(net::encode_wire_record(record)));
+
+  // Crash-recovery control records: heartbeat, reconnect handshake,
+  // and its ack — raw and framed, plus the usual bit-flip mutants.
+  net::HeartbeatRecord heartbeat;
+  heartbeat.flip = 12;
+  emit(net::encode_heartbeat_record(heartbeat));
+  emit(FrameReassembler::frame(net::encode_heartbeat_record(heartbeat)));
+  net::ReconnectRecord reconnect;
+  reconnect.shard = 1;
+  reconnect.shards = 2;
+  reconnect.nodes = 8;
+  reconnect.incarnation = 3;
+  emit(net::encode_reconnect_record(reconnect));
+  emit(FrameReassembler::frame(net::encode_reconnect_record(reconnect)));
+  net::ReconnectAckRecord ack;
+  ack.shard = 0;
+  ack.parked_flip = 12;
+  ack.incarnation = 3;
+  emit(net::encode_reconnect_ack_record(ack));
+  emit(FrameReassembler::frame(net::encode_reconnect_ack_record(ack)));
 
   std::cout << "wrote " << serial << " corpus files to " << dir.string()
             << '\n';

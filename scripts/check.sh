@@ -57,6 +57,20 @@ if ! cmp -s "$SMOKE_DIR/sim.csv" "$SMOKE_DIR/uds.csv"; then
 fi
 echo "    sim and 2-shard UDS trajectories are bitwise identical"
 
+echo "==> chaos smoke: UDS run with injected SIGKILLs vs sim oracle"
+CHAOS_ARGS=(--nodes=8 --seed=7 --iterations=60 --train=800 --test=100)
+build/examples/snap_cli "${CHAOS_ARGS[@]}" \
+  --csv="$SMOKE_DIR/chaos-sim.csv" >/dev/null
+build/examples/snap_cli "${CHAOS_ARGS[@]}" --transport=uds --shards=2 \
+  --rendezvous="$SMOKE_DIR/chaos" --checkpoint-every=5 --chaos-kill=5 \
+  --csv="$SMOKE_DIR/chaos-uds.csv" >/dev/null
+if ! cmp -s "$SMOKE_DIR/chaos-sim.csv" "$SMOKE_DIR/chaos-uds.csv"; then
+  echo "error: chaos UDS run diverged from the sim oracle" >&2
+  diff "$SMOKE_DIR/chaos-sim.csv" "$SMOKE_DIR/chaos-uds.csv" | head -20 >&2
+  exit 1
+fi
+echo "    chaos run (shard kills + checkpoint resume) matches bitwise"
+
 if [[ "$FAST" == 1 ]]; then
   echo "==> --fast: skipping sanitizer builds"
   exit 0
@@ -79,6 +93,8 @@ SAN_TESTS=(
   consensus_sparse_property_test
   net_reassembly_test
   transport_parity_test
+  runtime_checkpoint_test
+  transport_crash_recovery_test
 )
 
 SANITIZERS=(address thread undefined)

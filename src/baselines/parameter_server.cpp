@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/binary_io.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -35,6 +36,12 @@ core::TrainResult train_parameter_server(
     std::vector<data::Dataset> shards, const data::Dataset& test,
     const ParameterServerConfig& config) {
   SNAP_REQUIRE(config.alpha > 0.0);
+  // Compressors carry hidden state (error feedback, rng streams) the
+  // checkpoint blob does not capture, so a resumed TernGrad run would
+  // silently diverge — refuse the combination outright.
+  SNAP_REQUIRE_MSG(config.checkpoint.every == 0 || !config.compressor,
+                   "checkpointing is unsupported with a gradient "
+                   "compressor: compressor state is not serialized");
   const std::size_t n = graph.node_count();
   SNAP_REQUIRE(shards.size() == n);
 
@@ -102,6 +109,7 @@ core::TrainResult train_parameter_server(
       runtime::gradient_flops(p, round_samples);
   fabric_config.faults = injector ? &*injector : nullptr;
   fabric_config.recovery = config.recovery;
+  fabric_config.checkpoint = config.checkpoint;
   using Payload = linalg::Vector;
   auto fabric = runtime::make_fabric<Payload>(config.fabric, fabric_config,
                                               config.async);
@@ -286,6 +294,54 @@ core::TrainResult train_parameter_server(
     return pushes_received[node] >= round - 1;
   };
   hooks.eval_ready = [&](std::size_t round) { return steps >= round; };
+
+  // Round-aligned checkpoint state: the global model, each worker's
+  // local copy, gradients still parked at the server (a round can end
+  // mid-wait under faults), push/step counters, the down mask, and the
+  // minibatch RNG stream position. The PS selection and fault schedule
+  // are seed-derived, so the resumed process reconstructs them before
+  // load_state runs.
+  const auto write_vec = [p](common::ByteWriter& writer,
+                             const linalg::Vector& v) {
+    SNAP_ASSERT(v.size() == p);
+    for (std::size_t d = 0; d < p; ++d) writer.write_f64(v[d]);
+  };
+  const auto read_vec = [p](common::ByteReader& reader, linalg::Vector& v) {
+    v = linalg::Vector(p);
+    for (std::size_t d = 0; d < p; ++d) v[d] = reader.read_f64();
+  };
+  hooks.save_state = [&](common::ByteWriter& writer) {
+    writer.write_u64(steps);
+    batch_rng.save(writer);
+    write_vec(writer, server_params);
+    for (std::size_t worker = 0; worker < n; ++worker) {
+      write_vec(writer, worker_params[worker]);
+      writer.write_u8(pending[worker].has_value() ? 1 : 0);
+      if (pending[worker].has_value()) write_vec(writer, *pending[worker]);
+      writer.write_u64(pushes_received[worker]);
+      writer.write_u8(worker_down[worker] ? 1 : 0);
+    }
+  };
+  hooks.load_state = [&](common::ByteReader& reader) -> bool {
+    steps = reader.read_u64();
+    if (!batch_rng.load(reader)) return false;
+    read_vec(reader, server_params);
+    for (std::size_t worker = 0; worker < n; ++worker) {
+      read_vec(reader, worker_params[worker]);
+      const std::uint8_t has_pending = reader.read_u8();
+      if (has_pending > 1) return false;
+      if (has_pending == 1) {
+        linalg::Vector upload;
+        read_vec(reader, upload);
+        pending[worker] = std::move(upload);
+      } else {
+        pending[worker].reset();
+      }
+      pushes_received[worker] = reader.read_u64();
+      worker_down[worker] = reader.read_u8() != 0;
+    }
+    return reader.ok();
+  };
 
   core::TrainResult result = fabric->run(hooks);
 

@@ -78,6 +78,11 @@ struct ParameterServerConfig {
   runtime::AsyncTimingConfig async;
   /// Closed-form round timing that stamps sim_seconds under kSync.
   runtime::TimingModel timing;
+  /// Round-aligned checkpointing (see FabricConfig::checkpoint). The PS
+  /// scheme serializes the global model, every worker's local copy,
+  /// in-flight gradient uploads, and the minibatch RNG stream, so a
+  /// resumed run continues the exact draw sequence. Sync fabric only.
+  runtime::CheckpointConfig checkpoint;
 };
 
 /// Runs the PS scheme over `graph` with one data shard per node.

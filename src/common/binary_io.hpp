@@ -80,6 +80,19 @@ class ByteReader {
   float read_f32() noexcept { return read_as<float>(); }
   double read_f64() noexcept { return read_as<double>(); }
 
+  /// Consumes `n` raw bytes verbatim. Returns an empty vector (and sets
+  /// the error flag) if fewer than `n` bytes remain.
+  std::vector<std::byte> read_bytes(std::size_t n) {
+    if (failed_ || offset_ + n > bytes_.size()) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<std::byte> out(bytes_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                               bytes_.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+    offset_ += n;
+    return out;
+  }
+
   /// True while no read has run past the end of the buffer.
   bool ok() const noexcept { return !failed_; }
 

@@ -18,6 +18,8 @@
 
 #include <cstddef>
 
+#include "common/binary_io.hpp"
+
 namespace snap::core {
 
 struct ApeConfig {
@@ -75,6 +77,27 @@ class ApeController {
   void record_iteration(double max_withheld_change);
 
   const ApeConfig& config() const noexcept { return config_; }
+
+  /// Checkpoint save/restore of the controller's mutable state. The
+  /// config is reconstruction-time (the trainer re-supplies it); load
+  /// overwrites everything the constructor derived from it.
+  void save(common::ByteWriter& writer) const {
+    writer.write_f64(budget_);
+    writer.write_f64(threshold_);
+    writer.write_f64(accumulated_);
+    writer.write_u64(stage_);
+    writer.write_u64(iterations_in_stage_);
+    writer.write_u8(active_ ? 1 : 0);
+  }
+  bool load(common::ByteReader& reader) {
+    budget_ = reader.read_f64();
+    threshold_ = reader.read_f64();
+    accumulated_ = reader.read_f64();
+    stage_ = static_cast<std::size_t>(reader.read_u64());
+    iterations_in_stage_ = static_cast<std::size_t>(reader.read_u64());
+    active_ = reader.read_u8() != 0;
+    return reader.ok();
+  }
 
  private:
   void recompute_threshold();

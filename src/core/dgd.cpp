@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/binary_io.hpp"
 #include "common/check.hpp"
 #include "runtime/sync_fabric.hpp"
 
@@ -147,6 +148,31 @@ void DgdIteration::step() {
   fabric_->step_round(hooks, iteration_ + 1);
   current_.swap(next_);
   ++iteration_;
+}
+
+void DgdIteration::save(common::ByteWriter& writer) const {
+  writer.write_u64(iteration_);
+  writer.write_u64(current_.size());
+  writer.write_u64(current_.front().size());
+  for (const auto& x : current_) {
+    for (std::size_t d = 0; d < x.size(); ++d) writer.write_f64(x[d]);
+  }
+}
+
+bool DgdIteration::load(common::ByteReader& reader) {
+  const std::uint64_t iteration = reader.read_u64();
+  const std::uint64_t nodes = reader.read_u64();
+  const std::uint64_t dim = reader.read_u64();
+  if (!reader.ok() || nodes != current_.size() ||
+      dim != current_.front().size()) {
+    return false;
+  }
+  for (auto& x : current_) {
+    for (std::size_t d = 0; d < x.size(); ++d) x[d] = reader.read_f64();
+  }
+  if (!reader.ok()) return false;
+  iteration_ = iteration;
+  return true;
 }
 
 const linalg::Vector& DgdIteration::params(std::size_t node) const {

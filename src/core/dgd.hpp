@@ -21,6 +21,11 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
+namespace snap::common {
+class ByteWriter;
+class ByteReader;
+}  // namespace snap::common
+
 namespace snap::net {
 class FaultInjector;
 }  // namespace snap::net
@@ -71,6 +76,17 @@ class DgdIteration {
 
   /// Advances one DGD iteration.
   void step();
+
+  /// Serializes the evolving state (iterates + iteration counter) for
+  /// round-aligned checkpoints. The mixing matrix, step size, gradient
+  /// oracle, and fault schedule are construction inputs the caller
+  /// recreates before load(); DGD's recursion is memoryless beyond the
+  /// current iterate, so this is the whole story.
+  void save(common::ByteWriter& writer) const;
+  /// Restores state saved by save() into an object built with the same
+  /// node count and dimension. Returns false on truncation or a shape
+  /// mismatch, leaving the iterates unspecified.
+  bool load(common::ByteReader& reader);
 
   std::size_t iteration() const noexcept { return iteration_; }
   const linalg::Vector& params(std::size_t node) const;

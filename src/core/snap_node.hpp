@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.hpp"
 #include "data/dataset.hpp"
 #include "linalg/vector.hpp"
 #include "ml/model.hpp"
@@ -185,6 +186,17 @@ class SnapNode {
 
   /// The view this node currently holds of neighbor `j` (for tests).
   std::span<const double> view_of(topology::NodeId j) const;
+
+  /// Checkpoint save/restore of the complete mutable node state: mixing
+  /// rows (current + the prev-row the memory term pairs with), iterate
+  /// history, advertised baseline, view slabs + freshness, parked views
+  /// (serialized in key order for determinism), and the EXTRA iteration
+  /// counter. The id/model/shard/straggler policy are reconstruction-
+  /// time — the trainer rebuilds the node, then load() overwrites the
+  /// rest. load returns false on a truncated or shape-inconsistent
+  /// blob, never half-applies.
+  void save(common::ByteWriter& writer) const;
+  bool load(common::ByteReader& reader);
 
  private:
   /// A detached neighbor's view state, parked across membership epochs

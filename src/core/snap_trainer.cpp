@@ -274,6 +274,13 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       runtime::gradient_flops(model_->param_count(), max_shard);
   fabric_config.faults = injector ? &*injector : nullptr;
   fabric_config.recovery = config_.recovery;
+  if (config_.checkpoint.every > 0 || config_.checkpoint.resume) {
+    SNAP_REQUIRE_MSG(config_.fabric != runtime::FabricKind::kAsync,
+                     "checkpointing requires a sync or gossip fabric "
+                     "(the async event clock has no round boundary to "
+                     "align a checkpoint to)");
+  }
+  fabric_config.checkpoint = config_.checkpoint;
   runtime::GossipConfig gossip_config = config_.gossip;
   if (gossip_config.seed == 0) gossip_config.seed = config_.seed;
 
@@ -291,8 +298,10 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
                      "(async delivery is native to the event queue)");
     net::TransportConfig transport_config = config_.transport;
     // Rendezvous reconnects reuse the fault layer's backoff semantics:
-    // first retry after retry_backoff_s, doubling per attempt.
+    // first retry after retry_backoff_s, doubling per attempt, capped at
+    // max_backoff_s (the dial loop saturates instead of overflowing).
     transport_config.retry_backoff_s = config_.recovery.retry_backoff_s;
+    transport_config.max_backoff_s = config_.recovery.max_backoff_s;
     net::WireCodec<Payload> codec;
     codec.encode = [total_params](const Payload& wire) {
       if (wire.state_sync) {
@@ -713,6 +722,106 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
                          });
     };
   }
+
+  // Checkpoint save/restore of the algorithm's complete mutable state.
+  // Everything the round loop reads lives in the locals captured here:
+  // node iterates/views/mixing rows (SnapNode::save), APE controllers,
+  // the confirmed-membership mask, the per-link transmit backlog
+  // (serialized with sorted outer keys so replicas write identical
+  // bytes), per-node round counters, the one-shot recursion-restart
+  // flag, and the previous gossip activation (the rows the next
+  // on_activation rebuilds). w_ is deliberately absent: churn
+  // re-projections recompute it from the injector's graph + the alive
+  // mask, and the per-node rows it produced are already in the node
+  // blobs. The fabric restores its own side (series, cost totals,
+  // injector round, wire positions) around these hooks.
+  hooks.save_state = [&](common::ByteWriter& writer) {
+    for (const SnapNode& node : nodes) node.save(writer);
+    for (const auto& controller : ape) {
+      writer.write_u8(controller.has_value() ? 1 : 0);
+      if (controller.has_value()) controller->save(writer);
+    }
+    for (topology::NodeId i = 0; i < n; ++i) {
+      writer.write_u8(alive[i] ? 1 : 0);
+    }
+    for (topology::NodeId i = 0; i < n; ++i) {
+      std::vector<topology::NodeId> keys;
+      keys.reserve(backlog[i].size());
+      for (const auto& [j, merged] : backlog[i]) keys.push_back(j);
+      std::sort(keys.begin(), keys.end());
+      writer.write_u64(keys.size());
+      for (const topology::NodeId j : keys) {
+        const auto& merged = backlog[i].at(j);
+        writer.write_u64(j);
+        writer.write_u64(merged.size());
+        for (const auto& [index, value] : merged) {
+          writer.write_u32(index);
+          writer.write_f64(value);
+        }
+      }
+    }
+    for (const std::size_t r : rounds) {
+      writer.write_u64(static_cast<std::uint64_t>(r));
+    }
+    writer.write_u8(restarted ? 1 : 0);
+    writer.write_u64(prev_links.size());
+    for (const auto& [u, v] : prev_links) {
+      writer.write_u64(u);
+      writer.write_u64(v);
+    }
+  };
+  hooks.load_state = [&](common::ByteReader& reader) {
+    for (SnapNode& node : nodes) {
+      if (!node.load(reader)) return false;
+    }
+    for (topology::NodeId i = 0; i < n; ++i) {
+      const bool armed = reader.read_u8() != 0;
+      if (!reader.ok()) return false;
+      if (!armed) {
+        ape[i].reset();
+        continue;
+      }
+      // The controller re-derives nothing at load: emplace with any
+      // anchor, then load() overwrites every derived field.
+      ape[i].emplace(config_.ape, 0.0);
+      if (!ape[i]->load(reader)) return false;
+    }
+    for (topology::NodeId i = 0; i < n; ++i) {
+      alive[i] = reader.read_u8() != 0;
+    }
+    for (topology::NodeId i = 0; i < n; ++i) {
+      backlog[i].clear();
+      const std::uint64_t link_count = reader.read_u64();
+      if (!reader.ok() || link_count > n) return false;
+      for (std::uint64_t k = 0; k < link_count; ++k) {
+        const auto j = static_cast<topology::NodeId>(reader.read_u64());
+        const std::uint64_t entries = reader.read_u64();
+        if (!reader.ok() || entries > total_params) return false;
+        auto& merged = backlog[i][j];
+        for (std::uint64_t e = 0; e < entries; ++e) {
+          const std::uint32_t index = reader.read_u32();
+          merged[index] = reader.read_f64();
+        }
+      }
+    }
+    for (std::size_t& r : rounds) {
+      r = static_cast<std::size_t>(reader.read_u64());
+    }
+    restarted = reader.read_u8() != 0;
+    const std::uint64_t link_count = reader.read_u64();
+    if (!reader.ok() ||
+        link_count > static_cast<std::uint64_t>(n) * n) {
+      return false;
+    }
+    prev_links.clear();
+    prev_links.reserve(link_count);
+    for (std::uint64_t k = 0; k < link_count; ++k) {
+      const auto u = static_cast<topology::NodeId>(reader.read_u64());
+      const auto v = static_cast<topology::NodeId>(reader.read_u64());
+      prev_links.push_back({u, v});
+    }
+    return reader.ok();
+  };
 
   hooks.end_round = [&](std::size_t round) {
     // Async has no global post-send instant; the eval barrier — every

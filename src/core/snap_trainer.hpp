@@ -119,6 +119,15 @@ struct SnapTrainerConfig {
   /// OS-level byte counts differ. Socket backends require a sync or
   /// gossip fabric.
   net::TransportConfig transport;
+  /// Round-aligned crash checkpointing (sync/gossip fabrics only):
+  /// `checkpoint.every > 0` writes a RunCheckpoint to `checkpoint.path`
+  /// after every such round; `checkpoint.resume` restores from it before
+  /// round 1 (missing file = cold start, i.e. replay from round 0). The
+  /// blob carries the complete trainer state — node iterates/views, APE
+  /// controllers, membership masks, gossip backlog — plus fabric series
+  /// and transport wire positions, so a resumed run is bitwise identical
+  /// to one that never stopped.
+  runtime::CheckpointConfig checkpoint;
 };
 
 /// Optional per-iteration observer: (iteration index starting at 1,

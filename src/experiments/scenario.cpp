@@ -215,6 +215,7 @@ core::TrainResult Scenario::run(
       c.fabric = cfg.fabric;
       c.async = cfg.async_timing;
       c.timing = cfg.timing;
+      c.checkpoint = cfg.checkpoint;
       return baselines::train_parameter_server(impl_->graph, *impl_->model,
                                                impl_->shards, impl_->test,
                                                c);
@@ -230,6 +231,7 @@ core::TrainResult Scenario::run(
       c.fabric = cfg.fabric;
       c.async = cfg.async_timing;
       c.timing = cfg.timing;
+      c.checkpoint = cfg.checkpoint;
       return baselines::train_parameter_server(
           impl_->graph, *impl_->model, impl_->shards, impl_->test,
           baselines::terngrad_config(c));
@@ -282,6 +284,7 @@ core::TrainResult Scenario::run_snap_variant(
   c.gossip = cfg.gossip;
   c.timing = cfg.timing;
   c.transport = cfg.transport;
+  c.checkpoint = cfg.checkpoint;
   const linalg::Matrix& w =
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
   core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,

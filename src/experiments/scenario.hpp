@@ -130,6 +130,10 @@ struct ScenarioConfig {
   /// The centralized reference and the PS baselines are sim-only —
   /// running them under a socket transport is a contract violation.
   net::TransportConfig transport;
+  /// Round-aligned crash checkpointing for the SNAP family and the PS
+  /// baselines (see SnapTrainerConfig::checkpoint): write every N
+  /// rounds, resume from the latest blob on restart.
+  runtime::CheckpointConfig checkpoint;
 };
 
 class Scenario {

@@ -13,6 +13,8 @@ namespace {
 constexpr char kMagic[8] = {'S', 'N', 'A', 'P', 'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kVersion = 1;
 
+}  // namespace
+
 std::uint64_t fnv1a(std::span<const std::byte> bytes) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (const std::byte b : bytes) {
@@ -21,8 +23,6 @@ std::uint64_t fnv1a(std::span<const std::byte> bytes) {
   }
   return h;
 }
-
-}  // namespace
 
 std::vector<std::byte> encode_checkpoint(const Checkpoint& checkpoint) {
   common::ByteWriter writer(32 + checkpoint.model_name.size() +

@@ -10,12 +10,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "linalg/vector.hpp"
 
 namespace snap::ml {
+
+/// FNV-1a 64-bit hash over a byte span — the checksum primitive shared
+/// by the model checkpoint format and runtime::RunCheckpoint.
+std::uint64_t fnv1a(std::span<const std::byte> bytes);
 
 struct Checkpoint {
   std::string model_name;  ///< e.g. "mlp-784-30-10" — matched on load

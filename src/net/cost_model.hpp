@@ -123,6 +123,18 @@ class CostTracker {
   /// and series are untouched.
   void set_hop_matrix(HopMatrix hop_matrix);
 
+  /// Checkpoint restore: re-seeds the running totals on a fresh tracker
+  /// so post-resume rounds accumulate on top of the pre-crash traffic.
+  /// The per-iteration series stay empty — the resumed run only ever
+  /// reads the series entries its own end_iteration() calls append, and
+  /// the pre-crash entries are already frozen in the checkpoint's
+  /// IterationStats prefix.
+  void restore_totals(std::uint64_t total_bytes,
+                      std::uint64_t total_cost) noexcept {
+    total_bytes_ = total_bytes;
+    total_cost_ = total_cost;
+  }
+
  private:
   HopMatrix hops_;
   std::uint64_t total_bytes_ = 0;

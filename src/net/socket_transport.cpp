@@ -4,15 +4,19 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -30,6 +34,9 @@ namespace {
 constexpr std::uint8_t kRecordHello = 1;
 constexpr std::uint8_t kRecordFrame = 2;
 constexpr std::uint8_t kRecordBarrier = 3;
+constexpr std::uint8_t kRecordHeartbeat = 4;
+constexpr std::uint8_t kRecordReconnect = 5;
+constexpr std::uint8_t kRecordReconnectAck = 6;
 
 constexpr std::uint32_t kHelloMagic = 0x534E4150;  // "SNAP"
 constexpr std::uint32_t kProtocolVersion = 1;
@@ -99,6 +106,76 @@ std::optional<WireRecord> decode_wire_record(
   return record;
 }
 
+std::vector<std::byte> encode_heartbeat_record(const HeartbeatRecord& record) {
+  common::ByteWriter writer(1 + 8);
+  writer.write_u8(kRecordHeartbeat);
+  writer.write_u64(record.flip);
+  return writer.take();
+}
+
+std::optional<HeartbeatRecord> decode_heartbeat_record(
+    std::span<const std::byte> bytes) {
+  common::ByteReader reader(bytes);
+  if (reader.read_u8() != kRecordHeartbeat) return std::nullopt;
+  HeartbeatRecord record;
+  record.flip = reader.read_u64();
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  return record;
+}
+
+std::vector<std::byte> encode_reconnect_record(const ReconnectRecord& record) {
+  common::ByteWriter writer(1 + 4 * 4 + 8 * 3);
+  writer.write_u8(kRecordReconnect);
+  writer.write_u32(kHelloMagic);
+  writer.write_u32(kProtocolVersion);
+  writer.write_u32(record.shard);
+  writer.write_u32(record.shards);
+  writer.write_u64(record.nodes);
+  writer.write_u64(record.incarnation);
+  writer.write_u64(record.resume_flip);
+  return writer.take();
+}
+
+std::optional<ReconnectRecord> decode_reconnect_record(
+    std::span<const std::byte> bytes) {
+  common::ByteReader reader(bytes);
+  if (reader.read_u8() != kRecordReconnect) return std::nullopt;
+  if (reader.read_u32() != kHelloMagic) return std::nullopt;
+  if (reader.read_u32() != kProtocolVersion) return std::nullopt;
+  ReconnectRecord record;
+  record.shard = reader.read_u32();
+  record.shards = reader.read_u32();
+  record.nodes = reader.read_u64();
+  record.incarnation = reader.read_u64();
+  record.resume_flip = reader.read_u64();
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  return record;
+}
+
+std::vector<std::byte> encode_reconnect_ack_record(
+    const ReconnectAckRecord& record) {
+  common::ByteWriter writer(1 + 4 * 2 + 8 * 2);
+  writer.write_u8(kRecordReconnectAck);
+  writer.write_u32(kHelloMagic);
+  writer.write_u32(record.shard);
+  writer.write_u64(record.parked_flip);
+  writer.write_u64(record.incarnation);
+  return writer.take();
+}
+
+std::optional<ReconnectAckRecord> decode_reconnect_ack_record(
+    std::span<const std::byte> bytes) {
+  common::ByteReader reader(bytes);
+  if (reader.read_u8() != kRecordReconnectAck) return std::nullopt;
+  if (reader.read_u32() != kHelloMagic) return std::nullopt;
+  ReconnectAckRecord record;
+  record.shard = reader.read_u32();
+  record.parked_flip = reader.read_u64();
+  record.incarnation = reader.read_u64();
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  return record;
+}
+
 struct SocketHub::Impl {
   TransportConfig config;
   std::size_t node_count = 0;
@@ -110,13 +187,30 @@ struct SocketHub::Impl {
   std::map<std::uint64_t, std::vector<WireRecord>> pending_frames;
   /// Which peer shards' barriers arrived, per flip.
   std::map<std::uint64_t, std::set<std::size_t>> barriers_seen;
-  /// Peers that performed an orderly close. Legitimate once a peer has
-  /// sent its barrier for every flip we still need — flip counts are
-  /// identical across replicas, so a finished peer owes us nothing.
+  /// Peers whose connection is gone — orderly close and crash both land
+  /// here; finish_flip disambiguates (barrier present for the flip we
+  /// need = finished legitimately; missing = crashed, park for respawn).
   std::vector<bool> peer_eof;
+  /// First flip at which each peer exchanges wire traffic with us.
+  /// 0 in steady state; see SocketHub::live_from.
+  std::vector<std::uint64_t> live_from;
+  /// Highest RECONNECT incarnation accepted per peer (rendezvous = 0);
+  /// a replacement connection must strictly supersede it.
+  std::vector<std::uint64_t> incarnation_seen;
+  /// One framed FRAME/BARRIER image destined for a peer, kept for
+  /// replay until the peer acknowledges the flip (barrier/heartbeat).
+  struct LoggedSend {
+    std::uint64_t flip = 0;
+    std::vector<std::byte> bytes;
+  };
+  /// Per-peer replay log, appended unconditionally on every FRAME and
+  /// BARRIER send — even while the peer's link is down, so a respawned
+  /// incarnation receives records we never physically shipped.
+  std::vector<std::deque<LoggedSend>> sent_log;
   SocketHubStats stats;
   std::string socket_path;  ///< our shard-<id>.sock (UDS only)
   std::string port_path;    ///< our shard-<id>.port (TCP only)
+  std::string pid_path;     ///< our shard-<id>.pid liveness stamp
   bool closed = false;
 
   std::size_t peer_count() const noexcept {
@@ -136,6 +230,22 @@ struct SocketHub::Impl {
     return os.str();
   }
 
+  /// Tears down a peer link after a crash or close. The reassembler is
+  /// reset too: a crash can sever the stream mid-record, and the
+  /// respawned incarnation re-sends whole records from its replay.
+  void mark_link_down(std::size_t peer_shard) {
+    if (peer_fds[peer_shard] >= 0) {
+      ::close(peer_fds[peer_shard]);
+      peer_fds[peer_shard] = -1;
+    }
+    peer_eof[peer_shard] = true;
+    reassemblers[peer_shard] = FrameReassembler();
+  }
+
+  bool participates(std::size_t peer_shard, std::uint64_t flip) const {
+    return flip >= live_from[peer_shard];
+  }
+
   void send_all(std::size_t peer_shard, std::span<const std::byte> bytes) {
     const int fd = peer_fds[peer_shard];
     SNAP_REQUIRE_MSG(fd >= 0, "no link to peer shard " << peer_shard);
@@ -145,6 +255,13 @@ struct SocketHub::Impl {
                                MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          // The peer crashed under us. Anything replayable is already
+          // in the sent log; drop the write and let finish_flip park
+          // until the respawned incarnation reconnects.
+          mark_link_down(peer_shard);
+          return;
+        }
         SNAP_REQUIRE_MSG(false, "send to peer shard "
                                     << peer_shard << " failed: "
                                     << std::strerror(errno));
@@ -152,6 +269,23 @@ struct SocketHub::Impl {
       sent += static_cast<std::size_t>(n);
     }
     stats.os_bytes_sent += bytes.size();
+  }
+
+  /// Appends the framed record to the peer's replay log, then ships it
+  /// if the link is up. The log is authoritative: a record logged while
+  /// the peer is down reaches it through the reconnect replay flush.
+  void log_send(std::size_t peer_shard, std::uint64_t flip,
+                const std::vector<std::byte>& framed) {
+    sent_log[peer_shard].push_back({flip, framed});
+    if (peer_fds[peer_shard] >= 0) send_all(peer_shard, framed);
+  }
+
+  /// Drops replay-log entries the peer can never need again: it proved
+  /// (barrier or heartbeat) that it fully consumed every flip below
+  /// `flip`.
+  void prune_sent_log(std::size_t peer_shard, std::uint64_t flip) {
+    auto& log = sent_log[peer_shard];
+    while (!log.empty() && log.front().flip < flip) log.pop_front();
   }
 
   void send_record(std::size_t peer_shard, std::span<const std::byte> body) {
@@ -206,7 +340,41 @@ struct SocketHub::Impl {
 
   // --- rendezvous ---------------------------------------------------
 
+  /// Startup sweep of leftovers from a dead run (crash leaves .sock /
+  /// .port / .pid behind; only graceful close unlinks them). The pid
+  /// stamp arbitrates: artifacts owned by a live process mean a second
+  /// launch is about to clobber a running shard — refuse loudly.
+  void sweep_stale_artifacts() {
+    const std::string pid_file = artifact("pid");
+    long owner = 0;
+    if (std::ifstream in(pid_file); in >> owner) {
+      if (owner > 0 && static_cast<pid_t>(owner) != ::getpid() &&
+          (::kill(static_cast<pid_t>(owner), 0) == 0 || errno == EPERM)) {
+        SNAP_REQUIRE_MSG(false, "rendezvous artifacts for shard "
+                                    << config.shard_id
+                                    << " are owned by live pid " << owner
+                                    << " — refusing to clobber a running "
+                                       "shard");
+      }
+    }
+    ::unlink(artifact("sock").c_str());
+    ::unlink(artifact("port").c_str());
+    ::unlink(pid_file.c_str());
+  }
+
+  void publish_pid() {
+    pid_path = artifact("pid");
+    const std::string tmp = pid_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      SNAP_REQUIRE_MSG(out.good(), "cannot write " << tmp);
+      out << ::getpid() << '\n';
+    }
+    SNAP_REQUIRE(std::rename(tmp.c_str(), pid_path.c_str()) == 0);
+  }
+
   void bind_and_publish() {
+    sweep_stale_artifacts();
     if (config.kind == TransportKind::kUds) {
       socket_path = artifact("sock");
       sockaddr_un addr{};
@@ -216,7 +384,6 @@ struct SocketHub::Impl {
                            << socket_path);
       std::memcpy(addr.sun_path, socket_path.c_str(),
                   socket_path.size() + 1);
-      ::unlink(socket_path.c_str());  // stale artifact from a dead run
       listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
       SNAP_REQUIRE_MSG(listen_fd >= 0,
                        "socket(AF_UNIX): " << std::strerror(errno));
@@ -255,6 +422,7 @@ struct SocketHub::Impl {
     SNAP_REQUIRE_MSG(
         ::listen(listen_fd, static_cast<int>(config.shards) + 1) == 0,
         "listen: " << std::strerror(errno));
+    publish_pid();
   }
 
   int try_connect(std::size_t peer_shard) {
@@ -296,10 +464,13 @@ struct SocketHub::Impl {
   }
 
   /// Dials `peer_shard` with the FaultRecoveryConfig-shaped schedule:
-  /// first retry after retry_backoff_s, doubling each attempt, at most
-  /// max_retries retries after the initial attempt.
+  /// first retry after retry_backoff_s, doubling each attempt but never
+  /// past max_backoff_s, at most max_retries retries after the initial
+  /// attempt.
   void connect_with_backoff(std::size_t peer_shard) {
-    double backoff = config.retry_backoff_s;
+    const double cap = config.max_backoff_s > 0.0 ? config.max_backoff_s
+                                                  : config.retry_backoff_s;
+    double backoff = std::min(config.retry_backoff_s, cap);
     for (std::size_t attempt = 0;; ++attempt) {
       const int fd = try_connect(peer_shard);
       if (fd >= 0) {
@@ -322,21 +493,19 @@ struct SocketHub::Impl {
                                 << config.max_retries << " retries");
       ++stats.reconnects;
       sleep_seconds(backoff);
-      backoff *= 2.0;
+      backoff = std::min(backoff * 2.0, cap);
     }
   }
 
   void accept_peers() {
-    std::size_t expected = 0;
-    for (std::size_t s = config.shard_id + 1; s < config.shards; ++s) {
-      ++expected;
-    }
-    for (std::size_t i = 0; i < expected; ++i) {
+    const std::size_t expected = config.shards - config.shard_id - 1;
+    std::set<std::size_t> greeted;
+    while (greeted.size() < expected) {
       pollfd pfd{listen_fd, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
       SNAP_REQUIRE_MSG(ready > 0, "shard " << config.shard_id
                                            << " timed out waiting for "
-                                           << (expected - i)
+                                           << (expected - greeted.size())
                                            << " peer connection(s)");
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       SNAP_REQUIRE_MSG(fd >= 0, "accept: " << std::strerror(errno));
@@ -344,13 +513,20 @@ struct SocketHub::Impl {
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       }
-      // The connector speaks first; its HELLO tells us who it is.
-      // Park the fd in a slot we can read from before we know the id.
-      accept_handshake(fd);
+      // The connector speaks first; its HELLO (or, for a worker that
+      // was killed and respawned mid-rendezvous, its RECONNECT) tells
+      // us who it is.
+      if (const std::optional<std::size_t> shard = accept_handshake(fd);
+          shard.has_value() && *shard > config.shard_id) {
+        greeted.insert(*shard);
+      }
     }
   }
 
-  void accept_handshake(int fd) {
+  /// Reads and answers one handshake record on a freshly accepted fd.
+  /// Returns the installed peer shard, or nullopt when the connector
+  /// died first or sent a rejected handshake (fd closed either way).
+  std::optional<std::size_t> accept_handshake(int fd) {
     FrameReassembler reassembler;
     std::vector<std::byte> body;
     while (true) {
@@ -361,9 +537,44 @@ struct SocketHub::Impl {
       std::byte chunk[4096];
       const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
       if (n < 0 && errno == EINTR) continue;
-      SNAP_REQUIRE_MSG(n > 0, "inbound peer closed during handshake");
+      if (n <= 0) {  // connector crashed mid-handshake; re-accept later
+        ::close(fd);
+        return std::nullopt;
+      }
       stats.os_bytes_received += static_cast<std::uint64_t>(n);
       reassembler.feed({chunk, static_cast<std::size_t>(n)});
+    }
+    SNAP_REQUIRE_MSG(!body.empty(), "empty handshake record");
+    if (static_cast<std::uint8_t>(body[0]) == kRecordReconnect) {
+      // A worker killed during the initial rendezvous respawned in
+      // resume mode while we are still here. No flip has completed
+      // anywhere (rounds need barriers from every shard), so the
+      // respawn participates from flip 0 with nothing to replay.
+      const std::optional<ReconnectRecord> hello =
+          decode_reconnect_record(body);
+      if (!hello.has_value() || hello->shard >= config.shards ||
+          hello->shard == config.shard_id ||
+          hello->shards != config.shards || hello->nodes != node_count ||
+          !reconnect_supersedes(incarnation_seen[hello->shard],
+                                hello->incarnation) ||
+          reassembler.buffered_bytes() != 0) {
+        ::close(fd);
+        return std::nullopt;
+      }
+      const std::size_t shard = hello->shard;
+      if (peer_fds[shard] >= 0) mark_link_down(shard);
+      peer_fds[shard] = fd;
+      peer_eof[shard] = false;
+      reassemblers[shard] = FrameReassembler();
+      incarnation_seen[shard] = hello->incarnation;
+      live_from[shard] = 0;
+      ++stats.reconnects;
+      ReconnectAckRecord ack;
+      ack.shard = static_cast<std::uint32_t>(config.shard_id);
+      ack.parked_flip = 0;
+      ack.incarnation = hello->incarnation;
+      send_record(shard, encode_reconnect_ack_record(ack));
+      return shard;
     }
     common::ByteReader reader(body);
     reader.read_u8();  // type, validated below
@@ -387,6 +598,7 @@ struct SocketHub::Impl {
     SNAP_REQUIRE(reassembler.buffered_bytes() == 0);
     send_record(shard,
                 encode_hello(config.shard_id, config.shards, node_count));
+    return shard;
   }
 
   // --- steady state -------------------------------------------------
@@ -414,15 +626,34 @@ struct SocketHub::Impl {
       SNAP_REQUIRE_MSG(fresh, "duplicate barrier for flip "
                                   << flip << " from peer shard "
                                   << peer_shard);
+      // A barrier for `flip` proves the peer consumed every earlier
+      // flip in full; its replay log can forget them.
+      prune_sent_log(peer_shard, flip);
       return;
     }
+    if (type == kRecordHeartbeat) {
+      const std::optional<HeartbeatRecord> beat =
+          decode_heartbeat_record(body);
+      SNAP_REQUIRE_MSG(beat.has_value(), "malformed heartbeat record from "
+                                         "peer shard "
+                                             << peer_shard);
+      prune_sent_log(peer_shard, beat->flip);
+      return;
+    }
+    // RECONNECT / RECONNECT-ACK are connection-scoped handshakes; seen
+    // mid-stream they are a replay or a duplicate and reject the
+    // stream whole.
     SNAP_REQUIRE_MSG(false, "unexpected record type "
                                 << static_cast<int>(type)
                                 << " from peer shard " << peer_shard);
   }
 
-  /// Waits for readable peer bytes, reads them, surfaces records.
-  void pump_once() {
+  /// Waits up to `timeout_ms` for peer bytes or an inbound RECONNECT on
+  /// the listener; reads and surfaces whatever arrived. Returns false
+  /// on a quiet timeout (nothing readable at all) so finish_flip can
+  /// run its heartbeat / park-deadline accounting.
+  bool pump_once(std::uint64_t flip, int timeout_ms) {
+    constexpr std::size_t kListener = static_cast<std::size_t>(-1);
     std::vector<pollfd> pfds;
     std::vector<std::size_t> owners;
     for (std::size_t s = 0; s < config.shards; ++s) {
@@ -431,42 +662,218 @@ struct SocketHub::Impl {
         owners.push_back(s);
       }
     }
+    // The listener stays in the set through steady state: a crashed
+    // peer's respawn announces itself here, possibly while every
+    // direct link is down.
+    if (listen_fd >= 0) {
+      pfds.push_back({listen_fd, POLLIN, 0});
+      owners.push_back(kListener);
+    }
     SNAP_REQUIRE_MSG(!pfds.empty(),
                      "shard " << config.shard_id
                               << " is waiting on peers but every link "
-                                 "is closed");
+                                 "and the listener are closed");
     const int ready = ::poll(pfds.data(),
                              static_cast<nfds_t>(pfds.size()),
-                             kPollTimeoutMs);
-    SNAP_REQUIRE_MSG(ready > 0, "shard " << config.shard_id
-                                         << " stalled waiting for peer "
-                                            "traffic (peer crashed?)");
+                             timeout_ms);
+    if (ready == 0) return false;
+    if (ready < 0 && errno == EINTR) return false;
+    SNAP_REQUIRE_MSG(ready > 0,
+                     "poll failed: " << std::strerror(errno));
+    bool progressed = false;
     for (std::size_t i = 0; i < pfds.size(); ++i) {
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (owners[i] == kListener) {
+        accept_reconnect(flip);
+        progressed = true;
+        continue;
+      }
       const std::size_t shard = owners[i];
+      // accept_reconnect may have replaced this fd mid-pass; the event
+      // belonged to the dead incarnation's socket.
+      if (peer_fds[shard] != pfds[i].fd) continue;
       std::byte chunk[65536];
       const ssize_t n = ::recv(peer_fds[shard], chunk, sizeof chunk, 0);
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && errno == ECONNRESET) {
+        mark_link_down(shard);
+        progressed = true;
+        continue;
+      }
       SNAP_REQUIRE_MSG(n >= 0, "recv from peer shard "
                                    << shard << " failed: "
                                    << std::strerror(errno));
       if (n == 0) {
-        // Orderly close. A peer that finished its last flip tears its
-        // hub down while slower shards still pump; its final barrier
-        // was queued ahead of the FIN, so if we still needed anything
-        // from it, finish_flip's missing-barrier check catches that.
-        ::close(peer_fds[shard]);
-        peer_fds[shard] = -1;
-        peer_eof[shard] = true;
-        SNAP_REQUIRE_MSG(reassemblers[shard].buffered_bytes() == 0,
-                         "peer shard " << shard
-                                       << " closed mid-record");
+        // FIN: orderly finish and crash look identical here. Mark the
+        // link down; finish_flip disambiguates — the peer's barrier
+        // for the flip we need is either already in (finished
+        // legitimately) or missing (crashed: park for the respawn).
+        mark_link_down(shard);
+        progressed = true;
         continue;
       }
       stats.os_bytes_received += static_cast<std::uint64_t>(n);
       reassemblers[shard].feed({chunk, static_cast<std::size_t>(n)});
       while (auto record = reassemblers[shard].next()) {
         dispatch_record(shard, *record);
+      }
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  /// Accepts a respawned shard's replacement connection while we are
+  /// parked at `flip`. The handshake is rejected whole — connection
+  /// closed, no state touched — on any malformation, shape mismatch,
+  /// or non-superseding incarnation.
+  void accept_reconnect(std::uint64_t flip) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    if (config.kind == TransportKind::kTcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    // Blocking read of exactly one record; a connector that dies first
+    // is simply dropped.
+    FrameReassembler reassembler;
+    std::vector<std::byte> body;
+    while (true) {
+      if (auto record = reassembler.next()) {
+        body = std::move(*record);
+        break;
+      }
+      std::byte chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        return;
+      }
+      stats.os_bytes_received += static_cast<std::uint64_t>(n);
+      reassembler.feed({chunk, static_cast<std::size_t>(n)});
+    }
+    const std::optional<ReconnectRecord> hello =
+        decode_reconnect_record(body);
+    if (!hello.has_value() || hello->shard >= config.shards ||
+        hello->shard == config.shard_id ||
+        hello->shards != config.shards || hello->nodes != node_count ||
+        !reconnect_supersedes(incarnation_seen[hello->shard],
+                              hello->incarnation) ||
+        reassembler.buffered_bytes() != 0) {
+      ::close(fd);
+      return;
+    }
+    const std::size_t shard = hello->shard;
+    // A fast respawn can outrun our EOF detection of the old socket.
+    if (peer_fds[shard] >= 0) mark_link_down(shard);
+    // First flip the resumed replica exchanges wire traffic for: the
+    // one we are parked at — or the next, if the dead incarnation
+    // already delivered this flip in full (its barrier arrived, and
+    // frames precede the barrier in FIFO order).
+    const std::uint64_t resume_from =
+        flip + (barriers_seen[flip].contains(shard) ? 1 : 0);
+    // Scrub the dead incarnation's traffic at and above the resume
+    // point — the respawn replays it bit for bit, and keeping both
+    // copies would double-deliver frames and trip the duplicate-
+    // barrier check.
+    for (auto& [pending_flip, records] : pending_frames) {
+      if (pending_flip < resume_from) continue;
+      std::erase_if(records, [&](const WireRecord& record) {
+        return shard_of_node(record.from, node_count, config.shards) ==
+               shard;
+      });
+    }
+    std::erase_if(pending_frames,
+                  [](const auto& entry) { return entry.second.empty(); });
+    for (auto& [barrier_flip, seen] : barriers_seen) {
+      if (barrier_flip >= resume_from) seen.erase(shard);
+    }
+    peer_fds[shard] = fd;
+    peer_eof[shard] = false;
+    reassemblers[shard] = FrameReassembler();
+    incarnation_seen[shard] = hello->incarnation;
+    // Also lifts a write-off: a peer we had given up on (live_from =
+    // UINT64_MAX) is live again from here on.
+    live_from[shard] = resume_from;
+    ++stats.reconnects;
+    ReconnectAckRecord ack;
+    ack.shard = static_cast<std::uint32_t>(config.shard_id);
+    ack.parked_flip = resume_from;
+    ack.incarnation = hello->incarnation;
+    send_record(shard, encode_reconnect_ack_record(ack));
+    // Replay everything the dead incarnation missed, oldest first.
+    for (const LoggedSend& entry : sent_log[shard]) {
+      if (peer_fds[shard] < 0) break;  // died again mid-flush
+      if (entry.flip >= resume_from) send_all(shard, entry.bytes);
+    }
+  }
+
+  /// Tolerant sibling of read_record: nullopt on EOF instead of a hard
+  /// error (resume rendezvous races peers' graceful exits).
+  std::optional<std::vector<std::byte>> read_record_tolerant(
+      std::size_t peer_shard) {
+    const int fd = peer_fds[peer_shard];
+    SNAP_REQUIRE(fd >= 0);
+    auto& reassembler = reassemblers[peer_shard];
+    while (true) {
+      if (auto record = reassembler.next()) return record;
+      std::byte chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      stats.os_bytes_received += static_cast<std::uint64_t>(n);
+      reassembler.feed({chunk, static_cast<std::size_t>(n)});
+    }
+  }
+
+  /// Rendezvous for a respawned process: dial every peer, announce the
+  /// new incarnation, adopt each survivor's parked flip from its ACK.
+  /// An unreachable peer (rendezvous artifacts gone) finished the run
+  /// while we were dead — it is written off to full-local fallback.
+  void resume_rendezvous() {
+    const double cap = config.max_backoff_s > 0.0 ? config.max_backoff_s
+                                                  : config.retry_backoff_s;
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      if (s == config.shard_id) continue;
+      int fd = -1;
+      double backoff = std::min(config.retry_backoff_s, cap);
+      for (std::size_t attempt = 0;; ++attempt) {
+        fd = try_connect(s);
+        if (fd >= 0 || attempt >= config.max_retries) break;
+        sleep_seconds(backoff);
+        backoff = std::min(backoff * 2.0, cap);
+      }
+      if (fd < 0) {
+        live_from[s] = std::numeric_limits<std::uint64_t>::max();
+        continue;
+      }
+      peer_fds[s] = fd;
+      ReconnectRecord hello;
+      hello.shard = static_cast<std::uint32_t>(config.shard_id);
+      hello.shards = static_cast<std::uint32_t>(config.shards);
+      hello.nodes = node_count;
+      hello.incarnation = config.incarnation;
+      hello.resume_flip = 0;  // advisory: checkpoint not loaded yet
+      send_record(s, encode_reconnect_record(hello));
+      const std::optional<std::vector<std::byte>> ack_body =
+          read_record_tolerant(s);
+      if (!ack_body.has_value()) {
+        // Raced the peer's exit, or it rejected us as stale: same
+        // write-off as an unreachable peer.
+        mark_link_down(s);
+        live_from[s] = std::numeric_limits<std::uint64_t>::max();
+        continue;
+      }
+      const std::optional<ReconnectAckRecord> ack =
+          decode_reconnect_ack_record(*ack_body);
+      SNAP_REQUIRE_MSG(ack.has_value() && ack->shard == s &&
+                           ack->incarnation == config.incarnation,
+                       "malformed RECONNECT ACK from peer shard " << s);
+      live_from[s] = ack->parked_flip;
+      ++stats.reconnects;
+      // The survivor's replay flush may already sit behind the ACK.
+      while (auto record = reassemblers[s].next()) {
+        dispatch_record(s, *record);
       }
     }
   }
@@ -486,8 +893,17 @@ SocketHub::SocketHub(const TransportConfig& config, std::size_t node_count)
   impl_->peer_fds.assign(config.shards, -1);
   impl_->reassemblers.resize(config.shards);
   impl_->peer_eof.assign(config.shards, false);
+  impl_->live_from.assign(config.shards, 0);
+  impl_->incarnation_seen.assign(config.shards, 0);
+  impl_->sent_log.resize(config.shards);
   if (config.shards == 1) return;  // degenerate mesh: no peers
   impl_->bind_and_publish();
+  if (config.resume) {
+    // Respawned process: every surviving peer is parked with a live
+    // listener — dial them all and announce the new incarnation.
+    impl_->resume_rendezvous();
+    return;
+  }
   // Dial lower-numbered shards (their listeners exist or will shortly);
   // higher-numbered shards dial us.
   for (std::size_t s = 0; s < config.shard_id; ++s) {
@@ -516,31 +932,55 @@ void SocketHub::send_frame(std::size_t peer_shard,
                            const WireRecord& record) {
   SNAP_REQUIRE(peer_shard < impl_->config.shards &&
                peer_shard != impl_->config.shard_id);
-  impl_->send_record(peer_shard, encode_wire_record(record));
+  impl_->log_send(peer_shard, record.flip,
+                  FrameReassembler::frame(encode_wire_record(record)));
   ++impl_->stats.frames_sent;
+}
+
+std::uint64_t SocketHub::live_from(std::size_t peer_shard) const noexcept {
+  return peer_shard < impl_->live_from.size() ? impl_->live_from[peer_shard]
+                                              : 0;
 }
 
 std::vector<WireRecord> SocketHub::finish_flip(std::uint64_t flip) {
   ++impl_->stats.flips;
-  const std::size_t peers = impl_->peer_count();
-  const std::vector<std::byte> barrier = encode_barrier(flip);
+  // Barrier to every participating peer, logged before the write so a
+  // peer that is down (or dies mid-write) still receives it from the
+  // reconnect replay flush.
+  const std::vector<std::byte> barrier =
+      FrameReassembler::frame(encode_barrier(flip));
+  std::size_t participating = 0;
   for (std::size_t s = 0; s < impl_->config.shards; ++s) {
-    // A peer at EOF already completed this flip (flip schedules are
-    // identical across replicas), so it no longer needs our barrier.
-    if (s != impl_->config.shard_id && impl_->peer_fds[s] >= 0) {
-      impl_->send_record(s, barrier);
-    }
+    if (s == impl_->config.shard_id) continue;
+    if (!impl_->participates(s, flip)) continue;
+    ++participating;
+    impl_->log_send(s, flip, barrier);
   }
-  while (impl_->barriers_seen[flip].size() < peers) {
-    for (std::size_t s = 0; s < impl_->config.shards; ++s) {
-      if (s == impl_->config.shard_id || !impl_->peer_eof[s]) continue;
-      SNAP_REQUIRE_MSG(impl_->barriers_seen[flip].contains(s),
-                       "peer shard " << s << " closed before its flip "
-                                     << flip
-                                     << " barrier (replicas diverged or "
-                                        "the peer crashed)");
+  if (participating > 0) {
+    const std::vector<std::byte> heartbeat =
+        FrameReassembler::frame(encode_heartbeat_record({flip}));
+    const int interval_ms = std::max(
+        1, static_cast<int>(impl_->config.heartbeat_interval_s * 1000.0));
+    double quiet_s = 0.0;
+    while (impl_->barriers_seen[flip].size() < participating) {
+      if (impl_->pump_once(flip, interval_ms)) {
+        quiet_s = 0.0;  // any traffic (or a reconnect) resets the clock
+        continue;
+      }
+      // Quiet interval: beacon our park position to the live peers (it
+      // prunes their replay logs) and enforce the hard deadline.
+      quiet_s += impl_->config.heartbeat_interval_s;
+      SNAP_REQUIRE_MSG(quiet_s < impl_->config.park_timeout_s,
+                       "shard " << impl_->config.shard_id
+                                << " parked at flip " << flip << " for "
+                                << quiet_s
+                                << "s with no traffic (crashed peer never "
+                                   "respawned?)");
+      for (std::size_t s = 0; s < impl_->config.shards; ++s) {
+        if (s == impl_->config.shard_id || impl_->peer_fds[s] < 0) continue;
+        impl_->send_all(s, heartbeat);
+      }
     }
-    impl_->pump_once();
   }
   impl_->barriers_seen.erase(flip);
   std::vector<WireRecord> frames;
@@ -600,6 +1040,7 @@ void SocketHub::close() {
   }
   if (!impl_->socket_path.empty()) ::unlink(impl_->socket_path.c_str());
   if (!impl_->port_path.empty()) ::unlink(impl_->port_path.c_str());
+  if (!impl_->pid_path.empty()) ::unlink(impl_->pid_path.c_str());
 }
 
 }  // namespace snap::net

@@ -72,6 +72,64 @@ std::vector<std::byte> encode_wire_record(const WireRecord& record);
 std::optional<WireRecord> decode_wire_record(
     std::span<const std::byte> bytes);
 
+/// A parked survivor's liveness beacon: "I am waiting at `flip`". Lets
+/// live peers prune their sent-frame replay logs below that flip (the
+/// sender will never need anything older resent) while a crashed shard
+/// is being respawned.
+struct HeartbeatRecord {
+  std::uint64_t flip = 0;
+};
+
+std::vector<std::byte> encode_heartbeat_record(const HeartbeatRecord& record);
+/// nullopt on truncation, wrong type byte, or trailing garbage.
+std::optional<HeartbeatRecord> decode_heartbeat_record(
+    std::span<const std::byte> bytes);
+
+/// First record on a respawned shard's replacement connection. Carries
+/// the full HELLO shape check plus the respawn incarnation; a survivor
+/// rejects the whole handshake unless the incarnation strictly exceeds
+/// the last one it accepted from that shard (reconnect_supersedes) —
+/// replayed or duplicate handshakes never install a connection.
+/// `resume_flip` is advisory only (the transport reconnects before the
+/// fabric has loaded the checkpoint, so it is always 0 today).
+struct ReconnectRecord {
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t resume_flip = 0;
+};
+
+/// Stamps the protocol magic + version alongside the fields.
+std::vector<std::byte> encode_reconnect_record(const ReconnectRecord& record);
+/// nullopt on truncation, wrong type/magic/version, or trailing garbage.
+std::optional<ReconnectRecord> decode_reconnect_record(
+    std::span<const std::byte> bytes);
+
+/// The survivor's reply: `parked_flip` is the first flip for which the
+/// resumed shard must exchange wire traffic again (everything below it
+/// runs on the full-local replica); `incarnation` echoes the handshake.
+struct ReconnectAckRecord {
+  std::uint32_t shard = 0;
+  std::uint64_t parked_flip = 0;
+  std::uint64_t incarnation = 0;
+};
+
+std::vector<std::byte> encode_reconnect_ack_record(
+    const ReconnectAckRecord& record);
+/// nullopt on truncation, wrong type/magic, or trailing garbage.
+std::optional<ReconnectAckRecord> decode_reconnect_ack_record(
+    std::span<const std::byte> bytes);
+
+/// Duplicate-rejection rule for RECONNECT handshakes: an incoming
+/// incarnation installs a connection only if it strictly exceeds the
+/// last accepted one (the initial rendezvous counts as incarnation 0).
+constexpr bool reconnect_supersedes(std::uint64_t seen_incarnation,
+                                    std::uint64_t incoming_incarnation)
+    noexcept {
+  return incoming_incarnation > seen_incarnation;
+}
+
 /// OS-level counters and per-frame byte parity for one shard process.
 struct SocketHubStats {
   std::uint64_t frames_sent = 0;
@@ -111,10 +169,25 @@ class SocketHub {
   /// Ships one frame record to `peer_shard`.
   void send_frame(std::size_t peer_shard, const WireRecord& record);
 
-  /// Barrier for `flip`: sends BARRIER to every peer, reads until every
-  /// peer's barrier for `flip` arrived, and returns the frames received
-  /// for it (frames for later flips are buffered internally).
+  /// Barrier for `flip`: sends BARRIER to every participating peer,
+  /// reads until every such peer's barrier for `flip` arrived, and
+  /// returns the frames received for it (frames for later flips are
+  /// buffered internally). A peer whose connection dropped without its
+  /// barrier is treated as crashed: the hub parks here — sending
+  /// heartbeats each heartbeat_interval_s, accepting the respawned
+  /// process's RECONNECT on the listener, replaying the logged frames
+  /// it missed — until the barrier arrives or park_timeout_s elapses
+  /// with no traffic at all.
   std::vector<WireRecord> finish_flip(std::uint64_t flip);
+
+  /// First flip at which `peer_shard` exchanges wire traffic with us.
+  /// 0 in steady state; a resumed process adopts each survivor's parked
+  /// flip from its RECONNECT ACK (UINT64_MAX when the peer already
+  /// finished the run and exited — full-local fallback forever). Flips
+  /// below this bound keep their locally computed frame copies instead
+  /// of adopting wire bytes, which is bitwise identical by the replica
+  /// determinism contract.
+  std::uint64_t live_from(std::size_t peer_shard) const noexcept;
 
   SocketHubStats& stats() noexcept;
   const SocketHubStats& stats() const noexcept;
@@ -169,31 +242,45 @@ class SocketTransport final : public Transport<Payload> {
     const bool from_owned = owns(from);
     const bool to_owned = owns(to);
     if (from_owned && !to_owned) {
-      // This shard is the frame's authoritative sender: put the real
-      // bytes on the wire toward the receiver's owner.
-      WireRecord record;
-      record.flip = flip_index_;
-      record.seq = seq;
-      record.from = from;
-      record.to = to;
-      record.state_sync = state_sync;
-      record.charged_bytes = wire_bytes;
-      record.payload = codec_.encode(payload);
-      if (wire_bytes > 0) {
-        hub_.stats().charged_bytes_sent += wire_bytes;
-        hub_.stats().payload_bytes_sent += record.payload.size();
-        if (record.payload.size() != wire_bytes) {
-          ++hub_.stats().mismatched_frames;
+      const std::size_t dest = shard_of_node(to, node_count_, config_.shards);
+      // Participation gate: flips below the peer's live_from bound ran
+      // (or will run) on its full-local replica — the peer already
+      // consumed this frame's dead-incarnation twin, so resending would
+      // double-deliver. Stats counters are skipped with the send so a
+      // crash-free peer's wire parity stays exact.
+      if (flip_index_ >= hub_.live_from(dest)) {
+        // This shard is the frame's authoritative sender: put the real
+        // bytes on the wire toward the receiver's owner.
+        WireRecord record;
+        record.flip = flip_index_;
+        record.seq = seq;
+        record.from = from;
+        record.to = to;
+        record.state_sync = state_sync;
+        record.charged_bytes = wire_bytes;
+        record.payload = codec_.encode(payload);
+        if (wire_bytes > 0) {
+          hub_.stats().charged_bytes_sent += wire_bytes;
+          hub_.stats().payload_bytes_sent += record.payload.size();
+          if (record.payload.size() != wire_bytes) {
+            ++hub_.stats().mismatched_frames;
+          }
         }
+        hub_.send_frame(dest, record);
       }
-      hub_.send_frame(shard_of_node(to, node_count_, config_.shards),
-                      record);
     }
     if (to_owned && !from_owned) {
-      // The authoritative copy is in flight from the sender's owner;
-      // drop the locally computed one and remember what must arrive.
-      expected_.emplace(seq, std::make_pair(from, to));
-      return;
+      const std::size_t src =
+          shard_of_node(from, node_count_, config_.shards);
+      if (flip_index_ >= hub_.live_from(src)) {
+        // The authoritative copy is in flight from the sender's owner;
+        // drop the locally computed one and remember what must arrive.
+        expected_.emplace(seq, std::make_pair(from, to));
+        return;
+      }
+      // Full-local fallback (resumed shard below the peer's parked
+      // flip, or the peer finished and exited): keep the locally
+      // computed copy — bitwise the wire frame by replica determinism.
     }
     staged_[to].push_back({seq, Message{from, std::move(payload)}});
   }
@@ -253,6 +340,25 @@ class SocketTransport final : public Transport<Payload> {
 
   /// Writes shard-<id>.stats into the rendezvous dir (see SocketHub).
   void write_stats() const { hub_.write_stats(); }
+
+  /// Replicated wire position: the global post sequence counter and the
+  /// flip index. A resumed process restores these from the checkpoint
+  /// so every frame it posts after the restore carries exactly the seq
+  /// its peers' expected-seq maps predict.
+  void save_wire_state(common::ByteWriter& writer) const override {
+    writer.write_u64(next_seq_);
+    writer.write_u64(flip_index_);
+  }
+  bool restore_wire_state(common::ByteReader& reader) override {
+    const std::uint64_t seq = reader.read_u64();
+    const std::uint64_t flip = reader.read_u64();
+    if (!reader.ok()) return false;
+    SNAP_REQUIRE_MSG(expected_.empty() && next_seq_ == 0 && flip_index_ == 0,
+                     "wire state must be restored before any post");
+    next_seq_ = seq;
+    flip_index_ = flip;
+    return true;
+  }
 
  protected:
   void enqueue(topology::NodeId /*from*/, topology::NodeId /*to*/,

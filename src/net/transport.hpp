@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.hpp"
 #include "net/cost_model.hpp"
 #include "net/mailbox.hpp"
 #include "topology/graph.hpp"
@@ -74,10 +75,33 @@ struct TransportConfig {
   std::string rendezvous_dir;
   /// Reconnect-with-backoff knobs, same semantics as the fault layer's
   /// FaultRecoveryConfig: the first retry waits retry_backoff_s and
-  /// each further attempt doubles it, bounded by max_retries. The
-  /// defaults tolerate ~20 s of shard start-up skew at the rendezvous.
+  /// each further attempt doubles it (saturating at max_backoff_s —
+  /// runtime::bounded_backoff), bounded by max_retries. The defaults
+  /// tolerate ~20 s of shard start-up skew at the rendezvous.
   double retry_backoff_s = 0.02;
   std::size_t max_retries = 10;
+  /// Ceiling for the doubled backoff (seconds); see
+  /// runtime::FaultRecoveryConfig::max_backoff_s.
+  double max_backoff_s = 5.0;
+  /// Crash recovery: this process is a respawned shard resuming from a
+  /// checkpoint. Instead of the cold-start rendezvous it dials every
+  /// peer with a RECONNECT handshake and adopts each survivor's parked
+  /// flip position.
+  bool resume = false;
+  /// Monotone respawn counter for this shard (0 = original process).
+  /// Survivors reject RECONNECT handshakes whose incarnation does not
+  /// exceed the last one they accepted — a replayed or duplicate
+  /// handshake is rejected whole.
+  std::uint64_t incarnation = 0;
+  /// A parked survivor sends a heartbeat record to every live peer each
+  /// time this interval elapses without progress, so the dead shard's
+  /// absence is visible (and sent-frame logs can be pruned) while the
+  /// supervisor respawns it.
+  double heartbeat_interval_s = 0.2;
+  /// Hard deadline while parked at a barrier with a crashed peer: if no
+  /// record at all arrives for this long, the run aborts (the
+  /// supervisor is presumed dead too). Resets on any received record.
+  double park_timeout_s = 60.0;
 };
 
 /// Contiguous-block shard ownership: shard k owns node ids
@@ -164,6 +188,16 @@ class Transport {
 
   /// Current fabric round (1-based; 0 before the first begin_round).
   std::size_t round() const noexcept { return round_; }
+
+  /// Checkpoint hooks: serialize / restore the backend's replicated
+  /// wire position (per-frame seq counter, flip index — everything a
+  /// resumed process must replay identically for the peers' expected-
+  /// seq maps to keep matching). The sim transport is stateless across
+  /// rounds, so the defaults are no-ops; the socket backend overrides.
+  virtual void save_wire_state(common::ByteWriter& /*writer*/) const {}
+  virtual bool restore_wire_state(common::ByteReader& /*reader*/) {
+    return true;
+  }
 
  protected:
   /// Queues one already-charged frame.

@@ -33,11 +33,13 @@
 #include <string_view>
 #include <vector>
 
+#include "common/binary_io.hpp"
 #include "common/thread_pool.hpp"
 #include "core/training.hpp"
 #include "net/fault_injector.hpp"
 #include "net/mailbox.hpp"
 #include "runtime/gossip.hpp"
+#include "runtime/run_checkpoint.hpp"
 #include "runtime/timing.hpp"
 #include "topology/graph.hpp"
 
@@ -173,6 +175,17 @@ struct RoundHooks {
   /// double-buffer coherent for skipped nodes.
   std::function<void(topology::NodeId node)> node_skipped;
 
+  /// Checkpoint hooks: serialize / restore everything the scheme owns
+  /// that the fabric cannot see — trainer params + EXTRA memory, APE
+  /// controllers, RNG stream positions, membership backlog. save_state
+  /// runs serially right after end_round on checkpoint rounds;
+  /// load_state runs once before round 1 on resume and returns false if
+  /// the blob is unusable (wrong shape/version), which aborts the
+  /// resume loudly rather than continuing from half a state. Schemes
+  /// that leave these unset cannot be checkpointed.
+  std::function<void(common::ByteWriter& writer)> save_state;
+  std::function<bool(common::ByteReader& reader)> load_state;
+
   /// Gossip-layer callback: the links the scheduler activated for this
   /// round (sorted, u < v, alive endpoints only). Fired serially in the
   /// round preamble — after confirmed churn is surfaced, before
@@ -255,7 +268,32 @@ struct FaultRecoveryConfig {
   double retry_backoff_s = 0.02;
   /// Async: bounded retransmissions per frame. 0 disables retry.
   std::size_t max_retries = 2;
+  /// Ceiling on the doubled backoff (seconds). The doubling sequence
+  /// retry_backoff_s · 2^attempt overflows a double's exponent range
+  /// after ~1024 attempts; every consumer of these semantics (async
+  /// retransmission, the socket transport's dial and reconnect loops)
+  /// must go through bounded_backoff, which caps at this value.
+  double max_backoff_s = 5.0;
 };
+
+/// The backoff before retry `attempt` (0-based) under `recovery`:
+/// retry_backoff_s · 2^attempt, saturated at max_backoff_s. Overflow-
+/// safe for any attempt count — the exponent is clamped before the
+/// multiply, so the result never becomes inf even at attempt ≫ 1024.
+inline double bounded_backoff(const FaultRecoveryConfig& recovery,
+                              std::size_t attempt) noexcept {
+  const double cap =
+      recovery.max_backoff_s > 0.0 ? recovery.max_backoff_s : 5.0;
+  if (recovery.retry_backoff_s <= 0.0) return 0.0;
+  if (recovery.retry_backoff_s >= cap) return cap;
+  // 2^63 · any positive backoff already exceeds every sane cap; clamping
+  // the exponent keeps the shift defined and the double finite.
+  const std::size_t exponent = attempt < 63 ? attempt : 63;
+  const double scaled =
+      recovery.retry_backoff_s *
+      static_cast<double>(std::uint64_t{1} << exponent);
+  return scaled < cap ? scaled : cap;
+}
 
 /// Everything a fabric needs besides the algorithm itself.
 struct FabricConfig {
@@ -279,6 +317,11 @@ struct FabricConfig {
   net::FaultInjector* faults = nullptr;
   /// Recovery knobs used when `faults` is set.
   FaultRecoveryConfig recovery;
+  /// Round-aligned checkpointing (runtime::RunCheckpoint). Requires the
+  /// scheme to provide RoundHooks::save_state/load_state. Sync and
+  /// gossip fabrics only — the async fabric has no round barrier to
+  /// align a checkpoint on.
+  CheckpointConfig checkpoint;
 };
 
 /// Executes RoundHooks until convergence (or max_iterations). The

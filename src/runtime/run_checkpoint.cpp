@@ -1,0 +1,165 @@
+#include "runtime/run_checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/binary_io.hpp"
+#include "ml/checkpoint.hpp"
+
+namespace snap::runtime {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'A', 'P', 'R', 'U', 'N', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_iteration(common::ByteWriter& writer,
+                     const core::IterationStats& it) {
+  writer.write_f64(it.train_loss);
+  writer.write_f64(it.test_accuracy);
+  writer.write_u8(it.evaluated ? 1 : 0);
+  writer.write_u64(it.bytes);
+  writer.write_u64(it.cost);
+  writer.write_u64(it.max_node_inbound_bytes);
+  writer.write_u64(it.max_node_outbound_bytes);
+  writer.write_f64(it.consensus_residual);
+  writer.write_f64(it.sim_seconds);
+  writer.write_f64(it.mean_frame_staleness);
+  writer.write_u64(it.max_frame_staleness);
+  writer.write_u64(it.links_down);
+  writer.write_u64(it.nodes_down);
+  writer.write_u64(it.frames_dropped);
+  writer.write_u64(it.frames_corrupted);
+  writer.write_u64(it.frames_retried);
+  writer.write_u64(it.alive_nodes);
+  writer.write_u64(it.nodes_joined);
+  writer.write_u64(it.state_sync_bytes);
+  writer.write_u64(it.links_activated);
+}
+
+core::IterationStats read_iteration(common::ByteReader& reader) {
+  core::IterationStats it;
+  it.train_loss = reader.read_f64();
+  it.test_accuracy = reader.read_f64();
+  it.evaluated = reader.read_u8() != 0;
+  it.bytes = reader.read_u64();
+  it.cost = reader.read_u64();
+  it.max_node_inbound_bytes = reader.read_u64();
+  it.max_node_outbound_bytes = reader.read_u64();
+  it.consensus_residual = reader.read_f64();
+  it.sim_seconds = reader.read_f64();
+  it.mean_frame_staleness = reader.read_f64();
+  it.max_frame_staleness = reader.read_u64();
+  it.links_down = reader.read_u64();
+  it.nodes_down = reader.read_u64();
+  it.frames_dropped = reader.read_u64();
+  it.frames_corrupted = reader.read_u64();
+  it.frames_retried = reader.read_u64();
+  it.alive_nodes = reader.read_u64();
+  it.nodes_joined = reader.read_u64();
+  it.state_sync_bytes = reader.read_u64();
+  it.links_activated = reader.read_u64();
+  return it;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_run_checkpoint(const RunCheckpoint& ckpt) {
+  common::ByteWriter writer(256 + 160 * ckpt.iterations.size() +
+                            ckpt.wire_state.size() +
+                            ckpt.algorithm_state.size());
+  for (const char c : kMagic) {
+    writer.write_u8(static_cast<std::uint8_t>(c));
+  }
+  writer.write_u32(kVersion);
+  writer.write_u64(ckpt.round);
+  writer.write_f64(ckpt.sim_seconds);
+  writer.write_u64(ckpt.membership_epoch);
+  writer.write_u64(ckpt.alive.size());
+  for (const std::uint8_t a : ckpt.alive) writer.write_u8(a);
+  writer.write_u64(ckpt.iterations.size());
+  for (const auto& it : ckpt.iterations) write_iteration(writer, it);
+  writer.write_u64(ckpt.total_bytes);
+  writer.write_u64(ckpt.total_cost);
+  writer.write_u64(ckpt.wire_state.size());
+  writer.write_bytes(ckpt.wire_state);
+  writer.write_u64(ckpt.algorithm_state.size());
+  writer.write_bytes(ckpt.algorithm_state);
+  writer.write_u64(ml::fnv1a(writer.bytes()));
+  return writer.take();
+}
+
+std::optional<RunCheckpoint> decode_run_checkpoint(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 8 + 8) return std::nullopt;
+
+  const std::span<const std::byte> body = bytes.first(bytes.size() - 8);
+  common::ByteReader tail(bytes.subspan(bytes.size() - 8));
+  if (tail.read_u64() != ml::fnv1a(body)) return std::nullopt;
+
+  common::ByteReader reader(body);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(reader.read_u8());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+  if (reader.read_u32() != kVersion) return std::nullopt;
+
+  RunCheckpoint ckpt;
+  ckpt.round = reader.read_u64();
+  ckpt.sim_seconds = reader.read_f64();
+  ckpt.membership_epoch = reader.read_u64();
+  const std::uint64_t alive_count = reader.read_u64();
+  if (!reader.ok() || alive_count > reader.remaining()) return std::nullopt;
+  ckpt.alive.reserve(alive_count);
+  for (std::uint64_t i = 0; i < alive_count; ++i) {
+    ckpt.alive.push_back(reader.read_u8());
+  }
+  const std::uint64_t iteration_count = reader.read_u64();
+  // Each iteration occupies a fixed 160 bytes; bound before reserving.
+  if (!reader.ok() || iteration_count * 160 > reader.remaining()) {
+    return std::nullopt;
+  }
+  ckpt.iterations.reserve(iteration_count);
+  for (std::uint64_t i = 0; i < iteration_count; ++i) {
+    ckpt.iterations.push_back(read_iteration(reader));
+  }
+  ckpt.total_bytes = reader.read_u64();
+  ckpt.total_cost = reader.read_u64();
+  const std::uint64_t wire_length = reader.read_u64();
+  if (!reader.ok() || wire_length > reader.remaining()) return std::nullopt;
+  ckpt.wire_state = reader.read_bytes(wire_length);
+  const std::uint64_t algo_length = reader.read_u64();
+  if (!reader.ok() || algo_length != reader.remaining()) return std::nullopt;
+  ckpt.algorithm_state = reader.read_bytes(algo_length);
+  if (!reader.ok()) return std::nullopt;
+  return ckpt;
+}
+
+bool save_run_checkpoint(const std::string& path,
+                         const RunCheckpoint& ckpt) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    const auto bytes = encode_run_checkpoint(ckpt);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file) return false;
+  }
+  // rename(2) is atomic within a filesystem: readers see either the old
+  // complete file or the new complete file, never a torn write.
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<RunCheckpoint> load_run_checkpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return std::nullopt;
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!file) return std::nullopt;
+  return decode_run_checkpoint(bytes);
+}
+
+}  // namespace snap::runtime

@@ -175,6 +175,19 @@ class SyncFabric : public RoundFabric<Payload> {
     double sim_seconds = 0.0;
 
     std::size_t round = 0;
+    if (config_.checkpoint.resume && !config_.checkpoint.path.empty()) {
+      // The transport must exist before its wire positions can be
+      // restored — force the lazy build now.
+      ensure_capacity(hooks.node_count);
+      if (std::optional<RunCheckpoint> saved =
+              load_run_checkpoint(config_.checkpoint.path)) {
+        restore_from_checkpoint(*saved, hooks, detector, result,
+                                sim_seconds, round);
+      }
+      // No (valid) blob: the crash predated the first checkpoint write,
+      // so replay from round 0 — determinism makes the replay bitwise
+      // the prefix the original run produced.
+    }
     while (round < config_.convergence.max_iterations &&
            !detector.converged()) {
       ++round;
@@ -223,6 +236,7 @@ class SyncFabric : public RoundFabric<Payload> {
       detector.observe(eval.train_loss, eval.consensus_residual,
                        stats.evaluated ? stats.test_accuracy : -1.0);
       if (hooks.end_round) hooks.end_round(round);
+      maybe_write_checkpoint(round, hooks, result, sim_seconds);
     }
 
     result.converged = detector.converged();
@@ -265,6 +279,112 @@ class SyncFabric : public RoundFabric<Payload> {
    private:
     std::vector<std::vector<Envelope<Payload>>>* slots_;
   };
+
+  /// Rebuilds every run()-owned piece of state from a round-aligned
+  /// checkpoint so the loop continues at `saved.round + 1` bitwise
+  /// identically to a run that never stopped. The algorithm blob is
+  /// applied first (a truncated blob aborts before anything mutates);
+  /// the fault schedule is re-materialized by replaying the seeded
+  /// draws — churn hooks do NOT re-fire, their effects already live in
+  /// the algorithm blob. The convergence detector is restored by
+  /// re-observing the saved series exactly as run() observed it.
+  void restore_from_checkpoint(const RunCheckpoint& saved,
+                               RoundHooks<Payload>& hooks,
+                               core::ConvergenceDetector& detector,
+                               core::TrainResult& result,
+                               double& sim_seconds, std::size_t& round) {
+    SNAP_REQUIRE_MSG(hooks.load_state != nullptr,
+                     "checkpoint resume requires a load_state hook");
+    SNAP_REQUIRE_MSG(saved.round >= 1 &&
+                         saved.iterations.size() == saved.round,
+                     "checkpoint round/series mismatch: round "
+                         << saved.round << " with "
+                         << saved.iterations.size() << " iterations");
+    const auto saved_round = static_cast<std::size_t>(saved.round);
+    common::ByteReader algo(saved.algorithm_state);
+    SNAP_REQUIRE_MSG(hooks.load_state(algo) && algo.remaining() == 0,
+                     "checkpoint algorithm blob failed to restore");
+    if (config_.faults != nullptr) {
+      config_.faults->ensure_round(saved_round);
+      SNAP_REQUIRE_MSG(
+          config_.faults->membership_epoch(saved_round) ==
+              saved.membership_epoch,
+          "checkpoint was written against a different fault schedule "
+          "(membership epoch "
+              << saved.membership_epoch << " vs "
+              << config_.faults->membership_epoch(saved_round) << ")");
+      SNAP_REQUIRE_MSG(saved.alive.size() == hooks.node_count,
+                       "checkpoint alive mask sized for "
+                           << saved.alive.size() << " nodes, hooks declare "
+                           << hooks.node_count);
+      for (topology::NodeId i = 0; i < hooks.node_count; ++i) {
+        const std::uint8_t now =
+            config_.faults->confirmed_down(saved_round, i) ? 0 : 1;
+        SNAP_REQUIRE_MSG(saved.alive[i] == now,
+                         "checkpoint alive mask disagrees with the "
+                         "replayed fault schedule at node "
+                             << i);
+      }
+      if (cost_) {
+        // A membership epoch may have grown the topology since round 0;
+        // refresh the routing table unconditionally so post-resume flows
+        // route exactly as pre-crash ones did.
+        cost_->set_hop_matrix(net::HopMatrix(
+            config_.faults->current_graph(), /*require_connected=*/false));
+      }
+    }
+    result.iterations = saved.iterations;
+    sim_seconds = saved.sim_seconds;
+    for (const core::IterationStats& stats : saved.iterations) {
+      detector.observe(stats.train_loss, stats.consensus_residual,
+                       stats.evaluated ? stats.test_accuracy : -1.0);
+    }
+    if (cost_) cost_->restore_totals(saved.total_bytes, saved.total_cost);
+    common::ByteReader wire(saved.wire_state);
+    SNAP_REQUIRE_MSG(transport_->restore_wire_state(wire) &&
+                         wire.remaining() == 0,
+                     "checkpoint wire blob failed to restore");
+    round = static_cast<std::size_t>(saved.round);
+  }
+
+  /// Writes the round-aligned checkpoint after end_round on configured
+  /// rounds. Runs serially (nothing else touches state here), writes
+  /// atomically (tmp + rename), and is deterministic: a resumed run
+  /// re-writes byte-identical blobs on the rounds it replays past.
+  void maybe_write_checkpoint(std::size_t round, RoundHooks<Payload>& hooks,
+                              const core::TrainResult& result,
+                              double sim_seconds) {
+    const CheckpointConfig& ckpt = config_.checkpoint;
+    if (ckpt.every == 0 || ckpt.path.empty() || round % ckpt.every != 0) {
+      return;
+    }
+    SNAP_REQUIRE_MSG(hooks.save_state != nullptr,
+                     "checkpoint.every requires a save_state hook");
+    RunCheckpoint snapshot;
+    snapshot.round = round;
+    snapshot.sim_seconds = sim_seconds;
+    if (config_.faults != nullptr) {
+      snapshot.membership_epoch = config_.faults->membership_epoch(round);
+      snapshot.alive.resize(hooks.node_count);
+      for (topology::NodeId i = 0; i < hooks.node_count; ++i) {
+        snapshot.alive[i] =
+            config_.faults->confirmed_down(round, i) ? 0 : 1;
+      }
+    }
+    snapshot.iterations = result.iterations;
+    if (cost_) {
+      snapshot.total_bytes = cost_->total_bytes();
+      snapshot.total_cost = cost_->total_cost();
+    }
+    common::ByteWriter wire;
+    transport_->save_wire_state(wire);
+    snapshot.wire_state = wire.take();
+    common::ByteWriter algo;
+    hooks.save_state(algo);
+    snapshot.algorithm_state = algo.take();
+    SNAP_REQUIRE_MSG(save_run_checkpoint(ckpt.path, snapshot),
+                     "failed to write checkpoint " << ckpt.path);
+  }
 
   void ensure_capacity(std::size_t n) {
     if (staged_.size() != n) {

@@ -187,6 +187,116 @@ TEST(WireRecordTest, TruncatedOrMalformedRecordsAreRejected) {
   EXPECT_FALSE(decode_wire_record(bad_flag).has_value());
 }
 
+TEST(WireRecordTest, HeartbeatRoundTripsAndRejectsDamage) {
+  HeartbeatRecord record;
+  record.flip = 0x1122334455667788ULL;
+  const auto bytes = encode_heartbeat_record(record);
+  const auto decoded = decode_heartbeat_record(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flip, record.flip);
+
+  // Every truncation is rejected whole.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_heartbeat_record({bytes.data(), len}).has_value())
+        << "truncation to " << len;
+  }
+  // Wrong record-type byte.
+  auto wrong_type = bytes;
+  wrong_type[0] = std::byte{99};
+  EXPECT_FALSE(decode_heartbeat_record(wrong_type).has_value());
+  // Trailing garbage means the frame was not a heartbeat after all.
+  auto padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_heartbeat_record(padded).has_value());
+}
+
+TEST(WireRecordTest, ReconnectRoundTripsAndRejectsDamage) {
+  ReconnectRecord record;
+  record.shard = 3;
+  record.shards = 4;
+  record.nodes = 60;
+  record.incarnation = 7;
+  record.resume_flip = 0;
+  const auto bytes = encode_reconnect_record(record);
+  const auto decoded = decode_reconnect_record(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shard, record.shard);
+  EXPECT_EQ(decoded->shards, record.shards);
+  EXPECT_EQ(decoded->nodes, record.nodes);
+  EXPECT_EQ(decoded->incarnation, record.incarnation);
+  EXPECT_EQ(decoded->resume_flip, record.resume_flip);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_reconnect_record({bytes.data(), len}).has_value())
+        << "truncation to " << len;
+  }
+  auto wrong_type = bytes;
+  wrong_type[0] = std::byte{99};
+  EXPECT_FALSE(decode_reconnect_record(wrong_type).has_value());
+  // Damaged protocol magic (right after the type byte).
+  auto bad_magic = bytes;
+  bad_magic[1] ^= std::byte{0x01};
+  EXPECT_FALSE(decode_reconnect_record(bad_magic).has_value());
+  auto padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_reconnect_record(padded).has_value());
+}
+
+TEST(WireRecordTest, ReconnectAckRoundTripsAndRejectsDamage) {
+  ReconnectAckRecord record;
+  record.shard = 1;
+  record.parked_flip = 42;
+  record.incarnation = 9;
+  const auto bytes = encode_reconnect_ack_record(record);
+  const auto decoded = decode_reconnect_ack_record(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shard, record.shard);
+  EXPECT_EQ(decoded->parked_flip, record.parked_flip);
+  EXPECT_EQ(decoded->incarnation, record.incarnation);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_reconnect_ack_record({bytes.data(), len}).has_value())
+        << "truncation to " << len;
+  }
+  auto wrong_type = bytes;
+  wrong_type[0] = std::byte{99};
+  EXPECT_FALSE(decode_reconnect_ack_record(wrong_type).has_value());
+  auto bad_magic = bytes;
+  bad_magic[1] ^= std::byte{0x01};
+  EXPECT_FALSE(decode_reconnect_ack_record(bad_magic).has_value());
+  auto padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_reconnect_ack_record(padded).has_value());
+}
+
+TEST(WireRecordTest, RecordTypesDoNotCrossDecode) {
+  // Each decoder owns exactly one type byte: feeding it a well-formed
+  // record of any *other* type must fail whole, never alias fields.
+  const auto heartbeat = encode_heartbeat_record({5});
+  const auto reconnect = encode_reconnect_record({1, 2, 8, 3, 0});
+  const auto ack = encode_reconnect_ack_record({0, 6, 3});
+  EXPECT_FALSE(decode_heartbeat_record(reconnect).has_value());
+  EXPECT_FALSE(decode_heartbeat_record(ack).has_value());
+  EXPECT_FALSE(decode_reconnect_record(heartbeat).has_value());
+  EXPECT_FALSE(decode_reconnect_record(ack).has_value());
+  EXPECT_FALSE(decode_reconnect_ack_record(heartbeat).has_value());
+  EXPECT_FALSE(decode_reconnect_ack_record(reconnect).has_value());
+}
+
+TEST(WireRecordTest, ReconnectSupersessionIsStrict) {
+  // A replayed or duplicated RECONNECT handshake (same or lower
+  // incarnation than the last accepted one) must be rejected whole —
+  // this predicate is the whole defense.
+  EXPECT_TRUE(reconnect_supersedes(0, 1));
+  EXPECT_TRUE(reconnect_supersedes(3, 7));
+  EXPECT_FALSE(reconnect_supersedes(1, 1));  // duplicate
+  EXPECT_FALSE(reconnect_supersedes(5, 2));  // replay of an older one
+  EXPECT_FALSE(reconnect_supersedes(0, 0));  // never-resumed default
+}
+
 TEST(WireRecordTest, CorruptedStateSyncPayloadFailsWholeFrameDecode) {
   // End-to-end over the reassembler: a STATE_SYNC frame whose payload
   // was corrupted in flight reassembles fine (framing is intact) but

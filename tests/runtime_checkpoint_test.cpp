@@ -1,0 +1,288 @@
+// Round-aligned run checkpoints: serialize → restore → continue must be
+// bitwise indistinguishable from a run that never stopped, for every
+// scheme that supports checkpointing (SNAP family, DGD, PS baseline) on
+// both shared-clock fabrics — including mid-churn, where the blob is
+// written after a membership epoch already happened. Also covers the
+// codec's corruption rejection and the bounded dial/retry backoff
+// (satellite of the same PR: doubling must saturate at the cap instead
+// of overflowing).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/binary_io.hpp"
+#include "common/rng.hpp"
+#include "consensus/weight_matrix.hpp"
+#include "core/dgd.hpp"
+#include "experiments/scenario.hpp"
+#include "runtime/fabric.hpp"
+#include "runtime/run_checkpoint.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::experiments {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioConfig base_config(runtime::FabricKind fabric) {
+  ScenarioConfig cfg;
+  cfg.workload = Workload::kCreditSvm;
+  cfg.nodes = 8;
+  cfg.train_samples = 400;
+  cfg.test_samples = 100;
+  cfg.seed = 7;
+  cfg.fabric = fabric;
+  cfg.convergence.min_iterations = 12;
+  cfg.convergence.max_iterations = 12;
+  return cfg;
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &value, sizeof out);
+  return out;
+}
+
+std::vector<std::uint64_t> fingerprint(const core::TrainResult& result) {
+  std::vector<std::uint64_t> words;
+  words.push_back(result.iterations.size());
+  for (const auto& it : result.iterations) {
+    words.push_back(bits(it.train_loss));
+    words.push_back(it.bytes);
+    words.push_back(it.cost);
+    words.push_back(bits(it.consensus_residual));
+  }
+  words.push_back(result.final_params.size());
+  for (std::size_t i = 0; i < result.final_params.size(); ++i) {
+    words.push_back(bits(result.final_params[i]));
+  }
+  words.push_back(bits(result.final_train_loss));
+  words.push_back(result.total_bytes);
+  return words;
+}
+
+/// Runs `scheme` to 12 rounds uninterrupted, then again as two halves —
+/// stop at round 6 with a checkpoint, resume a fresh Scenario from the
+/// blob — and requires the stitched run to match bitwise.
+void expect_checkpoint_round_trip(ScenarioConfig cfg, Scheme scheme,
+                                  const std::string& tag) {
+  const Scenario full(cfg);
+  const auto oracle = fingerprint(full.run(scheme));
+  ASSERT_GT(oracle.size(), 2u);
+
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("snap-ckpt-" + tag + "-" + std::to_string(::getpid()) + ".ckpt");
+  fs::remove(path);
+
+  ScenarioConfig first = cfg;
+  first.convergence.min_iterations = 6;
+  first.convergence.max_iterations = 6;
+  first.checkpoint.path = path.string();
+  first.checkpoint.every = 3;
+  const Scenario half(first);
+  half.run(scheme);
+  ASSERT_TRUE(fs::exists(path)) << "no checkpoint written";
+
+  ScenarioConfig second = cfg;
+  second.checkpoint.path = path.string();
+  second.checkpoint.every = 3;
+  second.checkpoint.resume = true;
+  const Scenario resumed(second);
+  EXPECT_EQ(fingerprint(resumed.run(scheme)), oracle)
+      << tag << ": resumed run diverged from the uninterrupted one";
+
+  fs::remove(path);
+}
+
+TEST(RuntimeCheckpointTest, SnapSyncFabricRoundTripsBitwise) {
+  expect_checkpoint_round_trip(base_config(runtime::FabricKind::kSync),
+                               Scheme::kSnap, "snap-sync");
+}
+
+TEST(RuntimeCheckpointTest, SnapGossipFabricRoundTripsBitwise) {
+  expect_checkpoint_round_trip(base_config(runtime::FabricKind::kGossip),
+                               Scheme::kSnap, "snap-gossip");
+}
+
+TEST(RuntimeCheckpointTest, ParameterServerRoundTripsBitwise) {
+  expect_checkpoint_round_trip(base_config(runtime::FabricKind::kSync),
+                               Scheme::kPs, "ps-sync");
+}
+
+TEST(RuntimeCheckpointTest, MidChurnCheckpointCarriesMembershipEpoch) {
+  // Node 8 (latent) joins at round 4, so the round-6 checkpoint is
+  // written with membership epoch ≥ 1 and an already-grown topology.
+  // Resume must replay the injector to the same epoch and continue
+  // bitwise — including the re-projected mixing matrices.
+  ScenarioConfig cfg = base_config(runtime::FabricKind::kSync);
+  cfg.latent_joiners = 1;
+  cfg.faults.scheduled_joins.push_back({8, 4});
+
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("snap-ckpt-churn-" + std::to_string(::getpid()) + ".ckpt");
+  fs::remove(path);
+
+  ScenarioConfig first = cfg;
+  first.convergence.min_iterations = 6;
+  first.convergence.max_iterations = 6;
+  first.checkpoint.path = path.string();
+  first.checkpoint.every = 3;
+  const Scenario half(first);
+  half.run(Scheme::kSnap);
+  const auto blob = runtime::load_run_checkpoint(path.string());
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(blob->round, 6u);
+  EXPECT_GE(blob->membership_epoch, 1u) << "join did not land pre-blob";
+  fs::remove(path);
+
+  expect_checkpoint_round_trip(cfg, Scheme::kSnap, "snap-churn");
+}
+
+TEST(RuntimeCheckpointTest, CodecRejectsCorruptionAndTruncation) {
+  runtime::RunCheckpoint ckpt;
+  ckpt.round = 4;
+  ckpt.sim_seconds = 1.5;
+  ckpt.membership_epoch = 1;
+  ckpt.alive = {1, 0, 1};
+  ckpt.iterations.resize(4);
+  ckpt.iterations[2].train_loss = 0.25;
+  ckpt.total_bytes = 1234;
+  ckpt.wire_state = {std::byte{0xab}, std::byte{0xcd}};
+  ckpt.algorithm_state = {std::byte{0x01}, std::byte{0x02},
+                          std::byte{0x03}};
+
+  const std::vector<std::byte> bytes = runtime::encode_run_checkpoint(ckpt);
+  ASSERT_TRUE(runtime::decode_run_checkpoint(bytes).has_value());
+
+  // Any single flipped byte must fail the checksum trailer.
+  for (std::size_t i = 0; i < bytes.size(); i += 7) {
+    std::vector<std::byte> flipped = bytes;
+    flipped[i] ^= std::byte{0x40};
+    EXPECT_FALSE(runtime::decode_run_checkpoint(flipped).has_value())
+        << "flip at byte " << i << " was accepted";
+  }
+  // Every truncation must be rejected, not partially applied.
+  for (std::size_t len = 0; len < bytes.size(); len += 5) {
+    EXPECT_FALSE(
+        runtime::decode_run_checkpoint(
+            std::span<const std::byte>(bytes.data(), len))
+            .has_value())
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(RuntimeCheckpointTest, DgdSaveLoadContinuesBitwise) {
+  common::Rng rng(11);
+  const auto graph = topology::make_ring(5);
+  const linalg::Matrix w = consensus::max_degree_weights(graph);
+  std::vector<linalg::Vector> init;
+  std::vector<linalg::Vector> centers;
+  for (std::size_t i = 0; i < 5; ++i) {
+    linalg::Vector x(3);
+    linalg::Vector c(3);
+    for (std::size_t d = 0; d < 3; ++d) {
+      x[d] = rng.normal(0.0, 1.0);
+      c[d] = rng.normal(0.0, 2.0);
+    }
+    init.push_back(std::move(x));
+    centers.push_back(std::move(c));
+  }
+  const auto gradient = [centers](std::size_t node,
+                                  const linalg::Vector& x) {
+    linalg::Vector g = x;
+    g -= centers[node];
+    return g;
+  };
+
+  core::DgdIteration original(w, init, 0.1, gradient);
+  for (int i = 0; i < 4; ++i) original.step();
+
+  common::ByteWriter writer;
+  original.save(writer);
+  const std::vector<std::byte> blob = writer.take();
+
+  core::DgdIteration restored(w, init, 0.1, gradient);
+  common::ByteReader reader(blob);
+  ASSERT_TRUE(restored.load(reader));
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(restored.iteration(), original.iteration());
+
+  for (int i = 0; i < 4; ++i) {
+    original.step();
+    restored.step();
+  }
+  for (std::size_t node = 0; node < 5; ++node) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(bits(restored.params(node)[d]),
+                bits(original.params(node)[d]))
+          << "node " << node << " dim " << d;
+    }
+  }
+}
+
+TEST(RuntimeCheckpointTest, DgdLoadRejectsShapeMismatchAndTruncation) {
+  const auto graph = topology::make_ring(4);
+  const linalg::Matrix w = consensus::max_degree_weights(graph);
+  const auto gradient = [](std::size_t, const linalg::Vector& x) {
+    return x;
+  };
+  core::DgdIteration four(
+      w, std::vector<linalg::Vector>(4, linalg::Vector(2)), 0.1, gradient);
+
+  common::ByteWriter writer;
+  four.save(writer);
+  const std::vector<std::byte> blob = writer.take();
+
+  // Wrong node count.
+  const auto graph3 = topology::make_ring(3);
+  core::DgdIteration three(consensus::max_degree_weights(graph3),
+                           std::vector<linalg::Vector>(3, linalg::Vector(2)),
+                           0.1, gradient);
+  common::ByteReader mismatched(blob);
+  EXPECT_FALSE(three.load(mismatched));
+
+  // Truncated payload.
+  core::DgdIteration target(
+      w, std::vector<linalg::Vector>(4, linalg::Vector(2)), 0.1, gradient);
+  common::ByteReader truncated(
+      std::span<const std::byte>(blob.data(), blob.size() / 2));
+  EXPECT_FALSE(target.load(truncated));
+}
+
+TEST(RuntimeCheckpointTest, BoundedBackoffSaturatesAtCap) {
+  runtime::FaultRecoveryConfig recovery;
+  recovery.retry_backoff_s = 0.1;
+  recovery.max_backoff_s = 5.0;
+
+  // Plain doubling below the cap.
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 0), 0.1);
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 1), 0.2);
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 5), 3.2);
+  // At and past the crossover the cap wins.
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 6), 5.0);
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 63), 5.0);
+  // Attempts beyond the 2^63 shift guard must stay finite and capped —
+  // this is the overflow the satellite fixes (1 << attempt is UB at 64).
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 64), 5.0);
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 100000), 5.0);
+
+  // Degenerate knobs: non-positive base never waits; a base already at
+  // or above the cap pins to the cap; a non-positive cap falls back to
+  // the 5 s default.
+  recovery.retry_backoff_s = 0.0;
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 10), 0.0);
+  recovery.retry_backoff_s = 9.0;
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 0), 5.0);
+  recovery.retry_backoff_s = 0.1;
+  recovery.max_backoff_s = 0.0;
+  EXPECT_DOUBLE_EQ(runtime::bounded_backoff(recovery, 63), 5.0);
+}
+
+}  // namespace
+}  // namespace snap::experiments

@@ -1,0 +1,267 @@
+// Crash tolerance of the socket transport: a shard SIGKILL-ed mid-run
+// and respawned from its round-aligned checkpoint must leave the whole
+// multi-process run bitwise identical to the in-process sim oracle.
+//
+// Each test forks one process per shard. The victim shard runs a
+// watcher thread that waits for its own checkpoint file to appear
+// (save_run_checkpoint is atomic, so existence implies a complete
+// blob) and then raises SIGKILL — a real, uncatchable kill landing
+// right after a checkpointed barrier, long before the run completes.
+// The parent observes the signal death, respawns the shard with
+// --resume semantics (transport.resume + checkpoint.resume +
+// incarnation 1), and finally checks every shard's trajectory
+// fingerprint against the fault-free oracle. Byte-parity stats are
+// deliberately NOT asserted here: a crashed incarnation's counters die
+// with it, so only the training trajectory is contractual.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "net/transport.hpp"
+
+namespace snap::experiments {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kVictim = 1;  // the shard that gets SIGKILL-ed
+
+ScenarioConfig base_config(runtime::FabricKind fabric) {
+  ScenarioConfig cfg;
+  cfg.workload = Workload::kCreditSvm;
+  cfg.nodes = 8;
+  cfg.train_samples = 400;
+  cfg.test_samples = 100;
+  cfg.seed = 7;
+  cfg.fabric = fabric;
+  cfg.convergence.min_iterations = 16;
+  cfg.convergence.max_iterations = 16;
+  return cfg;
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &value, sizeof out);
+  return out;
+}
+
+/// Same fingerprint as transport_parity_test: every per-iteration
+/// observable the CSV exports plus the final mean model, as raw bits.
+std::vector<std::uint64_t> fingerprint(const core::TrainResult& result) {
+  std::vector<std::uint64_t> words;
+  words.push_back(result.iterations.size());
+  for (const auto& it : result.iterations) {
+    words.push_back(bits(it.train_loss));
+    words.push_back(it.bytes);
+    words.push_back(it.cost);
+    words.push_back(bits(it.consensus_residual));
+  }
+  words.push_back(result.final_params.size());
+  for (std::size_t i = 0; i < result.final_params.size(); ++i) {
+    words.push_back(bits(result.final_params[i]));
+  }
+  words.push_back(bits(result.final_train_loss));
+  words.push_back(result.total_bytes);
+  return words;
+}
+
+void write_fingerprint(const fs::path& path,
+                       const std::vector<std::uint64_t>& words) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof words[0]));
+}
+
+std::vector<std::uint64_t> read_fingerprint(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::uint64_t> words(raw.size() / sizeof(std::uint64_t));
+  std::memcpy(words.data(), raw.data(), words.size() * sizeof words[0]);
+  return words;
+}
+
+/// Forks one shard process. With `kill_after_checkpoint` the child also
+/// runs a watcher thread that SIGKILLs the process as soon as its own
+/// checkpoint file exists. `incarnation` > 0 resumes from that file.
+pid_t spawn_shard(runtime::FabricKind fabric, net::TransportKind kind,
+                  const fs::path& dir, std::size_t shard,
+                  std::uint64_t incarnation, bool kill_after_checkpoint) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: _exit (not exit) so the forked copy never runs gtest
+  // teardown or static destructors.
+  int status = 1;
+  try {
+    ScenarioConfig cfg = base_config(fabric);
+    cfg.transport.kind = kind;
+    cfg.transport.shards = kShards;
+    cfg.transport.shard_id = shard;
+    cfg.transport.rendezvous_dir = dir.string();
+    cfg.transport.resume = incarnation > 0;
+    cfg.transport.incarnation = incarnation;
+    cfg.checkpoint.path =
+        (dir / ("shard-" + std::to_string(shard) + ".ckpt")).string();
+    cfg.checkpoint.every = 3;
+    cfg.checkpoint.resume = incarnation > 0;
+
+    std::thread watcher;
+    std::atomic<bool> done{false};
+    if (kill_after_checkpoint) {
+      const std::string ckpt = cfg.checkpoint.path;
+      watcher = std::thread([ckpt, &done] {
+        while (!done.load()) {
+          std::error_code ec;
+          if (fs::exists(ckpt, ec)) {
+            ::raise(SIGKILL);  // uncatchable; lands mid-run
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    }
+
+    const Scenario scenario(cfg);
+    write_fingerprint(dir / ("result-" + std::to_string(shard)),
+                      fingerprint(scenario.run(Scheme::kSnap)));
+    status = 0;
+    done.store(true);
+    if (watcher.joinable()) watcher.join();
+  } catch (...) {
+  }
+  ::_exit(status);
+}
+
+/// One SIGKILL + respawn in a multi-process run; every shard's
+/// trajectory must still equal the fault-free sim oracle bitwise.
+void expect_crash_recovery(runtime::FabricKind fabric,
+                           net::TransportKind kind) {
+  const Scenario sim(base_config(fabric));
+  const auto oracle = fingerprint(sim.run(Scheme::kSnap));
+  ASSERT_GT(oracle.size(), 2u);
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("snap-crash-" + std::string(net::transport_name(kind)) + "-" +
+       std::to_string(fabric == runtime::FabricKind::kGossip) + "-" +
+       std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  std::vector<pid_t> children(kShards);
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    children[shard] =
+        spawn_shard(fabric, kind, dir, shard, /*incarnation=*/0,
+                    /*kill_after_checkpoint=*/shard == kVictim);
+    ASSERT_GE(children[shard], 0) << "fork failed";
+  }
+
+  // The victim dies to a real SIGKILL; the survivor parks at its next
+  // barrier, heartbeating, while we respawn.
+  int status = 0;
+  ASSERT_EQ(::waitpid(children[kVictim], &status, 0), children[kVictim]);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "victim shard was not SIGKILL-ed (status " << status << ")";
+  children[kVictim] =
+      spawn_shard(fabric, kind, dir, kVictim, /*incarnation=*/1,
+                  /*kill_after_checkpoint=*/false);
+  ASSERT_GE(children[kVictim], 0) << "respawn fork failed";
+
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    ASSERT_EQ(::waitpid(children[shard], &status, 0), children[shard]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "shard " << shard << " exited abnormally (status " << status
+        << ")";
+  }
+
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const auto replica =
+        read_fingerprint(dir / ("result-" + std::to_string(shard)));
+    EXPECT_EQ(replica, oracle)
+        << "shard " << shard << " diverged from the sim oracle";
+  }
+
+  fs::remove_all(dir);
+}
+
+TEST(TransportCrashRecoveryTest, SyncFabricOverUdsSurvivesSigkill) {
+  expect_crash_recovery(runtime::FabricKind::kSync,
+                        net::TransportKind::kUds);
+}
+
+TEST(TransportCrashRecoveryTest, SyncFabricOverTcpSurvivesSigkill) {
+  expect_crash_recovery(runtime::FabricKind::kSync,
+                        net::TransportKind::kTcp);
+}
+
+TEST(TransportCrashRecoveryTest, GossipFabricOverUdsSurvivesSigkill) {
+  expect_crash_recovery(runtime::FabricKind::kGossip,
+                        net::TransportKind::kUds);
+}
+
+TEST(TransportCrashRecoveryTest, GossipFabricOverTcpSurvivesSigkill) {
+  expect_crash_recovery(runtime::FabricKind::kGossip,
+                        net::TransportKind::kTcp);
+}
+
+TEST(TransportCrashRecoveryTest, StaleRendezvousArtifactsAreSwept) {
+  // A previous run that died without cleanup leaves sockets, port
+  // files, and pid stamps behind. A fresh run over the same rendezvous
+  // dir must sweep them (the pid owners are dead) and start cleanly.
+  const Scenario sim(base_config(runtime::FabricKind::kSync));
+  const auto oracle = fingerprint(sim.run(Scheme::kSnap));
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("snap-stale-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  // A guaranteed-dead pid: fork a child that exits immediately, reap it.
+  pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  ASSERT_EQ(::waitpid(dead, nullptr, 0), dead);
+
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const std::string stem = "shard-" + std::to_string(shard);
+    std::ofstream(dir / (stem + ".sock")) << "stale";
+    std::ofstream(dir / (stem + ".port")) << "1";
+    std::ofstream(dir / (stem + ".pid")) << dead;
+  }
+
+  std::vector<pid_t> children(kShards);
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    children[shard] = spawn_shard(runtime::FabricKind::kSync,
+                                  net::TransportKind::kUds, dir, shard,
+                                  /*incarnation=*/0,
+                                  /*kill_after_checkpoint=*/false);
+    ASSERT_GE(children[shard], 0) << "fork failed";
+  }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(children[shard], &status, 0), children[shard]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "shard " << shard << " exited abnormally (status " << status
+        << ")";
+  }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_EQ(read_fingerprint(dir / ("result-" + std::to_string(shard))),
+              oracle)
+        << "shard " << shard << " diverged after the stale sweep";
+  }
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace snap::experiments
