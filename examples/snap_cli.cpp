@@ -62,6 +62,17 @@ options (defaults in brackets):
                       X (default 0.5; X = 1-E reproduces --failure) [off]
   --corrupt=P         per-frame corruption probability (corrupted frames
                       are charged, fail decode, and are retried) [0]
+  --partition=SPEC    network partition injection. Scheduled cut:
+                      START:HEAL:u-v[,u-v...] severs the listed edges
+                      for rounds [START, HEAL) (HEAL 0 = never heals);
+                      cutting a bridge splits the run into components
+                      that train independently and merge on heal.
+                      Random splits: random:P[:DURATION] starts a
+                      seeded region cut with probability P per round,
+                      healing after DURATION rounds [10]. [off]
+  --partition-confirm=N  rounds an edge must stay down before the
+                      component labeling treats it as cut (transient
+                      bursts do not register as splits) [1]
   --recovery-timeout=S  async silence window before a neighbor is
                       suspected crashed (0 = auto from timing) [0]
   --no-reproject      disable the self-healing weight re-projection on
@@ -163,6 +174,50 @@ std::optional<std::map<std::string, std::string>> parse_args(
   return args;
 }
 
+/// Parses --partition=START:HEAL:u-v[,u-v...] (scheduled edge cut) or
+/// random:P[:DURATION] (seeded random region cuts) into the fault
+/// plan. Returns false on a malformed spec.
+bool parse_partition_spec(const std::string& spec, net::FaultPlan& plan) {
+  try {
+    if (common::starts_with(spec, "random:")) {
+      const std::string rest = spec.substr(7);
+      const auto colon = rest.find(':');
+      plan.partition_probability = std::stod(rest.substr(0, colon));
+      if (colon != std::string::npos) {
+        plan.partition_duration = std::stoul(rest.substr(colon + 1));
+      }
+      return plan.partition_probability > 0.0 &&
+             plan.partition_duration >= 1;
+    }
+    const auto c1 = spec.find(':');
+    const auto c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+    if (c2 == std::string::npos) return false;
+    net::PartitionEvent event;
+    event.start_round = std::stoul(spec.substr(0, c1));
+    event.heal_round = std::stoul(spec.substr(c1 + 1, c2 - c1 - 1));
+    const std::string edges = spec.substr(c2 + 1);
+    std::size_t pos = 0;
+    while (pos <= edges.size()) {
+      const auto comma = edges.find(',', pos);
+      const std::string edge =
+          edges.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+      const auto dash = edge.find('-');
+      if (dash == std::string::npos || dash == 0) return false;
+      event.edges.emplace_back(
+          static_cast<topology::NodeId>(std::stoul(edge.substr(0, dash))),
+          static_cast<topology::NodeId>(std::stoul(edge.substr(dash + 1))));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (event.edges.empty()) return false;
+    plan.scheduled_partitions.push_back(std::move(event));
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 std::optional<experiments::Scheme> parse_scheme(const std::string& name) {
   if (name == "centralized") return experiments::Scheme::kCentralized;
   if (name == "snap") return experiments::Scheme::kSnap;
@@ -194,6 +249,7 @@ int main(int argc, char** argv) {
         "topology", "save-model", "help", "fabric", "compute", "hetero",
         "jitter", "latency", "bandwidth", "max-staleness", "free-run",
         "crash-rate", "restart-rate", "link-burst", "corrupt",
+        "partition", "partition-confirm",
         "recovery-timeout", "no-reproject", "joiners", "join-rate",
         "join-degree", "leave-rate", "rejoin-rate", "warm-start",
         "gossip-mode", "gossip-fanout", "gossip-restart", "transport",
@@ -236,6 +292,13 @@ int main(int argc, char** argv) {
         colon == std::string::npos ? 0.5 : std::stod(burst.substr(colon + 1));
   }
   cfg.faults.frame_corruption_probability = std::stod(get("corrupt", "0"));
+  if (args.contains("partition") &&
+      !parse_partition_spec(get("partition", ""), cfg.faults)) {
+    std::cerr << "bad --partition spec (try --help)\n";
+    return 2;
+  }
+  cfg.faults.partition_confirm_rounds =
+      std::stoul(get("partition-confirm", "1"));
   cfg.fault_recovery.suspect_after_s =
       std::stod(get("recovery-timeout", "0"));
   cfg.reproject_on_churn = !args.contains("no-reproject");
@@ -592,6 +655,16 @@ int main(int argc, char** argv) {
     table.add_row({"frames dropped", std::to_string(dropped)});
     table.add_row({"frames corrupted", std::to_string(corrupted)});
     table.add_row({"frames retried", std::to_string(retried)});
+    if (cfg.faults.has_partitions()) {
+      std::uint64_t max_components = 1;
+      std::uint64_t final_epoch = 0;
+      for (const auto& it : result.iterations) {
+        if (it.components > max_components) max_components = it.components;
+        final_epoch = it.partition_epoch;
+      }
+      table.add_row({"max components", std::to_string(max_components)});
+      table.add_row({"partition epoch", std::to_string(final_epoch)});
+    }
     if (cfg.latent_joiners > 0 || cfg.faults.has_membership()) {
       table.add_row({"nodes joined", std::to_string(joined)});
       table.add_row({"state-sync bytes",

@@ -58,7 +58,10 @@ fi
 echo "    sim and 2-shard UDS trajectories are bitwise identical"
 
 echo "==> chaos smoke: UDS run with injected SIGKILLs vs sim oracle"
-CHAOS_ARGS=(--nodes=8 --seed=7 --iterations=60 --train=800 --test=100)
+# Random partitions ride along: the split/heal schedule is part of the
+# replayable timeline, so the chaos run must still match the simulator.
+CHAOS_ARGS=(--nodes=8 --seed=7 --iterations=60 --train=800 --test=100
+            --partition=random:0.05:6 --partition-confirm=1)
 build/examples/snap_cli "${CHAOS_ARGS[@]}" \
   --csv="$SMOKE_DIR/chaos-sim.csv" >/dev/null
 build/examples/snap_cli "${CHAOS_ARGS[@]}" --transport=uds --shards=2 \
@@ -95,6 +98,7 @@ SAN_TESTS=(
   transport_parity_test
   runtime_checkpoint_test
   transport_crash_recovery_test
+  transport_deadlock_test
 )
 
 SANITIZERS=(address thread undefined)

@@ -27,6 +27,28 @@ linalg::MatVec sparse_matvec(const SparseWeightMatrix& w) {
   };
 }
 
+void stamp_one_multiplicity(MixingExtremes& out) {
+  out.one_repeated = out.lambda_bar_max >= 1.0 - kOneMultiplicityTol;
+}
+
+// Dense oracle: λ̄_max is defined as the largest eigenvalue *strictly
+// below* 1, so a repeated eigenvalue 1 never shows up in it — count the
+// multiplicity from the full spectrum instead. (The Lanczos leg deflates
+// only the global ones-vector, so there a second eigenvalue 1 survives
+// as λ̄_max = 1 and stamp_one_multiplicity sees it.)
+MixingExtremes from_jacobi(const linalg::Matrix& w) {
+  const linalg::Vector evals = linalg::eigenvalues_symmetric(w);
+  const linalg::SpectralSummary summary = linalg::spectral_summary(evals);
+  MixingExtremes out{summary.lambda_bar_max, summary.lambda_min,
+                     summary.slem};
+  std::size_t at_one = 0;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    if (evals[i] >= 1.0 - kOneMultiplicityTol) ++at_one;
+  }
+  out.one_repeated = at_one >= 2;
+  return out;
+}
+
 MixingExtremes from_lanczos(std::size_t n, const linalg::MatVec& apply) {
   linalg::LanczosOptions options;
   const linalg::DeflatedExtremes extremes =
@@ -38,29 +60,41 @@ MixingExtremes from_lanczos(std::size_t n, const linalg::MatVec& apply) {
   out.lambda_bar_max = extremes.lambda_bar_max;
   out.lambda_min = extremes.lambda_min;
   out.slem = std::max(std::abs(out.lambda_bar_max), std::abs(out.lambda_min));
+  stamp_one_multiplicity(out);
   return out;
+}
+
+MixingExtremes require_ergodic(MixingExtremes extremes) {
+  if (extremes.one_repeated) {
+    throw DisconnectedMixingError(
+        "mixing matrix has a repeated eigenvalue 1 (lambda_bar_max = " +
+        std::to_string(extremes.lambda_bar_max) +
+        "): disconnected support — run per-component consensus instead");
+  }
+  return extremes;
 }
 
 }  // namespace
 
 MixingExtremes mixing_extremes(const linalg::Matrix& w) {
   SNAP_REQUIRE(w.is_square() && w.rows() >= 1);
-  if (w.rows() <= kDenseSpectralCutoff) {
-    const linalg::SpectralSummary summary = linalg::spectral_summary(w);
-    return {summary.lambda_bar_max, summary.lambda_min, summary.slem};
-  }
+  if (w.rows() <= kDenseSpectralCutoff) return from_jacobi(w);
   return from_lanczos(w.rows(), dense_matvec(w));
 }
 
 MixingExtremes mixing_extremes(const SparseWeightMatrix& w) {
   const std::size_t n = w.node_count();
   SNAP_REQUIRE(n >= 1);
-  if (n <= kDenseSpectralCutoff) {
-    const linalg::SpectralSummary summary =
-        linalg::spectral_summary(w.to_dense());
-    return {summary.lambda_bar_max, summary.lambda_min, summary.slem};
-  }
+  if (n <= kDenseSpectralCutoff) return from_jacobi(w.to_dense());
   return from_lanczos(n, sparse_matvec(w));
+}
+
+MixingExtremes ergodic_mixing_extremes(const linalg::Matrix& w) {
+  return require_ergodic(mixing_extremes(w));
+}
+
+MixingExtremes ergodic_mixing_extremes(const SparseWeightMatrix& w) {
+  return require_ergodic(mixing_extremes(w));
 }
 
 linalg::SpectralSummary spectral_summary(const SparseWeightMatrix& w) {

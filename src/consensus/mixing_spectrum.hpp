@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 
 #include "consensus/sparse_weight_matrix.hpp"
 #include "linalg/eigen.hpp"
@@ -28,21 +30,54 @@ namespace snap::consensus {
 /// small-n property tests compare runs on the exact path.
 inline constexpr std::size_t kDenseSpectralCutoff = 160;
 
+/// λ̄_max within this distance of the structural eigenvalue 1 means the
+/// eigenvalue 1 is (numerically) repeated — for a symmetric doubly
+/// stochastic matrix that is the spectral signature of a disconnected
+/// support: each component contributes its own invariant ones-vector.
+inline constexpr double kOneMultiplicityTol = 1e-9;
+
 /// The two spectral extremes of a feasible mixing matrix (λ_max = 1 is
 /// structural and not reported).
 struct MixingExtremes {
   double lambda_bar_max = 0.0;  ///< largest eigenvalue below the trivial 1
   double lambda_min = 0.0;      ///< smallest eigenvalue
   double slem = 0.0;            ///< max(|λ̄_max|, |λ_min|)
+  /// True when eigenvalue 1 has multiplicity > 1 (dense oracle counts
+  /// it in the full spectrum; Lanczos sees it as λ̄_max ≥ 1 −
+  /// kOneMultiplicityTol after deflating the global ones-vector), i.e.
+  /// the matrix cannot drive consensus across its whole index set
+  /// (disconnected support, or the identity).
+  bool one_repeated = false;
+  bool ergodic() const noexcept { return !one_repeated; }
 };
 
-/// Extremes of a dense symmetric doubly-stochastic matrix.
+/// Thrown by the ergodic_* checked entry points when the mixing matrix
+/// has a repeated eigenvalue 1 — a split-brain weight matrix reached a
+/// caller that assumed a connected (single-component) support.
+class DisconnectedMixingError : public std::runtime_error {
+ public:
+  explicit DisconnectedMixingError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Extremes of a dense symmetric doubly-stochastic matrix. Never throws
+/// on a disconnected support — it reports one via `one_repeated` (the
+/// identity matrix, n isolated self-loops, legitimately scores 0).
 MixingExtremes mixing_extremes(const linalg::Matrix& w);
 
 /// Extremes of a sparse mixing matrix. Requires a connected support for
 /// the Lanczos leg (see lanczos.hpp); below the cutoff the query runs
 /// on to_dense() and tolerates anything the Jacobi oracle does.
 MixingExtremes mixing_extremes(const SparseWeightMatrix& w);
+
+/// Checked variants for callers that require a single ergodic class —
+/// per-component consensus blocks, the §IV-B optimizer's scoring, the
+/// partition-aware trainers. Identical values to mixing_extremes, but
+/// fail loudly with DisconnectedMixingError when eigenvalue 1 is
+/// repeated instead of letting a zero spectral gap masquerade as a
+/// (terrible) convergence rate.
+MixingExtremes ergodic_mixing_extremes(const linalg::Matrix& w);
+MixingExtremes ergodic_mixing_extremes(const SparseWeightMatrix& w);
 
 /// spectral_summary-compatible adapter for sparse matrices: λ_max is
 /// pinned at the structural 1 and λ̄_min — an *interior* eigenvalue no

@@ -103,6 +103,50 @@ SparseWeightMatrix SparseWeightMatrix::metropolis_on_survivors(
   return w;
 }
 
+SparseWeightMatrix SparseWeightMatrix::metropolis_on_components(
+    const topology::Graph& graph, const std::vector<bool>& alive,
+    const std::vector<std::size_t>& labels) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE_MSG(alive.empty() || alive.size() == n,
+                   "alive mask size must match the node count");
+  SNAP_REQUIRE_MSG(labels.size() == n,
+                   "component labels must have one entry per node");
+  constexpr std::size_t kEx = topology::ComponentMap::kExcluded;
+  const auto effective = [&](topology::NodeId i) {
+    return (alive.empty() || alive[i]) && labels[i] != kEx;
+  };
+  // Mirrors metropolis_on_survivors exactly, with the aliveness test
+  // extended by label equality — so a single-component labeling yields
+  // the identical doubles in the identical order.
+  std::vector<std::size_t> alive_degree(n, 0);
+  for (const auto& [u, v] : graph.edges()) {
+    if (effective(u) && effective(v) && labels[u] == labels[v]) {
+      ++alive_degree[u];
+      ++alive_degree[v];
+    }
+  }
+
+  SparseWeightMatrix w = pattern_of(graph);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    if (!effective(i)) {
+      w.values_[w.diag_[i]] = 1.0;  // identity row, zero link weights
+      continue;
+    }
+    double off = 0.0;
+    for (std::size_t k = w.row_ptr_[i]; k < w.row_ptr_[i + 1]; ++k) {
+      const topology::NodeId j = w.cols_[k];
+      if (j == i || !effective(j) || labels[j] != labels[i]) continue;
+      const double weight =
+          1.0 / (1.0 + static_cast<double>(
+                           std::max(alive_degree[i], alive_degree[j])));
+      w.values_[k] = weight;
+      off += weight;
+    }
+    w.values_[w.diag_[i]] = 1.0 - off;
+  }
+  return w;
+}
+
 SparseWeightMatrix SparseWeightMatrix::activated_mixing(
     const topology::Graph& graph,
     std::span<const std::pair<topology::NodeId, topology::NodeId>> links,

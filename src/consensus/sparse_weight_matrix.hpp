@@ -47,6 +47,18 @@ class SparseWeightMatrix {
   static SparseWeightMatrix metropolis_on_survivors(
       const topology::Graph& graph, const std::vector<bool>& alive = {});
 
+  /// Component-aware Metropolis: like metropolis_on_survivors, but an
+  /// edge contributes only when both endpoints are alive AND share a
+  /// component label — the resulting matrix is block-diagonal over the
+  /// components. With all alive nodes in one component the arithmetic
+  /// is identical (same doubles, same order) to metropolis_on_survivors.
+  /// `labels` has one entry per node (ComponentMap::kExcluded on dead
+  /// nodes is allowed; an alive node labeled kExcluded gets an identity
+  /// row).
+  static SparseWeightMatrix metropolis_on_components(
+      const topology::Graph& graph, const std::vector<bool>& alive,
+      const std::vector<std::size_t>& labels);
+
   /// Per-activation effective mixing matrix for the gossip fabric: the
   /// sparse twin of activated_mixing_matrix, with the pattern taken
   /// from the *full* graph adjacency (non-activated links carry weight

@@ -98,6 +98,10 @@ OptimizedWeights run_subgradient(const topology::Graph& graph,
                                  const WeightOptimizerConfig& config,
                                  Objective objective) {
   SNAP_REQUIRE(graph.node_count() >= 2);
+  SNAP_REQUIRE_MSG(graph.is_connected(),
+                   "the SLEM objective is ill-posed on a disconnected "
+                   "graph (eigenvalue 1 repeats per component) — optimize "
+                   "each component separately");
   const EdgeWeightSpace space(graph);
 
   std::vector<double> weights =
@@ -168,6 +172,10 @@ OptimizedWeights minimize_slem(const topology::Graph& graph,
 
 WeightSelection select_weight_matrix(const topology::Graph& graph,
                                      const WeightOptimizerConfig& config) {
+  SNAP_REQUIRE_MSG(graph.is_connected(),
+                   "select_weight_matrix needs a connected graph — a "
+                   "disconnected W cannot drive global consensus; build a "
+                   "block-diagonal matrix per component instead");
   WeightSelection best;
   best.w = max_degree_weights(graph, config.init_epsilon);
   best.choice = WeightChoice::kMaxDegreeInit;

@@ -89,6 +89,13 @@ struct WeightSelection {
 /// candidate, so optimization never selects a worse matrix than the
 /// baseline — mirroring the paper's "implement the solution that can
 /// result in the larger convergence rate").
+///
+/// Requires a connected graph: on a disconnected one eigenvalue 1
+/// repeats per component, the SLEM objective is pinned at 1, and no
+/// feasible matrix can drive global consensus — callers with a
+/// partitioned topology must optimize each component separately
+/// (reproject_weight_matrix's component-aware overload does exactly
+/// that).
 WeightSelection select_weight_matrix(const topology::Graph& graph,
                                      const WeightOptimizerConfig& config = {});
 

@@ -57,4 +57,29 @@ SparseWeightMatrix reproject_weight_matrix_sparse(
     ReprojectionMethod method = ReprojectionMethod::kMetropolis,
     const WeightOptimizerConfig& optimizer = {});
 
+/// Component-aware re-projection: builds a block-diagonal W over the
+/// effective components of a partitioned run. `labels` is a per-node
+/// component labeling (topology::ComponentMap::kExcluded for nodes
+/// outside the effective graph); an edge survives only when both
+/// endpoints are alive and share a label. kMetropolis weighs each block
+/// by within-block degrees; kOptimize runs the §IV-B optimizer once per
+/// block of >= 2 nodes (each block is connected by construction of the
+/// labeling, so the optimizer's connectivity precondition holds).
+/// Singleton blocks and excluded/dead nodes carry identity rows. With
+/// every alive node in one component the result is bitwise identical to
+/// the non-component overloads above.
+linalg::Matrix reproject_weight_matrix(
+    const topology::Graph& graph, const std::vector<bool>& alive,
+    const std::vector<std::size_t>& labels,
+    ReprojectionMethod method = ReprojectionMethod::kMetropolis,
+    const WeightOptimizerConfig& optimizer = {});
+
+/// Sparse twin of the component-aware overload (same doubles, same
+/// accumulation order as the dense build restricted to the support).
+SparseWeightMatrix reproject_weight_matrix_sparse(
+    const topology::Graph& graph, const std::vector<bool>& alive,
+    const std::vector<std::size_t>& labels,
+    ReprojectionMethod method = ReprojectionMethod::kMetropolis,
+    const WeightOptimizerConfig& optimizer = {});
+
 }  // namespace snap::consensus

@@ -591,8 +591,39 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   // complete model, not a delta against a baseline the peer never saw —
   // (b) optionally donate a STATE_SYNC warm start from one live
   // neighbor, and (c) fold the joiner into the re-projected W.
+  // Shared W repair: block-diagonal re-projection over the injector's
+  // component labels for `round`, then per-component EXTRA restart.
+  // Idempotent within a round (same labels → same W, restart resets
+  // the same counter), so the churn and partition hooks may both run
+  // it at an epoch boundary without disturbing the trajectory.
+  // Function-scope (not inside the injector block): the hooks below
+  // capture it by reference and outlive any inner scope.
+  const auto reproject_components = [&](std::size_t round) {
+    constexpr std::size_t kExcluded = topology::ComponentMap::kExcluded;
+    const topology::Graph& g = injector->current_graph();
+    const std::vector<std::size_t>& labels =
+        injector->component_labels(round);
+    if (labels.empty()) {
+      // Component tracking off (pure memoryless link noise): plain
+      // survivor re-projection, the pre-partition semantics.
+      w_ = consensus::reproject_weight_matrix_sparse(
+          g, alive, config_.churn_reprojection);
+    } else {
+      w_ = consensus::reproject_weight_matrix_sparse(
+          g, alive, labels, config_.churn_reprojection);
+    }
+    for (topology::NodeId i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (!labels.empty() && labels[i] == kExcluded) continue;
+      AlignedRow row = split_row(w_, i);
+      nodes[i].set_topology(std::move(row.neighbors),
+                            std::move(row.weights), row.self);
+      nodes[i].restart();
+    }
+  };
+
   if (injector) {
-    hooks.on_churn = [&](std::size_t, const net::ChurnDelta& delta,
+    hooks.on_churn = [&](std::size_t round, const net::ChurnDelta& delta,
                          runtime::MessageSink<Payload>& sink) {
       for (const auto c : delta.crashed) alive[c] = false;
       for (const auto l : delta.left) alive[l] = false;
@@ -644,15 +675,66 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
           }
         }
       }
-      w_ = consensus::reproject_weight_matrix_sparse(
-          g, alive, config_.churn_reprojection);
-      for (topology::NodeId i = 0; i < n; ++i) {
-        if (!alive[i]) continue;
-        AlignedRow row = split_row(w_, i);
-        nodes[i].set_topology(std::move(row.neighbors),
-                              std::move(row.weights), row.self);
-        nodes[i].restart();
+      // W repair rides the component labels: under the shared clock a
+      // confirmed churn event changes the labeling at this same round,
+      // so this is exactly the partition hook's re-projection run one
+      // wave early (idempotent); under async skew the churn hook may
+      // fire rounds after the round-indexed delta did, and this is what
+      // folds the late-confirmed membership flip into W.
+      reproject_components(round);
+    };
+
+    // Split-brain reaction + merge-on-heal. The injector labels the
+    // connected components of the *effective* graph (alive members ∧
+    // links not under a sustained outage) every round; whenever the
+    // labeling changes — a crash was confirmed, a sustained cut split
+    // the topology, a heal merged it back — this hook rebuilds W as a
+    // block-diagonal matrix over the components and restarts EXTRA per
+    // component (§IV-C's license: any iterate is a valid restart
+    // point, so each side of a split keeps making independent progress
+    // on its own data). On a heal, the boundary nodes first exchange
+    // full-state STATE_SYNC frames across the healed edges — view
+    // repair must land *before* the re-projection restarts the merged
+    // component, or the stale views enter the fresh recursion's memory
+    // term as a phantom displacement that never cancels.
+    hooks.on_partition = [&](std::size_t round,
+                             const net::PartitionDelta& delta,
+                             runtime::MessageSink<Payload>& sink) {
+      if (!config_.reproject_on_churn) return;
+      for (const auto& [u, v] : delta.healed_edges) {
+        if (!alive[u] || !alive[v]) continue;
+        // Both endpoints spent the split on different sides: each one's
+        // view of the other is frozen at the split round. Swap full
+        // models directly (the charged STATE_SYNC frames are the wire
+        // image of that exchange) and drop the split-era backlog — the
+        // absolute-value updates it merged are superseded wholesale.
+        const linalg::Vector& xu = nodes[u].params();
+        const linalg::Vector& xv = nodes[v].params();
+        std::vector<net::ParamUpdate> dense_u;
+        std::vector<net::ParamUpdate> dense_v;
+        dense_u.reserve(total_params);
+        dense_v.reserve(total_params);
+        for (std::uint32_t p = 0; p < total_params; ++p) {
+          dense_u.push_back({p, xu[p]});
+          dense_v.push_back({p, xv[p]});
+        }
+        nodes[v].apply_update(u, dense_u);
+        nodes[u].apply_update(v, dense_v);
+        backlog[u][v].clear();
+        backlog[v][u].clear();
+        sink.send(u, v, SnapWire{std::move(dense_u), true},
+                  net::state_sync_frame_bytes(total_params),
+                  /*state_sync=*/true);
+        sink.send(v, u, SnapWire{std::move(dense_v), true},
+                  net::state_sync_frame_bytes(total_params),
+                  /*state_sync=*/true);
       }
+      // Block-diagonal re-projection over the new labels: an edge
+      // survives only when both endpoints are alive and share a
+      // component. With a single component this is bitwise the plain
+      // survivor re-projection, so unpartitioned churn trajectories
+      // are unchanged.
+      reproject_components(round);
     };
   }
 

@@ -56,6 +56,14 @@ struct IterationStats {
   /// Gossip-fabric telemetry: links the activation scheduler selected
   /// this iteration. 0 on the other fabrics (every link is eligible).
   std::uint64_t links_activated = 0;
+  /// Partition telemetry: connected components of the effective alive
+  /// graph this iteration, the fraction of alive members in the largest
+  /// one, and the monotone partition epoch (bumped every time the
+  /// component structure changes). 1 / 1.0 / 0 when the run has no
+  /// FaultInjector or the injector is not tracking partitions.
+  std::uint64_t components = 1;
+  double largest_component_frac = 1.0;
+  std::uint64_t partition_epoch = 0;
 };
 
 /// Uniform result of a training run.

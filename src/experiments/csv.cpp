@@ -33,7 +33,8 @@ void write_train_result_csv(std::ostream& os,
                      "sim_seconds", "links_down", "nodes_down",
                      "frames_dropped", "frames_corrupted",
                      "frames_retried", "alive_nodes", "nodes_joined",
-                     "state_sync_bytes", "links_activated"});
+                     "state_sync_bytes", "links_activated", "components",
+                     "largest_component_frac", "partition_epoch"});
   for (std::size_t k = 0; k < result.iterations.size(); ++k) {
     const auto& stat = result.iterations[k];
     std::ostringstream loss;
@@ -44,6 +45,8 @@ void write_train_result_csv(std::ostream& os,
     res << stat.consensus_residual;
     std::ostringstream sim;
     sim << stat.sim_seconds;
+    std::ostringstream frac;
+    frac << stat.largest_component_frac;
     write_csv_row(os, {std::to_string(k + 1), loss.str(), acc.str(),
                        stat.evaluated ? "1" : "0",
                        std::to_string(stat.bytes),
@@ -56,7 +59,9 @@ void write_train_result_csv(std::ostream& os,
                        std::to_string(stat.alive_nodes),
                        std::to_string(stat.nodes_joined),
                        std::to_string(stat.state_sync_bytes),
-                       std::to_string(stat.links_activated)});
+                       std::to_string(stat.links_activated),
+                       std::to_string(stat.components), frac.str(),
+                       std::to_string(stat.partition_epoch)});
   }
 }
 

@@ -48,6 +48,7 @@ struct Scenario::Impl {
   consensus::WeightSelection w_optimized;
   mutable std::optional<double> reference_loss;
   mutable std::optional<double> reference_accuracy;
+  core::IterationObserver snap_observer;
 };
 
 namespace {
@@ -289,7 +290,12 @@ core::TrainResult Scenario::run_snap_variant(
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
   core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,
                             c);
+  if (impl_->snap_observer) trainer.set_observer(impl_->snap_observer);
   return trainer.train(impl_->test);
+}
+
+void Scenario::set_snap_observer(core::IterationObserver observer) {
+  impl_->snap_observer = std::move(observer);
 }
 
 double Scenario::reference_loss() const {

@@ -144,6 +144,12 @@ class Scenario {
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
+  /// Installs a per-iteration observer forwarded to the SNAP-family
+  /// trainer of every subsequent run (per-node parameter probes — e.g.
+  /// per-component loss during a partition). Ignored by the
+  /// centralized/PS schemes. Pass nullptr to clear.
+  void set_snap_observer(core::IterationObserver observer);
+
   /// Runs one scheme on this scenario's fixed workload/topology.
   core::TrainResult run(Scheme scheme) const;
 

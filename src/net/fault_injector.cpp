@@ -28,7 +28,8 @@ FaultPlan FaultPlan::memoryless_links(double failure_probability) {
 
 bool FaultPlan::any() const noexcept {
   return link_enter_burst > 0.0 || has_node_faults() ||
-         frame_corruption_probability > 0.0 || has_membership();
+         frame_corruption_probability > 0.0 || has_membership() ||
+         has_partitions();
 }
 
 bool FaultPlan::has_node_faults() const noexcept {
@@ -40,12 +41,17 @@ bool FaultPlan::has_membership() const noexcept {
          !scheduled_leaves.empty() || leave_probability > 0.0;
 }
 
+bool FaultPlan::has_partitions() const noexcept {
+  return !scheduled_partitions.empty() || partition_probability > 0.0;
+}
+
 FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
                              common::Rng rng)
     : plan_(std::move(plan)),
       link_rng_(rng),
       node_rng_(rng.fork("fault-nodes")),
       member_rng_(rng.fork("fault-members")),
+      partition_rng_(rng.fork("fault-partitions")),
       dynamic_graph_(graph) {
   plan_.link_enter_burst = clamp01(plan_.link_enter_burst);
   plan_.link_exit_burst = clamp01(plan_.link_exit_burst);
@@ -57,7 +63,24 @@ FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
   plan_.leave_probability = clamp01(plan_.leave_probability);
   plan_.rejoin_probability = clamp01(plan_.rejoin_probability);
   plan_.join_degree = std::max<std::size_t>(plan_.join_degree, 1);
+  plan_.partition_probability = clamp01(plan_.partition_probability);
+  plan_.partition_duration =
+      std::max<std::size_t>(plan_.partition_duration, 1);
   const std::size_t n = dynamic_graph_.node_count();
+  for (const PartitionEvent& event : plan_.scheduled_partitions) {
+    SNAP_REQUIRE_MSG(!event.edges.empty(),
+                     "scheduled partition cuts no edges");
+    SNAP_REQUIRE_MSG(event.start_round >= 1,
+                     "start_round is 1-based; got " << event.start_round);
+    SNAP_REQUIRE_MSG(
+        event.heal_round == 0 || event.heal_round > event.start_round,
+        "heal_round must follow start_round");
+    for (const auto& [u, v] : event.edges) {
+      SNAP_REQUIRE_MSG(u < n && v < n && dynamic_graph_.has_edge(u, v),
+                       "scheduled partition cuts non-edge (" << u << ","
+                                                             << v << ")");
+    }
+  }
   for (const NodeCrashEvent& event : plan_.scheduled_crashes) {
     SNAP_REQUIRE_MSG(event.node < n,
                      "scheduled crash for unknown node " << event.node);
@@ -72,6 +95,7 @@ FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
                   corrupt.uniform_u64(1ULL << 32);
 
   link_chain_down_.assign(dynamic_graph_.edge_count(), false);
+  edge_down_streak_.assign(dynamic_graph_.edge_count(), 0);
   random_node_down_.assign(n, false);
   down_streak_.assign(n, 0);
   confirmed_.assign(n, false);
@@ -109,6 +133,15 @@ FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
   SNAP_REQUIRE_MSG(
       std::count(member_.begin(), member_.end(), true) >= 1,
       "at least one node must be an initial member");
+
+  if (tracks_partitions()) {
+    // The pre-round-1 labeling the first round's delta compares against:
+    // the initial member set over the full (un-cut) graph.
+    std::vector<std::uint8_t> include(n, 0);
+    for (std::size_t i = 0; i < n; ++i) include[i] = member_[i] ? 1 : 0;
+    prev_component_ =
+        topology::connected_components(dynamic_graph_, include).label;
+  }
 
   // Mirror LinkFailureModel's constructor, which burns one draw batch
   // before the first round: legacy memoryless schedules stay bitwise
@@ -157,7 +190,7 @@ void FaultInjector::join_node(topology::NodeId node, ChurnDelta& delta) {
   down_streak_[node] = 0;
   confirmed_[node] = false;
   if (dynamic_graph_.degree(node) == 0) {
-    // First join of an isolated latent node: attach to join_degree
+    // First join of an isolated latent node: attach to `join_degree`
     // alive members (falling back to crashed members if every member is
     // down — those links stay dark until the endpoint recovers).
     const std::size_t round = rounds_.size() + 1;
@@ -180,6 +213,7 @@ void FaultInjector::join_node(topology::NodeId node, ChurnDelta& delta) {
          member_rng_.sample_without_replacement(candidates.size(), k)) {
       dynamic_graph_.add_edge(node, candidates[idx]);
       link_chain_down_.push_back(false);  // new links start up
+      edge_down_streak_.push_back(0);
     }
   }
   delta.joined.push_back(node);
@@ -259,6 +293,13 @@ void FaultInjector::materialize_next() {
     materialize_membership(round, state.delta);
   }
 
+  // Partition events next: cut edges drop frames from this round on,
+  // and the persistence streaks below fold them into the effective
+  // graph. Plans without partitions take zero partition draws.
+  if (plan_.has_partitions()) {
+    materialize_partitions(round, state);
+  }
+
   // Advance the per-link chain: one uniform draw per edge, consumed in
   // edges() order. The iid special case (exit == 1 − enter) takes the
   // exact LinkFailureModel path so legacy seeds replay unchanged.
@@ -273,6 +314,21 @@ void FaultInjector::materialize_next() {
     }
     if (link_chain_down_[e]) {
       state.burst_down.insert(key(edges[e].first, edges[e].second));
+    }
+  }
+
+  // Outage-persistence streaks: an edge down (cut or burst) for more
+  // than partition_confirm_rounds consecutive rounds leaves the
+  // effective graph the component labeling sees. Only maintained when
+  // the component structure is tracked at all.
+  if (tracks_partitions()) {
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const std::uint64_t k = key(edges[e].first, edges[e].second);
+      const bool down = link_chain_down_[e] || state.cut.contains(k);
+      edge_down_streak_[e] = down ? edge_down_streak_[e] + 1 : 0;
+      if (edge_down_streak_[e] > plan_.partition_confirm_rounds) {
+        state.sustained_down.insert(k);
+      }
     }
   }
 
@@ -332,7 +388,115 @@ void FaultInjector::materialize_next() {
     if (member_[i] && !state.node_down[i]) ++state.alive_members;
   }
 
+  if (tracks_partitions()) {
+    materialize_components(round, state);
+  }
+
   rounds_.push_back(std::move(state));
+}
+
+void FaultInjector::materialize_partitions(std::size_t round,
+                                           RoundState& state) {
+  for (const PartitionEvent& event : plan_.scheduled_partitions) {
+    if (round >= event.start_round &&
+        (event.heal_round == 0 || round < event.heal_round)) {
+      for (const auto& [u, v] : event.edges) state.cut.insert(key(u, v));
+    }
+  }
+  if (plan_.partition_probability > 0.0) {
+    if (!random_cut_.empty() && round >= random_cut_until_) {
+      random_cut_.clear();
+    }
+    // One bernoulli per idle round, so the stream is a pure function of
+    // (plan, seed) regardless of what any fabric does with the cuts.
+    if (random_cut_.empty() &&
+        partition_rng_.bernoulli(plan_.partition_probability)) {
+      std::vector<topology::NodeId> members;
+      for (topology::NodeId i = 0; i < dynamic_graph_.node_count(); ++i) {
+        if (member_[i]) members.push_back(i);
+      }
+      if (members.size() >= 2) {
+        // Sever a BFS-grown region around a random member: deterministic
+        // growth order (queue over sorted adjacency), random seed node
+        // and region size.
+        const topology::NodeId seed = members[static_cast<std::size_t>(
+            partition_rng_.uniform_u64(members.size()))];
+        const std::size_t target =
+            1 + static_cast<std::size_t>(partition_rng_.uniform_u64(
+                    std::max<std::size_t>(members.size() / 2, 1)));
+        std::vector<bool> in_region(dynamic_graph_.node_count(), false);
+        std::vector<topology::NodeId> frontier{seed};
+        in_region[seed] = true;
+        std::size_t grown = 1;
+        for (std::size_t head = 0;
+             head < frontier.size() && grown < target; ++head) {
+          for (const topology::NodeId v :
+               dynamic_graph_.neighbors(frontier[head])) {
+            if (grown >= target) break;
+            if (!in_region[v] && member_[v]) {
+              in_region[v] = true;
+              frontier.push_back(v);
+              ++grown;
+            }
+          }
+        }
+        for (const auto& [u, v] : dynamic_graph_.edges()) {
+          if (in_region[u] != in_region[v]) {
+            random_cut_.insert(key(u, v));
+          }
+        }
+        random_cut_until_ = round + plan_.partition_duration;
+      }
+    }
+  }
+  for (const std::uint64_t k : random_cut_) state.cut.insert(k);
+}
+
+void FaultInjector::materialize_components(std::size_t round,
+                                           RoundState& state) {
+  const std::size_t n = dynamic_graph_.node_count();
+  std::vector<std::uint8_t> include(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    include[i] = (member_[i] && !confirmed_[i]) ? 1 : 0;
+  }
+  const topology::ComponentMap map = topology::connected_components(
+      dynamic_graph_, include,
+      [&state](topology::NodeId u, topology::NodeId v) {
+        return state.sustained_down.contains(key(u, v));
+      });
+  state.component = map.label;
+  state.component_count = map.count;
+  state.largest_component_frac = map.largest_fraction();
+  if (state.component != prev_component_) {
+    ++partition_epoch_;
+    PartitionDelta& delta = state.pdelta;
+    delta.epoch = partition_epoch_;
+    delta.components = map.count;
+    delta.labels = map.label;
+    constexpr std::size_t kEx = topology::ComponentMap::kExcluded;
+    std::size_t prev_count = 0;
+    for (const std::size_t l : prev_component_) {
+      if (l != kEx) prev_count = std::max(prev_count, l + 1);
+    }
+    delta.split = map.count > prev_count;
+    delta.merged = map.count < prev_count;
+    // Healed boundary edges: effective edges whose endpoints were in
+    // different components last round and share one now. Nodes that
+    // were excluded last round (joins, restarts) don't qualify — the
+    // churn path owns their warm-start.
+    for (const auto& [u, v] : dynamic_graph_.edges()) {
+      if (map.label[u] == kEx || map.label[u] != map.label[v]) continue;
+      if (state.sustained_down.contains(key(u, v))) continue;
+      const std::size_t pu = prev_component_[u];
+      const std::size_t pv = prev_component_[v];
+      if (pu == kEx || pv == kEx || pu == pv) continue;
+      delta.healed_edges.emplace_back(u, v);
+      delta.merged = true;
+    }
+  }
+  state.partition_epoch = partition_epoch_;
+  prev_component_ = state.component;
+  (void)round;
 }
 
 const FaultInjector::RoundState& FaultInjector::state(
@@ -346,7 +510,55 @@ const FaultInjector::RoundState& FaultInjector::state(
 bool FaultInjector::link_down(std::size_t round, topology::NodeId u,
                               topology::NodeId v) const {
   return node_down(round, u) || node_down(round, v) ||
-         link_burst_down(round, u, v);
+         link_burst_down(round, u, v) || link_cut(round, u, v);
+}
+
+bool FaultInjector::link_cut(std::size_t round, topology::NodeId u,
+                             topology::NodeId v) const {
+  const RoundState& s = state(round);
+  return !s.cut.empty() && s.cut.contains(key(u, v));
+}
+
+bool FaultInjector::tracks_partitions() const noexcept {
+  // Pure memoryless link noise (the legacy Fig. 9 knob) is excluded on
+  // purpose: its transient two-round streaks would otherwise register
+  // as splits and perturb long-stable trajectories. Bursty chains,
+  // churn, membership, and explicit partitions all track.
+  return plan_.has_partitions() || plan_.has_node_faults() ||
+         plan_.has_membership() ||
+         (plan_.link_enter_burst > 0.0 &&
+          plan_.link_enter_burst + plan_.link_exit_burst != 1.0);
+}
+
+std::size_t FaultInjector::component_count(std::size_t round) const {
+  return state(round).component_count;
+}
+
+double FaultInjector::largest_component_fraction(std::size_t round) const {
+  return state(round).largest_component_frac;
+}
+
+std::size_t FaultInjector::partition_epoch(std::size_t round) const {
+  return state(round).partition_epoch;
+}
+
+const PartitionDelta& FaultInjector::partition_delta(
+    std::size_t round) const {
+  return state(round).pdelta;
+}
+
+const std::vector<std::size_t>& FaultInjector::component_labels(
+    std::size_t round) const {
+  return state(round).component;
+}
+
+bool FaultInjector::same_component(std::size_t round, topology::NodeId u,
+                                   topology::NodeId v) const {
+  const RoundState& s = state(round);
+  if (s.component.empty()) return true;  // not tracked: one component
+  if (u >= s.component.size() || v >= s.component.size()) return false;
+  constexpr std::size_t kEx = topology::ComponentMap::kExcluded;
+  return s.component[u] != kEx && s.component[u] == s.component[v];
 }
 
 bool FaultInjector::link_burst_down(std::size_t round, topology::NodeId u,

@@ -65,6 +65,17 @@ struct NodeLeaveEvent {
   std::size_t rejoin_round = 0;
 };
 
+/// One scheduled network partition: every listed edge is cut (carries
+/// no frames) for rounds [start_round, heal_round). heal_round == 0
+/// means the cut never heals. The edges must exist in the input graph;
+/// cutting a (bridge) edge set that separates the graph is how a test
+/// or bench provokes a split deterministically.
+struct PartitionEvent {
+  std::vector<std::pair<topology::NodeId, topology::NodeId>> edges;
+  std::size_t start_round = 0;
+  std::size_t heal_round = 0;
+};
+
 /// A seeded description of every fault process in a run. Default is
 /// fault-free.
 struct FaultPlan {
@@ -104,6 +115,23 @@ struct FaultPlan {
   /// (clamped to [1, alive member count]).
   std::size_t join_degree = 2;
 
+  // --- Network partitions ------------------------------------------------
+  /// Deterministic partition windows: seeded edge sets cut for a round
+  /// range.
+  std::vector<PartitionEvent> scheduled_partitions;
+  /// Per-round probability a random partition begins while none is
+  /// active: a BFS-grown region around a random member is severed from
+  /// the rest for partition_duration rounds. Drawn from its own rng
+  /// fork, so plans without it replay bitwise.
+  double partition_probability = 0.0;
+  /// How long a random partition lasts (rounds, >= 1).
+  std::size_t partition_duration = 10;
+  /// Outage-persistence window: an edge must be down (cut or burst) for
+  /// strictly more than this many consecutive rounds before it drops
+  /// out of the *effective* graph the component labeling sees. Keeps
+  /// transient bursts from registering as splits.
+  std::size_t partition_confirm_rounds = 1;
+
   /// The paper's Fig. 9 straggler model: iid per-round link failures
   /// with probability p, bitwise-identical to LinkFailureModel.
   static FaultPlan memoryless_links(double failure_probability);
@@ -114,6 +142,8 @@ struct FaultPlan {
   bool has_node_faults() const noexcept;
   /// True when the member set can change mid-run (joins or leaves).
   bool has_membership() const noexcept;
+  /// True when links can be partition-cut (scheduled or random).
+  bool has_partitions() const noexcept;
 };
 
 /// Confirmed membership changes surfaced at one round. `crashed` and
@@ -129,6 +159,30 @@ struct ChurnDelta {
     return crashed.empty() && restarted.empty() && joined.empty() &&
            left.empty();
   }
+};
+
+/// A change in the component structure of the effective alive graph
+/// (alive members ∧ sustained-up links), surfaced at the round the
+/// labeling changed. The labels snapshot lets consumers rebuild
+/// block-diagonal mixing matrices without re-deriving liveness, so
+/// every fabric reacts to the identical structure at the identical
+/// round.
+struct PartitionDelta {
+  /// Monotone partition epoch after this change (0 = never changed).
+  std::size_t epoch = 0;
+  /// Component count over the effective graph after the change.
+  std::size_t components = 0;
+  /// Per-node component label (topology::ComponentMap::kExcluded for
+  /// non-members and confirmed-crashed nodes).
+  std::vector<std::size_t> labels;
+  /// Effective edges that newly reconnect nodes that were in *different*
+  /// components last round — the boundary links a merge-on-heal state
+  /// sync crosses. Join attachment edges are excluded (the join
+  /// warm-start already syncs them).
+  std::vector<std::pair<topology::NodeId, topology::NodeId>> healed_edges;
+  bool split = false;   ///< component count increased
+  bool merged = false;  ///< formerly separate components reconnected
+  bool empty() const noexcept { return epoch == 0 && labels.empty(); }
 };
 
 class FaultInjector {
@@ -196,6 +250,41 @@ class FaultInjector {
     return dynamic_graph_;
   }
 
+  /// True when the component structure is being tracked (any process
+  /// that can change it is active). When false, every round is one
+  /// whole component at partition epoch 0 and no labeling is computed.
+  bool tracks_partitions() const noexcept;
+
+  /// True when {u, v} is cut by an active partition event in `round`
+  /// (scheduled or random; persistence window not applied — a cut link
+  /// drops frames from its first round).
+  bool link_cut(std::size_t round, topology::NodeId u,
+                topology::NodeId v) const;
+
+  /// Components of the effective alive graph in `round` (1 when not
+  /// tracked).
+  std::size_t component_count(std::size_t round) const;
+
+  /// Fraction of alive members in the largest component (1.0 when not
+  /// tracked or nobody is alive).
+  double largest_component_fraction(std::size_t round) const;
+
+  /// Monotone partition epoch: incremented every round the effective
+  /// labeling changes. 0 until the first change.
+  std::size_t partition_epoch(std::size_t round) const;
+
+  /// The labeling change surfaced exactly at `round` (empty() when the
+  /// structure did not change that round).
+  const PartitionDelta& partition_delta(std::size_t round) const;
+
+  /// Per-node component labels for `round` (empty when not tracked).
+  const std::vector<std::size_t>& component_labels(std::size_t round) const;
+
+  /// True when u and v are alive members of the same effective
+  /// component in `round`. Always true when partitions are not tracked.
+  bool same_component(std::size_t round, topology::NodeId u,
+                      topology::NodeId v) const;
+
   /// Stateless corruption draw for one transmission attempt. Each
   /// retransmission (`attempt` + 1) re-rolls independently.
   bool frame_corrupted(std::size_t round, topology::NodeId from,
@@ -211,6 +300,11 @@ class FaultInjector {
  private:
   struct RoundState {
     std::unordered_set<std::uint64_t> burst_down;
+    /// Edges cut by active partition events (frame-dropping, immediate).
+    std::unordered_set<std::uint64_t> cut;
+    /// Edges out of the effective graph: down (cut or burst) for more
+    /// than partition_confirm_rounds consecutive rounds.
+    std::unordered_set<std::uint64_t> sustained_down;
     std::vector<bool> node_down;
     std::vector<bool> confirmed;
     std::vector<bool> member;
@@ -218,6 +312,13 @@ class FaultInjector {
     std::size_t down_nodes = 0;
     std::size_t alive_members = 0;
     std::size_t epoch = 0;
+    /// Component structure of the effective graph (empty labels when
+    /// partitions are not tracked).
+    std::vector<std::size_t> component;
+    std::size_t component_count = 1;
+    double largest_component_frac = 1.0;
+    std::size_t partition_epoch = 0;
+    PartitionDelta pdelta;
   };
 
   static std::uint64_t key(topology::NodeId u, topology::NodeId v) noexcept;
@@ -225,6 +326,8 @@ class FaultInjector {
   const RoundState& state(std::size_t round) const;
   void materialize_next();
   void materialize_membership(std::size_t round, ChurnDelta& delta);
+  void materialize_partitions(std::size_t round, RoundState& state);
+  void materialize_components(std::size_t round, RoundState& state);
   void join_node(topology::NodeId node, ChurnDelta& delta);
   void leave_node(topology::NodeId node, ChurnDelta& delta);
   bool scheduled_down(topology::NodeId node, std::size_t round) const;
@@ -233,6 +336,7 @@ class FaultInjector {
   common::Rng link_rng_;
   common::Rng node_rng_;
   common::Rng member_rng_;
+  common::Rng partition_rng_;
   std::uint64_t corrupt_seed_ = 0;
 
   /// The input graph plus attachment edges grown by joins.
@@ -248,6 +352,13 @@ class FaultInjector {
   std::vector<bool> latent_pending_;     // latent, never joined
   std::vector<bool> departed_;           // left, eligible for rejoin
   std::size_t epoch_ = 0;
+
+  // Partition chain state.
+  std::vector<std::size_t> edge_down_streak_;  // by edges() index
+  std::unordered_set<std::uint64_t> random_cut_;  // active random partition
+  std::size_t random_cut_until_ = 0;  // first round the random cut heals
+  std::vector<std::size_t> prev_component_;  // last round's labeling
+  std::size_t partition_epoch_ = 0;
 
   std::vector<RoundState> rounds_;  // rounds_[r - 1] is round r
 };

@@ -48,6 +48,10 @@ constexpr std::size_t kFrameHeader = 1 + 8 + 8 + 4 + 4 + 1 + 8;
 // mesh dead (a peer crashed mid-run); generous next to any test budget.
 constexpr int kPollTimeoutMs = 60'000;
 
+// How long send_all waits for POLLOUT after draining its read side.
+// Short: the wait is a spin-step inside a retry loop, not a deadline.
+constexpr int kSendPollTimeoutMs = 50;
+
 std::vector<std::byte> encode_hello(std::size_t shard_id,
                                     std::size_t shard_count,
                                     std::size_t node_count) {
@@ -212,6 +216,10 @@ struct SocketHub::Impl {
   std::string port_path;    ///< our shard-<id>.port (TCP only)
   std::string pid_path;     ///< our shard-<id>.pid liveness stamp
   bool closed = false;
+  /// False during the rendezvous handshake: send_all's deadlock drain
+  /// then parks drained records in the reassembler (for read_record)
+  /// instead of dispatching them as steady-state traffic.
+  bool steady = false;
 
   std::size_t peer_count() const noexcept {
     return config.shards > 0 ? config.shards - 1 : 0;
@@ -246,27 +254,85 @@ struct SocketHub::Impl {
     return flip >= live_from[peer_shard];
   }
 
+  /// Drains whatever is already readable on every live peer link
+  /// without blocking. This is send_all's deadlock-breaker: when two
+  /// shards each push a frame larger than the kernel socket buffers at
+  /// the same time, both their blocking writes stall until someone
+  /// reads — so the writer reads. Records are dispatched only in
+  /// steady state; during the rendezvous handshake drained bytes stay
+  /// parked in the reassembler for read_record to pop.
+  void drain_readable() {
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      if (s == config.shard_id) continue;
+      while (peer_fds[s] >= 0) {
+        std::byte chunk[65536];
+        const ssize_t n =
+            ::recv(peer_fds[s], chunk, sizeof chunk, MSG_DONTWAIT);
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == ECONNRESET) {
+          mark_link_down(s);
+          break;
+        }
+        SNAP_REQUIRE_MSG(n >= 0, "recv from peer shard "
+                                     << s << " failed: "
+                                     << std::strerror(errno));
+        if (n == 0) {
+          mark_link_down(s);
+          break;
+        }
+        stats.os_bytes_received += static_cast<std::uint64_t>(n);
+        reassemblers[s].feed({chunk, static_cast<std::size_t>(n)});
+        if (steady) {
+          while (auto record = reassemblers[s].next()) {
+            dispatch_record(s, *record);
+          }
+        }
+      }
+    }
+  }
+
   void send_all(std::size_t peer_shard, std::span<const std::byte> bytes) {
-    const int fd = peer_fds[peer_shard];
-    SNAP_REQUIRE_MSG(fd >= 0, "no link to peer shard " << peer_shard);
+    SNAP_REQUIRE_MSG(peer_fds[peer_shard] >= 0,
+                     "no link to peer shard " << peer_shard);
     std::size_t sent = 0;
     while (sent < bytes.size()) {
+      // Re-fetch each pass: the drain below can observe the peer's
+      // crash and close the fd under us.
+      const int fd = peer_fds[peer_shard];
+      if (fd < 0) return;
       const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EPIPE || errno == ECONNRESET) {
-          // The peer crashed under us. Anything replayable is already
-          // in the sent log; drop the write and let finish_flip park
-          // until the respawned incarnation reconnects.
-          mark_link_down(peer_shard);
-          return;
-        }
-        SNAP_REQUIRE_MSG(false, "send to peer shard "
-                                    << peer_shard << " failed: "
-                                    << std::strerror(errno));
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
       }
-      sent += static_cast<std::size_t>(n);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Our send buffer to this peer is full. The canonical cause is
+        // a send-send deadlock: the peer is mid-write of a large frame
+        // to us and will not read until it finishes. Empty our read
+        // side so its write can drain, then wait for writability.
+        drain_readable();
+        if (peer_fds[peer_shard] < 0) return;
+        pollfd pfd{peer_fds[peer_shard], POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, kSendPollTimeoutMs);
+        SNAP_REQUIRE_MSG(ready >= 0 || errno == EINTR,
+                         "poll for writability to peer shard "
+                             << peer_shard << " failed: "
+                             << std::strerror(errno));
+        continue;
+      }
+      if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+        // The peer crashed under us. Anything replayable is already
+        // in the sent log; drop the write and let finish_flip park
+        // until the respawned incarnation reconnects.
+        mark_link_down(peer_shard);
+        return;
+      }
+      SNAP_REQUIRE_MSG(false, "send to peer shard "
+                                  << peer_shard << " failed: "
+                                  << std::strerror(errno));
     }
     stats.os_bytes_sent += bytes.size();
   }
@@ -802,7 +868,14 @@ struct SocketHub::Impl {
     ack.incarnation = hello->incarnation;
     send_record(shard, encode_reconnect_ack_record(ack));
     // Replay everything the dead incarnation missed, oldest first.
-    for (const LoggedSend& entry : sent_log[shard]) {
+    // Snapshot the log: send_all's deadlock drain can dispatch a
+    // barrier from this very peer mid-flush, and the resulting prune
+    // would pop entries out from under a live iterator. The peer can
+    // only acknowledge flips already flushed (the log is flip-ordered
+    // and replayed in order), so a prune never drops unvisited
+    // entries — the snapshot and the live log agree ahead of us.
+    const std::deque<LoggedSend> replay = sent_log[shard];
+    for (const LoggedSend& entry : replay) {
       if (peer_fds[shard] < 0) break;  // died again mid-flush
       if (entry.flip >= resume_from) send_all(shard, entry.bytes);
     }
@@ -896,12 +969,16 @@ SocketHub::SocketHub(const TransportConfig& config, std::size_t node_count)
   impl_->live_from.assign(config.shards, 0);
   impl_->incarnation_seen.assign(config.shards, 0);
   impl_->sent_log.resize(config.shards);
-  if (config.shards == 1) return;  // degenerate mesh: no peers
+  if (config.shards == 1) {
+    impl_->steady = true;
+    return;  // degenerate mesh: no peers
+  }
   impl_->bind_and_publish();
   if (config.resume) {
     // Respawned process: every surviving peer is parked with a live
     // listener — dial them all and announce the new incarnation.
     impl_->resume_rendezvous();
+    impl_->steady = true;
     return;
   }
   // Dial lower-numbered shards (their listeners exist or will shortly);
@@ -910,6 +987,7 @@ SocketHub::SocketHub(const TransportConfig& config, std::size_t node_count)
     impl_->connect_with_backoff(s);
   }
   impl_->accept_peers();
+  impl_->steady = true;
 }
 
 SocketHub::~SocketHub() {

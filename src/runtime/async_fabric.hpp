@@ -292,6 +292,17 @@ class AsyncFabric final : public RoundFabric<Payload> {
           }
           ++progress_marker_;
         }
+        // Component-structure changes are round-indexed like the rest of
+        // the injector's schedule, so both fabrics surface the identical
+        // partition timeline at the identical rounds. Fired after the
+        // membership announcement, mirroring the sync preamble order.
+        const net::PartitionDelta& pd =
+            config_.faults->partition_delta(begun_);
+        if (hooks_->on_partition && !pd.empty()) {
+          WireSink sink(this);
+          hooks_->on_partition(begun_, pd, sink);
+          ++progress_marker_;
+        }
       }
       if (hooks_->begin_round) hooks_->begin_round(begun_);
     }
@@ -430,9 +441,18 @@ class AsyncFabric final : public RoundFabric<Payload> {
       ++frames_dropped_;
       return;
     }
+    // A confirmed partition is not a transient loss: while the injector
+    // places sender and receiver in different components, every
+    // retransmission would hit the same sustained cut. Park the frame
+    // (drop without a retry chain) — the heal-time boundary sync, not a
+    // retry, is what reconciles the two sides.
+    const std::size_t fault_round = std::max<std::size_t>(sender_round, 1);
+    if (!config_.faults->same_component(fault_round, from, envelope.to)) {
+      ++frames_dropped_;
+      return;
+    }
     ++frames_retried_;
-    const double backoff = config_.recovery.retry_backoff_s *
-                           static_cast<double>(std::size_t{1} << attempt);
+    const double backoff = bounded_backoff(config_.recovery, attempt);
     auto resend = std::make_shared<Envelope<Payload>>(std::move(envelope));
     queue_.schedule_in(std::max(backoff, 1e-9),
                        [this, from, resend, sender_round, attempt] {
@@ -665,6 +685,10 @@ class AsyncFabric final : public RoundFabric<Payload> {
         stats.alive_nodes = config_.faults->alive_member_count(k);
         stats.nodes_joined = config_.faults->churn_delta(k).joined.size();
         stats.state_sync_bytes = state_sync_bytes_;
+        stats.components = config_.faults->component_count(k);
+        stats.largest_component_frac =
+            config_.faults->largest_component_fraction(k);
+        stats.partition_epoch = config_.faults->partition_epoch(k);
         frames_dropped_ = 0;
         frames_corrupted_ = 0;
         frames_retried_ = 0;

@@ -169,6 +169,22 @@ struct RoundHooks {
                      MessageSink<Payload>& sink)>
       on_churn;
 
+  /// Fault-layer callback: the component structure of the *effective*
+  /// alive graph changed — a sustained link outage (or scheduled cut)
+  /// split the topology, a heal merged components back, or confirmed
+  /// churn changed the labeling. Fired serially AFTER on_churn in the
+  /// same round preamble, so crash-driven label changes see the
+  /// post-churn membership, and heal-time boundary syncs staged through
+  /// the sink ride the round's first delivery wave (before any mix).
+  /// The delta carries the new labeling, the healed boundary edges, and
+  /// the monotone partition epoch; schemes use it to re-project W into
+  /// per-component blocks (split) and to exchange boundary state before
+  /// the merged component restarts (heal). Only fired when a
+  /// FaultInjector is attached and tracking partitions.
+  std::function<void(std::size_t round, const net::PartitionDelta& delta,
+                     MessageSink<Payload>& sink)>
+      on_partition;
+
   /// Fault-layer callback: invoked serially in place of a down node's
   /// local_update/collect each round it is held down (sync fabric
   /// only; async nodes simply go dormant). DGD uses it to keep its

@@ -117,6 +117,18 @@ class SyncFabric : public RoundFabric<Payload> {
           replies_[i].clear();
         }
       }
+      // Component-structure changes fire after churn: a crash-driven
+      // relabel sees the post-epoch membership, and heal-time boundary
+      // syncs are staged before any phase consumes the round's inbox.
+      const net::PartitionDelta& pdelta = config_.faults->partition_delta(round);
+      if (hooks.on_partition && !pdelta.empty()) {
+        StagingSink sink(&replies_);
+        hooks.on_partition(round, pdelta, sink);
+        for (topology::NodeId i = 0; i < n; ++i) {
+          for (auto& envelope : replies_[i]) post(i, std::move(envelope), round);
+          replies_[i].clear();
+        }
+      }
     }
     const auto down = [&](topology::NodeId i) {
       return config_.faults != nullptr && config_.faults->node_down(round, i);
@@ -227,6 +239,10 @@ class SyncFabric : public RoundFabric<Payload> {
         stats.nodes_joined =
             config_.faults->churn_delta(round).joined.size();
         stats.state_sync_bytes = transport_->state_sync_bytes();
+        stats.components = config_.faults->component_count(round);
+        stats.largest_component_frac =
+            config_.faults->largest_component_fraction(round);
+        stats.partition_epoch = config_.faults->partition_epoch(round);
       } else {
         stats.alive_nodes = hooks.node_count;
       }

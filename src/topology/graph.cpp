@@ -93,4 +93,47 @@ std::size_t Graph::diameter() const {
   return best;
 }
 
+ComponentMap connected_components(const Graph& graph) {
+  return connected_components(
+      graph, std::vector<std::uint8_t>(graph.node_count(), 1), nullptr);
+}
+
+ComponentMap connected_components(
+    const Graph& graph, const std::vector<std::uint8_t>& include,
+    const std::function<bool(NodeId, NodeId)>& edge_down) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE_MSG(include.size() == n,
+                   "inclusion mask covers " << include.size()
+                                            << " nodes, graph has " << n);
+  ComponentMap map;
+  map.label.assign(n, ComponentMap::kExcluded);
+  std::queue<NodeId> frontier;
+  for (NodeId seed = 0; seed < n; ++seed) {
+    if (include[seed] == 0 || map.label[seed] != ComponentMap::kExcluded) {
+      continue;
+    }
+    const std::size_t component = map.count++;
+    std::size_t size = 0;
+    map.label[seed] = component;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      ++size;
+      for (const NodeId v : graph.neighbors(u)) {
+        if (include[v] == 0 || map.label[v] != ComponentMap::kExcluded) {
+          continue;
+        }
+        if (edge_down && edge_down(std::min(u, v), std::max(u, v))) {
+          continue;
+        }
+        map.label[v] = component;
+        frontier.push(v);
+      }
+    }
+    map.largest_size = std::max(map.largest_size, size);
+  }
+  return map;
+}
+
 }  // namespace snap::topology

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -65,5 +67,49 @@ class Graph {
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<std::pair<NodeId, NodeId>> edges_;
 };
+
+/// The connected components of an (optionally masked) graph. Labels are
+/// assigned in ascending order of each component's lowest member id, so
+/// the labeling is a pure function of the graph + masks: component 0
+/// contains the lowest included node, component 1 the lowest included
+/// node not in component 0, and so on. Excluded nodes carry kExcluded.
+struct ComponentMap {
+  /// Label for nodes outside the inclusion mask.
+  static constexpr std::size_t kExcluded = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> label;  ///< per-node component label
+  std::size_t count = 0;           ///< number of components
+  std::size_t largest_size = 0;    ///< size of the largest component
+
+  /// Fraction of *included* nodes in the largest component (1.0 when
+  /// nothing is included — an empty membership is trivially whole).
+  double largest_fraction() const noexcept {
+    std::size_t included = 0;
+    for (const std::size_t l : label) {
+      if (l != kExcluded) ++included;
+    }
+    if (included == 0) return 1.0;
+    return static_cast<double>(largest_size) /
+           static_cast<double>(included);
+  }
+
+  /// True when `u` and `v` are both included and in the same component.
+  bool same_component(NodeId u, NodeId v) const noexcept {
+    return u < label.size() && v < label.size() &&
+           label[u] != kExcluded && label[u] == label[v];
+  }
+};
+
+/// Components of the full graph (every node included, every edge up).
+ComponentMap connected_components(const Graph& graph);
+
+/// Components of the *effective* graph: only nodes with include[u] != 0
+/// participate, and an edge {u, v} is traversable only when both
+/// endpoints are included and edge_down (if provided) returns false for
+/// it. Deterministic: BFS from the lowest unvisited included node, in
+/// ascending id order. edge_down is called with u < v.
+ComponentMap connected_components(
+    const Graph& graph, const std::vector<std::uint8_t>& include,
+    const std::function<bool(NodeId, NodeId)>& edge_down = nullptr);
 
 }  // namespace snap::topology

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/check.hpp"
@@ -234,6 +235,176 @@ TEST(WeightReprojectionTest, RequiresAtLeastOneSurvivor) {
       (void)reproject_weight_matrix(g, alive,
                                     ReprojectionMethod::kMetropolis),
       common::ContractViolation);
+}
+
+// --- Component-aware re-projection: split → heal → merge --------------
+//
+// During a partition the labeling drives a block-diagonal W: an edge
+// carries weight only when both endpoints are alive AND share a
+// component. With a single component the labeled overloads must be
+// bitwise the plain survivor path, and the sparse twins must be
+// bitwise the dense path at every epoch.
+
+/// Labels of the alive-induced subgraph with `down` edges removed.
+std::vector<std::size_t> labels_of(const topology::Graph& g,
+                                   const std::vector<bool>& alive,
+                                   const std::function<bool(
+                                       topology::NodeId,
+                                       topology::NodeId)>& down = nullptr) {
+  std::vector<std::uint8_t> include(g.node_count(), 0);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    include[i] = alive[i] ? 1 : 0;
+  }
+  return topology::connected_components(g, include, down).label;
+}
+
+void expect_bitwise_equal(const linalg::Matrix& a, const linalg::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+/// Two K4 cliques joined by the bridge 3–4: cutting one edge splits it.
+topology::Graph make_barbell() {
+  topology::Graph g(8);
+  for (topology::NodeId u = 0; u < 4; ++u) {
+    for (topology::NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  for (topology::NodeId u = 4; u < 8; ++u) {
+    for (topology::NodeId v = u + 1; v < 8; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(ComponentReprojectionTest, SingleComponentMatchesSurvivorPathBitwise) {
+  common::Rng rng(23);
+  const auto g = topology::make_random_connected(10, 3.0, rng);
+  std::vector<bool> alive(10, true);
+  alive[4] = false;  // survivor subgraph stays connected for this seed
+  const auto labels = labels_of(g, alive);
+  ASSERT_EQ(labels[4], topology::ComponentMap::kExcluded);
+  WeightOptimizerConfig opt;
+  opt.max_iterations = 30;
+  for (const auto method : {ReprojectionMethod::kMetropolis,
+                            ReprojectionMethod::kOptimize}) {
+    const auto plain = reproject_weight_matrix(g, alive, method, opt);
+    const auto labeled =
+        reproject_weight_matrix(g, alive, labels, method, opt);
+    expect_bitwise_equal(labeled, plain);
+    expect_bitwise_equal(
+        reproject_weight_matrix_sparse(g, alive, labels, method, opt)
+            .to_dense(),
+        plain);
+  }
+}
+
+TEST(ComponentReprojectionTest, SplitHealMergeWalk) {
+  const topology::Graph g = make_barbell();
+  const auto bridge_down = [](topology::NodeId u, topology::NodeId v) {
+    return u == 3 && v == 4;
+  };
+  WeightOptimizerConfig opt;
+  opt.max_iterations = 30;
+  for (const auto method : {ReprojectionMethod::kMetropolis,
+                            ReprojectionMethod::kOptimize}) {
+    std::vector<bool> alive(8, true);
+
+    // Epoch 0: intact graph, one component.
+    const auto whole =
+        reproject_weight_matrix(g, alive, labels_of(g, alive), method, opt);
+    expect_reprojection_invariants(whole, g, alive);
+    EXPECT_GT(whole(3, 4), 0.0);
+
+    // Epoch 1: the bridge is cut — two components, block-diagonal W.
+    const auto split_labels = labels_of(g, alive, bridge_down);
+    EXPECT_NE(split_labels[3], split_labels[4]);
+    const auto split =
+        reproject_weight_matrix(g, alive, split_labels, method, opt);
+    expect_reprojection_invariants(split, g, alive);
+    EXPECT_DOUBLE_EQ(split(3, 4), 0.0);
+    EXPECT_DOUBLE_EQ(split(4, 3), 0.0);
+    for (topology::NodeId u = 0; u < 8; ++u) {
+      for (topology::NodeId v = 0; v < 8; ++v) {
+        if (split_labels[u] != split_labels[v]) {
+          EXPECT_DOUBLE_EQ(split(u, v), 0.0)
+              << "cross-component weight (" << u << "," << v << ")";
+        }
+      }
+    }
+    // Each side keeps a contracting block of its own.
+    EXPECT_GT(convergence_score(alive_block(
+                  split, {true, true, true, true, false, false, false,
+                          false})),
+              0.0);
+    EXPECT_GT(convergence_score(alive_block(
+                  split, {false, false, false, false, true, true, true,
+                          true})),
+              0.0);
+
+    // Epoch 2: shrink during the split — node 1 crashes on the left.
+    alive[1] = false;
+    const auto shrunk_labels = labels_of(g, alive, bridge_down);
+    const auto shrunk =
+        reproject_weight_matrix(g, alive, shrunk_labels, method, opt);
+    expect_reprojection_invariants(shrunk, g, alive);
+    EXPECT_DOUBLE_EQ(shrunk(3, 4), 0.0);
+
+    // Epoch 3: heal — merged labeling must reproduce the plain
+    // survivor re-projection bitwise (merge-on-heal is not a new
+    // regime, it is the single-component special case).
+    const auto healed =
+        reproject_weight_matrix(g, alive, labels_of(g, alive), method, opt);
+    expect_reprojection_invariants(healed, g, alive);
+    EXPECT_GT(healed(3, 4), 0.0);
+    expect_bitwise_equal(healed,
+                         reproject_weight_matrix(g, alive, method, opt));
+
+    // Sparse twins replay the dense walk bitwise at every epoch.
+    expect_bitwise_equal(
+        reproject_weight_matrix_sparse(g, {true, true, true, true, true,
+                                           true, true, true},
+                                       split_labels, method, opt)
+            .to_dense(),
+        split);
+    expect_bitwise_equal(
+        reproject_weight_matrix_sparse(g, alive, shrunk_labels, method, opt)
+            .to_dense(),
+        shrunk);
+    expect_bitwise_equal(
+        reproject_weight_matrix_sparse(g, alive, labels_of(g, alive),
+                                       method, opt)
+            .to_dense(),
+        healed);
+  }
+}
+
+TEST(ComponentReprojectionTest, OptimizeSolvesDisconnectedSurvivorsPerBlock) {
+  // Crashing the bridge endpoints disconnects the survivor subgraph.
+  // The §IV-B optimizer refuses disconnected input, so the no-labels
+  // kOptimize path must fall back to per-component solves — and stay
+  // feasible — instead of throwing.
+  const topology::Graph g = make_barbell();
+  std::vector<bool> alive(8, true);
+  alive[3] = false;
+  alive[4] = false;
+  WeightOptimizerConfig opt;
+  opt.max_iterations = 30;
+  const auto w =
+      reproject_weight_matrix(g, alive, ReprojectionMethod::kOptimize, opt);
+  expect_reprojection_invariants(w, g, alive);
+  // Both sides mix internally; nothing crosses the dead bridge.
+  EXPECT_GT(w(0, 1), 0.0);
+  EXPECT_GT(w(5, 6), 0.0);
+  for (topology::NodeId u = 0; u < 3; ++u) {
+    for (topology::NodeId v = 5; v < 8; ++v) {
+      EXPECT_DOUBLE_EQ(w(u, v), 0.0);
+    }
+  }
 }
 
 }  // namespace

@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "consensus/edge_weights.hpp"
+#include "consensus/mixing_spectrum.hpp"
+#include "consensus/sparse_weight_matrix.hpp"
 #include "consensus/weight_matrix.hpp"
 #include "consensus/weight_optimizer.hpp"
 #include "linalg/eigen.hpp"
 #include "topology/generators.hpp"
+#include "topology/graph.hpp"
 
 namespace snap::consensus {
 namespace {
@@ -300,6 +305,93 @@ TEST(ConvergenceScoreTest, PerfectMixingBeatsIdentity) {
 TEST(ConvergenceScoreTest, IdentityScoresZero) {
   // Identity never mixes: λ̄_max falls back to 1 → score 0.
   EXPECT_NEAR(convergence_score(linalg::Matrix::identity(3)), 0.0, 1e-9);
+}
+
+// ------------------------------------- split-brain spectral detection
+
+/// Block-diagonal mixing matrix: perfect mixing inside each of two
+/// components, zero across. Eigenvalue 1 has multiplicity 2.
+linalg::Matrix two_block_mixing(std::size_t a, std::size_t b) {
+  linalg::Matrix w(a + b, a + b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      w(i, j) = 1.0 / static_cast<double>(a);
+    }
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      w(a + i, a + j) = 1.0 / static_cast<double>(b);
+    }
+  }
+  return w;
+}
+
+TEST(MixingExtremesTest, ConnectedMixingIsErgodic) {
+  const auto g = topology::make_ring(6);
+  const MixingExtremes ex = mixing_extremes(max_degree_weights(g));
+  EXPECT_FALSE(ex.one_repeated);
+  EXPECT_TRUE(ex.ergodic());
+  EXPECT_LT(ex.lambda_bar_max, 1.0 - kOneMultiplicityTol);
+  // Checked variant agrees and does not throw.
+  const MixingExtremes checked =
+      ergodic_mixing_extremes(max_degree_weights(g));
+  EXPECT_EQ(checked.lambda_bar_max, ex.lambda_bar_max);
+  EXPECT_EQ(checked.slem, ex.slem);
+}
+
+TEST(MixingExtremesTest, BlockDiagonalRaisesOneRepeatedFlag) {
+  // Split-brain signature: each component contributes an invariant
+  // ones-vector, so eigenvalue 1 is repeated and λ̄_max pins to 1.
+  const MixingExtremes ex = mixing_extremes(two_block_mixing(3, 4));
+  EXPECT_TRUE(ex.one_repeated);
+  EXPECT_FALSE(ex.ergodic());
+  // λ̄_max stays "largest eigenvalue strictly below 1" on the dense
+  // oracle (here 0) — the flag, not λ̄_max pinning to 1, is the contract.
+  EXPECT_NEAR(ex.lambda_bar_max, 0.0, 1e-9);
+}
+
+TEST(MixingExtremesTest, IdentityFlagsButNeverThrowsOnUncheckedPath) {
+  // The identity (n isolated self-loops) legitimately scores 0 through
+  // the unchecked query — only the checked entry points refuse it.
+  const MixingExtremes ex = mixing_extremes(linalg::Matrix::identity(4));
+  EXPECT_TRUE(ex.one_repeated);
+  EXPECT_NEAR(convergence_score(linalg::Matrix::identity(4)), 0.0, 1e-9);
+}
+
+TEST(MixingExtremesTest, ErgodicEntryPointThrowsOnSplitBrain) {
+  EXPECT_THROW((void)ergodic_mixing_extremes(two_block_mixing(2, 3)),
+               DisconnectedMixingError);
+  EXPECT_THROW((void)ergodic_mixing_extremes(linalg::Matrix::identity(3)),
+               DisconnectedMixingError);
+}
+
+TEST(MixingExtremesTest, SparseErgodicEntryPointThrowsOnSplitBrain) {
+  const auto g = topology::make_ring(4);
+  std::vector<std::uint8_t> include(4, 1);
+  const auto down = [](topology::NodeId u, topology::NodeId v) {
+    return (u == 0 && v == 1) || (u == 2 && v == 3);
+  };
+  const auto labels = topology::connected_components(g, include, down).label;
+  const std::vector<bool> alive(4, true);
+  const auto split = SparseWeightMatrix::metropolis_on_components(
+      g, alive, labels);
+  EXPECT_THROW((void)ergodic_mixing_extremes(split),
+               DisconnectedMixingError);
+  // The healed single-component matrix passes the same gate.
+  const auto whole = SparseWeightMatrix::metropolis_on_survivors(g, alive);
+  EXPECT_NO_THROW((void)ergodic_mixing_extremes(whole));
+}
+
+TEST(WeightOptimizerTest, RefusesDisconnectedGraph) {
+  // §IV-B preconditions: the SLEM machinery assumes one ergodic class.
+  topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  WeightOptimizerConfig cfg;
+  cfg.max_iterations = 5;
+  EXPECT_THROW((void)select_weight_matrix(g, cfg),
+               common::ContractViolation);
+  EXPECT_THROW((void)minimize_slem(g, cfg), common::ContractViolation);
 }
 
 }  // namespace

@@ -16,7 +16,9 @@
 #include "consensus/weight_reprojection.hpp"
 #include "core/training.hpp"
 #include "experiments/scenario.hpp"
+#include "net/fault_injector.hpp"
 #include "runtime/fabric.hpp"
+#include "topology/graph.hpp"
 
 namespace snap::experiments {
 namespace {
@@ -121,6 +123,137 @@ TEST(FaultToleranceTest, SelfHealingIsLoadBearing) {
   // Ablation: without re-projection the recursion stays anchored to the
   // dead node's frozen parameters and measurably degrades.
   EXPECT_GT(unhealed.final_train_loss, 1.05 * healed.final_train_loss);
+}
+
+// --- Partition tolerance: cut-vertex crash and bridge outage ----------
+//
+// Both scenarios drive the survivor set through a genuine split: the
+// per-round component columns must report it, training must keep
+// making progress per component, and the heal must merge back to one
+// component. The schedule is a pure function of (plan, seed, graph),
+// so sync and async stamp identical component series.
+
+/// Two triangles joined through node 3 (a cut vertex): crashing it
+/// splits the survivors {0,1,2} | {4,5,6}.
+topology::Graph make_two_triangles() {
+  topology::Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(4, 6);
+  g.add_edge(5, 6);
+  return g;
+}
+
+/// Two K4 cliques joined by the bridge 3–4.
+topology::Graph make_barbell() {
+  topology::Graph g(8);
+  for (topology::NodeId u = 0; u < 4; ++u) {
+    for (topology::NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  for (topology::NodeId u = 4; u < 8; ++u) {
+    for (topology::NodeId v = u + 1; v < 8; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(FaultToleranceTest, CutVertexCrashSplitsAndMergesOnRestart) {
+  std::vector<core::TrainResult> results;
+  for (const auto fabric :
+       {runtime::FabricKind::kSync, runtime::FabricKind::kAsync}) {
+    ScenarioConfig cfg;
+    cfg.custom_topology = make_two_triangles();
+    cfg.train_samples = 700;
+    cfg.test_samples = 200;
+    cfg.convergence.max_iterations = 160;
+    cfg.convergence.loss_tolerance = 0.0;
+    cfg.weight_optimizer.max_iterations = 40;
+    cfg.faults.scheduled_crashes.push_back({3, 30, 110});
+    cfg.faults.churn_confirm_rounds = 2;
+    cfg.fabric = fabric;
+    const Scenario scenario(cfg);
+    results.push_back(scenario.run(Scheme::kSnap));
+  }
+  for (const auto& result : results) {
+    ASSERT_EQ(result.iterations.size(), 160u);
+    EXPECT_TRUE(std::isfinite(result.final_train_loss));
+    EXPECT_GT(result.final_test_accuracy, 0.5);
+    for (std::size_t k = 0; k < 160; ++k) {
+      const std::size_t round = k + 1;
+      const auto& it = result.iterations[k];
+      if (round <= 30 || round >= 112) {
+        EXPECT_EQ(it.components, 1u) << "round " << round;
+        EXPECT_DOUBLE_EQ(it.largest_component_frac, 1.0)
+            << "round " << round;
+      } else if (round >= 35 && round < 108) {
+        // Crash confirmed (streak > 2): survivors {0,1,2} | {4,5,6}.
+        EXPECT_EQ(it.components, 2u) << "round " << round;
+        EXPECT_DOUBLE_EQ(it.largest_component_frac, 0.5)
+            << "round " << round;
+      }
+      if (k > 0) {
+        EXPECT_GE(it.partition_epoch,
+                  result.iterations[k - 1].partition_epoch)
+            << "epoch not monotone at round " << round;
+      }
+    }
+    EXPECT_GE(result.iterations.back().partition_epoch, 2u);
+  }
+  // Identical schedule on both fabrics.
+  for (std::size_t k = 0; k < 160; ++k) {
+    EXPECT_EQ(results[0].iterations[k].components,
+              results[1].iterations[k].components)
+        << "round " << (k + 1);
+    EXPECT_EQ(results[0].iterations[k].partition_epoch,
+              results[1].iterations[k].partition_epoch)
+        << "round " << (k + 1);
+  }
+}
+
+TEST(FaultToleranceTest, BridgeOutageSplitsThenHealsWithProgress) {
+  ScenarioConfig cfg;
+  cfg.custom_topology = make_barbell();
+  cfg.train_samples = 800;
+  cfg.test_samples = 240;
+  cfg.convergence.max_iterations = 160;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.weight_optimizer.max_iterations = 40;
+  net::PartitionEvent event;
+  event.edges = {{3, 4}};
+  event.start_round = 40;
+  event.heal_round = 120;
+  cfg.faults.scheduled_partitions.push_back(event);
+  cfg.faults.partition_confirm_rounds = 1;
+  const Scenario scenario(cfg);
+  const auto result = scenario.run(Scheme::kSnap);
+
+  ASSERT_EQ(result.iterations.size(), 160u);
+  EXPECT_TRUE(std::isfinite(result.final_train_loss));
+  EXPECT_GT(result.final_test_accuracy, 0.5);
+  for (std::size_t k = 0; k < 160; ++k) {
+    const std::size_t round = k + 1;
+    const auto& it = result.iterations[k];
+    if (round <= 40 || round >= 120) {
+      EXPECT_EQ(it.components, 1u) << "round " << round;
+    } else if (round >= 42) {
+      EXPECT_EQ(it.components, 2u) << "round " << round;
+      EXPECT_DOUBLE_EQ(it.largest_component_frac, 0.5)
+          << "round " << round;
+    }
+  }
+  // Per-component progress during the split: global average loss keeps
+  // dropping even while the halves cannot talk.
+  const double loss_at_split = result.iterations[44].train_loss;
+  const double loss_pre_heal = result.iterations[115].train_loss;
+  EXPECT_LT(loss_pre_heal, loss_at_split);
+  // And the merge-on-heal does not blow the trajectory up: final loss
+  // is the best of the three probes.
+  EXPECT_LT(result.final_train_loss, loss_pre_heal);
+  EXPECT_GE(result.iterations.back().partition_epoch, 2u);
 }
 
 }  // namespace

@@ -263,6 +263,160 @@ TEST(FaultInjectorTest, RejectsInvalidScheduledCrashes) {
                common::ContractViolation);
 }
 
+TEST(FaultInjectorPartitionTest, ScheduledBridgeCutSplitsAfterConfirmation) {
+  // Ring of 6 with edges {0,1} and {3,4} cut for rounds [4, 12): the
+  // ring splits into {1,2,3} and {4,5,0} once the outage persists past
+  // the confirmation window.
+  const auto g = topology::make_ring(6);
+  FaultPlan plan;
+  plan.scheduled_partitions.push_back(
+      {{{0, 1}, {3, 4}}, /*start_round=*/4, /*heal_round=*/12});
+  plan.partition_confirm_rounds = 1;
+  FaultInjector injector(g, plan, common::Rng(3));
+  EXPECT_TRUE(injector.tracks_partitions());
+  injector.ensure_round(16);
+
+  for (std::size_t round = 1; round <= 16; ++round) {
+    const bool cut = round >= 4 && round < 12;
+    EXPECT_EQ(injector.link_cut(round, 0, 1), cut) << "round " << round;
+    EXPECT_EQ(injector.link_down(round, 3, 4), cut) << "round " << round;
+    // The labeling reacts only to *sustained* outages: streak must
+    // exceed the 1-round confirmation window, so the split is visible
+    // from round 5; the heal at round 12 merges immediately.
+    const bool split = round >= 5 && round < 12;
+    EXPECT_EQ(injector.component_count(round), split ? 2u : 1u)
+        << "round " << round;
+    EXPECT_EQ(injector.same_component(round, 1, 3), true);
+    EXPECT_EQ(injector.same_component(round, 0, 1), !split);
+    EXPECT_DOUBLE_EQ(injector.largest_component_fraction(round),
+                     split ? 0.5 : 1.0);
+  }
+
+  // Epoch: 0 before the split, 1 during, 2 from the merge on — and the
+  // deltas fire exactly at the two change rounds.
+  EXPECT_EQ(injector.partition_epoch(4), 0u);
+  EXPECT_EQ(injector.partition_epoch(5), 1u);
+  EXPECT_EQ(injector.partition_epoch(11), 1u);
+  EXPECT_EQ(injector.partition_epoch(12), 2u);
+  EXPECT_EQ(injector.partition_epoch(16), 2u);
+  for (std::size_t round = 1; round <= 16; ++round) {
+    const auto& delta = injector.partition_delta(round);
+    if (round == 5) {
+      EXPECT_FALSE(delta.empty());
+      EXPECT_EQ(delta.epoch, 1u);
+      EXPECT_EQ(delta.components, 2u);
+      EXPECT_TRUE(delta.split);
+      EXPECT_FALSE(delta.merged);
+      EXPECT_TRUE(delta.healed_edges.empty());
+    } else if (round == 12) {
+      EXPECT_FALSE(delta.empty());
+      EXPECT_EQ(delta.epoch, 2u);
+      EXPECT_EQ(delta.components, 1u);
+      EXPECT_TRUE(delta.merged);
+      // Both previously-severed boundary edges come back at once.
+      EXPECT_EQ(delta.healed_edges.size(), 2u);
+    } else {
+      EXPECT_TRUE(delta.empty()) << "round " << round;
+    }
+  }
+}
+
+TEST(FaultInjectorPartitionTest, TransientCutBelowConfirmWindowNeverSplits) {
+  // A 2-round cut under a 2-round confirmation window: frames drop but
+  // the component structure never reacts.
+  const auto g = topology::make_ring(4);
+  FaultPlan plan;
+  plan.scheduled_partitions.push_back(
+      {{{0, 1}, {2, 3}}, /*start_round=*/3, /*heal_round=*/5});
+  plan.partition_confirm_rounds = 2;
+  FaultInjector injector(g, plan, common::Rng(3));
+  injector.ensure_round(8);
+  for (std::size_t round = 1; round <= 8; ++round) {
+    EXPECT_EQ(injector.component_count(round), 1u) << "round " << round;
+    EXPECT_TRUE(injector.partition_delta(round).empty());
+  }
+  EXPECT_TRUE(injector.link_cut(3, 0, 1));
+  EXPECT_EQ(injector.partition_epoch(8), 0u);
+}
+
+TEST(FaultInjectorPartitionTest, RandomPartitionsAreSeededAndHeal) {
+  const auto g = topology::make_ring(10);
+  FaultPlan plan;
+  plan.partition_probability = 0.15;
+  plan.partition_duration = 4;
+  FaultInjector a(g, plan, common::Rng(77));
+  FaultInjector b(g, plan, common::Rng(77));
+  a.ensure_round(120);
+  b.ensure_round(120);
+  std::size_t split_rounds = 0;
+  std::size_t last_epoch = 0;
+  for (std::size_t round = 1; round <= 120; ++round) {
+    ASSERT_EQ(a.component_count(round), b.component_count(round))
+        << "round " << round;
+    ASSERT_EQ(a.partition_epoch(round), b.partition_epoch(round));
+    ASSERT_EQ(a.component_labels(round), b.component_labels(round));
+    // Epoch is monotone.
+    ASSERT_GE(a.partition_epoch(round), last_epoch);
+    last_epoch = a.partition_epoch(round);
+    if (a.component_count(round) > 1) ++split_rounds;
+  }
+  EXPECT_GT(split_rounds, 0u);        // p=0.15 over 120 rounds must fire
+  EXPECT_LT(split_rounds, 120u);      // duration=4: splits always heal
+  EXPECT_EQ(a.component_count(120), b.component_count(120));
+}
+
+TEST(FaultInjectorPartitionTest, MemorylessPlanDoesNotTrackComponents) {
+  // Pure iid link noise (the legacy Fig. 9 knob) must not pay for — or
+  // perturb — component tracking: one component, epoch 0, no labels.
+  const auto g = topology::make_ring(6);
+  FaultInjector injector(g, FaultPlan::memoryless_links(0.4),
+                         common::Rng(5));
+  EXPECT_FALSE(injector.tracks_partitions());
+  injector.ensure_round(30);
+  for (std::size_t round = 1; round <= 30; ++round) {
+    EXPECT_EQ(injector.component_count(round), 1u);
+    EXPECT_EQ(injector.partition_epoch(round), 0u);
+    EXPECT_TRUE(injector.component_labels(round).empty());
+    EXPECT_TRUE(injector.same_component(round, 0, 3));
+  }
+}
+
+TEST(FaultInjectorPartitionTest, CrashedNodesAreExcludedFromLabels) {
+  // Node 2 of a ring of 5 crashes permanently: once confirmed, the
+  // remaining members form a line 3-4-0-1 — still one component — and
+  // node 2 carries the excluded label.
+  const auto g = topology::make_ring(5);
+  FaultPlan plan;
+  plan.scheduled_crashes.push_back(
+      {/*node=*/2, /*crash_round=*/3, /*restart_round=*/0});
+  plan.churn_confirm_rounds = 1;
+  FaultInjector injector(g, plan, common::Rng(9));
+  injector.ensure_round(10);
+  EXPECT_EQ(injector.component_count(10), 1u);
+  const auto& labels = injector.component_labels(10);
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[2], topology::ComponentMap::kExcluded);
+  EXPECT_FALSE(injector.same_component(10, 2, 3));
+  EXPECT_TRUE(injector.same_component(10, 1, 3));
+  EXPECT_DOUBLE_EQ(injector.largest_component_fraction(10), 1.0);
+}
+
+TEST(FaultInjectorPartitionTest, RejectsInvalidScheduledPartitions) {
+  const auto g = topology::make_ring(4);
+  FaultPlan non_edge;
+  non_edge.scheduled_partitions.push_back({{{0, 2}}, 1, 0});
+  EXPECT_THROW(FaultInjector(g, non_edge, common::Rng(1)),
+               common::ContractViolation);
+  FaultPlan zero_start;
+  zero_start.scheduled_partitions.push_back({{{0, 1}}, 0, 0});
+  EXPECT_THROW(FaultInjector(g, zero_start, common::Rng(1)),
+               common::ContractViolation);
+  FaultPlan inverted;
+  inverted.scheduled_partitions.push_back({{{0, 1}}, 5, 4});
+  EXPECT_THROW(FaultInjector(g, inverted, common::Rng(1)),
+               common::ContractViolation);
+}
+
 TEST(FaultInjectorTest, QueryBeforeMaterializationIsAContractViolation) {
   const auto g = topology::make_ring(4);
   FaultInjector injector(g, FaultPlan::memoryless_links(0.5),

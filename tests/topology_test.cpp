@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -129,6 +131,71 @@ TEST(GeneratorsTest, ErdosRenyiExtremes) {
   common::Rng rng(5);
   EXPECT_EQ(make_erdos_renyi(6, 0.0, rng).edge_count(), 0u);
   EXPECT_EQ(make_erdos_renyi(6, 1.0, rng).edge_count(), 15u);
+}
+
+TEST(ComponentsTest, ConnectedGraphIsOneComponent) {
+  const Graph g = make_ring(5);
+  const ComponentMap map = connected_components(g);
+  EXPECT_EQ(map.count, 1u);
+  EXPECT_EQ(map.largest_size, 5u);
+  EXPECT_DOUBLE_EQ(map.largest_fraction(), 1.0);
+  for (const std::size_t l : map.label) EXPECT_EQ(l, 0u);
+}
+
+TEST(ComponentsTest, LabelsAreCanonicalByLowestNode) {
+  // Two components: {0, 3} and {1, 2, 4}. Component 0 must contain
+  // node 0; component 1 the lowest node outside it (node 1).
+  Graph g(5);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  const ComponentMap map = connected_components(g);
+  EXPECT_EQ(map.count, 2u);
+  EXPECT_EQ(map.largest_size, 3u);
+  EXPECT_EQ(map.label, (std::vector<std::size_t>{0, 1, 1, 0, 1}));
+  EXPECT_TRUE(map.same_component(1, 4));
+  EXPECT_FALSE(map.same_component(0, 4));
+  EXPECT_DOUBLE_EQ(map.largest_fraction(), 3.0 / 5.0);
+}
+
+TEST(ComponentsTest, ExcludedNodesSplitTheGraph) {
+  // A line 0-1-2-3-4 with node 2 excluded: {0, 1} and {3, 4}.
+  const Graph g = make_line(5);
+  std::vector<std::uint8_t> include{1, 1, 0, 1, 1};
+  const ComponentMap map = connected_components(g, include);
+  EXPECT_EQ(map.count, 2u);
+  EXPECT_EQ(map.label[2], ComponentMap::kExcluded);
+  EXPECT_EQ(map.label[0], map.label[1]);
+  EXPECT_EQ(map.label[3], map.label[4]);
+  EXPECT_NE(map.label[0], map.label[3]);
+  EXPECT_FALSE(map.same_component(1, 3));
+  // Fractions are over *included* nodes only.
+  EXPECT_DOUBLE_EQ(map.largest_fraction(), 2.0 / 4.0);
+}
+
+TEST(ComponentsTest, DownEdgesSplitTheGraph) {
+  // Ring 0-1-2-3-0 with edges {0,1} and {2,3} down: {1, 2} and {3, 0}.
+  const Graph g = make_ring(4);
+  std::vector<std::uint8_t> include(4, 1);
+  const auto edge_down = [](NodeId u, NodeId v) {
+    return (u == 0 && v == 1) || (u == 2 && v == 3);
+  };
+  const ComponentMap map = connected_components(g, include, edge_down);
+  EXPECT_EQ(map.count, 2u);
+  EXPECT_TRUE(map.same_component(1, 2));
+  EXPECT_TRUE(map.same_component(0, 3));
+  EXPECT_FALSE(map.same_component(0, 1));
+}
+
+TEST(ComponentsTest, NothingIncludedIsTriviallyWhole) {
+  const Graph g = make_ring(3);
+  const ComponentMap map =
+      connected_components(g, std::vector<std::uint8_t>(3, 0));
+  EXPECT_EQ(map.count, 0u);
+  EXPECT_DOUBLE_EQ(map.largest_fraction(), 1.0);
+  for (const std::size_t l : map.label) {
+    EXPECT_EQ(l, ComponentMap::kExcluded);
+  }
 }
 
 TEST(GeneratorsTest, RandomConnectedIsDeterministicPerSeed) {

@@ -1,0 +1,120 @@
+// Regression test for the send-send deadlock: two shards each ship a
+// frame far larger than the kernel socket buffers to the other at the
+// same moment. With a purely blocking write loop both processes stall
+// in ::send forever — neither reads, so neither's peer can finish
+// writing. send_all now drains its read side whenever the send buffer
+// fills, so both large frames cross.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/socket_transport.hpp"
+#include "net/transport.hpp"
+
+namespace snap::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Well past any default kernel socket buffer (UDS and TCP loopback are
+// typically a few hundred KiB): forces ::send to fill the pipe and
+// block mid-frame on both sides simultaneously.
+constexpr std::size_t kBigPayload = 8u << 20;  // 8 MiB
+
+WireRecord big_record(std::uint64_t flip, std::uint64_t seq,
+                      topology::NodeId from, topology::NodeId to,
+                      std::byte fill) {
+  WireRecord record;
+  record.flip = flip;
+  record.seq = seq;
+  record.from = from;
+  record.to = to;
+  record.charged_bytes = kBigPayload;
+  record.payload.assign(kBigPayload, fill);
+  return record;
+}
+
+/// One shard's life: rendezvous, push `flips` giant frames at the peer
+/// (one per flip, mirrored by the peer in the opposite direction), and
+/// verify each wave arrives intact. Exits 0 on success; the alarm turns
+/// a deadlock into a SIGALRM kill instead of a hung test run.
+int run_shard(std::size_t shard_id, const fs::path& dir,
+              TransportKind kind) {
+  ::alarm(60);
+  TransportConfig config;
+  config.kind = kind;
+  config.shards = 2;
+  config.shard_id = shard_id;
+  config.rendezvous_dir = dir.string();
+  SocketHub hub(config, /*node_count=*/2);
+
+  const std::size_t peer = 1 - shard_id;
+  constexpr std::uint64_t kFlips = 2;
+  for (std::uint64_t flip = 0; flip < kFlips; ++flip) {
+    // Both shards enter send_frame with the pipe already primed by the
+    // barrier traffic; the 8 MiB payloads collide in flight.
+    const auto fill = static_cast<std::byte>(0x40 + shard_id);
+    hub.send_frame(peer, big_record(flip, /*seq=*/flip,
+                                    /*from=*/shard_id, /*to=*/peer, fill));
+    const std::vector<WireRecord> arrived = hub.finish_flip(flip);
+    if (arrived.size() != 1) return 10;
+    const WireRecord& got = arrived[0];
+    if (got.flip != flip || got.seq != flip) return 11;
+    if (got.from != peer || got.to != shard_id) return 12;
+    if (got.payload.size() != kBigPayload) return 13;
+    const auto expect = static_cast<std::byte>(0x40 + peer);
+    for (const std::byte b : got.payload) {
+      if (b != expect) return 14;
+    }
+  }
+  hub.close();
+  return 0;
+}
+
+void expect_no_deadlock(TransportKind kind) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("snap-deadlock-" + std::string(transport_name(kind)) + "-" +
+       std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  std::vector<pid_t> children;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      int status = 1;
+      try {
+        status = run_shard(shard, dir, kind);
+      } catch (...) {
+      }
+      ::_exit(status);
+    }
+    children.push_back(pid);
+  }
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(children[shard], &status, 0), children[shard]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "shard " << shard << " failed (status " << status
+        << "; signal = likely the send-send deadlock alarm)";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(TransportDeadlockTest, OpposingJumboFramesCrossOverUds) {
+  expect_no_deadlock(TransportKind::kUds);
+}
+
+TEST(TransportDeadlockTest, OpposingJumboFramesCrossOverTcp) {
+  expect_no_deadlock(TransportKind::kTcp);
+}
+
+}  // namespace
+}  // namespace snap::net

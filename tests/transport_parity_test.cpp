@@ -16,18 +16,23 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "experiments/scenario.hpp"
+#include "net/fault_injector.hpp"
 #include "net/transport.hpp"
+#include "topology/graph.hpp"
 
 namespace snap::experiments {
 namespace {
 
 namespace fs = std::filesystem;
+
+using ConfigTweak = std::function<void(ScenarioConfig&)>;
 
 ScenarioConfig base_config(runtime::FabricKind fabric) {
   ScenarioConfig cfg;
@@ -58,6 +63,9 @@ std::vector<std::uint64_t> fingerprint(const core::TrainResult& result) {
     words.push_back(it.bytes);
     words.push_back(it.cost);
     words.push_back(bits(it.consensus_residual));
+    words.push_back(it.components);
+    words.push_back(bits(it.largest_component_frac));
+    words.push_back(it.partition_epoch);
   }
   words.push_back(result.final_params.size());
   for (std::size_t i = 0; i < result.final_params.size(); ++i) {
@@ -99,8 +107,11 @@ std::map<std::string, std::uint64_t> read_stats(const fs::path& path) {
 /// Forks `shards` worker processes, each running the scenario as one
 /// shard over `kind`, then checks every shard's fingerprint against the
 /// sim oracle and every shard's wire bytes against the charged bytes.
-void expect_parity(runtime::FabricKind fabric, net::TransportKind kind) {
-  const ScenarioConfig sim_cfg = base_config(fabric);
+void expect_parity(runtime::FabricKind fabric, net::TransportKind kind,
+                   const ConfigTweak& tweak = nullptr,
+                   const std::string& tag = "") {
+  ScenarioConfig sim_cfg = base_config(fabric);
+  if (tweak) tweak(sim_cfg);
   const Scenario sim(sim_cfg);
   const auto oracle = fingerprint(sim.run(Scheme::kSnap));
   ASSERT_GT(oracle.size(), 2u);
@@ -108,9 +119,9 @@ void expect_parity(runtime::FabricKind fabric, net::TransportKind kind) {
   constexpr std::size_t kShards = 2;
   const fs::path dir =
       fs::temp_directory_path() /
-      ("snap-parity-" + std::string(net::transport_name(kind)) + "-" +
-       std::to_string(fabric == runtime::FabricKind::kGossip) + "-" +
-       std::to_string(::getpid()));
+      ("snap-parity-" + tag + std::string(net::transport_name(kind)) +
+       "-" + std::to_string(fabric == runtime::FabricKind::kGossip) +
+       "-" + std::to_string(::getpid()));
   fs::create_directories(dir);
 
   std::vector<pid_t> children;
@@ -123,6 +134,7 @@ void expect_parity(runtime::FabricKind fabric, net::TransportKind kind) {
       int status = 1;
       try {
         ScenarioConfig cfg = base_config(fabric);
+        if (tweak) tweak(cfg);
         cfg.transport.kind = kind;
         cfg.transport.shards = kShards;
         cfg.transport.shard_id = shard;
@@ -184,6 +196,38 @@ TEST(TransportParityTest, GossipFabricOverUdsMatchesSimBitwise) {
 
 TEST(TransportParityTest, GossipFabricOverTcpMatchesSimBitwise) {
   expect_parity(runtime::FabricKind::kGossip, net::TransportKind::kTcp);
+}
+
+/// Scheduled bridge cut on a two-K4 barbell: rounds [4, 9) split the
+/// run mid-flight, then it heals and merges well before round 12.
+ConfigTweak partition_tweak() {
+  return [](ScenarioConfig& cfg) {
+    topology::Graph g(8);
+    for (topology::NodeId u = 0; u < 4; ++u) {
+      for (topology::NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+    }
+    for (topology::NodeId u = 4; u < 8; ++u) {
+      for (topology::NodeId v = u + 1; v < 8; ++v) g.add_edge(u, v);
+    }
+    g.add_edge(3, 4);
+    cfg.custom_topology = std::move(g);
+    net::PartitionEvent event;
+    event.edges = {{3, 4}};
+    event.start_round = 4;
+    event.heal_round = 9;
+    cfg.faults.scheduled_partitions.push_back(event);
+    cfg.faults.partition_confirm_rounds = 1;
+  };
+}
+
+TEST(TransportParityTest, PartitionScheduleOverUdsMatchesSimBitwise) {
+  expect_parity(runtime::FabricKind::kSync, net::TransportKind::kUds,
+                partition_tweak(), "split-");
+}
+
+TEST(TransportParityTest, PartitionScheduleOverTcpGossipMatchesSimBitwise) {
+  expect_parity(runtime::FabricKind::kGossip, net::TransportKind::kTcp,
+                partition_tweak(), "split-");
 }
 
 TEST(TransportParityTest, SingleShardSocketRunIsDegenerateButExact) {
