@@ -1,0 +1,190 @@
+// Topology-cost bench — loss-vs-bytes under cost-aware sparsification.
+//
+// Three topology families (ring with chords, star, random-connected)
+// run SNAP twice for the same fixed round count: once on the full
+// topology with the usual fixed W, once with the cost-aware link
+// sparsifier pruning hop-priced links under a SLEM budget before
+// training starts. The sparsified run moves fewer bytes per round; the
+// headline question is whether its final loss stays within 5% of the
+// fixed-W run while spending at least 20% fewer wire bytes.
+//
+// The star is the built-in control: every spoke is a bridge, so the
+// sparsifier must prune nothing and the two runs must coincide — a
+// non-zero prune count there is a connectivity bug, not a saving.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "experiments/report.hpp"
+#include "experiments/scenario.hpp"
+#include "topology/generators.hpp"
+#include "topology/graph.hpp"
+
+namespace {
+
+using namespace snap;
+
+constexpr std::size_t kNodes = 16;
+constexpr std::size_t kIterations = 150;
+
+struct TopologyCase {
+  const char* name;
+  topology::Graph graph;
+  bool expect_pruning;
+};
+
+std::vector<TopologyCase> topology_cases() {
+  std::vector<TopologyCase> cases;
+
+  // Ring plus chords: cheap shortcuts the hop-cost model loves to cut.
+  topology::Graph ring = topology::make_ring(kNodes);
+  common::Rng chord_rng(2020);
+  std::size_t added = 0;
+  while (added < kNodes / 2) {
+    const auto u = static_cast<topology::NodeId>(
+        chord_rng.uniform_u64(kNodes));
+    const auto v = static_cast<topology::NodeId>(
+        chord_rng.uniform_u64(kNodes));
+    if (u == v || ring.has_edge(u, v)) continue;
+    ring.add_edge(u, v);
+    ++added;
+  }
+  cases.push_back({"ring+chords", std::move(ring), true});
+
+  cases.push_back({"star", topology::make_star(kNodes), false});
+
+  common::Rng er_rng(77);
+  cases.push_back(
+      {"random", topology::make_random_connected(kNodes, 5.0, er_rng),
+       true});
+  return cases;
+}
+
+experiments::ScenarioConfig case_config(const topology::Graph& g,
+                                        bool sparsify) {
+  auto cfg = bench::sim_config(kNodes, 5.0);
+  cfg.custom_topology = g;
+  cfg.convergence.min_iterations = kIterations;
+  cfg.convergence.max_iterations = kIterations;  // fixed-length runs
+  if (sparsify) {
+    cfg.sparsify.enabled = true;
+    cfg.sparsify.slem_bound = 1.0;
+    cfg.sparsify.cost_budget = 0.75;
+    cfg.sparsify.cost_model = consensus::LinkCostModel::kHops;
+    // Co-optimization: re-run the §IV-B weight optimizer on the
+    // survivors, with the same settings the fixed-W run used — so the
+    // zero-prune star reproduces the fixed-W run exactly.
+    cfg.sparsify.reweight = consensus::ReprojectionMethod::kOptimize;
+    cfg.sparsify.optimizer = cfg.weight_optimizer;
+  }
+  return cfg;
+}
+
+void run_case(const TopologyCase& tc, bench::JsonDoc& json) {
+  experiments::print_banner(
+      std::cout, std::string("Topology cost — ") + tc.name + " (" +
+                     std::to_string(tc.graph.node_count()) + " nodes, " +
+                     std::to_string(tc.graph.edge_count()) + " edges)");
+
+  const experiments::Scenario fixed_scenario(case_config(tc.graph, false));
+  const auto fixed = fixed_scenario.run(experiments::Scheme::kSnap);
+  const experiments::Scenario sparse_scenario(case_config(tc.graph, true));
+  const auto sparse = sparse_scenario.run(experiments::Scheme::kSnap);
+
+  const auto& last = sparse.iterations.back();
+  const double loss_gap =
+      (sparse.final_train_loss - fixed.final_train_loss) /
+      fixed.final_train_loss;
+  const double bytes_saved =
+      1.0 - static_cast<double>(sparse.total_bytes) /
+                static_cast<double>(fixed.total_bytes);
+  const bool within_loss = loss_gap <= 0.05;
+  const bool enough_saved = bytes_saved >= 0.20;
+
+  experiments::Table table({"quantity", "fixed-W", "sparsified"});
+  table.add_row({"links pruned", "0", std::to_string(last.links_pruned)});
+  table.add_row({"effective edges", std::to_string(tc.graph.edge_count()),
+                 std::to_string(last.effective_edges)});
+  table.add_row({"slem after prune", "-",
+                 common::format_double(last.slem_after_prune, 4)});
+  table.add_row({"final train loss",
+                 common::format_double(fixed.final_train_loss, 5),
+                 common::format_double(sparse.final_train_loss, 5)});
+  table.add_row({"total bytes", std::to_string(fixed.total_bytes),
+                 std::to_string(sparse.total_bytes)});
+  table.add_row({"loss gap", "-",
+                 common::format_percent(loss_gap, 2) +
+                     (within_loss ? "  (within 5%)" : "  (OVER 5%)")});
+  table.add_row({"bytes saved", "-",
+                 common::format_percent(bytes_saved, 2) +
+                     (enough_saved ? "  (>= 20%)" : "  (below 20%)")});
+  table.print(std::cout);
+
+  if (!tc.expect_pruning && last.links_pruned != 0) {
+    std::cout << "WARNING: " << tc.name
+              << " pruned a bridge-only topology — connectivity bug\n";
+  }
+
+  json.add_row("summary",
+               {{"topology", tc.name},
+                {"edges", std::uint64_t{tc.graph.edge_count()}},
+                {"links_pruned", last.links_pruned},
+                {"effective_edges", last.effective_edges},
+                {"slem_after_prune", last.slem_after_prune},
+                {"fixed_final_loss", fixed.final_train_loss},
+                {"sparsified_final_loss", sparse.final_train_loss},
+                {"fixed_total_bytes", fixed.total_bytes},
+                {"sparsified_total_bytes", sparse.total_bytes},
+                {"loss_gap", loss_gap},
+                {"bytes_saved", bytes_saved},
+                {"within_5pct_loss", within_loss},
+                {"saved_20pct_bytes", enough_saved}});
+
+  // Loss-vs-cumulative-bytes trace for both runs, sampled for plotting.
+  const auto trace = [&](const char* variant,
+                         const core::TrainResult& result) {
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+      cum += result.iterations[i].bytes;
+      if (i % 10 != 0 && i + 1 != result.iterations.size()) continue;
+      json.add_row("trace",
+                   {{"topology", tc.name},
+                    {"variant", variant},
+                    {"iteration", std::uint64_t{i + 1}},
+                    {"cumulative_bytes", cum},
+                    {"train_loss", result.iterations[i].train_loss}});
+    }
+  };
+  trace("fixed", fixed);
+  trace("sparsified", sparse);
+}
+
+}  // namespace
+
+int main() {
+  const auto header_cfg = bench::sim_config(kNodes, 5.0);
+  bench::print_run_header("topology cost (sparsified vs fixed-W)",
+                          header_cfg);
+  bench::JsonDoc json;
+  json.add_meta("bench", "topology_cost");
+  json.add_meta("seed", std::uint64_t{header_cfg.seed});
+  json.add_meta("bench_scale", bench::bench_scale());
+  json.add_meta("nodes", std::uint64_t{kNodes});
+  json.add_meta("iterations", std::uint64_t{kIterations});
+  json.add_meta("cost_budget", 0.75);
+  json.add_meta("cost_model", "hops");
+
+  for (const TopologyCase& tc : topology_cases()) run_case(tc, json);
+
+  std::cout << "\nShape expectations: ring+chords and the random graph "
+               "prune their redundant shortcuts and land within 5% of "
+               "the fixed-W loss at >= 20% fewer bytes; the star prunes "
+               "nothing (every spoke is a bridge) and reproduces the "
+               "fixed-W run exactly.\n";
+  json.write_file("BENCH_topology_cost.json");
+  return 0;
+}

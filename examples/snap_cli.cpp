@@ -102,6 +102,17 @@ options (defaults in brackets):
   --gossip-restart=R  synchronized EXTRA restart every R rounds under
                       gossip (0 = never; stabilizes the recursion
                       against round-varying activations) [16]
+  --sparsify=SPEC     cost-aware topology sparsification (SNAP-family
+                      schemes, sync/gossip fabrics). slem:BOUND greedily
+                      prunes links while every component's SLEM stays
+                      <= BOUND; cost:BUDGET prunes (SLEM unconstrained)
+                      until the kept link cost drops to BUDGET x the
+                      initial cost. Pruned links carry no frames; the
+                      sparsifier re-runs at membership/partition
+                      epochs and never disconnects a component. [off]
+  --link-cost=NAME    link price model for --sparsify: hops (detour
+                      distance, the paper's hop-weighted cost analogue)
+                      | uniform (every link costs 1) [hops]
   --compute=S         per-round compute time in seconds (async) [0.001]
   --hetero=H          linear compute spread: the slowest node takes
                       (1+H)x the base compute time (async) [0]
@@ -252,7 +263,8 @@ int main(int argc, char** argv) {
         "partition", "partition-confirm",
         "recovery-timeout", "no-reproject", "joiners", "join-rate",
         "join-degree", "leave-rate", "rejoin-rate", "warm-start",
-        "gossip-mode", "gossip-fanout", "gossip-restart", "transport",
+        "gossip-mode", "gossip-fanout", "gossip-restart", "sparsify",
+        "link-cost", "transport",
         "shards", "shard-worker", "rendezvous", "checkpoint-every",
         "chaos-kill", "resume", "resume-incarnation"};
     if (!known.contains(key)) {
@@ -362,6 +374,49 @@ int main(int argc, char** argv) {
       std::stoul(get("max-staleness", "0"));
   cfg.async_free_run = args.contains("free-run");
   cfg.async_timing.seed = cfg.seed;
+
+  if (args.contains("sparsify")) {
+    const std::string spec = get("sparsify", "");
+    try {
+      if (common::starts_with(spec, "slem:")) {
+        cfg.sparsify.enabled = true;
+        cfg.sparsify.slem_bound = std::stod(spec.substr(5));
+      } else if (common::starts_with(spec, "cost:")) {
+        cfg.sparsify.enabled = true;
+        cfg.sparsify.cost_budget = std::stod(spec.substr(5));
+      } else {
+        std::cerr << "bad --sparsify spec (slem:BOUND or cost:BUDGET; "
+                     "try --help)\n";
+        return 2;
+      }
+    } catch (...) {
+      std::cerr << "bad --sparsify spec (slem:BOUND or cost:BUDGET; "
+                   "try --help)\n";
+      return 2;
+    }
+  }
+  const std::string link_cost = get("link-cost", "hops");
+  if (link_cost == "hops") {
+    cfg.sparsify.cost_model = consensus::LinkCostModel::kHops;
+  } else if (link_cost == "uniform") {
+    cfg.sparsify.cost_model = consensus::LinkCostModel::kUniform;
+  } else {
+    std::cerr << "--link-cost takes hops or uniform (try --help)\n";
+    return 2;
+  }
+  if (cfg.sparsify.enabled) {
+    if (*scheme != experiments::Scheme::kSnap &&
+        *scheme != experiments::Scheme::kSnap0 &&
+        *scheme != experiments::Scheme::kSno) {
+      std::cerr << "--sparsify supports only the SNAP-family schemes "
+                   "(snap, snap0, sno)\n";
+      return 2;
+    }
+    if (cfg.fabric == runtime::FabricKind::kAsync) {
+      std::cerr << "--sparsify requires --fabric=sync or gossip\n";
+      return 2;
+    }
+  }
 
   const auto transport_kind =
       net::parse_transport_kind(get("transport", "sim"));
@@ -637,6 +692,14 @@ int main(int argc, char** argv) {
     table.add_row({"gossip mode",
                    std::string(runtime::gossip_mode_name(cfg.gossip.mode))});
     table.add_row({"links activated", std::to_string(activated)});
+  }
+  if (cfg.sparsify.enabled && !result.iterations.empty()) {
+    const auto& last = result.iterations.back();
+    table.add_row({"links pruned", std::to_string(last.links_pruned)});
+    table.add_row({"effective edges",
+                   std::to_string(last.effective_edges)});
+    table.add_row({"slem after prune",
+                   common::format_double(last.slem_after_prune, 4)});
   }
   if (cfg.faults.any() || cfg.latent_joiners > 0 ||
       cfg.link_failure_probability > 0.0) {

@@ -74,6 +74,27 @@ if ! cmp -s "$SMOKE_DIR/chaos-sim.csv" "$SMOKE_DIR/chaos-uds.csv"; then
 fi
 echo "    chaos run (shard kills + checkpoint resume) matches bitwise"
 
+echo "==> sparsify smoke: cost-pruned run is deterministic and prunes"
+SPARSIFY_ARGS=(--nodes=16 --degree=4 --seed=7 --iterations=20 --train=400
+               --test=100 --sparsify=cost:0.7 --link-cost=hops)
+build/examples/snap_cli "${SPARSIFY_ARGS[@]}" \
+  --csv="$SMOKE_DIR/sparsify-1.csv" >/dev/null
+build/examples/snap_cli "${SPARSIFY_ARGS[@]}" \
+  --csv="$SMOKE_DIR/sparsify-2.csv" >/dev/null
+if ! cmp -s "$SMOKE_DIR/sparsify-1.csv" "$SMOKE_DIR/sparsify-2.csv"; then
+  echo "error: sparsified rerun diverged from itself" >&2
+  diff "$SMOKE_DIR/sparsify-1.csv" "$SMOKE_DIR/sparsify-2.csv" | head -20 >&2
+  exit 1
+fi
+# links_pruned is CSV column 21; a zero there means the budget did not
+# bite and the smoke proves nothing.
+if ! awk -F, 'NR > 1 && $21 > 0 { found = 1 } END { exit !found }' \
+    "$SMOKE_DIR/sparsify-1.csv"; then
+  echo "error: sparsified run pruned no links (column 21 all zero)" >&2
+  exit 1
+fi
+echo "    sparsified rerun is bitwise identical and pruned links"
+
 if [[ "$FAST" == 1 ]]; then
   echo "==> --fast: skipping sanitizer builds"
   exit 0
@@ -99,6 +120,7 @@ SAN_TESTS=(
   runtime_checkpoint_test
   transport_crash_recovery_test
   transport_deadlock_test
+  consensus_sparsifier_property_test
 )
 
 SANITIZERS=(address thread undefined)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_set>
 
 #include "common/check.hpp"
 
@@ -136,6 +138,70 @@ SparseWeightMatrix SparseWeightMatrix::metropolis_on_components(
     for (std::size_t k = w.row_ptr_[i]; k < w.row_ptr_[i + 1]; ++k) {
       const topology::NodeId j = w.cols_[k];
       if (j == i || !effective(j) || labels[j] != labels[i]) continue;
+      const double weight =
+          1.0 / (1.0 + static_cast<double>(
+                           std::max(alive_degree[i], alive_degree[j])));
+      w.values_[k] = weight;
+      off += weight;
+    }
+    w.values_[w.diag_[i]] = 1.0 - off;
+  }
+  return w;
+}
+
+SparseWeightMatrix SparseWeightMatrix::metropolis_on_subgraph(
+    const topology::Graph& graph, const std::vector<std::uint8_t>& edge_kept,
+    const std::vector<bool>& alive, const std::vector<std::size_t>& labels) {
+  const std::size_t n = graph.node_count();
+  SNAP_REQUIRE_MSG(edge_kept.size() == graph.edge_count(),
+                   "edge_kept must have one entry per edge");
+  SNAP_REQUIRE_MSG(alive.empty() || alive.size() == n,
+                   "alive mask size must match the node count");
+  SNAP_REQUIRE_MSG(labels.empty() || labels.size() == n,
+                   "component labels must have one entry per node");
+  constexpr std::size_t kEx = topology::ComponentMap::kExcluded;
+  const auto effective = [&](topology::NodeId i) {
+    return (alive.empty() || alive[i]) && (labels.empty() || labels[i] != kEx);
+  };
+  const auto same_block = [&](topology::NodeId i, topology::NodeId j) {
+    return labels.empty() || labels[i] == labels[j];
+  };
+  // Mirrors metropolis_on_survivors / metropolis_on_components exactly,
+  // with the aliveness test extended by the kept-edge flag — an
+  // all-kept mask yields the identical doubles in the identical order.
+  std::unordered_set<std::uint64_t> dropped;
+  const auto& edges = graph.edges();
+  std::vector<std::size_t> alive_degree(n, 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    if (edge_kept[e] == 0) {
+      dropped.insert((static_cast<std::uint64_t>(v) << 32) |
+                     static_cast<std::uint64_t>(u));
+      continue;
+    }
+    if (effective(u) && effective(v) && same_block(u, v)) {
+      ++alive_degree[u];
+      ++alive_degree[v];
+    }
+  }
+  const auto is_dropped = [&](topology::NodeId i, topology::NodeId j) {
+    const auto lo = static_cast<std::uint64_t>(std::min(i, j));
+    const auto hi = static_cast<std::uint64_t>(std::max(i, j));
+    return !dropped.empty() && dropped.contains((hi << 32) | lo);
+  };
+
+  SparseWeightMatrix w = pattern_of(graph);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    if (!effective(i)) {
+      w.values_[w.diag_[i]] = 1.0;  // identity row, zero link weights
+      continue;
+    }
+    double off = 0.0;
+    for (std::size_t k = w.row_ptr_[i]; k < w.row_ptr_[i + 1]; ++k) {
+      const topology::NodeId j = w.cols_[k];
+      if (j == i || !effective(j) || !same_block(i, j) || is_dropped(i, j)) {
+        continue;
+      }
       const double weight =
           1.0 / (1.0 + static_cast<double>(
                            std::max(alive_degree[i], alive_degree[j])));

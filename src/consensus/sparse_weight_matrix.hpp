@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -58,6 +59,21 @@ class SparseWeightMatrix {
   static SparseWeightMatrix metropolis_on_components(
       const topology::Graph& graph, const std::vector<bool>& alive,
       const std::vector<std::size_t>& labels);
+
+  /// Metropolis–Hastings restricted to a kept-edge subset: an edge
+  /// contributes only when edge_kept[e] != 0 for its graph.edges()
+  /// index AND both endpoints are alive AND (when labels are given)
+  /// share a component label — the topology sparsifier's W builder.
+  /// With every edge kept this is bitwise identical (same doubles, same
+  /// order) to metropolis_on_survivors (labels empty) /
+  /// metropolis_on_components (labels given). Pruned links keep their
+  /// structural-zero slots, so rows stay aligned with the full graph's
+  /// neighbor lists.
+  static SparseWeightMatrix metropolis_on_subgraph(
+      const topology::Graph& graph,
+      const std::vector<std::uint8_t>& edge_kept,
+      const std::vector<bool>& alive = {},
+      const std::vector<std::size_t>& labels = {});
 
   /// Per-activation effective mixing matrix for the gossip fabric: the
   /// sparse twin of activated_mixing_matrix, with the pattern taken

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
@@ -173,6 +174,13 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
   const std::size_t n = graph_->node_count();
   common::Rng rng(config_.seed);
 
+  const bool sparsify_on = config_.sparsify.enabled;
+  if (sparsify_on) {
+    SNAP_REQUIRE_MSG(config_.fabric != runtime::FabricKind::kAsync,
+                     "topology sparsification requires a sync or gossip "
+                     "fabric (pruned-link duty cycling is round-aligned)");
+  }
+
   // Per-node per-round compute cost for the sync sim-clock — the
   // slowest node (largest shard) bounds the shared round.
   std::size_t max_shard = 0;
@@ -180,32 +188,12 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     max_shard = std::max(max_shard, shard.size());
   }
 
-  // Build nodes with their weight rows — each row is one CSR row view
-  // split around the diagonal, already index-sorted and aligned.
-  std::vector<SnapNode> nodes;
-  nodes.reserve(n);
-  for (topology::NodeId i = 0; i < n; ++i) {
-    AlignedRow row = split_row(w_, i);
-    nodes.emplace_back(i, *model_, std::move(shards_[i]),
-                       std::move(row.neighbors), std::move(row.weights),
-                       row.self, config_.straggler_policy);
-  }
-
-  // Shared initial model (every edge server starts from the same copy of
-  // the uniform model, §II-B).
-  common::Rng init_rng = rng.fork("init");
-  const linalg::Vector x0 = model_->initial_params(init_rng);
-  for (auto& node : nodes) node.set_initial(x0);
-
-  // Per-node APE controllers (fully local, §IV-C). Armed lazily after
-  // the warmup so the 10%-of-mean-|parameter| budget reflects the
-  // model's working scale rather than the near-zero initialization.
-  std::vector<std::optional<ApeController>> ape(n);
-
   // Fault schedule. The legacy Fig. 9 straggler knob folds into the
   // general plan as a memoryless link chain — same fork, same draw
   // stream — so existing seeds reproduce their LinkFailureModel
-  // schedules bit for bit.
+  // schedules bit for bit. (Built ahead of the nodes so the sparsifier
+  // can see the initial membership; rng.fork is a pure function of
+  // (seed, tag), so hoisting it never shifts any stream.)
   net::FaultPlan plan = config_.faults;
   if (config_.link_failure_probability > 0.0 &&
       plan.link_enter_burst == 0.0) {
@@ -227,6 +215,83 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       alive[i] = injector->initial_member(i);
     }
   }
+
+  // Cost-aware sparsification state. `pruned_keys` is the canonical
+  // pruned-link set (FaultInjector::link_key encoding); `link_pruned`
+  // is its per-node slot-aligned projection, the O(1) gate collect
+  // checks per frame. The schedule consumes no randomness —
+  // sparsify_topology is a pure function of (graph, alive, labels,
+  // config) — so it replays bitwise on every fabric, shard, and resume.
+  std::vector<std::vector<std::uint8_t>> link_pruned(sparsify_on ? n : 0);
+  std::unordered_set<std::uint64_t> pruned_keys;
+  std::uint64_t links_pruned_stat = 0;
+  std::uint64_t effective_edges_stat = 0;
+  double slem_after_prune_stat = 0.0;
+  const auto apply_sparsifier = [&](const topology::Graph& g,
+                                    const std::vector<std::size_t>& labels) {
+    consensus::SparsifierResult pruned =
+        labels.empty()
+            ? consensus::sparsify_topology(g, alive, config_.sparsify)
+            : consensus::sparsify_topology(g, alive, labels,
+                                           config_.sparsify);
+    w_ = std::move(pruned.w);
+    pruned_keys.clear();
+    const auto& edges = g.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (pruned.edge_kept[e]) continue;
+      pruned_keys.insert(
+          net::FaultInjector::link_key(edges[e].first, edges[e].second));
+    }
+    if (injector) injector->set_pruned_links(pruned_keys);
+    links_pruned_stat = pruned.links_pruned;
+    effective_edges_stat = pruned.effective_edges;
+    slem_after_prune_stat = pruned.slem_after;
+  };
+  // Initial prune, before the nodes consume their rows: the provided W
+  // is replaced with the sparsifier's re-derived one. Pruned entries
+  // are structural zeros, so every neighbor slot stays aligned with the
+  // full topology.
+  if (sparsify_on) apply_sparsifier(*graph_, {});
+
+  // Build nodes with their weight rows — each row is one CSR row view
+  // split around the diagonal, already index-sorted and aligned.
+  std::vector<SnapNode> nodes;
+  nodes.reserve(n);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    AlignedRow row = split_row(w_, i);
+    nodes.emplace_back(i, *model_, std::move(shards_[i]),
+                       std::move(row.neighbors), std::move(row.weights),
+                       row.self, config_.straggler_policy);
+  }
+
+  // Slot-aligned projection of pruned_keys onto each node's current
+  // neighbor list; rebuilt whenever either side changes (sparsifier
+  // epochs, checkpoint restore).
+  const auto rebuild_pruned_masks = [&] {
+    if (!sparsify_on) return;
+    for (topology::NodeId i = 0; i < n; ++i) {
+      const auto& my_neighbors = nodes[i].neighbors();
+      link_pruned[i].assign(my_neighbors.size(), 0);
+      for (std::size_t s = 0; s < my_neighbors.size(); ++s) {
+        if (pruned_keys.contains(
+                net::FaultInjector::link_key(i, my_neighbors[s]))) {
+          link_pruned[i][s] = 1;
+        }
+      }
+    }
+  };
+  rebuild_pruned_masks();
+
+  // Shared initial model (every edge server starts from the same copy of
+  // the uniform model, §II-B).
+  common::Rng init_rng = rng.fork("init");
+  const linalg::Vector x0 = model_->initial_params(init_rng);
+  for (auto& node : nodes) node.set_initial(x0);
+
+  // Per-node APE controllers (fully local, §IV-C). Armed lazily after
+  // the warmup so the 10%-of-mean-|parameter| budget reflects the
+  // model's working scale rather than the near-zero initialization.
+  std::vector<std::optional<ApeController>> ape(n);
 
   const auto total_params =
       static_cast<std::uint32_t>(model_->param_count());
@@ -383,6 +448,24 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     // and before any phase runs.
     hooks.on_activation = [&](std::size_t round,
                               std::span<const runtime::ActivatedLink> links) {
+      // Sparsified gossip duty-cycles the pruned links out of every
+      // activation *after* the scheduler drew it: the schedule itself
+      // is untouched (same draws for every surviving link, bitwise the
+      // unsparsified stream), the pruned links just never fire. The
+      // filtered set feeds both link_active (this round's sends) and
+      // prev_links (next round's rows), so a pruned link contributes
+      // neither frames nor mixing weight.
+      std::vector<runtime::ActivatedLink> filtered;
+      if (sparsify_on && !pruned_keys.empty()) {
+        filtered.reserve(links.size());
+        for (const auto& [u, v] : links) {
+          if (pruned_keys.contains(net::FaultInjector::link_key(u, v))) {
+            continue;
+          }
+          filtered.push_back({u, v});
+        }
+        links = filtered;
+      }
       // Periodic synchronized restart (GossipConfig::restart_every):
       // round-varying activations excite the neutrally-stable modes of
       // EXTRA's memory recursion — without this, the compounded error
@@ -523,6 +606,12 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       for (const net::ParamUpdate& u : outgoing.updates) {
         queued[u.index] = u.value;
       }
+      // A sparsifier-pruned link is silent for the whole epoch: zero
+      // mixing weight (its W entry is a structural zero) and an
+      // accumulating backlog, so a later epoch that re-admits the link
+      // starts with one merged catch-up frame — the duty-cycle
+      // semantics of a non-activated gossip link, held open-endedly.
+      if (sparsify_on && link_pruned[i][s]) continue;
       // A non-activated gossip link is a deliberately silent link: the
       // backlog keeps accumulating (above) and the next activation's
       // frame carries the merged catch-up — the same persistent-TCP
@@ -603,7 +692,15 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
     const topology::Graph& g = injector->current_graph();
     const std::vector<std::size_t>& labels =
         injector->component_labels(round);
-    if (labels.empty()) {
+    if (sparsify_on) {
+      // Sparsifier epoch: re-prune the current effective subgraph and
+      // take its re-derived W in place of the plain re-projection. The
+      // labels restrict pruning within components, so the partition
+      // machinery's block structure is preserved exactly; the updated
+      // pruned set re-arms the injector filter and the collect masks
+      // below.
+      apply_sparsifier(g, labels);
+    } else if (labels.empty()) {
       // Component tracking off (pure memoryless link noise): plain
       // survivor re-projection, the pre-partition semantics.
       w_ = consensus::reproject_weight_matrix_sparse(
@@ -620,6 +717,7 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
                             std::move(row.weights), row.self);
       nodes[i].restart();
     }
+    rebuild_pruned_masks();
   };
 
   if (injector) {
@@ -851,6 +949,20 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       writer.write_u64(u);
       writer.write_u64(v);
     }
+    if (sparsify_on) {
+      // The pruned set (sorted so replicas write identical bytes) plus
+      // the telemetry the annotate_stats hook publishes. w_ itself is
+      // absent for the same reason as above: the node blobs already
+      // carry the sparsified rows.
+      std::vector<std::uint64_t> keys(pruned_keys.begin(),
+                                      pruned_keys.end());
+      std::sort(keys.begin(), keys.end());
+      writer.write_u64(keys.size());
+      for (const std::uint64_t k : keys) writer.write_u64(k);
+      writer.write_u64(links_pruned_stat);
+      writer.write_u64(effective_edges_stat);
+      writer.write_f64(slem_after_prune_stat);
+    }
   };
   hooks.load_state = [&](common::ByteReader& reader) {
     for (SnapNode& node : nodes) {
@@ -902,8 +1014,39 @@ TrainResult SnapTrainer::train(const data::Dataset& test) {
       const auto v = static_cast<topology::NodeId>(reader.read_u64());
       prev_links.push_back({u, v});
     }
+    if (sparsify_on) {
+      const std::uint64_t pruned_count = reader.read_u64();
+      if (!reader.ok() ||
+          pruned_count > static_cast<std::uint64_t>(n) * n) {
+        return false;
+      }
+      pruned_keys.clear();
+      for (std::uint64_t k = 0; k < pruned_count; ++k) {
+        pruned_keys.insert(reader.read_u64());
+      }
+      links_pruned_stat = reader.read_u64();
+      effective_edges_stat = reader.read_u64();
+      slem_after_prune_stat = reader.read_f64();
+      if (!reader.ok()) return false;
+      if (injector) injector->set_pruned_links(pruned_keys);
+      // The node blobs restored above already carry the sparsified
+      // neighbor rows, so the masks project cleanly onto them.
+      rebuild_pruned_masks();
+    }
     return reader.ok();
   };
+
+  // Sparsifier telemetry: stamped onto every recorded row just before
+  // the fabric commits it, so the CSV/checkpoint carry the pruned-state
+  // actually in force for that round (epoch re-runs update the locals
+  // mid-run).
+  if (sparsify_on) {
+    hooks.annotate_stats = [&](IterationStats& stats) {
+      stats.links_pruned = links_pruned_stat;
+      stats.effective_edges = effective_edges_stat;
+      stats.slem_after_prune = slem_after_prune_stat;
+    };
+  }
 
   hooks.end_round = [&](std::size_t round) {
     // Async has no global post-send instant; the eval barrier — every

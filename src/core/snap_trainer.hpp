@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "consensus/sparse_weight_matrix.hpp"
+#include "consensus/topology_sparsifier.hpp"
 #include "consensus/weight_reprojection.hpp"
 #include "core/ape.hpp"
 #include "core/snap_node.hpp"
@@ -128,6 +129,18 @@ struct SnapTrainerConfig {
   /// and transport wire positions, so a resumed run is bitwise identical
   /// to one that never stopped.
   runtime::CheckpointConfig checkpoint;
+  /// Cost-aware topology sparsification (sync/gossip fabrics only).
+  /// When enabled, the trainer prunes the mixing topology under the
+  /// configured SLEM/cost budget before round 1 — replacing the
+  /// provided W with the re-derived one on the survivors — and re-runs
+  /// the sparsifier at every membership/partition epoch on the current
+  /// alive subgraph. Pruned links carry no frames (their backlog
+  /// accumulates exactly like non-activated gossip links) and are
+  /// excluded from the fault injector's outage counters. The prune
+  /// schedule is a pure function of (plan, seed, graph, epoch): it
+  /// replays bitwise across thread counts, socket shards, and
+  /// checkpoint resume.
+  consensus::SparsifierConfig sparsify;
 };
 
 /// Optional per-iteration observer: (iteration index starting at 1,

@@ -64,6 +64,13 @@ struct IterationStats {
   std::uint64_t components = 1;
   double largest_component_frac = 1.0;
   std::uint64_t partition_epoch = 0;
+  /// Topology-sparsifier telemetry (all 0 / 0.0 when sparsification is
+  /// off): links the sparsifier currently holds pruned, effective
+  /// (kept, alive, same-component) edges of the mixing topology, and
+  /// the max component SLEM after the latest prune pass.
+  std::uint64_t links_pruned = 0;
+  std::uint64_t effective_edges = 0;
+  double slem_after_prune = 0.0;
 };
 
 /// Uniform result of a training run.

@@ -34,7 +34,9 @@ void write_train_result_csv(std::ostream& os,
                      "frames_dropped", "frames_corrupted",
                      "frames_retried", "alive_nodes", "nodes_joined",
                      "state_sync_bytes", "links_activated", "components",
-                     "largest_component_frac", "partition_epoch"});
+                     "largest_component_frac", "partition_epoch",
+                     "links_pruned", "effective_edges",
+                     "slem_after_prune"});
   for (std::size_t k = 0; k < result.iterations.size(); ++k) {
     const auto& stat = result.iterations[k];
     std::ostringstream loss;
@@ -47,6 +49,8 @@ void write_train_result_csv(std::ostream& os,
     sim << stat.sim_seconds;
     std::ostringstream frac;
     frac << stat.largest_component_frac;
+    std::ostringstream slem;
+    slem << stat.slem_after_prune;
     write_csv_row(os, {std::to_string(k + 1), loss.str(), acc.str(),
                        stat.evaluated ? "1" : "0",
                        std::to_string(stat.bytes),
@@ -61,7 +65,9 @@ void write_train_result_csv(std::ostream& os,
                        std::to_string(stat.state_sync_bytes),
                        std::to_string(stat.links_activated),
                        std::to_string(stat.components), frac.str(),
-                       std::to_string(stat.partition_epoch)});
+                       std::to_string(stat.partition_epoch),
+                       std::to_string(stat.links_pruned),
+                       std::to_string(stat.effective_edges), slem.str()});
   }
 }
 

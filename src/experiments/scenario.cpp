@@ -286,6 +286,7 @@ core::TrainResult Scenario::run_snap_variant(
   c.timing = cfg.timing;
   c.transport = cfg.transport;
   c.checkpoint = cfg.checkpoint;
+  c.sparsify = cfg.sparsify;
   const linalg::Matrix& w =
       optimized_weights ? impl_->w_optimized.w : impl_->w_baseline;
   core::SnapTrainer trainer(impl_->graph, w, *impl_->model, impl_->shards,

@@ -16,6 +16,7 @@
 #include "core/snap_trainer.hpp"
 #include "core/training.hpp"
 #include "net/transport.hpp"
+#include "consensus/topology_sparsifier.hpp"
 #include "consensus/weight_optimizer.hpp"
 #include "runtime/fabric.hpp"
 #include "data/dataset.hpp"
@@ -134,6 +135,12 @@ struct ScenarioConfig {
   /// baselines (see SnapTrainerConfig::checkpoint): write every N
   /// rounds, resume from the latest blob on restart.
   runtime::CheckpointConfig checkpoint;
+  /// Cost-aware topology sparsification for the SNAP family (see
+  /// SnapTrainerConfig::sparsify): prune the mixing topology under a
+  /// SLEM/cost budget before round 1 and at every membership/partition
+  /// epoch. The centralized/PS schemes ignore it (a star has no
+  /// redundant links to prune).
+  consensus::SparsifierConfig sparsify;
 };
 
 class Scenario {

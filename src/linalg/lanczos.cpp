@@ -126,8 +126,15 @@ DeflatedExtremes lanczos_mixing_extremes(std::size_t n, const MatVec& apply,
     for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b;
 
     // Residual test on the two extreme Ritz pairs: for a Ritz pair
-    // (θ, y) of T_m, ‖A·Vy − θ·Vy‖ = β_m |y_m| exactly.
-    if (k >= 1) {
+    // (θ, y) of T_m, ‖A·Vy − θ·Vy‖ = β_m |y_m| exactly. Solving the
+    // m×m tridiagonal eigenproblem is O(m³) with the Jacobi backend, so
+    // testing every iteration turns the whole run into O(m⁴); testing
+    // every kCheckInterval-th iteration keeps the check's cost below
+    // the matvec/reorthogonalization work while overshooting
+    // convergence by at most kCheckInterval − 1 (harmless: extra
+    // iterations only tighten the Ritz values).
+    constexpr std::size_t kCheckInterval = 8;
+    if (k >= 1 && (k % kCheckInterval == 0 || k + 1 == m_max)) {
       ritz = tridiagonal_eigen(alpha, beta.size() == alpha.size()
                                           ? std::vector<double>(
                                                 beta.begin(), beta.end() - 1)

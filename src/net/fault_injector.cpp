@@ -159,11 +159,21 @@ FaultInjector::FaultInjector(const topology::Graph& graph, FaultPlan plan,
   }
 }
 
-std::uint64_t FaultInjector::key(topology::NodeId u,
-                                 topology::NodeId v) noexcept {
+std::uint64_t FaultInjector::link_key(topology::NodeId u,
+                                      topology::NodeId v) noexcept {
   const auto lo = static_cast<std::uint64_t>(std::min(u, v));
   const auto hi = static_cast<std::uint64_t>(std::max(u, v));
   return (hi << 32) | lo;
+}
+
+std::uint64_t FaultInjector::key(topology::NodeId u,
+                                 topology::NodeId v) noexcept {
+  return link_key(u, v);
+}
+
+void FaultInjector::set_pruned_links(
+    std::unordered_set<std::uint64_t> pruned) {
+  pruned_links_ = std::move(pruned);
 }
 
 void FaultInjector::ensure_round(std::size_t round) {
@@ -563,7 +573,11 @@ bool FaultInjector::same_component(std::size_t round, topology::NodeId u,
 
 bool FaultInjector::link_burst_down(std::size_t round, topology::NodeId u,
                                     topology::NodeId v) const {
-  return state(round).burst_down.contains(key(u, v));
+  const std::uint64_t k = key(u, v);
+  // A pruned link carries no frames: its chain keeps drawing (the
+  // stream is never perturbed) but the outage is unobservable.
+  if (!pruned_links_.empty() && pruned_links_.contains(k)) return false;
+  return state(round).burst_down.contains(k);
 }
 
 bool FaultInjector::node_down(std::size_t round, topology::NodeId i) const {
@@ -615,7 +629,13 @@ bool FaultInjector::frame_corrupted(std::size_t round, topology::NodeId from,
 }
 
 std::size_t FaultInjector::down_link_count(std::size_t round) const {
-  return state(round).burst_down.size();
+  const RoundState& s = state(round);
+  if (pruned_links_.empty()) return s.burst_down.size();
+  std::size_t count = 0;
+  for (const std::uint64_t k : s.burst_down) {
+    if (!pruned_links_.contains(k)) ++count;
+  }
+  return count;
 }
 
 std::size_t FaultInjector::down_node_count(std::size_t round) const {

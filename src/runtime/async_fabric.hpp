@@ -696,6 +696,7 @@ class AsyncFabric final : public RoundFabric<Payload> {
       } else {
         stats.alive_nodes = completed_.size();
       }
+      if (hooks_->annotate_stats) hooks_->annotate_stats(stats);
       result_.iterations.push_back(stats);
 
       detector_->observe(eval.train_loss, eval.consensus_residual,

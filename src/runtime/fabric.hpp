@@ -213,6 +213,13 @@ struct RoundHooks {
   std::function<void(std::size_t round,
                      std::span<const ActivatedLink> links)>
       on_activation;
+
+  /// Scheme-owned telemetry: invoked serially on each round's
+  /// IterationStats right before the fabric records it, so schemes can
+  /// stamp columns the fabric cannot see (the topology sparsifier's
+  /// links_pruned / effective_edges / slem_after_prune). Must touch
+  /// only stats fields — the fabric has already filled its own.
+  std::function<void(core::IterationStats& stats)> annotate_stats;
 };
 
 /// Which execution engine runs the rounds.

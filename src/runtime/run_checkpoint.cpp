@@ -12,7 +12,12 @@ namespace snap::runtime {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'N', 'A', 'P', 'R', 'U', 'N', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: per-iteration partition telemetry (components,
+// largest_component_frac, partition_epoch) and sparsifier telemetry
+// (links_pruned, effective_edges, slem_after_prune). v1 blobs are
+// rejected — the loader treats that as "no checkpoint" and cold-replays
+// from round 0, which determinism makes bitwise-equivalent.
+constexpr std::uint32_t kVersion = 2;
 
 void write_iteration(common::ByteWriter& writer,
                      const core::IterationStats& it) {
@@ -36,6 +41,12 @@ void write_iteration(common::ByteWriter& writer,
   writer.write_u64(it.nodes_joined);
   writer.write_u64(it.state_sync_bytes);
   writer.write_u64(it.links_activated);
+  writer.write_u64(it.components);
+  writer.write_f64(it.largest_component_frac);
+  writer.write_u64(it.partition_epoch);
+  writer.write_u64(it.links_pruned);
+  writer.write_u64(it.effective_edges);
+  writer.write_f64(it.slem_after_prune);
 }
 
 core::IterationStats read_iteration(common::ByteReader& reader) {
@@ -60,13 +71,19 @@ core::IterationStats read_iteration(common::ByteReader& reader) {
   it.nodes_joined = reader.read_u64();
   it.state_sync_bytes = reader.read_u64();
   it.links_activated = reader.read_u64();
+  it.components = reader.read_u64();
+  it.largest_component_frac = reader.read_f64();
+  it.partition_epoch = reader.read_u64();
+  it.links_pruned = reader.read_u64();
+  it.effective_edges = reader.read_u64();
+  it.slem_after_prune = reader.read_f64();
   return it;
 }
 
 }  // namespace
 
 std::vector<std::byte> encode_run_checkpoint(const RunCheckpoint& ckpt) {
-  common::ByteWriter writer(256 + 160 * ckpt.iterations.size() +
+  common::ByteWriter writer(256 + 208 * ckpt.iterations.size() +
                             ckpt.wire_state.size() +
                             ckpt.algorithm_state.size());
   for (const char c : kMagic) {
@@ -115,8 +132,9 @@ std::optional<RunCheckpoint> decode_run_checkpoint(
     ckpt.alive.push_back(reader.read_u8());
   }
   const std::uint64_t iteration_count = reader.read_u64();
-  // Each iteration occupies a fixed 160 bytes; bound before reserving.
-  if (!reader.ok() || iteration_count * 160 > reader.remaining()) {
+  // Each iteration occupies a fixed 201 bytes; bound (conservatively,
+  // never above the true size) before reserving.
+  if (!reader.ok() || iteration_count * 200 > reader.remaining()) {
     return std::nullopt;
   }
   ckpt.iterations.reserve(iteration_count);

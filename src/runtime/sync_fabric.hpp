@@ -247,6 +247,7 @@ class SyncFabric : public RoundFabric<Payload> {
         stats.alive_nodes = hooks.node_count;
       }
       stats.links_activated = round_links_activated_;
+      if (hooks.annotate_stats) hooks.annotate_stats(stats);
       result.iterations.push_back(stats);
 
       detector.observe(eval.train_loss, eval.consensus_residual,

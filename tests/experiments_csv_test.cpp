@@ -53,6 +53,9 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
   s1.components = 2;
   s1.largest_component_frac = 0.5;
   s1.partition_epoch = 3;
+  s1.links_pruned = 5;
+  s1.effective_edges = 11;
+  s1.slem_after_prune = 0.875;
   core::IterationStats s2;
   s2.train_loss = 0.75;
   result.iterations = {s1, s2};
@@ -65,12 +68,13 @@ TEST(TrainResultCsvTest, HeaderAndRows) {
                      "nodes_down,frames_dropped,frames_corrupted,"
                      "frames_retried,alive_nodes,nodes_joined,"
                      "state_sync_bytes,links_activated,components,"
-                     "largest_component_frac,partition_epoch\n"),
+                     "largest_component_frac,partition_epoch,links_pruned,"
+                     "effective_edges,slem_after_prune\n"),
             std::string::npos);
   EXPECT_NE(out.find("1,1.5,0.5,1,100,200,0.25,0.125,3,1,7,2,4,9,1,1234,6,"
-                     "2,0.5,3\n"),
+                     "2,0.5,3,5,11,0.875\n"),
             std::string::npos);
-  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,1,1,0\n"),
+  EXPECT_NE(out.find("2,0.75,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,1,1,0,0,0,0\n"),
             std::string::npos);
 }
 

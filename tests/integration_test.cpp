@@ -150,10 +150,10 @@ TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
 
   std::ostringstream os;
   experiments::write_train_result_csv(os, result);
-  // Header + one line per iteration, all with 20 fields (8 training
+  // Header + one line per iteration, all with 23 fields (8 training
   // columns + the 5 per-round fault counters + the 3 elastic-membership
   // counters + the gossip activation counter + the 3 partition
-  // columns).
+  // columns + the 3 sparsifier columns).
   const std::string csv = os.str();
   std::size_t lines = 0;
   std::size_t field_commas = 0;
@@ -162,7 +162,7 @@ TEST(IntegrationTest, TrainResultCsvIsWellFormed) {
     if (c == ',') ++field_commas;
   }
   EXPECT_EQ(lines, result.iterations.size() + 1);
-  EXPECT_EQ(field_commas, lines * 19);
+  EXPECT_EQ(field_commas, lines * 22);
 }
 
 TEST(IntegrationTest, SnapTrainerIsOneShot) {

@@ -55,6 +55,9 @@ std::vector<std::uint64_t> fingerprint(const core::TrainResult& result) {
     words.push_back(it.bytes);
     words.push_back(it.cost);
     words.push_back(bits(it.consensus_residual));
+    words.push_back(it.links_pruned);
+    words.push_back(it.effective_edges);
+    words.push_back(bits(it.slem_after_prune));
   }
   words.push_back(result.final_params.size());
   for (std::size_t i = 0; i < result.final_params.size(); ++i) {
@@ -107,6 +110,32 @@ TEST(RuntimeCheckpointTest, SnapSyncFabricRoundTripsBitwise) {
 TEST(RuntimeCheckpointTest, SnapGossipFabricRoundTripsBitwise) {
   expect_checkpoint_round_trip(base_config(runtime::FabricKind::kGossip),
                                Scheme::kSnap, "snap-gossip");
+}
+
+/// Sparsified legs: the resumed run must rebuild the pruned-link set,
+/// the duty-cycle masks, and the telemetry counters from the blob's
+/// algorithm state, so the pruned timeline (including the three
+/// sparsifier words per iteration in the fingerprint) replays bitwise.
+ScenarioConfig sparsified_config(runtime::FabricKind fabric) {
+  ScenarioConfig cfg = base_config(fabric);
+  cfg.sparsify.enabled = true;
+  cfg.sparsify.slem_bound = 1.0;
+  cfg.sparsify.cost_budget = 0.75;
+  return cfg;
+}
+
+TEST(RuntimeCheckpointTest, SparsifiedSyncRoundTripsBitwise) {
+  const ScenarioConfig cfg = sparsified_config(runtime::FabricKind::kSync);
+  // Guard the leg's premise: this scenario must actually prune links.
+  const Scenario probe(cfg);
+  ASSERT_GT(probe.run(Scheme::kSnap).iterations.back().links_pruned, 0u);
+  expect_checkpoint_round_trip(cfg, Scheme::kSnap, "snap-sparse-sync");
+}
+
+TEST(RuntimeCheckpointTest, SparsifiedGossipRoundTripsBitwise) {
+  expect_checkpoint_round_trip(
+      sparsified_config(runtime::FabricKind::kGossip), Scheme::kSnap,
+      "snap-sparse-gossip");
 }
 
 TEST(RuntimeCheckpointTest, ParameterServerRoundTripsBitwise) {

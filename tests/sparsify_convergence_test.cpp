@@ -1,0 +1,205 @@
+// Seed-sweep convergence regression for sparsified SNAP: at an equal
+// wire-byte budget, SNAP on the sparsifier-pruned topology must land
+// within a fixed tolerance of fixed-W SNAP's final loss, on ring and
+// random-connected topologies, under both the sync and gossip fabrics.
+// A separate leg runs a mid-run partition epoch on a barbell graph so
+// the sparsifier's epoch re-run (re-pruning on the surviving component
+// structure) is covered, not just the round-1 prune.
+//
+// Method mirrors gossip_convergence_test: run fixed-W for a fixed
+// iteration count, record its byte total B and final loss; run the
+// sparsified variant (which moves fewer bytes per round) for longer,
+// find the first round its cumulative bytes reach B, and compare the
+// loss there. Labeled slow: excluded from the sanitizer legs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/sparse_weight_matrix.hpp"
+#include "core/snap_trainer.hpp"
+#include "runtime/fabric.hpp"
+#include "support/quadratic_model.hpp"
+#include "topology/generators.hpp"
+
+namespace snap::core {
+namespace {
+
+using snap::testing::QuadraticModel;
+using snap::testing::point_shard;
+
+constexpr std::size_t kNodes = 12;
+constexpr std::size_t kDim = 4;
+constexpr std::size_t kSeeds = 10;
+// A pruned topology mixes slower per round but cheaper per byte; 10%
+// of the fixed-W loss at equal bytes is the regression bar, far below
+// the order-of-magnitude gap a broken prune schedule produces.
+constexpr double kRelativeTolerance = 0.10;
+
+std::vector<data::Dataset> seeded_shards(std::uint64_t seed,
+                                         std::size_t nodes) {
+  common::Rng rng(seed);
+  std::vector<data::Dataset> shards;
+  shards.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    linalg::Vector c(kDim);
+    for (std::size_t d = 0; d < kDim; ++d) c[d] = rng.normal(0.0, 2.0);
+    shards.push_back(point_shard(c));
+  }
+  return shards;
+}
+
+TrainResult run(const topology::Graph& g, const ml::Model& model,
+                std::uint64_t seed, runtime::FabricKind fabric,
+                std::size_t iterations, bool sparsify) {
+  SnapTrainerConfig cfg;
+  cfg.alpha = 0.2;
+  cfg.seed = seed;
+  cfg.convergence.max_iterations = iterations;
+  cfg.convergence.loss_tolerance = 0.0;
+  cfg.fabric = fabric;
+  if (sparsify) {
+    cfg.sparsify.enabled = true;
+    cfg.sparsify.slem_bound = 1.0;
+    cfg.sparsify.cost_budget = 0.75;
+  }
+  const consensus::SparseWeightMatrix w =
+      consensus::SparseWeightMatrix::metropolis_on_survivors(g);
+  SnapTrainer trainer(g, w, model, seeded_shards(seed, g.node_count()),
+                      cfg);
+  return trainer.train(data::Dataset(kDim, 2));
+}
+
+void expect_equal_byte_parity(const topology::Graph& g,
+                              runtime::FabricKind fabric,
+                              std::uint64_t seed) {
+  const QuadraticModel model(kDim);
+  // The sparsified run needs headroom to spend the fixed-W byte total:
+  // a 0.75 cost budget keeps ≥ half the links on these graphs, so 4×
+  // the horizon is comfortable.
+  const TrainResult fixed = run(g, model, seed, fabric, 120, false);
+  const TrainResult sparse = run(g, model, seed, fabric, 480, true);
+
+  ASSERT_GT(sparse.iterations.back().links_pruned, 0u)
+      << "seed " << seed << ": nothing pruned — the leg tests nothing";
+
+  const std::uint64_t budget = fixed.total_bytes;
+  std::uint64_t spent = 0;
+  double loss_at_budget = 0.0;
+  bool reached = false;
+  for (const auto& it : sparse.iterations) {
+    spent += it.bytes;
+    if (spent >= budget) {
+      loss_at_budget = it.train_loss;
+      reached = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(reached)
+      << "seed " << seed << ": sparsified run spent only " << spent
+      << " of " << budget << " bytes in " << sparse.iterations.size()
+      << " rounds";
+  EXPECT_LE(loss_at_budget,
+            fixed.final_train_loss * (1.0 + kRelativeTolerance))
+      << "seed " << seed << ": sparsified loss " << loss_at_budget
+      << " vs fixed-W " << fixed.final_train_loss << " at " << budget
+      << " bytes";
+}
+
+TEST(SparsifyConvergenceTest, RingMatchesFixedWAtEqualBytesSync) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    topology::Graph g = topology::make_ring(kNodes);
+    // Chords make the ring pruneable (a bare ring is all bridges).
+    common::Rng rng(seed * 77 + 3);
+    for (std::size_t k = 0; k < kNodes; ++k) {
+      const auto u = static_cast<topology::NodeId>(rng.uniform_u64(kNodes));
+      const auto v = static_cast<topology::NodeId>(rng.uniform_u64(kNodes));
+      if (u != v && !g.has_edge(u, v)) g.add_edge(u, v);
+    }
+    expect_equal_byte_parity(g, runtime::FabricKind::kSync, seed);
+  }
+}
+
+TEST(SparsifyConvergenceTest, RandomGraphMatchesFixedWAtEqualBytesSync) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    common::Rng rng(seed * 1000 + 7);
+    const auto g = topology::make_random_connected(kNodes, 4.0, rng);
+    expect_equal_byte_parity(g, runtime::FabricKind::kSync, seed);
+  }
+}
+
+TEST(SparsifyConvergenceTest, RandomGraphMatchesFixedWAtEqualBytesGossip) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    common::Rng rng(seed * 1000 + 7);
+    const auto g = topology::make_random_connected(kNodes, 4.0, rng);
+    expect_equal_byte_parity(g, runtime::FabricKind::kGossip, seed);
+  }
+}
+
+// Mid-run churn epoch: a scheduled partition on a barbell's bridge
+// splits the run, forcing the sparsifier's epoch re-run on the split
+// labeling and again on the heal. The regression bar is the same
+// equal-byte comparison against fixed-W SNAP under the identical
+// fault plan.
+TEST(SparsifyConvergenceTest, SurvivesMidRunPartitionEpoch) {
+  // Two K4 blocks joined by the bridge 3–4.
+  topology::Graph g(8);
+  for (topology::NodeId u = 0; u < 3; ++u) {
+    for (topology::NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  for (topology::NodeId u = 4; u < 7; ++u) {
+    for (topology::NodeId v = u + 1; v < 8; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(3, 4);
+
+  const QuadraticModel model(kDim);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto make = [&](bool sparsify) {
+      SnapTrainerConfig cfg;
+      cfg.alpha = 0.2;
+      cfg.seed = seed;
+      cfg.convergence.max_iterations = sparsify ? 480 : 120;
+      cfg.convergence.loss_tolerance = 0.0;
+      net::PartitionEvent cut;
+      cut.edges = {{3, 4}};
+      cut.start_round = 20;
+      cut.heal_round = 40;
+      cfg.faults.scheduled_partitions.push_back(cut);
+      if (sparsify) {
+        cfg.sparsify.enabled = true;
+        cfg.sparsify.slem_bound = 1.0;
+        cfg.sparsify.cost_budget = 0.75;
+      }
+      const consensus::SparseWeightMatrix w =
+          consensus::SparseWeightMatrix::metropolis_on_survivors(g);
+      SnapTrainer trainer(g, w, model,
+                          seeded_shards(seed, g.node_count()), cfg);
+      return trainer.train(data::Dataset(kDim, 2));
+    };
+    const TrainResult fixed = make(false);
+    const TrainResult sparse = make(true);
+    ASSERT_GT(sparse.iterations.back().links_pruned, 0u) << "seed " << seed;
+
+    const std::uint64_t budget = fixed.total_bytes;
+    std::uint64_t spent = 0;
+    double loss_at_budget = 0.0;
+    bool reached = false;
+    for (const auto& it : sparse.iterations) {
+      spent += it.bytes;
+      if (spent >= budget) {
+        loss_at_budget = it.train_loss;
+        reached = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(reached) << "seed " << seed;
+    EXPECT_LE(loss_at_budget,
+              fixed.final_train_loss * (1.0 + kRelativeTolerance))
+        << "seed " << seed << ": sparsified loss " << loss_at_budget
+        << " vs fixed-W " << fixed.final_train_loss;
+  }
+}
+
+}  // namespace
+}  // namespace snap::core

@@ -66,6 +66,9 @@ std::vector<std::uint64_t> fingerprint(const core::TrainResult& result) {
     words.push_back(it.components);
     words.push_back(bits(it.largest_component_frac));
     words.push_back(it.partition_epoch);
+    words.push_back(it.links_pruned);
+    words.push_back(it.effective_edges);
+    words.push_back(bits(it.slem_after_prune));
   }
   words.push_back(result.final_params.size());
   for (std::size_t i = 0; i < result.final_params.size(); ++i) {
@@ -218,6 +221,35 @@ ConfigTweak partition_tweak() {
     cfg.faults.scheduled_partitions.push_back(event);
     cfg.faults.partition_confirm_rounds = 1;
   };
+}
+
+/// Topology sparsification on: the pruned timeline (loss, bytes, and
+/// the links_pruned / effective_edges / slem_after_prune telemetry
+/// words in the fingerprint) must replay bitwise across UDS shard
+/// processes against the sim oracle.
+ConfigTweak sparsify_tweak() {
+  return [](ScenarioConfig& cfg) {
+    cfg.sparsify.enabled = true;
+    cfg.sparsify.slem_bound = 1.0;
+    cfg.sparsify.cost_budget = 0.75;
+  };
+}
+
+TEST(TransportParityTest, SparsifiedSyncOverUdsMatchesSimBitwise) {
+  // Guard the leg's premise: this scenario must actually prune links,
+  // or the sparsified words in the fingerprint are all trivially zero.
+  ScenarioConfig probe_cfg = base_config(runtime::FabricKind::kSync);
+  sparsify_tweak()(probe_cfg);
+  const Scenario probe(probe_cfg);
+  ASSERT_GT(probe.run(Scheme::kSnap).iterations.back().links_pruned, 0u);
+
+  expect_parity(runtime::FabricKind::kSync, net::TransportKind::kUds,
+                sparsify_tweak(), "sparse-");
+}
+
+TEST(TransportParityTest, SparsifiedGossipOverUdsMatchesSimBitwise) {
+  expect_parity(runtime::FabricKind::kGossip, net::TransportKind::kUds,
+                sparsify_tweak(), "sparse-");
 }
 
 TEST(TransportParityTest, PartitionScheduleOverUdsMatchesSimBitwise) {
